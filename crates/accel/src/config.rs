@@ -1,0 +1,309 @@
+//! Accelerator configuration and the Table 1 presets.
+
+use higraph_model::NetworkKindModel;
+use std::fmt;
+
+/// Which fabric serves an interaction point (Sec. 2.2's three conflict
+/// sites).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetworkKind {
+    /// Centralized crossbar with round-robin arbitration (previous
+    /// accelerators: Graphicionado, GraphDynS).
+    Crossbar,
+    /// The paper's MDP-network.
+    Mdp,
+    /// The naive nW1R FIFO of Fig. 5 (b/c); only meaningful for the
+    /// dataflow-propagation point.
+    NaiveFifo,
+}
+
+impl NetworkKind {
+    /// The corresponding frequency-model kind.
+    pub fn model_kind(self) -> NetworkKindModel {
+        match self {
+            NetworkKind::Crossbar => NetworkKindModel::Crossbar,
+            NetworkKind::Mdp => NetworkKindModel::Mdp,
+            NetworkKind::NaiveFifo => NetworkKindModel::NaiveFifo,
+        }
+    }
+}
+
+impl fmt::Display for NetworkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NetworkKind::Crossbar => "crossbar",
+            NetworkKind::Mdp => "MDP-network",
+            NetworkKind::NaiveFifo => "nW1R-FIFO",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The paper's optimization ablation steps (Fig. 10): which interaction
+/// points get an MDP-network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OptLevel {
+    /// Opt-O: MDP-network for Offset Array access.
+    pub opt_o: bool,
+    /// Opt-E: MDP-network for Edge Array access.
+    pub opt_e: bool,
+    /// Opt-D: MDP-network for Dataflow Propagation.
+    pub opt_d: bool,
+}
+
+impl OptLevel {
+    /// No optimizations (Fig. 10 "Baseline").
+    pub const BASELINE: OptLevel = OptLevel {
+        opt_o: false,
+        opt_e: false,
+        opt_d: false,
+    };
+    /// Opt-O only.
+    pub const O: OptLevel = OptLevel {
+        opt_o: true,
+        opt_e: false,
+        opt_d: false,
+    };
+    /// Opt-O + Opt-E.
+    pub const OE: OptLevel = OptLevel {
+        opt_o: true,
+        opt_e: true,
+        opt_d: false,
+    };
+    /// Opt-O + Opt-E + Opt-D (full HiGraph).
+    pub const OED: OptLevel = OptLevel {
+        opt_o: true,
+        opt_e: true,
+        opt_d: true,
+    };
+
+    /// The four ablation steps in Fig. 10 order.
+    pub const ALL: [OptLevel; 4] = [Self::BASELINE, Self::O, Self::OE, Self::OED];
+
+    /// Figure label for this step.
+    pub fn label(self) -> &'static str {
+        match (self.opt_o, self.opt_e, self.opt_d) {
+            (false, false, false) => "Baseline",
+            (true, false, false) => "OPT-O",
+            (true, true, false) => "OPT-O + OPT-E",
+            (true, true, true) => "OPT-O + OPT-E + OPT-D",
+            _ => "custom",
+        }
+    }
+}
+
+/// Full configuration of a simulated accelerator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcceleratorConfig {
+    /// Human-readable design name.
+    pub name: String,
+    /// Number of front-end channels `n` (ActiveVertex/Offset parts).
+    pub front_channels: usize,
+    /// Number of back-end channels `m` (Edge/tProperty parts, ePEs, vPEs).
+    pub back_channels: usize,
+    /// Fabric for Offset Array access (front-end vertex routing).
+    pub offset_network: NetworkKind,
+    /// Fabric for Edge Array access.
+    pub edge_network: NetworkKind,
+    /// Fabric for dataflow propagation (ePE → vPE).
+    pub dataflow_network: NetworkKind,
+    /// Buffer entries per channel in the dataflow fabric (the paper's
+    /// Fig. 12 x-axis; HiGraph uses 160, the crossbar baseline 128).
+    pub dataflow_buffer_per_channel: usize,
+    /// Capacity of the small staging queues between pipeline stages.
+    pub staging_capacity: usize,
+    /// MDP-network radix (Sec. 5.4 design option; the paper chooses 2).
+    pub radix: usize,
+    /// Read ports of each terminal edge Dispatcher (the final stage of the
+    /// Edge-Array MDP-network is a 2W2R module, so 2 is the paper-faithful
+    /// value; 1 models a single-read-port dispatcher for ablation).
+    pub dispatcher_read_ports: usize,
+}
+
+impl AcceleratorConfig {
+    /// Table 1 "HiGraph": 32 front-end channels, 32 back-end channels,
+    /// MDP-networks everywhere, 160-entry dataflow buffers.
+    pub fn higraph() -> Self {
+        AcceleratorConfig {
+            name: "HiGraph".to_string(),
+            front_channels: 32,
+            back_channels: 32,
+            offset_network: NetworkKind::Mdp,
+            edge_network: NetworkKind::Mdp,
+            dataflow_network: NetworkKind::Mdp,
+            dataflow_buffer_per_channel: 160,
+            staging_capacity: 8,
+            radix: 2,
+            dispatcher_read_ports: 2,
+        }
+    }
+
+    /// Table 1 "HiGraph-mini": HiGraph with only 4 front-end channels, for
+    /// a front-end-fair comparison against GraphDynS.
+    pub fn higraph_mini() -> Self {
+        AcceleratorConfig {
+            name: "HiGraph-mini".to_string(),
+            front_channels: 4,
+            ..AcceleratorConfig::higraph()
+        }
+    }
+
+    /// Table 1 "GraphDynS": the crossbar-based state-of-the-art baseline,
+    /// 4 front-end channels (more would sink its frequency — Sec. 5.1),
+    /// 32 back-end channels, 128-entry buffers.
+    pub fn graphdyns() -> Self {
+        AcceleratorConfig {
+            name: "GraphDynS".to_string(),
+            front_channels: 4,
+            back_channels: 32,
+            offset_network: NetworkKind::Crossbar,
+            edge_network: NetworkKind::Crossbar,
+            dataflow_network: NetworkKind::Crossbar,
+            dataflow_buffer_per_channel: 128,
+            staging_capacity: 8,
+            radix: 2,
+            dispatcher_read_ports: 2,
+        }
+    }
+
+    /// HiGraph geometry with a chosen subset of the paper's optimizations
+    /// (the Fig. 10 ablation): un-optimized points fall back to crossbars.
+    pub fn higraph_with_opts(opts: OptLevel) -> Self {
+        let k = |on: bool| {
+            if on {
+                NetworkKind::Mdp
+            } else {
+                NetworkKind::Crossbar
+            }
+        };
+        AcceleratorConfig {
+            name: format!("HiGraph[{}]", opts.label()),
+            offset_network: k(opts.opt_o),
+            edge_network: k(opts.opt_e),
+            dataflow_network: k(opts.opt_d),
+            ..AcceleratorConfig::higraph()
+        }
+    }
+
+    /// Scales the design to `channels` front- and back-end channels
+    /// (the Fig. 11 scalability sweep).
+    pub fn scaled_to(mut self, channels: usize) -> Self {
+        self.front_channels = channels;
+        self.back_channels = channels;
+        self.name = format!("{}x{channels}", self.name);
+        self
+    }
+
+    /// The clock this design achieves, in GHz: the 1 GHz target capped by
+    /// the slowest fabric at its widest interaction point (Fig. 4 model).
+    pub fn effective_frequency_ghz(&self) -> f64 {
+        let mut worst = [
+            (self.offset_network, self.front_channels),
+            (self.edge_network, self.back_channels.max(self.front_channels)),
+            (self.dataflow_network, self.back_channels),
+        ]
+        .into_iter()
+        .map(|(kind, ch)| {
+            higraph_model::effective_frequency_ghz(kind.model_kind(), ch.max(2))
+        })
+        .fold(f64::INFINITY, f64::min);
+        // A radix-r MDP stage is itself an r-port interaction point
+        // (Sec. 5.4: too-large radices re-introduce design centralization).
+        let uses_mdp = [self.offset_network, self.edge_network, self.dataflow_network]
+            .contains(&NetworkKind::Mdp);
+        if uses_mdp {
+            worst = worst.min(
+                higraph_model::mdp_radix_frequency_ghz(self.radix)
+                    .min(higraph_model::frequency::TARGET_GHZ),
+            );
+        }
+        worst
+    }
+
+    /// Validates the structural requirements of the chosen fabrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if channel counts are zero, not powers of two
+    /// where MDP-networks require it, or the back-end is not a multiple of
+    /// the front-end (needed by the edge dispatchers).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.front_channels == 0 || self.back_channels == 0 {
+            return Err("channel counts must be positive".to_string());
+        }
+        if !self.front_channels.is_power_of_two() || !self.back_channels.is_power_of_two() {
+            return Err("channel counts must be powers of two".to_string());
+        }
+        if !self.back_channels.is_multiple_of(self.front_channels) {
+            return Err(format!(
+                "back-end channels {} must be a multiple of front-end channels {}",
+                self.back_channels, self.front_channels
+            ));
+        }
+        if self.radix < 2 || !self.radix.is_power_of_two() {
+            return Err(format!("radix {} must be a power of two >= 2", self.radix));
+        }
+        if self.staging_capacity == 0 || self.dataflow_buffer_per_channel == 0 {
+            return Err("buffer capacities must be positive".to_string());
+        }
+        if self.dispatcher_read_ports == 0 {
+            return Err("dispatchers need at least one read port".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_presets() {
+        let h = AcceleratorConfig::higraph();
+        assert_eq!((h.front_channels, h.back_channels), (32, 32));
+        let m = AcceleratorConfig::higraph_mini();
+        assert_eq!((m.front_channels, m.back_channels), (4, 32));
+        let g = AcceleratorConfig::graphdyns();
+        assert_eq!((g.front_channels, g.back_channels), (4, 32));
+        assert_eq!(g.dataflow_network, NetworkKind::Crossbar);
+        for c in [h, m, g] {
+            c.validate().expect("presets are valid");
+            // Table 1: all three run at 1 GHz
+            assert!((c.effective_frequency_ghz() - 1.0).abs() < 1e-9, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn graphdyns_loses_frequency_at_64_channels() {
+        let g = AcceleratorConfig::graphdyns().scaled_to(64);
+        assert!(g.effective_frequency_ghz() < 1.0);
+        let h = AcceleratorConfig::higraph().scaled_to(256);
+        assert_eq!(h.effective_frequency_ghz(), 1.0);
+    }
+
+    #[test]
+    fn opt_levels_map_to_networks() {
+        let b = AcceleratorConfig::higraph_with_opts(OptLevel::BASELINE);
+        assert_eq!(b.offset_network, NetworkKind::Crossbar);
+        assert_eq!(b.dataflow_network, NetworkKind::Crossbar);
+        let oe = AcceleratorConfig::higraph_with_opts(OptLevel::OE);
+        assert_eq!(oe.offset_network, NetworkKind::Mdp);
+        assert_eq!(oe.edge_network, NetworkKind::Mdp);
+        assert_eq!(oe.dataflow_network, NetworkKind::Crossbar);
+        assert_eq!(OptLevel::OED.label(), "OPT-O + OPT-E + OPT-D");
+    }
+
+    #[test]
+    fn validation_catches_bad_geometry() {
+        let mut c = AcceleratorConfig::higraph();
+        c.front_channels = 12;
+        assert!(c.validate().is_err());
+        let mut c = AcceleratorConfig::higraph();
+        c.front_channels = 64;
+        c.back_channels = 32;
+        assert!(c.validate().is_err());
+        let mut c = AcceleratorConfig::higraph();
+        c.radix = 3;
+        assert!(c.validate().is_err());
+    }
+}

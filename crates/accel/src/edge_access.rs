@@ -1,0 +1,313 @@
+//! The Edge Array access unit (Fig. 3 ② / Sec. 4.2).
+//!
+//! Two implementations:
+//!
+//! * [`EdgeAccess::Mdp`] — the paper's range-splitting MDP-network plus
+//!   per-output Dispatchers (Opt-E). Each dispatcher owns a private group
+//!   of consecutive edge banks, so once a range reaches its output it
+//!   issues all of its bank reads in one cycle with no cross-channel
+//!   conflicts.
+//! * [`EdgeAccess::Direct`] — the baseline: replayed ranges wait in
+//!   per-channel queues and arbitrate for the edge banks directly. A range
+//!   needs *all* of its banks in the same cycle; overlapping requests from
+//!   other channels stall it (the datapath conflict of Fig. 3 ②).
+
+use higraph_mdp::{Dispatcher, EdgeRange, RangeMdpNetwork, Topology};
+use higraph_sim::{BankPorts, Fifo, NetworkStats};
+
+/// One edge read issued to a bank this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankRead<P> {
+    /// Edge bank (equals the back-end channel of the ePE that receives
+    /// the edge).
+    pub bank: usize,
+    /// Global Edge Array index to read.
+    pub edge_index: u64,
+    /// Payload carried from the front-end (source vertex property).
+    pub payload: P,
+}
+
+/// The Edge Array access unit.
+#[derive(Debug, Clone)]
+pub enum EdgeAccess<P> {
+    /// Range-splitting MDP-network + dispatchers (Opt-E).
+    Mdp {
+        /// The range network (front-end channels wide).
+        net: RangeMdpNetwork<P>,
+        /// Terminal dispatcher shared across outputs (stateless).
+        dispatcher: Dispatcher,
+        /// Ranges each dispatcher may pop per cycle (final-stage read
+        /// ports; 2 for the paper's 2W2R modules).
+        read_ports: usize,
+    },
+    /// Direct bank arbitration (baseline).
+    Direct {
+        /// Per-front-end-channel request queues.
+        queues: Vec<Fifo<EdgeRange<P>>>,
+        /// Number of edge banks.
+        num_banks: usize,
+        /// Rotating arbitration pointer.
+        next: usize,
+        /// Aggregate statistics.
+        stats: NetworkStats,
+    },
+}
+
+impl<P: Copy> EdgeAccess<P> {
+    /// Builds the MDP variant: `front_channels`-wide fabric over
+    /// `num_banks` banks, `capacity` entries per stage FIFO.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the validated-config invariants don't hold
+    /// (`front_channels` a power of `radix`, `num_banks` a multiple).
+    pub fn new_mdp(
+        front_channels: usize,
+        num_banks: usize,
+        capacity: usize,
+        radix: usize,
+        read_ports: usize,
+    ) -> Self {
+        let topo = Topology::new_mixed(front_channels, radix)
+            .expect("validated config guarantees power-of-two front channels");
+        EdgeAccess::Mdp {
+            net: RangeMdpNetwork::new(topo, num_banks, capacity)
+                .expect("validated config guarantees bank/channel divisibility"),
+            dispatcher: Dispatcher::new(num_banks),
+            read_ports: read_ports.max(1),
+        }
+    }
+
+    /// Builds the direct-arbitration variant with `capacity`-entry queues.
+    pub fn new_direct(front_channels: usize, num_banks: usize, capacity: usize) -> Self {
+        EdgeAccess::Direct {
+            queues: (0..front_channels).map(|_| Fifo::new(capacity)).collect(),
+            num_banks,
+            next: 0,
+            stats: NetworkStats::new(),
+        }
+    }
+
+    /// Whether channel `ch` can accept `range` this cycle.
+    pub fn can_accept(&self, ch: usize, range: &EdgeRange<P>) -> bool {
+        match self {
+            EdgeAccess::Mdp { net, .. } => net.can_accept(ch, range),
+            EdgeAccess::Direct { queues, .. } => !queues[ch].is_full(),
+        }
+    }
+
+    /// Offers `range` at channel `ch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the range back if the unit cannot accept it this cycle.
+    pub fn push(&mut self, ch: usize, range: EdgeRange<P>) -> Result<(), EdgeRange<P>> {
+        match self {
+            EdgeAccess::Mdp { net, .. } => net.push(ch, range),
+            EdgeAccess::Direct { queues, stats, .. } => match queues[ch].push(range) {
+                Ok(()) => {
+                    stats.accepted += 1;
+                    Ok(())
+                }
+                Err(r) => {
+                    stats.rejected += 1;
+                    Err(r)
+                }
+            },
+        }
+    }
+
+    /// Issues this cycle's bank reads. `epe_has_space[b]` reports whether
+    /// the ePE queue behind bank `b` can take one more edge; every bank
+    /// issues at most one read per cycle.
+    pub fn issue_reads(&mut self, epe_has_space: &[bool]) -> Vec<BankRead<P>> {
+        match self {
+            EdgeAccess::Mdp { net, dispatcher, read_ports } => {
+                let mut reads = Vec::new();
+                let num_banks = net.num_banks();
+                for o in 0..net.num_channels() {
+                    // A dispatcher's banks are private to it, so only the
+                    // ePE queues (and intra-group bank ports) gate the
+                    // issue. The final stage is a 2W2R module, so up to
+                    // `read_ports` ranges per output can issue per cycle
+                    // when their bank sets are disjoint.
+                    let mut used = vec![false; num_banks];
+                    for _read_port in 0..*read_ports {
+                        let Some(range) = net.peek(o) else { break };
+                        let ok = dispatcher
+                            .expand(range)
+                            .all(|(bank, _)| epe_has_space[bank] && !used[bank]);
+                        if !ok {
+                            break;
+                        }
+                        let range = net.pop(o).expect("peeked");
+                        reads.extend(dispatcher.expand(&range).map(|(bank, edge_index)| {
+                            used[bank] = true;
+                            BankRead {
+                                bank,
+                                edge_index,
+                                payload: range.payload,
+                            }
+                        }));
+                    }
+                }
+                reads
+            }
+            EdgeAccess::Direct {
+                queues,
+                num_banks,
+                next,
+                stats,
+            } => {
+                let mut ports = BankPorts::new(*num_banks);
+                let mut reads = Vec::new();
+                let n = queues.len();
+                for off in 0..n {
+                    let ch = (*next + off) % n;
+                    let Some(range) = queues[ch].peek() else { continue };
+                    let first = (range.off % *num_banks as u64) as usize;
+                    let row = range.off / *num_banks as u64;
+                    let banks = first..first + range.len as usize;
+                    // The whole range must win all its banks and have ePE
+                    // space; otherwise the head stalls (datapath conflict).
+                    // Each bank read targets a distinct row, so banks are
+                    // exclusive per cycle (no same-address sharing here).
+                    // Like the offset arbitration, this is a centralized
+                    // priority chain: the first blocked claim stops grant
+                    // propagation for the cycle.
+                    let ok = banks
+                        .clone()
+                        .all(|b| ports.is_free(b) && epe_has_space[b]);
+                    if !ok {
+                        stats.hol_blocked += 1;
+                        break;
+                    }
+                    for b in banks {
+                        let claimed = ports.try_claim(b, row);
+                        debug_assert!(claimed);
+                    }
+                    let range = queues[ch].pop().expect("peeked");
+                    stats.delivered += 1;
+                    for k in 0..u64::from(range.len) {
+                        let idx = range.off + k;
+                        reads.push(BankRead {
+                            bank: (idx % *num_banks as u64) as usize,
+                            edge_index: idx,
+                            payload: range.payload,
+                        });
+                    }
+                }
+                *next = (*next + 1) % n;
+                reads
+            }
+        }
+    }
+
+    /// Advances internal state one cycle.
+    pub fn tick(&mut self) {
+        match self {
+            EdgeAccess::Mdp { net, .. } => net.tick(),
+            EdgeAccess::Direct { stats, .. } => stats.cycles += 1,
+        }
+    }
+
+    /// Whether any ranges are waiting or in flight.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            EdgeAccess::Mdp { net, .. } => net.is_empty(),
+            EdgeAccess::Direct { queues, .. } => queues.iter().all(Fifo::is_empty),
+        }
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> NetworkStats {
+        match self {
+            EdgeAccess::Mdp { net, .. } => *net.stats(),
+            EdgeAccess::Direct { stats, .. } => *stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn range(off: u64, len: u32) -> EdgeRange<u64> {
+        EdgeRange {
+            off,
+            len,
+            payload: 9,
+        }
+    }
+
+    #[test]
+    fn direct_grants_non_overlapping_ranges_together() {
+        let mut ea = EdgeAccess::new_direct(2, 8, 4);
+        ea.push(0, range(0, 4)).unwrap(); // banks 0..4
+        ea.push(1, range(12, 4)).unwrap(); // banks 4..8
+        let free = vec![true; 8];
+        let reads = ea.issue_reads(&free);
+        // banks 4..8 overlap? range(12,4) covers indices 12,13,14,15 →
+        // banks 4,5,6,7; range(0,4) banks 0,1,2,3 → disjoint, both issue.
+        assert_eq!(reads.len(), 8);
+        assert!(ea.is_empty());
+    }
+
+    #[test]
+    fn direct_serializes_overlapping_ranges() {
+        let mut ea = EdgeAccess::new_direct(2, 8, 4);
+        ea.push(0, range(0, 5)).unwrap(); // banks 0..5
+        ea.push(1, range(8, 5)).unwrap(); // banks 0..5 too (8%8=0)
+        let free = vec![true; 8];
+        let first = ea.issue_reads(&free);
+        assert_eq!(first.len(), 5);
+        assert!(!ea.is_empty());
+        ea.tick();
+        let second = ea.issue_reads(&free);
+        assert_eq!(second.len(), 5);
+        assert!(ea.stats().hol_blocked >= 1);
+    }
+
+    #[test]
+    fn direct_respects_epe_backpressure() {
+        let mut ea = EdgeAccess::new_direct(1, 4, 2);
+        ea.push(0, range(0, 3)).unwrap();
+        let mut free = vec![true; 4];
+        free[1] = false; // one target ePE is full
+        assert!(ea.issue_reads(&free).is_empty());
+        free[1] = true;
+        assert_eq!(ea.issue_reads(&free).len(), 3);
+    }
+
+    #[test]
+    fn mdp_variant_delivers_all_edges() {
+        let mut ea = EdgeAccess::new_mdp(4, 16, 8, 2, 2);
+        ea.push(0, range(0, 16)).unwrap(); // a full row
+        let free = vec![true; 16];
+        let mut got = Vec::new();
+        for _ in 0..20 {
+            got.extend(ea.issue_reads(&free).into_iter().map(|r| r.edge_index));
+            ea.tick();
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+        assert!(ea.is_empty());
+    }
+
+    #[test]
+    fn mdp_reads_carry_payload_and_bank() {
+        let mut ea = EdgeAccess::new_mdp(2, 8, 8, 2, 2);
+        ea.push(1, range(9, 2)).unwrap(); // banks 1,2
+        let free = vec![true; 8];
+        let mut reads = Vec::new();
+        for _ in 0..8 {
+            reads.extend(ea.issue_reads(&free));
+            ea.tick();
+        }
+        assert_eq!(reads.len(), 2);
+        for r in &reads {
+            assert_eq!(r.payload, 9);
+            assert_eq!(r.bank, (r.edge_index % 8) as usize);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! HiGraph and baseline accelerator models (cycle-level).
+//!
+//! This crate assembles the substrates (`higraph-graph`, `higraph-vcpm`,
+//! `higraph-sim`, `higraph-mdp`, `higraph-model`) into complete
+//! VCPM-based graph-analytics accelerators, reproducing Fig. 6 of the
+//! paper:
+//!
+//! * **front-end** (`n` channels): ActiveVertex fetch → routing network →
+//!   Offset Array access under the odd-even arbiter → Replay Engines;
+//! * **back-end** (`m` channels): Edge Array access (range network or
+//!   direct arbitration) → ePEs (`Process_Edge`) → dataflow propagation
+//!   network → vPEs (`Reduce`) → tProperty banks;
+//! * **apply phase**: an `⌈V/m⌉`-cycle scan applying `Apply( )` and
+//!   building the next frontier.
+//!
+//! Each of the three interaction points can independently use a crossbar,
+//! an MDP-network, or the naive nW1R FIFO — that is exactly the paper's
+//! Opt-O / Opt-E / Opt-D ablation space (Fig. 10) — and Table 1's
+//! configurations are provided as presets:
+//! [`AcceleratorConfig::higraph`], [`AcceleratorConfig::higraph_mini`],
+//! [`AcceleratorConfig::graphdyns`].
+//!
+//! The engine executes any [`higraph_vcpm::VertexProgram`] and its final
+//! Property Array is bit-identical to the software reference executor —
+//! the integration tests enforce this for all four paper algorithms.
+//!
+//! # Example
+//!
+//! ```
+//! use higraph_accel::{AcceleratorConfig, Engine};
+//! use higraph_graph::gen::erdos_renyi;
+//! use higraph_vcpm::programs::Bfs;
+//!
+//! let graph = erdos_renyi(256, 2048, 63, 1);
+//! let mut engine = Engine::new(AcceleratorConfig::higraph(), &graph);
+//! let result = engine.run(&Bfs::from_source(0));
+//! assert!(result.metrics.cycles > 0);
+//! assert_eq!(result.properties[0], 0);
+//! ```
+
+pub mod config;
+pub mod edge_access;
+pub mod engine;
+pub mod metrics;
+pub mod netfactory;
+pub mod packets;
+
+pub use config::{AcceleratorConfig, NetworkKind, OptLevel};
+pub use engine::{Engine, RunResult, SlicedRunResult};
+pub use metrics::Metrics;

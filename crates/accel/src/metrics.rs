@@ -1,0 +1,139 @@
+//! Execution metrics: the quantities the paper's evaluation reports.
+
+use higraph_sim::NetworkStats;
+
+/// Metrics of one accelerator run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    /// Total simulated cycles (scatter + apply, all iterations).
+    pub cycles: u64,
+    /// Cycles spent in scatter phases only.
+    pub scatter_cycles: u64,
+    /// Cycles spent in apply phases only.
+    pub apply_cycles: u64,
+    /// Edge traversals executed (the TEPS numerator).
+    pub edges_processed: u64,
+    /// VCPM iterations executed.
+    pub iterations: u32,
+    /// Total vPE starvation cycles (Fig. 10b): scatter cycles in which a
+    /// vPE had no input while work was still in flight, summed over vPEs.
+    pub vpe_starvation_cycles: u64,
+    /// Per-vPE starvation cycles (one entry per back-end channel); sums to
+    /// [`Metrics::vpe_starvation_cycles`]. Useful for spotting hot-bank
+    /// imbalance.
+    pub vpe_starvation_per_channel: Vec<u64>,
+    /// Offset Array access conflicts (failed bank-pair claims).
+    pub offset_conflicts: u64,
+    /// The design's effective clock, GHz (Fig. 4 / Sec. 5.3 model).
+    pub frequency_ghz: f64,
+    /// Offset-routing fabric statistics.
+    pub offset_net: NetworkStats,
+    /// Edge-access unit statistics.
+    pub edge_net: NetworkStats,
+    /// Dataflow-propagation fabric statistics.
+    pub dataflow_net: NetworkStats,
+}
+
+impl Metrics {
+    /// Throughput in giga-traversed-edges-per-second (the paper's GTEPS,
+    /// Fig. 9): edges per cycle × clock (GHz).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use higraph_accel::Metrics;
+    ///
+    /// let m = Metrics {
+    ///     cycles: 1_000,
+    ///     edges_processed: 16_000,
+    ///     frequency_ghz: 1.0,
+    ///     ..Metrics::default()
+    /// };
+    /// assert!((m.gteps() - 16.0).abs() < 1e-12);
+    /// ```
+    pub fn gteps(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.edges_processed as f64 / self.cycles as f64 * self.frequency_ghz
+        }
+    }
+
+    /// Wall-clock execution time in nanoseconds under the modeled clock.
+    pub fn time_ns(&self) -> f64 {
+        if self.frequency_ghz == 0.0 {
+            f64::INFINITY
+        } else {
+            self.cycles as f64 / self.frequency_ghz
+        }
+    }
+
+    /// Speedup of `self` over `other` (ratio of modeled execution times,
+    /// as in Fig. 8).
+    pub fn speedup_over(&self, other: &Metrics) -> f64 {
+        other.time_ns() / self.time_ns()
+    }
+
+    /// Mean starvation cycles per vPE.
+    pub fn starvation_per_vpe(&self, num_vpes: usize) -> f64 {
+        if num_vpes == 0 {
+            0.0
+        } else {
+            self.vpe_starvation_cycles as f64 / num_vpes as f64
+        }
+    }
+
+    /// Ratio of the most- to least-starved vPE (1.0 = perfectly even);
+    /// large values indicate hot destination banks.
+    pub fn starvation_imbalance(&self) -> f64 {
+        let max = self.vpe_starvation_per_channel.iter().copied().max();
+        let min = self.vpe_starvation_per_channel.iter().copied().min();
+        match (max, min) {
+            (Some(max), Some(min)) if min > 0 => max as f64 / min as f64,
+            (Some(max), Some(_)) if max > 0 => f64::INFINITY,
+            _ => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gteps_zero_cycles() {
+        assert_eq!(Metrics::default().gteps(), 0.0);
+    }
+
+    #[test]
+    fn speedup_uses_modeled_time() {
+        let fast = Metrics {
+            cycles: 500,
+            frequency_ghz: 1.0,
+            ..Metrics::default()
+        };
+        let slow = Metrics {
+            cycles: 1000,
+            frequency_ghz: 1.0,
+            ..Metrics::default()
+        };
+        assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-12);
+        // lower clock hurts even at equal cycles
+        let derated = Metrics {
+            cycles: 500,
+            frequency_ghz: 0.5,
+            ..Metrics::default()
+        };
+        assert!((fast.speedup_over(&derated) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn starvation_per_vpe() {
+        let m = Metrics {
+            vpe_starvation_cycles: 640,
+            ..Metrics::default()
+        };
+        assert!((m.starvation_per_vpe(32) - 20.0).abs() < 1e-12);
+        assert_eq!(m.starvation_per_vpe(0), 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Runtime-selectable propagation fabric.
+//!
+//! [`AnyNetwork`] wraps the three interchangeable fabrics behind one type
+//! so the engine can swap them per configuration (the paper's ablations
+//! and the Fig. 12 comparison) without generics at every call site.
+
+use crate::config::NetworkKind;
+use higraph_mdp::{MdpNetwork, NaiveFifoNetwork, Topology};
+use higraph_sim::{CrossbarNetwork, Network, NetworkStats, Packet};
+
+/// A crossbar, MDP-network, or naive nW1R-FIFO fabric.
+#[derive(Debug, Clone)]
+pub enum AnyNetwork<T> {
+    /// Input-queued crossbar.
+    Crossbar(CrossbarNetwork<T>),
+    /// MDP-network.
+    Mdp(MdpNetwork<T>),
+    /// Per-output nW1R FIFO.
+    Naive(NaiveFifoNetwork<T>),
+}
+
+impl<T: Packet> AnyNetwork<T> {
+    /// Builds a square `channels × channels` fabric of the given kind with
+    /// a total buffer budget of `buffer_per_channel` entries per channel
+    /// and the given MDP radix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is not a valid size for the chosen kind (the
+    /// engine validates configurations before construction).
+    pub fn build(
+        kind: NetworkKind,
+        channels: usize,
+        buffer_per_channel: usize,
+        radix: usize,
+    ) -> Self {
+        match kind {
+            NetworkKind::Crossbar => AnyNetwork::Crossbar(CrossbarNetwork::new(
+                channels,
+                channels,
+                buffer_per_channel.max(1),
+            )),
+            NetworkKind::Mdp => {
+                let topo = Topology::new_mixed(channels, radix)
+                    .expect("validated config guarantees a power-of-two channel count");
+                AnyNetwork::Mdp(MdpNetwork::with_channel_budget(topo, buffer_per_channel))
+            }
+            NetworkKind::NaiveFifo => AnyNetwork::Naive(NaiveFifoNetwork::new(
+                channels,
+                channels,
+                buffer_per_channel.max(1),
+            )),
+        }
+    }
+}
+
+impl<T: Packet> Network<T> for AnyNetwork<T> {
+    fn num_inputs(&self) -> usize {
+        match self {
+            AnyNetwork::Crossbar(n) => n.num_inputs(),
+            AnyNetwork::Mdp(n) => n.num_inputs(),
+            AnyNetwork::Naive(n) => n.num_inputs(),
+        }
+    }
+
+    fn num_outputs(&self) -> usize {
+        match self {
+            AnyNetwork::Crossbar(n) => n.num_outputs(),
+            AnyNetwork::Mdp(n) => n.num_outputs(),
+            AnyNetwork::Naive(n) => n.num_outputs(),
+        }
+    }
+
+    fn can_accept(&self, input: usize, packet: &T) -> bool {
+        match self {
+            AnyNetwork::Crossbar(n) => n.can_accept(input, packet),
+            AnyNetwork::Mdp(n) => n.can_accept(input, packet),
+            AnyNetwork::Naive(n) => n.can_accept(input, packet),
+        }
+    }
+
+    fn push(&mut self, input: usize, packet: T) -> Result<(), T> {
+        match self {
+            AnyNetwork::Crossbar(n) => n.push(input, packet),
+            AnyNetwork::Mdp(n) => n.push(input, packet),
+            AnyNetwork::Naive(n) => n.push(input, packet),
+        }
+    }
+
+    fn peek(&self, output: usize) -> Option<&T> {
+        match self {
+            AnyNetwork::Crossbar(n) => n.peek(output),
+            AnyNetwork::Mdp(n) => n.peek(output),
+            AnyNetwork::Naive(n) => n.peek(output),
+        }
+    }
+
+    fn pop(&mut self, output: usize) -> Option<T> {
+        match self {
+            AnyNetwork::Crossbar(n) => n.pop(output),
+            AnyNetwork::Mdp(n) => n.pop(output),
+            AnyNetwork::Naive(n) => n.pop(output),
+        }
+    }
+
+    fn tick(&mut self) {
+        match self {
+            AnyNetwork::Crossbar(n) => n.tick(),
+            AnyNetwork::Mdp(n) => n.tick(),
+            AnyNetwork::Naive(n) => n.tick(),
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        match self {
+            AnyNetwork::Crossbar(n) => n.in_flight(),
+            AnyNetwork::Mdp(n) => n.in_flight(),
+            AnyNetwork::Naive(n) => n.in_flight(),
+        }
+    }
+
+    fn stats(&self) -> &NetworkStats {
+        match self {
+            AnyNetwork::Crossbar(n) => n.stats(),
+            AnyNetwork::Mdp(n) => n.stats(),
+            AnyNetwork::Naive(n) => n.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy)]
+    struct P(usize);
+    impl Packet for P {
+        fn dest(&self) -> usize {
+            self.0
+        }
+    }
+
+    fn exercise(mut net: AnyNetwork<P>) {
+        assert_eq!(net.num_inputs(), 8);
+        assert_eq!(net.num_outputs(), 8);
+        assert!(net.is_empty());
+        net.push(0, P(5)).unwrap();
+        for _ in 0..8 {
+            net.tick();
+        }
+        assert_eq!(net.pop(5).map(|p| p.0), Some(5));
+        assert!(net.is_empty());
+        assert!(net.stats().delivered >= 1);
+    }
+
+    #[test]
+    fn all_kinds_route_correctly() {
+        for kind in [NetworkKind::Crossbar, NetworkKind::Mdp, NetworkKind::NaiveFifo] {
+            exercise(AnyNetwork::build(kind, 8, 16, 2));
+        }
+    }
+
+    #[test]
+    fn mdp_radix_respected() {
+        let net: AnyNetwork<P> = AnyNetwork::build(NetworkKind::Mdp, 16, 32, 4);
+        match net {
+            AnyNetwork::Mdp(m) => assert_eq!(m.topology().radix(), 4),
+            _ => panic!("expected MDP"),
+        }
+    }
+}

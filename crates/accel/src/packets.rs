@@ -1,0 +1,74 @@
+//! Packet types flowing through the accelerator's fabrics.
+
+use higraph_sim::Packet;
+
+/// A source vertex travelling from the ActiveVertex Array to its Offset
+/// Array channel (front-end routing; Fig. 6 "MDP-network for Offset Array
+/// Access"). Destination: channel `u % n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VertexPacket<P> {
+    /// Source vertex ID.
+    pub u: u32,
+    /// The vertex's current property (rides along so the back-end never
+    /// re-reads the Property Array mid-scatter).
+    pub prop: P,
+    /// `u % n`.
+    pub dest: usize,
+}
+
+impl<P> Packet for VertexPacket<P> {
+    fn dest(&self) -> usize {
+        self.dest
+    }
+}
+
+/// An update travelling from an ePE to the vPE owning its destination
+/// vertex (Fig. 6 dataflow propagation). Destination: channel `v % m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImmPacket<P> {
+    /// Destination vertex ID.
+    pub v: u32,
+    /// `Imm = Process_Edge(u.prop, e.weight)`.
+    pub imm: P,
+    /// `v % m`.
+    pub dest: usize,
+}
+
+impl<P> Packet for ImmPacket<P> {
+    fn dest(&self) -> usize {
+        self.dest
+    }
+}
+
+/// An edge waiting at an ePE: read from the Edge Array, paired with the
+/// source property it must be combined with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingEdge<P> {
+    /// Destination vertex of the edge.
+    pub dst: u32,
+    /// Edge weight.
+    pub weight: u32,
+    /// Property of the source vertex.
+    pub u_prop: P,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packets_report_dest() {
+        let v = VertexPacket {
+            u: 10,
+            prop: 5u64,
+            dest: 2,
+        };
+        assert_eq!(v.dest(), 2);
+        let i = ImmPacket {
+            v: 9,
+            imm: 1u64,
+            dest: 7,
+        };
+        assert_eq!(i.dest(), 7);
+    }
+}

@@ -1,0 +1,27 @@
+//! Fig. 10 (optimization ablation): benchmark the RMAT14 PR run at each
+//! Opt-O/Opt-E/Opt-D step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use higraph::prelude::*;
+use higraph_bench::{Algo, Scale};
+use std::hint::black_box;
+
+fn bench_opt_levels(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    let graph = scale.build(Dataset::Rmat14);
+    let mut group = c.benchmark_group("fig10_opts");
+    group.sample_size(10);
+    for opts in OptLevel::ALL {
+        let cfg = AcceleratorConfig::higraph_with_opts(opts);
+        group.bench_with_input(BenchmarkId::from_parameter(opts.label()), &cfg, |b, cfg| {
+            b.iter(|| {
+                let m = Algo::Pr.run(black_box(cfg), black_box(&graph), scale.pr_iters);
+                black_box((m.cycles, m.vpe_starvation_cycles))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_opt_levels);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 11 (scalability): benchmark HiGraph at growing channel counts.
+//! GraphDynS appears only at 32/64 channels, as in the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use higraph::prelude::*;
+use higraph_bench::{Algo, Scale};
+use std::hint::black_box;
+
+fn bench_channels(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    let graph = scale.build(Dataset::Rmat14);
+    let mut group = c.benchmark_group("fig11_channels");
+    group.sample_size(10);
+    for channels in [32usize, 64, 128, 256] {
+        let cfg = AcceleratorConfig::higraph().scaled_to(channels);
+        group.bench_with_input(
+            BenchmarkId::new("HiGraph", channels),
+            &cfg,
+            |b, cfg| b.iter(|| black_box(Algo::Pr.run(cfg, &graph, scale.pr_iters).cycles)),
+        );
+        if channels <= 64 {
+            let gd = AcceleratorConfig::graphdyns().scaled_to(channels);
+            group.bench_with_input(
+                BenchmarkId::new("GraphDynS", channels),
+                &gd,
+                |b, cfg| b.iter(|| black_box(Algo::Pr.run(cfg, &graph, scale.pr_iters).cycles)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_channels);
+criterion_main!(benches);

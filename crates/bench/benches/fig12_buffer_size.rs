@@ -1,0 +1,31 @@
+//! Fig. 12 (buffer sweep): MDP-network vs FIFO-plus-crossbar in the
+//! dataflow-propagation stage across per-channel buffer sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use higraph::prelude::*;
+use higraph_bench::{Algo, Scale};
+use std::hint::black_box;
+
+fn bench_buffers(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    let graph = scale.build(Dataset::Rmat14);
+    let mut group = c.benchmark_group("fig12_buffers");
+    group.sample_size(10);
+    for buffer in [40usize, 160, 320] {
+        for (name, kind) in [
+            ("MDP-network", NetworkKind::Mdp),
+            ("FIFO+Crossbar", NetworkKind::Crossbar),
+        ] {
+            let mut cfg = AcceleratorConfig::higraph();
+            cfg.dataflow_network = kind;
+            cfg.dataflow_buffer_per_channel = buffer;
+            group.bench_with_input(BenchmarkId::new(name, buffer), &cfg, |b, cfg| {
+                b.iter(|| black_box(Algo::Pr.run(cfg, &graph, scale.pr_iters).cycles))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_buffers);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fig. 4 (frequency model) and the Sec. 5.4 area/power models: these are
+//! analytical, so the bench tracks model-evaluation cost and, more
+//! usefully, asserts the calibration stays on the published points.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use higraph::model;
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    // calibration guard: a bench run fails loudly if the model drifts
+    assert!((model::mdp_area_mm2(32, 160) - 0.375).abs() < 1e-3);
+    assert!((model::crossbar_power_mw(32, 128) - 508.1).abs() < 0.5);
+    assert!(model::crossbar_frequency_ghz(64) < 1.0);
+    assert!((model::mdp_critical_path_ns(256) - 0.97).abs() < 1e-6);
+
+    c.bench_function("fig4_model_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for ports in [4usize, 8, 16, 32, 64, 128, 256] {
+                acc += model::crossbar_frequency_ghz(black_box(ports));
+                acc += model::effective_frequency_ghz(
+                    model::NetworkKindModel::Mdp,
+                    black_box(ports),
+                );
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Fig. 8/9 (speedup & throughput): benchmark one simulated scatter/apply
+//! execution per design on a representative workload, so `cargo bench`
+//! tracks the relative cost (and the `repro` binary prints the actual
+//! figure series).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use higraph::prelude::*;
+use higraph_bench::{Algo, Scale};
+use std::hint::black_box;
+
+fn bench_designs(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    let graph = scale.build(Dataset::Vote);
+    let mut group = c.benchmark_group("fig8_designs");
+    group.sample_size(10);
+    for cfg in [
+        AcceleratorConfig::graphdyns(),
+        AcceleratorConfig::higraph_mini(),
+        AcceleratorConfig::higraph(),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(&cfg.name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let m = Algo::Bfs.run(black_box(cfg), black_box(&graph), scale.pr_iters);
+                black_box(m.cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    let graph = scale.build(Dataset::Vote);
+    let cfg = AcceleratorConfig::higraph();
+    let mut group = c.benchmark_group("fig8_algorithms");
+    group.sample_size(10);
+    for algo in Algo::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(algo.label()), &algo, |b, a| {
+            b.iter(|| black_box(a.run(&cfg, black_box(&graph), scale.pr_iters).cycles))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_designs, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Microbenchmarks of the propagation fabrics themselves (packets/second
+//! of simulation), plus Algorithm 1 topology generation and the Verilog
+//! emitter — the components a downstream user is most likely to reuse.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use higraph::mdp::verilog::{self, VerilogOptions};
+use higraph::prelude::*;
+use higraph::sim::{CrossbarNetwork, Packet};
+use std::hint::black_box;
+
+#[derive(Debug, Clone, Copy)]
+struct P(usize);
+impl Packet for P {
+    fn dest(&self) -> usize {
+        self.0
+    }
+}
+
+const CYCLES: u64 = 2_000;
+
+fn drive<N: Network<P>>(mut net: N, channels: usize) -> u64 {
+    let mut delivered = 0u64;
+    let mut rng = 0x9E37u64;
+    for _ in 0..CYCLES {
+        for o in 0..channels {
+            if net.pop(o).is_some() {
+                delivered += 1;
+            }
+        }
+        for i in 0..channels {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let _ = net.push(i, P((rng >> 33) as usize % channels));
+        }
+        net.tick();
+    }
+    delivered
+}
+
+fn bench_fabrics(c: &mut Criterion) {
+    let channels = 32;
+    let mut group = c.benchmark_group("fabric_sim_throughput");
+    group.throughput(Throughput::Elements(CYCLES * channels as u64));
+    group.bench_function("mdp_32ch", |b| {
+        b.iter(|| {
+            let topo = Topology::new(channels, 2).expect("valid");
+            black_box(drive(MdpNetwork::with_channel_budget(topo, 160), channels))
+        })
+    });
+    group.bench_function("crossbar_32ch", |b| {
+        b.iter(|| black_box(drive(CrossbarNetwork::new(channels, channels, 128), channels)))
+    });
+    group.finish();
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mdp_generator");
+    for n in [32usize, 256] {
+        group.bench_with_input(BenchmarkId::new("topology", n), &n, |b, &n| {
+            b.iter(|| black_box(Topology::new(black_box(n), 2).expect("valid")))
+        });
+        group.bench_with_input(BenchmarkId::new("verilog", n), &n, |b, &n| {
+            let topo = Topology::new(n, 2).expect("valid");
+            b.iter(|| black_box(verilog::generate(&topo, &VerilogOptions::default()).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fabrics, bench_generator);
+criterion_main!(benches);

@@ -1,0 +1,334 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run --release -p higraph-bench --bin repro -- all
+//! cargo run --release -p higraph-bench --bin repro -- fig8 fig9 --full
+//! ```
+//!
+//! Targets: `table1 table2 fig4 fig5 fig7 fig8 fig9 fig10a fig10b fig11
+//! fig12 radix areapower ablation all`. Default scale divides Table 2
+//! datasets by 4 (Figs. 5/10/11/12 and the radix sweep always run
+//! full-scale R14); `--full` uses the paper's exact sizes everywhere
+//! (minutes, not seconds).
+
+use higraph_bench::{figures, Algo, Scale};
+use std::collections::BTreeSet;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let scale = if full { Scale::full() } else { Scale::quick() };
+    let mut targets: BTreeSet<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    if targets.is_empty() || targets.contains("all") {
+        targets = [
+            "table1", "table2", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10a", "fig10b",
+            "fig11", "fig12", "radix", "areapower", "ablation",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    }
+
+    println!(
+        "== HiGraph reproduction harness (scale: ÷{}, PR iterations: {}) ==",
+        scale.divisor, scale.pr_iters
+    );
+    println!("   (Figs. 5 and 10-12 + radix always use full-scale R14; see EXPERIMENTS.md)\n");
+
+    if targets.contains("table1") {
+        table1();
+    }
+    if targets.contains("table2") {
+        table2(scale);
+    }
+    if targets.contains("fig4") {
+        fig4();
+    }
+    if targets.contains("fig5") {
+        fig5(scale);
+    }
+    if targets.contains("fig7") {
+        fig7();
+    }
+    // fig8 and fig9 share the expensive sweep
+    if targets.contains("fig8") || targets.contains("fig9") {
+        let rows = figures::overall(scale);
+        if targets.contains("fig8") {
+            fig8(&rows);
+        }
+        if targets.contains("fig9") {
+            fig9(&rows);
+        }
+    }
+    if targets.contains("fig10a") || targets.contains("fig10b") {
+        let rows = figures::fig10(scale);
+        if targets.contains("fig10a") {
+            fig10a(&rows);
+        }
+        if targets.contains("fig10b") {
+            fig10b(&rows);
+        }
+    }
+    if targets.contains("fig11") {
+        fig11(scale);
+    }
+    if targets.contains("fig12") {
+        fig12(scale);
+    }
+    if targets.contains("radix") {
+        radix(scale);
+    }
+    if targets.contains("areapower") {
+        areapower();
+    }
+    if targets.contains("ablation") {
+        ablation(scale);
+    }
+}
+
+fn fig5(scale: Scale) {
+    println!("-- Fig. 5 design theory: dataflow fabric candidates (PR, RMAT14) --");
+    for r in figures::fig5_design_theory(scale) {
+        println!(
+            "{:<12} buf {:>3}/ch: {:5.1} GTEPS  rejected {:>9}  HoL-blocked {:>9}",
+            r.fabric,
+            r.buffer,
+            r.metrics.gteps(),
+            r.metrics.dataflow_net.rejected,
+            r.metrics.dataflow_net.hol_blocked
+        );
+    }
+    println!(
+        "(the nW1R FIFO is an ideal output-queued switch at cycle level, but its\n\
+         n-write-port mux is as centralized as a crossbar: at 128 channels it would\n\
+         clock at {:.2} GHz vs the MDP-network's 1.00 GHz — Fig. 5c's real blocker —\n\
+         and it rejects writes whenever fewer than n slots are free)\n",
+        higraph::model::crossbar_frequency_ghz(128)
+    );
+}
+
+fn ablation(scale: Scale) {
+    println!("-- Ablation: dispatcher read ports (PR, Epinions; 2 = paper's 2W2R) --");
+    for r in figures::dispatcher_ablation(scale) {
+        println!(
+            "{}R dispatcher: {:5.1} GTEPS over {:>9} cycles",
+            r.read_ports,
+            r.metrics.gteps(),
+            r.metrics.cycles
+        );
+    }
+    println!();
+}
+
+fn table1() {
+    println!("-- Table 1: configurations --");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>14}",
+        "", "Frequency", "#Front-end", "#Back-end", "On-chip memory"
+    );
+    for r in figures::table1() {
+        println!(
+            "{:<14} {:>7.0}GHz {:>12} {:>12} {:>12}MB",
+            r.name, r.frequency_ghz, r.front_channels, r.back_channels, r.onchip_mb
+        );
+    }
+    println!();
+}
+
+fn table2(scale: Scale) {
+    println!("-- Table 2: benchmark datasets (spec | built at this scale) --");
+    println!(
+        "{:<5} {:>11} {:>11} {:>5} | {:>11} {:>11} {:>7}",
+        "Name", "#Vertices", "#Edges", "#Deg", "built V", "built E", "deg"
+    );
+    for r in figures::table2(scale) {
+        println!(
+            "{:<5} {:>11} {:>11} {:>5} | {:>11} {:>11} {:>7.1}",
+            r.dataset.abbrev(),
+            r.spec_vertices,
+            r.spec_edges,
+            r.spec_degree,
+            r.built_vertices,
+            r.built_edges,
+            r.built_degree
+        );
+    }
+    println!();
+}
+
+fn fig4() {
+    println!("-- Fig. 4: crossbar frequency vs port count --");
+    for (ports, ghz) in figures::fig4() {
+        println!("{ports:>4} ports: {ghz:5.2} GHz  {}", bar(ghz / 2.5, 40));
+    }
+    println!();
+}
+
+fn fig7() {
+    println!("-- Fig. 7: on-chip memory layout (HiGraph, 16 MB class) --");
+    let (layout, fits) = figures::fig7();
+    let mb = |b: u64| b as f64 / (1024.0 * 1024.0);
+    println!("Edge Array            {:5.1} MB", mb(layout.edge_bytes));
+    println!("Edge Info Array       {:5.1} MB", mb(layout.edge_info_bytes));
+    println!("Offset Array          {:5.1} MB", mb(layout.offset_bytes));
+    println!("Property Array        {:5.1} MB", mb(layout.property_bytes));
+    println!("ActiveVertex + tProp  {:5.1} MB", mb(layout.active_tprop_bytes));
+    println!("capacity: {} vertices, {} edges", layout.max_vertices(), layout.max_edges());
+    for (d, ok) in fits {
+        println!("  {d:<4} fits on chip: {}", if ok { "yes" } else { "NO (needs slicing)" });
+    }
+    println!();
+}
+
+fn fig8(rows: &[figures::OverallRow]) {
+    println!("-- Fig. 8: speedup over GraphDynS --");
+    println!("{:<5} {:<4} {:>14} {:>10}", "algo", "data", "HiGraph-mini", "HiGraph");
+    let (mut sum_mini, mut sum_hi, mut n) = (0.0, 0.0, 0);
+    for r in rows {
+        println!(
+            "{:<5} {:<4} {:>13.2}x {:>9.2}x",
+            r.algo.label(),
+            r.dataset.abbrev(),
+            r.mini_speedup(),
+            r.higraph_speedup()
+        );
+        sum_mini += r.mini_speedup();
+        sum_hi += r.higraph_speedup();
+        n += 1;
+    }
+    println!(
+        "avg: HiGraph-mini {:.2}x, HiGraph {:.2}x (paper: 1.46x / 1.54x; max {:.2}x, paper 2.23x)\n",
+        sum_mini / n as f64,
+        sum_hi / n as f64,
+        rows.iter().map(figures::OverallRow::higraph_speedup).fold(0.0, f64::max)
+    );
+}
+
+fn fig9(rows: &[figures::OverallRow]) {
+    println!("-- Fig. 9: throughput (GTEPS, ideal 32) --");
+    println!(
+        "{:<5} {:<4} {:>10} {:>13} {:>8}",
+        "algo", "data", "GraphDynS", "HiGraph-mini", "HiGraph"
+    );
+    for r in rows {
+        println!(
+            "{:<5} {:<4} {:>10.1} {:>13.1} {:>8.1}",
+            r.algo.label(),
+            r.dataset.abbrev(),
+            r.graphdyns.gteps(),
+            r.higraph_mini.gteps(),
+            r.higraph.gteps()
+        );
+    }
+    let best = rows.iter().map(|r| r.higraph.gteps()).fold(0.0, f64::max);
+    println!(
+        "peak HiGraph: {best:.1} GTEPS = {:.1}% of ideal (paper: 25.0 / 78.1%)\n",
+        100.0 * best / 32.0
+    );
+}
+
+fn fig10a(rows: &[figures::AblationRow]) {
+    println!("-- Fig. 10a: throughput under optimization steps (RMAT14) --");
+    print_ablation(rows, |m| format!("{:6.1}", m.gteps()));
+}
+
+fn fig10b(rows: &[figures::AblationRow]) {
+    println!("-- Fig. 10b: vPE starvation cycles (RMAT14, x10000) --");
+    print_ablation(rows, |m| format!("{:6.1}", m.vpe_starvation_cycles as f64 / 1e4));
+}
+
+fn print_ablation(
+    rows: &[figures::AblationRow],
+    cell: impl Fn(&higraph::prelude::Metrics) -> String,
+) {
+    print!("{:<22}", "");
+    for a in Algo::ALL {
+        print!(" {:>7}", a.label());
+    }
+    println!();
+    for opts in higraph::prelude::OptLevel::ALL {
+        print!("{:<22}", opts.label());
+        for a in Algo::ALL {
+            let r = rows
+                .iter()
+                .find(|r| r.algo == a && r.opts == opts)
+                .expect("complete sweep");
+            print!(" {:>7}", cell(&r.metrics));
+        }
+        println!();
+    }
+    println!();
+}
+
+fn fig11(scale: Scale) {
+    println!("-- Fig. 11: throughput vs #back-end channels (PR, RMAT14) --");
+    let rows = figures::fig11(scale);
+    println!("{:<10} {:>8} {:>8} {:>8} {:>8}", "", 32, 64, 128, 256);
+    for design in ["GraphDynS", "HiGraph"] {
+        print!("{design:<10}");
+        for ch in [32usize, 64, 128, 256] {
+            let r = rows
+                .iter()
+                .find(|r| r.design == design && r.channels == ch)
+                .expect("complete sweep");
+            match r.gteps {
+                Some(g) => print!(" {g:>8.1}"),
+                None => print!(" {:>8}", "n/a"),
+            }
+        }
+        println!();
+    }
+    println!("(GraphDynS unsupported past 64 channels — Fig. 4 frequency wall)\n");
+}
+
+fn fig12(scale: Scale) {
+    println!("-- Fig. 12: throughput vs per-channel buffer size (PR, RMAT14) --");
+    let rows = figures::fig12(scale);
+    println!("{:<14} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}", "", 10, 20, 40, 80, 160, 240, 320);
+    for design in ["FIFO+Crossbar", "MDP-network"] {
+        print!("{design:<14}");
+        for buf in [10usize, 20, 40, 80, 160, 240, 320] {
+            let r = rows
+                .iter()
+                .find(|r| r.design == design && r.buffer == buf)
+                .expect("complete sweep");
+            print!(" {:>6.1}", r.gteps);
+        }
+        println!();
+    }
+    println!();
+}
+
+fn radix(scale: Scale) {
+    println!("-- Sec. 5.4: MDP-network radix sweep (PR, RMAT14, 64 channels) --");
+    for r in figures::radix_sweep(scale) {
+        println!(
+            "radix {:>2}: {:5.2} GHz  {:5.1} GTEPS  {}",
+            r.radix,
+            r.frequency_ghz,
+            r.gteps,
+            if r.radix == 2 { "<- paper's choice" } else { "" }
+        );
+    }
+    println!();
+}
+
+fn areapower() {
+    println!("-- Sec. 5.4: dataflow fabric area & power (TSMC 12nm model) --");
+    for r in figures::area_power() {
+        println!(
+            "{:<14} buffer {:>3}/channel: {:5.3} mm2, {:6.1} mW",
+            r.design, r.buffer, r.area_mm2, r.power_mw
+        );
+    }
+    println!();
+}
+
+fn bar(fraction: f64, width: usize) -> String {
+    let filled = (fraction.clamp(0.0, 1.0) * width as f64) as usize;
+    "#".repeat(filled)
+}

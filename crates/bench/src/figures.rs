@@ -1,0 +1,445 @@
+//! One harness function per table/figure of the paper.
+//!
+//! See `DESIGN.md`'s experiment index for the mapping, and
+//! `EXPERIMENTS.md` for recorded paper-vs-measured results.
+
+use crate::workload::{Algo, Scale};
+use higraph::model;
+use higraph::prelude::*;
+
+/// One row of Table 1 (design configurations).
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Design name.
+    pub name: String,
+    /// Clock in GHz (all designs: 1 GHz).
+    pub frequency_ghz: f64,
+    /// Front-end channels.
+    pub front_channels: usize,
+    /// Back-end channels.
+    pub back_channels: usize,
+    /// On-chip memory in MB (16 for HiGraph variants, 32 for GraphDynS).
+    pub onchip_mb: u64,
+}
+
+/// Table 1: configurations used for HiGraph and baselines.
+pub fn table1() -> Vec<Table1Row> {
+    let mb = |layout: model::MemoryLayout| layout.total_bytes() / (1024 * 1024);
+    [
+        (AcceleratorConfig::higraph(), mb(model::MemoryLayout::higraph())),
+        (AcceleratorConfig::higraph_mini(), mb(model::MemoryLayout::higraph())),
+        (AcceleratorConfig::graphdyns(), mb(model::MemoryLayout::graphdyns())),
+    ]
+    .into_iter()
+    .map(|(c, onchip_mb)| Table1Row {
+        frequency_ghz: c.effective_frequency_ghz(),
+        front_channels: c.front_channels,
+        back_channels: c.back_channels,
+        name: c.name,
+        onchip_mb,
+    })
+    .collect()
+}
+
+/// One row of Table 2 (benchmark datasets), spec plus measured build.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Dataset.
+    pub dataset: Dataset,
+    /// Spec vertices (paper's Table 2).
+    pub spec_vertices: u32,
+    /// Spec edges.
+    pub spec_edges: u64,
+    /// Spec mean degree.
+    pub spec_degree: u32,
+    /// Vertices actually built (at the harness scale).
+    pub built_vertices: u32,
+    /// Edges actually built.
+    pub built_edges: u64,
+    /// Measured mean degree of the build.
+    pub built_degree: f64,
+}
+
+/// Table 2: the benchmark datasets, built and measured at `scale`.
+pub fn table2(scale: Scale) -> Vec<Table2Row> {
+    Dataset::ALL
+        .into_iter()
+        .map(|d| {
+            let spec = d.spec();
+            let g = scale.build(d);
+            Table2Row {
+                dataset: d,
+                spec_vertices: spec.num_vertices,
+                spec_edges: spec.num_edges,
+                spec_degree: spec.mean_degree,
+                built_vertices: g.num_vertices(),
+                built_edges: g.num_edges(),
+                built_degree: g.mean_degree(),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 4: crossbar frequency (GHz) versus port count.
+pub fn fig4() -> Vec<(usize, f64)> {
+    [4, 8, 16, 32, 64, 128, 256]
+        .into_iter()
+        .map(|p| (p, model::crossbar_frequency_ghz(p)))
+        .collect()
+}
+
+/// Fig. 7: the on-chip memory layout regions in bytes, plus per-dataset
+/// fit checks.
+pub fn fig7() -> (model::MemoryLayout, Vec<(Dataset, bool)>) {
+    let layout = model::MemoryLayout::higraph();
+    let fits = Dataset::ALL
+        .into_iter()
+        .map(|d| {
+            let s = d.spec();
+            (d, layout.fits(s.num_vertices, s.num_edges))
+        })
+        .collect();
+    (layout, fits)
+}
+
+/// One cell of the Fig. 8/9 sweep: all three designs on one
+/// (algorithm, dataset) workload.
+#[derive(Debug, Clone)]
+pub struct OverallRow {
+    /// Algorithm.
+    pub algo: Algo,
+    /// Dataset.
+    pub dataset: Dataset,
+    /// GraphDynS metrics.
+    pub graphdyns: Metrics,
+    /// HiGraph-mini metrics.
+    pub higraph_mini: Metrics,
+    /// HiGraph metrics.
+    pub higraph: Metrics,
+}
+
+impl OverallRow {
+    /// Fig. 8's HiGraph-mini bar: speedup over GraphDynS.
+    pub fn mini_speedup(&self) -> f64 {
+        self.higraph_mini.speedup_over(&self.graphdyns)
+    }
+
+    /// Fig. 8's HiGraph bar: speedup over GraphDynS.
+    pub fn higraph_speedup(&self) -> f64 {
+        self.higraph.speedup_over(&self.graphdyns)
+    }
+}
+
+/// Figs. 8 and 9: the full 4-algorithm × 6-dataset × 3-design sweep.
+/// This is the headline experiment; expect a few minutes at full scale.
+pub fn overall(scale: Scale) -> Vec<OverallRow> {
+    let mut rows = Vec::new();
+    for algo in Algo::ALL {
+        for dataset in Dataset::ALL {
+            let graph = scale.build(dataset);
+            rows.push(OverallRow {
+                algo,
+                dataset,
+                graphdyns: algo.run(&AcceleratorConfig::graphdyns(), &graph, scale.pr_iters),
+                higraph_mini: algo.run(&AcceleratorConfig::higraph_mini(), &graph, scale.pr_iters),
+                higraph: algo.run(&AcceleratorConfig::higraph(), &graph, scale.pr_iters),
+            });
+        }
+    }
+    rows
+}
+
+/// One bar group of Fig. 10: one algorithm at one optimization step.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Algorithm.
+    pub algo: Algo,
+    /// Optimization step.
+    pub opts: OptLevel,
+    /// Measured metrics (Fig. 10a reads `gteps()`, Fig. 10b reads
+    /// `vpe_starvation_cycles`).
+    pub metrics: Metrics,
+}
+
+/// Fig. 10 (a & b): effect of Opt-O / Opt-E / Opt-D on RMAT14.
+///
+/// Always uses the *full-scale* R14: scaled-down R-MAT graphs concentrate
+/// so much traffic on their hottest vertex that per-bank serialization
+/// caps every design identically and hides the fabric effects this figure
+/// exists to show (see EXPERIMENTS.md, "dataset-scale notes").
+pub fn fig10(scale: Scale) -> Vec<AblationRow> {
+    let graph = Dataset::Rmat14.build();
+    let mut rows = Vec::new();
+    for algo in Algo::ALL {
+        for opts in OptLevel::ALL {
+            let cfg = AcceleratorConfig::higraph_with_opts(opts);
+            rows.push(AblationRow {
+                algo,
+                opts,
+                metrics: algo.run(&cfg, &graph, scale.pr_iters),
+            });
+        }
+    }
+    rows
+}
+
+/// One point of Fig. 11: a design at a back-end channel count.
+#[derive(Debug, Clone)]
+pub struct ScalabilityRow {
+    /// Design name ("HiGraph" / "GraphDynS").
+    pub design: &'static str,
+    /// Channel count.
+    pub channels: usize,
+    /// Throughput, `None` where the design is unsupported (GraphDynS
+    /// beyond 64 channels — Fig. 4's frequency wall).
+    pub gteps: Option<f64>,
+}
+
+/// Fig. 11: throughput versus number of back-end channels (PR, RMAT14).
+/// Like [`fig10`], always runs full-scale R14.
+pub fn fig11(scale: Scale) -> Vec<ScalabilityRow> {
+    let graph = Dataset::Rmat14.build();
+    let mut rows = Vec::new();
+    for channels in [32, 64, 128, 256] {
+        let hi = AcceleratorConfig::higraph().scaled_to(channels);
+        let m = Algo::Pr.run(&hi, &graph, scale.pr_iters);
+        rows.push(ScalabilityRow {
+            design: "HiGraph",
+            channels,
+            gteps: Some(m.gteps()),
+        });
+        // GraphDynS "does not support more than 64 channels due to
+        // significant frequency decline" (Sec. 5.3).
+        let gteps = if channels <= 64 {
+            let gd = AcceleratorConfig::graphdyns().scaled_to(channels);
+            Some(Algo::Pr.run(&gd, &graph, scale.pr_iters).gteps())
+        } else {
+            None
+        };
+        rows.push(ScalabilityRow {
+            design: "GraphDynS",
+            channels,
+            gteps,
+        });
+    }
+    rows
+}
+
+/// One point of Fig. 12: a dataflow fabric at a per-channel buffer size.
+#[derive(Debug, Clone)]
+pub struct BufferSweepRow {
+    /// "MDP-network" or "FIFO+Crossbar".
+    pub design: &'static str,
+    /// Buffer entries per channel.
+    pub buffer: usize,
+    /// PR/RMAT14 throughput.
+    pub gteps: f64,
+}
+
+/// Fig. 12: throughput versus per-channel FIFO buffer size, MDP-network
+/// against FIFO-plus-crossbar in the dataflow-propagation stage (all else
+/// identical — Sec. 5.4).
+/// Like [`fig10`], always runs full-scale R14.
+pub fn fig12(scale: Scale) -> Vec<BufferSweepRow> {
+    let graph = Dataset::Rmat14.build();
+    let mut rows = Vec::new();
+    for buffer in [10, 20, 40, 80, 160, 240, 320] {
+        for (design, kind) in [
+            ("MDP-network", NetworkKind::Mdp),
+            ("FIFO+Crossbar", NetworkKind::Crossbar),
+        ] {
+            let mut cfg = AcceleratorConfig::higraph();
+            cfg.name = format!("HiGraph[df={design},buf={buffer}]");
+            cfg.dataflow_network = kind;
+            cfg.dataflow_buffer_per_channel = buffer;
+            let m = Algo::Pr.run(&cfg, &graph, scale.pr_iters);
+            rows.push(BufferSweepRow {
+                design,
+                buffer,
+                gteps: m.gteps(),
+            });
+        }
+    }
+    rows
+}
+
+/// One point of the Sec. 5.4 radix sweep.
+#[derive(Debug, Clone)]
+pub struct RadixRow {
+    /// FIFO write-port count.
+    pub radix: usize,
+    /// Achieved clock under the radix-centralization model.
+    pub frequency_ghz: f64,
+    /// PR/RMAT14 throughput.
+    pub gteps: f64,
+}
+
+/// Sec. 5.4 design option: MDP-network radix sweep (on a 64-channel
+/// design, where radices 2/4/8/64 all divide evenly).
+/// Like [`fig10`], always runs full-scale R14.
+pub fn radix_sweep(scale: Scale) -> Vec<RadixRow> {
+    let graph = Dataset::Rmat14.build();
+    [2usize, 4, 8, 64]
+        .into_iter()
+        .map(|radix| {
+            let mut cfg = AcceleratorConfig::higraph().scaled_to(64);
+            cfg.radix = radix;
+            cfg.name = format!("HiGraph-64[r{radix}]");
+            let m = Algo::Pr.run(&cfg, &graph, scale.pr_iters);
+            RadixRow {
+                radix,
+                frequency_ghz: cfg.effective_frequency_ghz(),
+                gteps: m.gteps(),
+            }
+        })
+        .collect()
+}
+
+/// One point of the Fig. 5 design-theory comparison.
+#[derive(Debug, Clone)]
+pub struct DesignTheoryRow {
+    /// Dataflow fabric used ("Crossbar" / "nW1R FIFO" / "MDP-network").
+    pub fabric: &'static str,
+    /// Buffer entries per channel.
+    pub buffer: usize,
+    /// PR/RMAT14 metrics.
+    pub metrics: Metrics,
+}
+
+/// Fig. 5 design theory: the three candidate solutions to the
+/// interaction-across-channels problem — arbitration (crossbar), the naive
+/// nW1R FIFO, and the MDP-network — swapped into the dataflow-propagation
+/// stage. Always runs full-scale R14 (see [`fig10`]).
+/// The two buffer sizes contrast the naive FIFO's "large requirement and
+/// low utilization of buffer capacity" (a 32-writer FIFO only admits
+/// writes while 32+ slots are free, so small buffers are mostly wasted)
+/// against the MDP-network, which works from small per-stage FIFOs.
+pub fn fig5_design_theory(scale: Scale) -> Vec<DesignTheoryRow> {
+    let graph = Dataset::Rmat14.build();
+    let mut rows = Vec::new();
+    for buffer in [40usize, 160] {
+        for (fabric, kind) in [
+            ("Crossbar", NetworkKind::Crossbar),
+            ("nW1R FIFO", NetworkKind::NaiveFifo),
+            ("MDP-network", NetworkKind::Mdp),
+        ] {
+            let mut cfg = AcceleratorConfig::higraph();
+            cfg.name = format!("HiGraph[df={fabric},buf={buffer}]");
+            cfg.dataflow_network = kind;
+            cfg.dataflow_buffer_per_channel = buffer;
+            rows.push(DesignTheoryRow {
+                fabric,
+                buffer,
+                metrics: Algo::Pr.run(&cfg, &graph, scale.pr_iters),
+            });
+        }
+    }
+    rows
+}
+
+/// One point of the dispatcher read-port ablation (a design choice
+/// DESIGN.md calls out: the final edge-network stage is a 2W2R module, so
+/// each Dispatcher has two read ports).
+#[derive(Debug, Clone)]
+pub struct DispatcherAblationRow {
+    /// Dispatcher read ports.
+    pub read_ports: usize,
+    /// PR metrics on the Epinions stand-in (front-end/edge bound, where
+    /// dispatcher bandwidth matters).
+    pub metrics: Metrics,
+}
+
+/// Ablation: dispatcher read ports 1 vs 2 vs 4 on an edge-bound workload.
+pub fn dispatcher_ablation(scale: Scale) -> Vec<DispatcherAblationRow> {
+    let graph = scale.build(Dataset::Epinions);
+    [1usize, 2, 4]
+        .into_iter()
+        .map(|read_ports| {
+            let mut cfg = AcceleratorConfig::higraph_mini();
+            cfg.name = format!("HiGraph-mini[{read_ports}R]");
+            cfg.dispatcher_read_ports = read_ports;
+            DispatcherAblationRow {
+                read_ports,
+                metrics: Algo::Pr.run(&cfg, &graph, scale.pr_iters),
+            }
+        })
+        .collect()
+}
+
+/// Sec. 5.4 area/power comparison at the paper's synthesis points.
+#[derive(Debug, Clone)]
+pub struct AreaPowerRow {
+    /// Design name.
+    pub design: &'static str,
+    /// Buffer entries per channel.
+    pub buffer: usize,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Power in mW.
+    pub power_mw: f64,
+}
+
+/// Sec. 5.4: area and power of the dataflow-propagation fabric.
+pub fn area_power() -> Vec<AreaPowerRow> {
+    vec![
+        AreaPowerRow {
+            design: "MDP-network",
+            buffer: 160,
+            area_mm2: model::mdp_area_mm2(32, 160),
+            power_mw: model::mdp_power_mw(32, 160),
+        },
+        AreaPowerRow {
+            design: "FIFO+Crossbar",
+            buffer: 128,
+            area_mm2: model::crossbar_area_mm2(32, 128),
+            power_mw: model::crossbar_power_mw(32, 128),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let rows = table1();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].front_channels, 32);
+        assert_eq!(rows[1].front_channels, 4);
+        assert_eq!(rows[2].onchip_mb, 32); // Table 1: GraphDynS has 32 MB
+        assert!(rows.iter().all(|r| (r.frequency_ghz - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn fig4_declines() {
+        let pts = fig4();
+        assert_eq!(pts.len(), 7);
+        assert!(pts.windows(2).all(|w| w[0].1 > w[1].1));
+    }
+
+    #[test]
+    fn fig7_all_datasets_fit() {
+        let (_, fits) = fig7();
+        assert!(fits.iter().all(|(_, ok)| *ok));
+    }
+
+    #[test]
+    fn area_power_matches_sec54() {
+        let rows = area_power();
+        assert!((rows[0].area_mm2 - 0.375).abs() < 1e-3);
+        assert!((rows[0].power_mw - 621.2).abs() < 0.5);
+        assert!((rows[1].area_mm2 - 0.292).abs() < 1e-3);
+        assert!((rows[1].power_mw - 508.1).abs() < 0.5);
+    }
+
+    #[test]
+    fn radix_sweep_shows_centralization_penalty() {
+        let rows = radix_sweep(Scale::tiny());
+        let small: Vec<_> = rows.iter().filter(|r| r.radix <= 8).collect();
+        let large = rows.iter().find(|r| r.radix == 64).expect("radix 64");
+        // small radices hold the 1 GHz target; radix 64 does not
+        assert!(small.iter().all(|r| (r.frequency_ghz - 1.0).abs() < 1e-9));
+        assert!(large.frequency_ghz < 1.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Workload plumbing shared by all figure harnesses.
+
+use higraph::prelude::*;
+
+/// The four evaluated algorithms (Sec. 5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algo {
+    /// Breadth-First Search.
+    Bfs,
+    /// Single-Source Shortest Path.
+    Sssp,
+    /// Single-Source Widest Path.
+    Sswp,
+    /// PageRank.
+    Pr,
+}
+
+impl Algo {
+    /// Figure order used throughout the paper.
+    pub const ALL: [Algo; 4] = [Algo::Bfs, Algo::Sssp, Algo::Sswp, Algo::Pr];
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algo::Bfs => "BFS",
+            Algo::Sssp => "SSSP",
+            Algo::Sswp => "SSWP",
+            Algo::Pr => "PR",
+        }
+    }
+
+    /// Runs this algorithm on `graph` under `config` and returns metrics.
+    ///
+    /// Traversal sources follow Graph500 practice: the deterministic hub
+    /// vertex, guaranteed to lie in the reachable core. PageRank runs
+    /// `pr_iters` power iterations.
+    pub fn run(self, config: &AcceleratorConfig, graph: &Csr, pr_iters: u32) -> Metrics {
+        let source = higraph::graph::stats::hub_vertex(graph)
+            .map(|v| v.0)
+            .unwrap_or(0);
+        let mut engine = Engine::new(config.clone(), graph);
+        match self {
+            Algo::Bfs => engine.run(&Bfs::from_source(source)).metrics,
+            Algo::Sssp => engine.run(&Sssp::from_source(source)).metrics,
+            Algo::Sswp => engine.run(&Sswp::from_source(source)).metrics,
+            Algo::Pr => engine.run(&PageRank::new(pr_iters)).metrics,
+        }
+    }
+}
+
+/// Dataset scaling for quick vs full runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Power-of-two divisor applied to Table 2 sizes (1 = full scale).
+    pub divisor: u32,
+    /// PageRank power iterations.
+    pub pr_iters: u32,
+}
+
+impl Scale {
+    /// Laptop-friendly default: datasets ÷4, 5 PR iterations.
+    pub fn quick() -> Self {
+        Scale {
+            divisor: 4,
+            pr_iters: 5,
+        }
+    }
+
+    /// Full Table 2 sizes, 10 PR iterations.
+    pub fn full() -> Self {
+        Scale {
+            divisor: 1,
+            pr_iters: 10,
+        }
+    }
+
+    /// Even smaller than `quick`, for CI tests and Criterion benches.
+    pub fn tiny() -> Self {
+        Scale {
+            divisor: 16,
+            pr_iters: 3,
+        }
+    }
+
+    /// Builds `dataset` at this scale.
+    pub fn build(&self, dataset: Dataset) -> Csr {
+        dataset.build_scaled(self.divisor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algo_labels() {
+        let labels: Vec<_> = Algo::ALL.iter().map(|a| a.label()).collect();
+        assert_eq!(labels, ["BFS", "SSSP", "SSWP", "PR"]);
+    }
+
+    #[test]
+    fn runs_produce_metrics() {
+        let s = Scale::tiny();
+        let g = s.build(Dataset::Vote);
+        let m = Algo::Bfs.run(&AcceleratorConfig::higraph(), &g, s.pr_iters);
+        assert!(m.cycles > 0);
+        assert!(m.edges_processed > 0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Construction of [`Csr`] graphs from edge lists.
+
+use crate::csr::{Csr, Edge, VertexId, Weight};
+use crate::GraphError;
+
+/// An in-memory edge list that can be converted into a [`Csr`].
+///
+/// Edges may be pushed in any order; conversion performs a counting sort by
+/// source vertex, so the resulting CSR keeps each vertex's edges in push
+/// order (stable).
+///
+/// # Example
+///
+/// ```
+/// use higraph_graph::builder::EdgeList;
+///
+/// # fn main() -> Result<(), higraph_graph::GraphError> {
+/// let mut list = EdgeList::new(3);
+/// list.push(2, 0, 5)?;
+/// list.push(0, 1, 1)?;
+/// let g = list.into_csr();
+/// assert_eq!(g.num_edges(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EdgeList {
+    num_vertices: u32,
+    edges: Vec<(u32, u32, Weight)>,
+}
+
+impl EdgeList {
+    /// Creates an empty edge list over `num_vertices` vertices.
+    pub fn new(num_vertices: u32) -> Self {
+        EdgeList {
+            num_vertices,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates an empty edge list with capacity for `cap` edges.
+    pub fn with_capacity(num_vertices: u32, cap: usize) -> Self {
+        EdgeList {
+            num_vertices,
+            edges: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of vertices this list was declared over.
+    pub fn num_vertices(&self) -> u32 {
+        self.num_vertices
+    }
+
+    /// Number of edges pushed so far.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Appends the directed edge `src -> dst` with the given weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if either endpoint is out of
+    /// range.
+    pub fn push(&mut self, src: u32, dst: u32, weight: Weight) -> Result<(), GraphError> {
+        for v in [src, dst] {
+            if v >= self.num_vertices {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: v,
+                    num_vertices: self.num_vertices,
+                });
+            }
+        }
+        self.edges.push((src, dst, weight));
+        Ok(())
+    }
+
+    /// Appends both directions of an undirected edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if either endpoint is out of
+    /// range.
+    pub fn push_undirected(&mut self, a: u32, b: u32, weight: Weight) -> Result<(), GraphError> {
+        self.push(a, b, weight)?;
+        if a != b {
+            self.push(b, a, weight)?;
+        }
+        Ok(())
+    }
+
+    /// Converts the list into a [`Csr`] via counting sort on source vertex.
+    pub fn into_csr(self) -> Csr {
+        let n = self.num_vertices as usize;
+        let mut counts = vec![0u64; n + 1];
+        for &(src, _, _) in &self.edges {
+            counts[src as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut edges = vec![Edge::default(); self.edges.len()];
+        for (src, dst, weight) in self.edges {
+            let slot = cursor[src as usize];
+            edges[slot as usize] = Edge {
+                dst: VertexId(dst),
+                weight,
+            };
+            cursor[src as usize] += 1;
+        }
+        Csr::from_raw_parts(offsets, edges)
+            .expect("EdgeList invariants guarantee a structurally valid CSR")
+    }
+}
+
+impl Extend<(u32, u32, Weight)> for EdgeList {
+    fn extend<T: IntoIterator<Item = (u32, u32, Weight)>>(&mut self, iter: T) {
+        for (s, d, w) in iter {
+            self.push(s, d, w)
+                .expect("extended edge endpoints must be in range");
+        }
+    }
+}
+
+/// Incremental CSR builder for callers that already stream edges grouped by
+/// source vertex in ascending order (e.g. the generators).
+///
+/// Compared to [`EdgeList`] this avoids buffering `(src, dst, w)` triples.
+#[derive(Debug, Clone)]
+pub struct CsrBuilder {
+    num_vertices: u32,
+    offsets: Vec<u64>,
+    edges: Vec<Edge>,
+}
+
+impl CsrBuilder {
+    /// Creates a builder over `num_vertices` vertices.
+    pub fn new(num_vertices: u32) -> Self {
+        let mut offsets = Vec::with_capacity(num_vertices as usize + 1);
+        offsets.push(0);
+        CsrBuilder {
+            num_vertices,
+            offsets,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Appends all outgoing edges of the *next* vertex in ID order.
+    ///
+    /// Must be called exactly `num_vertices` times before [`finish`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MalformedCsr`] if called more than
+    /// `num_vertices` times, or [`GraphError::VertexOutOfRange`] if a
+    /// destination is out of range.
+    ///
+    /// [`finish`]: CsrBuilder::finish
+    pub fn push_vertex<I>(&mut self, neighbors: I) -> Result<(), GraphError>
+    where
+        I: IntoIterator<Item = (u32, Weight)>,
+    {
+        if self.offsets.len() > self.num_vertices as usize {
+            return Err(GraphError::MalformedCsr {
+                detail: "push_vertex called more times than there are vertices".to_string(),
+            });
+        }
+        for (dst, weight) in neighbors {
+            if dst >= self.num_vertices {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: dst,
+                    num_vertices: self.num_vertices,
+                });
+            }
+            self.edges.push(Edge {
+                dst: VertexId(dst),
+                weight,
+            });
+        }
+        self.offsets.push(self.edges.len() as u64);
+        Ok(())
+    }
+
+    /// Finalizes the CSR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MalformedCsr`] if fewer than `num_vertices`
+    /// calls to [`CsrBuilder::push_vertex`] were made.
+    pub fn finish(self) -> Result<Csr, GraphError> {
+        if self.offsets.len() != self.num_vertices as usize + 1 {
+            return Err(GraphError::MalformedCsr {
+                detail: format!(
+                    "expected {} vertices, got {}",
+                    self.num_vertices,
+                    self.offsets.len() - 1
+                ),
+            });
+        }
+        Csr::from_raw_parts(self.offsets, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_list_round_trip() {
+        let mut list = EdgeList::new(3);
+        list.push(2, 0, 5).unwrap();
+        list.push(0, 1, 1).unwrap();
+        list.push(0, 2, 2).unwrap();
+        let g = list.into_csr();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.out_degree(VertexId(0)), 2);
+        assert_eq!(g.out_degree(VertexId(1)), 0);
+        assert_eq!(g.out_degree(VertexId(2)), 1);
+        // push order preserved within a vertex
+        assert_eq!(g.neighbors(VertexId(0))[0].dst, VertexId(1));
+        assert_eq!(g.neighbors(VertexId(0))[1].dst, VertexId(2));
+    }
+
+    #[test]
+    fn edge_list_rejects_out_of_range() {
+        let mut list = EdgeList::new(2);
+        assert!(list.push(0, 2, 1).is_err());
+        assert!(list.push(2, 0, 1).is_err());
+        assert!(list.push(1, 0, 1).is_ok());
+    }
+
+    #[test]
+    fn undirected_push_adds_both_directions() {
+        let mut list = EdgeList::new(3);
+        list.push_undirected(0, 1, 9).unwrap();
+        list.push_undirected(2, 2, 4).unwrap(); // self loop: only one copy
+        let g = list.into_csr();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_degree(VertexId(0)), 1);
+        assert_eq!(g.out_degree(VertexId(1)), 1);
+        assert_eq!(g.out_degree(VertexId(2)), 1);
+    }
+
+    #[test]
+    fn extend_works() {
+        let mut list = EdgeList::new(4);
+        list.extend(vec![(0, 1, 1), (1, 2, 2), (2, 3, 3)]);
+        assert_eq!(list.len(), 3);
+        assert!(!list.is_empty());
+    }
+
+    #[test]
+    fn csr_builder_streams_by_vertex() {
+        let mut b = CsrBuilder::new(3);
+        b.push_vertex([(1, 10), (2, 20)]).unwrap();
+        b.push_vertex([]).unwrap();
+        b.push_vertex([(0, 30)]).unwrap();
+        let g = b.finish().unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.offset_pair(VertexId(1)), (2, 2));
+    }
+
+    #[test]
+    fn csr_builder_detects_wrong_vertex_count() {
+        let mut b = CsrBuilder::new(2);
+        b.push_vertex([(0, 1)]).unwrap();
+        assert!(b.finish().is_err());
+
+        let mut b = CsrBuilder::new(1);
+        b.push_vertex([]).unwrap();
+        assert!(b.push_vertex([]).is_err());
+    }
+}

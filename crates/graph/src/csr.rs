@@ -1,0 +1,362 @@
+//! Compressed Sparse Row graph representation (Fig. 1 of the paper).
+//!
+//! Three arrays encode the graph:
+//!
+//! * **Offset Array** — indexed by vertex ID; entry `u` stores the position
+//!   of `u`'s first outgoing edge in the Edge Array. Reading a vertex's
+//!   neighbour list requires *two consecutive* entries (`u` and `u+1`),
+//!   which is exactly the one-to-two access pattern the paper's
+//!   MDP-network-for-Offset-Array targets.
+//! * **Edge Array** — indexed by edge ID; each entry holds the destination
+//!   vertex and the edge weight.
+//! * **Property Array** — indexed by vertex ID; held by the runtime
+//!   (see `higraph-vcpm`), not by [`Csr`] itself, so one graph can run many
+//!   algorithms.
+
+use crate::GraphError;
+use std::fmt;
+
+/// A vertex identifier.
+///
+/// On chip these are quantized to [`crate::ID_BITS`] bits; in the simulator
+/// we keep them as `u32` and validate the bound at construction time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// The index of this vertex as a `usize`, for array addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(value: u32) -> Self {
+        VertexId(value)
+    }
+}
+
+/// An edge identifier: the index of an edge in the Edge Array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(pub u64);
+
+impl EdgeId {
+    /// The index of this edge as a `usize`, for array addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// An edge weight.
+///
+/// The paper assigns random integer weights to unweighted graphs (Sec. 5.1);
+/// weights also fit the 19-bit on-chip quantization.
+pub type Weight = u32;
+
+/// One Edge Array entry: destination vertex ID and weight (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Edge {
+    /// Destination vertex of this directed edge.
+    pub dst: VertexId,
+    /// Weight carried by the edge.
+    pub weight: Weight,
+}
+
+/// A directed graph in CSR format.
+///
+/// Construct via [`crate::builder::EdgeList`] or [`crate::builder::CsrBuilder`],
+/// or the generators in [`crate::gen`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<u64>,
+    edges: Vec<Edge>,
+}
+
+impl Csr {
+    /// Builds a CSR directly from its two arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MalformedCsr`] if `offsets` is empty, not
+    /// monotonically non-decreasing, or does not end at `edges.len()`;
+    /// [`GraphError::TooManyVertices`] if the vertex count exceeds the
+    /// 19-bit ID space; [`GraphError::VertexOutOfRange`] if an edge points
+    /// outside the vertex range.
+    pub fn from_raw_parts(offsets: Vec<u64>, edges: Vec<Edge>) -> Result<Self, GraphError> {
+        if offsets.is_empty() {
+            return Err(GraphError::MalformedCsr {
+                detail: "offset array must have at least one entry".to_string(),
+            });
+        }
+        let num_vertices = (offsets.len() - 1) as u64;
+        if num_vertices > u64::from(crate::MAX_VERTEX_ID) + 1 {
+            return Err(GraphError::TooManyVertices { num_vertices });
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(GraphError::MalformedCsr {
+                detail: "offset array must be non-decreasing".to_string(),
+            });
+        }
+        if *offsets.last().expect("non-empty") != edges.len() as u64 {
+            return Err(GraphError::MalformedCsr {
+                detail: format!(
+                    "last offset {} does not match edge count {}",
+                    offsets.last().expect("non-empty"),
+                    edges.len()
+                ),
+            });
+        }
+        if offsets[0] != 0 {
+            return Err(GraphError::MalformedCsr {
+                detail: format!("first offset must be 0, found {}", offsets[0]),
+            });
+        }
+        for e in &edges {
+            if u64::from(e.dst.0) >= num_vertices {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: e.dst.0,
+                    num_vertices: num_vertices as u32,
+                });
+            }
+        }
+        Ok(Csr { offsets, edges })
+    }
+
+    /// Number of vertices in the graph.
+    #[inline]
+    pub fn num_vertices(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of directed edges in the graph.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.edges.len() as u64
+    }
+
+    /// The Offset Array entry for `u`: position of `u`'s first outgoing edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn offset(&self, u: VertexId) -> u64 {
+        self.offsets[u.index()]
+    }
+
+    /// The `(offset, next_offset)` pair for `u` — the one-to-two Offset
+    /// Array access performed by the accelerator front-end (Fig. 3 ①).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn offset_pair(&self, u: VertexId) -> (u64, u64) {
+        (self.offsets[u.index()], self.offsets[u.index() + 1])
+    }
+
+    /// Out-degree of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn out_degree(&self, u: VertexId) -> u64 {
+        let (lo, hi) = self.offset_pair(u);
+        hi - lo
+    }
+
+    /// The Edge Array entry at `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> Edge {
+        self.edges[e.index()]
+    }
+
+    /// The outgoing edges of `u` as a slice of the Edge Array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn neighbors(&self, u: VertexId) -> &[Edge] {
+        let (lo, hi) = self.offset_pair(u);
+        &self.edges[lo as usize..hi as usize]
+    }
+
+    /// Iterates over all vertices in ID order.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.num_vertices()).map(VertexId)
+    }
+
+    /// Iterates over `(source, edge)` pairs in Edge Array order.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, Edge)> + '_ {
+        self.vertices()
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&e| (u, e)))
+    }
+
+    /// The raw Offset Array.
+    #[inline]
+    pub fn offsets_raw(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The raw Edge Array.
+    #[inline]
+    pub fn edges_raw(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Mean out-degree (`#Degree` column of Table 2).
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / f64::from(self.num_vertices())
+        }
+    }
+
+    /// Returns the transpose (all edges reversed), preserving weights.
+    ///
+    /// Useful for pull-style validation and for building undirected
+    /// stand-ins from directed SNAP-like graphs.
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_vertices() as usize;
+        let mut counts = vec![0u64; n + 1];
+        for e in &self.edges {
+            counts[e.dst.index() + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut edges = vec![Edge::default(); self.edges.len()];
+        for (u, e) in self.edges() {
+            let slot = cursor[e.dst.index()];
+            edges[slot as usize] = Edge {
+                dst: u,
+                weight: e.weight,
+            };
+            cursor[e.dst.index()] += 1;
+        }
+        Csr { offsets, edges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Csr {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        Csr::from_raw_parts(
+            vec![0, 2, 3, 4, 4],
+            vec![
+                Edge {
+                    dst: VertexId(1),
+                    weight: 1,
+                },
+                Edge {
+                    dst: VertexId(2),
+                    weight: 2,
+                },
+                Edge {
+                    dst: VertexId(3),
+                    weight: 3,
+                },
+                Edge {
+                    dst: VertexId(3),
+                    weight: 4,
+                },
+            ],
+        )
+        .expect("valid csr")
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.offset_pair(VertexId(0)), (0, 2));
+        assert_eq!(g.out_degree(VertexId(0)), 2);
+        assert_eq!(g.out_degree(VertexId(3)), 0);
+        assert_eq!(g.neighbors(VertexId(1))[0].dst, VertexId(3));
+        assert_eq!(g.edge(EdgeId(3)).weight, 4);
+        assert!((g.mean_degree() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edges_iterator_matches_neighbors() {
+        let g = diamond();
+        let collected: Vec<_> = g.edges().collect();
+        assert_eq!(collected.len(), 4);
+        assert_eq!(collected[0].0, VertexId(0));
+        assert_eq!(collected[3], (VertexId(2), g.edge(EdgeId(3))));
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.num_edges(), g.num_edges());
+        assert_eq!(t.out_degree(VertexId(3)), 2);
+        assert_eq!(t.out_degree(VertexId(0)), 0);
+        // transpose twice restores edge multiset per vertex
+        let tt = t.transpose();
+        for u in g.vertices() {
+            let mut a: Vec<_> = g.neighbors(u).to_vec();
+            let mut b: Vec<_> = tt.neighbors(u).to_vec();
+            a.sort_by_key(|e| (e.dst, e.weight));
+            b.sort_by_key(|e| (e.dst, e.weight));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_offsets() {
+        assert!(Csr::from_raw_parts(vec![], vec![]).is_err());
+        assert!(Csr::from_raw_parts(vec![1], vec![]).is_err());
+        assert!(Csr::from_raw_parts(vec![0, 2, 1], vec![]).is_err());
+        assert!(Csr::from_raw_parts(vec![0, 1], vec![]).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_edge() {
+        let err = Csr::from_raw_parts(
+            vec![0, 1],
+            vec![Edge {
+                dst: VertexId(5),
+                weight: 0,
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 5, .. }));
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let g = Csr::from_raw_parts(vec![0], vec![]).expect("empty graph");
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.mean_degree(), 0.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Uniform Erdős–Rényi G(n, m) generator.
+
+use crate::builder::EdgeList;
+use crate::csr::Csr;
+use crate::weights::assign_random_weights;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a uniform random directed graph with `num_vertices` vertices
+/// and exactly `num_edges` edges (endpoints i.i.d. uniform; duplicates and
+/// self-loops allowed, as in sparse uniform traffic models).
+///
+/// Weights are uniform in `1..=max_weight`.
+///
+/// # Panics
+///
+/// Panics if `num_vertices == 0` and `num_edges > 0`, or `max_weight == 0`.
+///
+/// # Example
+///
+/// ```
+/// use higraph_graph::gen::erdos_renyi;
+///
+/// let g = erdos_renyi(100, 500, 63, 11);
+/// assert_eq!(g.num_vertices(), 100);
+/// assert_eq!(g.num_edges(), 500);
+/// ```
+pub fn erdos_renyi(num_vertices: u32, num_edges: u64, max_weight: u32, seed: u64) -> Csr {
+    assert!(
+        num_vertices > 0 || num_edges == 0,
+        "cannot place edges in an empty graph"
+    );
+    assert!(max_weight > 0, "max_weight must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut list = EdgeList::with_capacity(num_vertices, num_edges as usize);
+    for _ in 0..num_edges {
+        let src = rng.gen_range(0..num_vertices);
+        let dst = rng.gen_range(0..num_vertices);
+        list.push(src, dst, 0).expect("endpoints in range");
+    }
+    assign_random_weights(list.into_csr(), 1..=max_weight, seed ^ 0x5eed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DegreeStats;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(erdos_renyi(50, 200, 7, 9), erdos_renyi(50, 200, 7, 9));
+    }
+
+    #[test]
+    fn counts_and_weights() {
+        let g = erdos_renyi(64, 256, 5, 2);
+        assert_eq!(g.num_vertices(), 64);
+        assert_eq!(g.num_edges(), 256);
+        assert!(g.edges().all(|(_, e)| (1..=5).contains(&e.weight)));
+    }
+
+    #[test]
+    fn degrees_are_roughly_uniform() {
+        let g = erdos_renyi(256, 256 * 16, 3, 4);
+        let stats = DegreeStats::of(&g);
+        // Binomial(4096, 1/256): mean 16, stdev ~4; max should stay modest.
+        assert!(stats.max < 64, "max degree {} too skewed", stats.max);
+    }
+
+    #[test]
+    fn empty_graph_allowed() {
+        let g = erdos_renyi(0, 0, 1, 0);
+        assert_eq!(g.num_vertices(), 0);
+    }
+}

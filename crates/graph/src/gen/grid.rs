@@ -1,0 +1,122 @@
+//! 2-D mesh (grid) generator.
+//!
+//! Regular meshes are the opposite extreme from power-law graphs: perfectly
+//! balanced degrees and maximal locality. They model EDA-style workloads
+//! (placement grids, FPGA routing fabrics, systolic arrays) — the domain
+//! the paper's introduction motivates — and serve as the conflict-free
+//! control case in experiments: on a mesh, an ideal accelerator should be
+//! near its peak throughput.
+
+use crate::builder::EdgeList;
+use crate::csr::Csr;
+use crate::weights::assign_random_weights;
+
+/// Generates a `rows × cols` 4-neighbour mesh with edges in both
+/// directions and uniform random weights in `1..=max_weight`.
+///
+/// Vertex `(r, c)` has ID `r * cols + c`. With `wrap = true` the mesh
+/// becomes a torus (every vertex has degree 4); otherwise border vertices
+/// have degree 2–3.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero or `max_weight` is zero.
+///
+/// # Example
+///
+/// ```
+/// use higraph_graph::gen::grid;
+///
+/// let g = grid(4, 5, false, 7, 1);
+/// assert_eq!(g.num_vertices(), 20);
+/// // interior vertex (1,1) = ID 6 has 4 neighbours
+/// assert_eq!(g.out_degree(higraph_graph::VertexId(6)), 4);
+/// ```
+pub fn grid(rows: u32, cols: u32, wrap: bool, max_weight: u32, seed: u64) -> Csr {
+    assert!(rows > 0 && cols > 0, "mesh dimensions must be positive");
+    assert!(max_weight > 0, "max_weight must be positive");
+    let n = rows * cols;
+    let mut list = EdgeList::with_capacity(n, 4 * n as usize);
+    let id = |r: u32, c: u32| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            let u = id(r, c);
+            // east
+            if c + 1 < cols {
+                list.push(u, id(r, c + 1), 0).expect("in range");
+            } else if wrap && cols > 1 {
+                list.push(u, id(r, 0), 0).expect("in range");
+            }
+            // west
+            if c > 0 {
+                list.push(u, id(r, c - 1), 0).expect("in range");
+            } else if wrap && cols > 1 {
+                list.push(u, id(r, cols - 1), 0).expect("in range");
+            }
+            // south
+            if r + 1 < rows {
+                list.push(u, id(r + 1, c), 0).expect("in range");
+            } else if wrap && rows > 1 {
+                list.push(u, id(0, c), 0).expect("in range");
+            }
+            // north
+            if r > 0 {
+                list.push(u, id(r - 1, c), 0).expect("in range");
+            } else if wrap && rows > 1 {
+                list.push(u, id(rows - 1, c), 0).expect("in range");
+            }
+        }
+    }
+    assign_random_weights(list.into_csr(), 1..=max_weight, seed ^ 0x5eed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::VertexId;
+    use crate::stats::DegreeStats;
+
+    #[test]
+    fn open_mesh_degrees() {
+        let g = grid(3, 3, false, 1, 0);
+        assert_eq!(g.num_vertices(), 9);
+        assert_eq!(g.out_degree(VertexId(4)), 4); // center
+        assert_eq!(g.out_degree(VertexId(0)), 2); // corner
+        assert_eq!(g.out_degree(VertexId(1)), 3); // edge
+        assert_eq!(g.num_edges(), 24); // 12 undirected mesh edges, both ways
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = grid(4, 8, true, 3, 1);
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.min, 4);
+        assert_eq!(s.max, 4);
+        assert_eq!(g.num_edges(), 4 * 4 * 8);
+    }
+
+    #[test]
+    fn single_row_grid() {
+        let g = grid(1, 5, false, 1, 0);
+        assert_eq!(g.out_degree(VertexId(0)), 1);
+        assert_eq!(g.out_degree(VertexId(2)), 2);
+    }
+
+    #[test]
+    fn mesh_is_symmetric() {
+        let g = grid(5, 5, false, 1, 2);
+        let t = g.transpose();
+        for u in g.vertices() {
+            let mut a: Vec<_> = g.neighbors(u).iter().map(|e| e.dst).collect();
+            let mut b: Vec<_> = t.neighbors(u).iter().map(|e| e.dst).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(grid(6, 7, true, 9, 3), grid(6, 7, true, 9, 3));
+    }
+}

@@ -1,0 +1,28 @@
+//! Deterministic synthetic graph generators.
+//!
+//! All generators are seeded explicitly and use [`rand::rngs::StdRng`], so a
+//! given `(parameters, seed)` pair always produces the same graph on every
+//! platform — a requirement for reproducible experiment tables.
+//!
+//! * [`rmat()`] — Recursive-MATrix generator with the Graph500 parameters,
+//!   used for the paper's R14/R16 datasets (Table 2).
+//! * [`erdos`] — uniform Erdős–Rényi G(n, m) graphs.
+//! * [`powerlaw`] — heavy-tailed out-degree graphs used as stand-ins for the
+//!   SNAP social-network datasets,
+//! * [`grid()`] — regular 2-D meshes/tori (EDA placement-style workloads and
+//!   the conflict-free control case),
+//! * [`smallworld`] — Watts–Strogatz graphs whose rewiring probability
+//!   dials destination locality continuously (conflict-sensitivity
+//!   sweeps).
+
+pub mod erdos;
+pub mod grid;
+pub mod powerlaw;
+pub mod smallworld;
+pub mod rmat;
+
+pub use erdos::erdos_renyi;
+pub use grid::grid;
+pub use powerlaw::power_law;
+pub use smallworld::small_world;
+pub use rmat::{rmat, RmatConfig};

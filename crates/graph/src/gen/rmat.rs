@@ -1,0 +1,187 @@
+//! Recursive-MATrix (R-MAT) graph generator.
+//!
+//! This is the generator behind the paper's synthetic datasets R14 and R16
+//! (Table 2 cites "Introducing the Graph 500"); we use the standard Graph500
+//! partition probabilities `a = 0.57, b = 0.19, c = 0.19, d = 0.05` by
+//! default. The generated graphs have a heavily skewed degree distribution,
+//! which is what makes dataflow-propagation conflicts interesting.
+
+use crate::builder::EdgeList;
+use crate::csr::Csr;
+use crate::weights::assign_random_weights;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of an R-MAT generation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatConfig {
+    /// log2 of the vertex count (Graph500 "scale"). R14 → 14, R16 → 16.
+    pub scale: u32,
+    /// Average number of directed edges per vertex (Graph500 "edgefactor").
+    /// The paper's R14/R16 have mean degree 64.
+    pub edge_factor: u32,
+    /// Probability of recursing into the top-left quadrant.
+    pub a: f64,
+    /// Probability of recursing into the top-right quadrant.
+    pub b: f64,
+    /// Probability of recursing into the bottom-left quadrant.
+    pub c: f64,
+    /// Maximum edge weight (inclusive); weights are uniform in `1..=max_weight`.
+    pub max_weight: u32,
+}
+
+impl RmatConfig {
+    /// Graph500-style config at the given scale with mean degree 64
+    /// (matching R14/R16 in Table 2).
+    pub fn graph500(scale: u32) -> Self {
+        RmatConfig {
+            scale,
+            edge_factor: 64,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            max_weight: 63,
+        }
+    }
+
+    /// Number of vertices this config generates.
+    pub fn num_vertices(&self) -> u32 {
+        1 << self.scale
+    }
+
+    /// Number of directed edges this config generates.
+    pub fn num_edges(&self) -> u64 {
+        u64::from(self.num_vertices()) * u64::from(self.edge_factor)
+    }
+}
+
+impl Default for RmatConfig {
+    fn default() -> Self {
+        RmatConfig::graph500(14)
+    }
+}
+
+/// Generates an R-MAT graph.
+///
+/// Self-loops are permitted (as in the reference Graph500 kernel); duplicate
+/// edges are kept, mirroring multigraph behaviour of the raw generator.
+///
+/// As required by the Graph500 specification, vertex labels are passed
+/// through a random permutation after sampling. Without this step the
+/// recursive sampling biases *every* ID bit toward zero (probability
+/// `a + b` per bit), which would concentrate a large constant fraction of
+/// all traffic on interleaved bank 0 of any `id % k` partitioned memory —
+/// an artifact no real-world dataset exhibits.
+///
+/// # Panics
+///
+/// Panics if `scale` ≥ 32 or the quadrant probabilities exceed 1.
+///
+/// # Example
+///
+/// ```
+/// use higraph_graph::gen::{rmat, RmatConfig};
+///
+/// let g = rmat(&RmatConfig { scale: 6, edge_factor: 8, ..RmatConfig::graph500(6) }, 7);
+/// assert_eq!(g.num_vertices(), 64);
+/// assert_eq!(g.num_edges(), 64 * 8);
+/// ```
+pub fn rmat(config: &RmatConfig, seed: u64) -> Csr {
+    assert!(config.scale < 32, "scale must stay below 32");
+    let d = 1.0 - config.a - config.b - config.c;
+    assert!(d >= 0.0, "quadrant probabilities must sum to at most 1");
+
+    let n = config.num_vertices();
+    let m = config.num_edges();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Graph500 step 2: random vertex relabeling.
+    let mut perm: Vec<u32> = (0..n).collect();
+    for i in (1..perm.len()).rev() {
+        perm.swap(i, rng.gen_range(0..=i));
+    }
+
+    let mut list = EdgeList::with_capacity(n, m as usize);
+    for _ in 0..m {
+        let (src, dst) = sample_cell(config, &mut rng);
+        list.push(perm[src as usize], perm[dst as usize], 0)
+            .expect("rmat endpoints are in range by construction");
+    }
+    let csr = list.into_csr();
+    assign_random_weights(csr, 1..=config.max_weight.max(1), seed ^ 0x5eed)
+}
+
+/// Samples one (row, column) cell of the recursive adjacency matrix.
+fn sample_cell(config: &RmatConfig, rng: &mut StdRng) -> (u32, u32) {
+    let mut src = 0u32;
+    let mut dst = 0u32;
+    for level in (0..config.scale).rev() {
+        let r: f64 = rng.gen();
+        let (src_bit, dst_bit) = if r < config.a {
+            (0, 0)
+        } else if r < config.a + config.b {
+            (0, 1)
+        } else if r < config.a + config.b + config.c {
+            (1, 0)
+        } else {
+            (1, 1)
+        };
+        src |= src_bit << level;
+        dst |= dst_bit << level;
+    }
+    (src, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DegreeStats;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let cfg = RmatConfig {
+            scale: 8,
+            edge_factor: 4,
+            ..RmatConfig::graph500(8)
+        };
+        let a = rmat(&cfg, 42);
+        let b = rmat(&cfg, 42);
+        assert_eq!(a, b);
+        let c = rmat(&cfg, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let cfg = RmatConfig {
+            scale: 7,
+            edge_factor: 16,
+            ..RmatConfig::graph500(7)
+        };
+        let g = rmat(&cfg, 1);
+        assert_eq!(g.num_vertices(), 128);
+        assert_eq!(g.num_edges(), 128 * 16);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        // RMAT with Graph500 params has max degree far above the mean.
+        let g = rmat(&RmatConfig::graph500(10), 3);
+        let stats = DegreeStats::of(&g);
+        assert!(stats.max as f64 > 4.0 * stats.mean);
+    }
+
+    #[test]
+    fn weights_are_in_range() {
+        let cfg = RmatConfig {
+            scale: 6,
+            edge_factor: 4,
+            max_weight: 9,
+            ..RmatConfig::graph500(6)
+        };
+        let g = rmat(&cfg, 5);
+        for (_, e) in g.edges() {
+            assert!((1..=9).contains(&e.weight));
+        }
+    }
+}

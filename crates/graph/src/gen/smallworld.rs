@@ -1,0 +1,109 @@
+//! Watts–Strogatz small-world generator.
+//!
+//! Small-world graphs interpolate between the mesh and the random graph:
+//! a ring lattice (every vertex linked to its `k` nearest neighbours on
+//! each side) with a fraction `beta` of edges rewired to uniform random
+//! endpoints. For the accelerator this dials *locality* continuously —
+//! at `beta = 0` dataflow destinations are bank-adjacent (minimal
+//! conflicts), at `beta = 1` they are uniform random — which makes the
+//! generator useful for conflict-sensitivity sweeps beyond the paper's
+//! dataset list.
+
+use crate::builder::EdgeList;
+use crate::csr::Csr;
+use crate::weights::assign_random_weights;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a directed Watts–Strogatz graph: `num_vertices` vertices on
+/// a ring, each with edges to its `k` clockwise neighbours, each edge
+/// rewired to a uniform random destination with probability `beta`.
+///
+/// Weights are uniform in `1..=max_weight`.
+///
+/// # Panics
+///
+/// Panics if `num_vertices < 2`, `k == 0`, `k >= num_vertices`,
+/// `!(0.0..=1.0).contains(&beta)`, or `max_weight == 0`.
+///
+/// # Example
+///
+/// ```
+/// use higraph_graph::gen::small_world;
+///
+/// let g = small_world(100, 4, 0.1, 7, 3);
+/// assert_eq!(g.num_vertices(), 100);
+/// assert_eq!(g.num_edges(), 400); // out-degree exactly k
+/// ```
+pub fn small_world(
+    num_vertices: u32,
+    k: u32,
+    beta: f64,
+    max_weight: u32,
+    seed: u64,
+) -> Csr {
+    assert!(num_vertices >= 2, "need at least two vertices");
+    assert!(k > 0 && k < num_vertices, "k must be in 1..num_vertices");
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    assert!(max_weight > 0, "max_weight must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut list = EdgeList::with_capacity(num_vertices, (num_vertices * k) as usize);
+    for u in 0..num_vertices {
+        for j in 1..=k {
+            let dst = if rng.gen_bool(beta) {
+                rng.gen_range(0..num_vertices)
+            } else {
+                (u + j) % num_vertices
+            };
+            list.push(u, dst, 0).expect("in range");
+        }
+    }
+    assign_random_weights(list.into_csr(), 1..=max_weight, seed ^ 0x5eed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DegreeStats;
+
+    #[test]
+    fn beta_zero_is_a_ring_lattice() {
+        let g = small_world(10, 2, 0.0, 3, 0);
+        for u in g.vertices() {
+            let dsts: Vec<u32> = g.neighbors(u).iter().map(|e| e.dst.0).collect();
+            assert_eq!(dsts, vec![(u.0 + 1) % 10, (u.0 + 2) % 10]);
+        }
+    }
+
+    #[test]
+    fn out_degree_is_always_k() {
+        for beta in [0.0, 0.3, 1.0] {
+            let g = small_world(64, 3, beta, 7, 5);
+            let s = DegreeStats::of(&g);
+            assert_eq!(s.min, 3, "beta {beta}");
+            assert_eq!(s.max, 3, "beta {beta}");
+        }
+    }
+
+    #[test]
+    fn rewiring_breaks_locality() {
+        let local = small_world(1000, 4, 0.0, 3, 2);
+        let random = small_world(1000, 4, 1.0, 3, 2);
+        let spread = |g: &Csr| -> f64 {
+            let mut total = 0u64;
+            for (u, e) in g.edges() {
+                let d = (i64::from(e.dst.0) - i64::from(u.0)).rem_euclid(1000);
+                total += d.min(1000 - d) as u64;
+            }
+            total as f64 / g.num_edges() as f64
+        };
+        assert!(spread(&local) < 3.0);
+        assert!(spread(&random) > 100.0);
+        
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(small_world(50, 2, 0.5, 9, 1), small_world(50, 2, 0.5, 9, 1));
+    }
+}

@@ -1,0 +1,126 @@
+//! Graph substrate for the HiGraph reproduction.
+//!
+//! This crate provides everything the accelerator models need on the data
+//! side of the house:
+//!
+//! * [`Csr`] — the Compressed Sparse Row representation from Fig. 1 of the
+//!   paper (Offset / Edge / Property arrays),
+//! * [`builder::CsrBuilder`] / [`builder::EdgeList`] — construction from edge
+//!   lists,
+//! * [`gen`] — deterministic synthetic generators (RMAT as used for the
+//!   paper's R14/R16, Erdős–Rényi, power-law),
+//! * [`datasets`] — the Table 2 benchmark registry with synthetic stand-ins
+//!   for the SNAP graphs,
+//! * [`io`] — SNAP-format edge-list reading/writing (drop in the real
+//!   datasets when you have them),
+//! * [`slicing`] — graph slicing for graphs larger than on-chip memory
+//!   (Sec. 5.3 discussion),
+//! * [`stats`] — degree statistics used to validate generator output.
+//!
+//! # Example
+//!
+//! ```
+//! use higraph_graph::{builder::EdgeList, VertexId};
+//!
+//! # fn main() -> Result<(), higraph_graph::GraphError> {
+//! let mut edges = EdgeList::new(4);
+//! edges.push(0, 1, 3)?;
+//! edges.push(0, 2, 1)?;
+//! edges.push(2, 3, 7)?;
+//! let graph = edges.into_csr();
+//! assert_eq!(graph.num_vertices(), 4);
+//! assert_eq!(graph.out_degree(VertexId(0)), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod builder;
+pub mod csr;
+pub mod datasets;
+pub mod gen;
+pub mod io;
+pub mod slicing;
+pub mod stats;
+pub mod weights;
+
+pub use builder::{CsrBuilder, EdgeList};
+pub use csr::{Csr, Edge, EdgeId, VertexId, Weight};
+pub use datasets::{Dataset, DatasetSpec};
+
+use std::error::Error;
+use std::fmt;
+
+/// Number of bits used to quantize vertex IDs and property data on chip.
+///
+/// Sec. 5.1: "The ID and property data of each vertex are quantified to 19
+/// bits to fully use on-chip memory capacity."
+pub const ID_BITS: u32 = 19;
+
+/// Largest vertex ID representable in the on-chip 19-bit encoding.
+pub const MAX_VERTEX_ID: u32 = (1 << ID_BITS) - 1;
+
+/// Errors produced while constructing or validating graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex index was at least the declared vertex count.
+    VertexOutOfRange {
+        /// The offending vertex index.
+        vertex: u32,
+        /// The declared number of vertices.
+        num_vertices: u32,
+    },
+    /// The graph exceeds the on-chip 19-bit ID encoding.
+    TooManyVertices {
+        /// The declared number of vertices.
+        num_vertices: u64,
+    },
+    /// CSR arrays are structurally inconsistent.
+    MalformedCsr {
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} out of range for graph with {num_vertices} vertices"
+            ),
+            GraphError::TooManyVertices { num_vertices } => write!(
+                f,
+                "{num_vertices} vertices exceed the {ID_BITS}-bit on-chip ID encoding",
+            ),
+            GraphError::MalformedCsr { detail } => write!(f, "malformed CSR: {detail}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = GraphError::VertexOutOfRange {
+            vertex: 9,
+            num_vertices: 4,
+        };
+        assert!(e.to_string().contains("vertex 9"));
+        let e = GraphError::TooManyVertices {
+            num_vertices: 1 << 20,
+        };
+        assert!(e.to_string().contains("19-bit"));
+    }
+
+    #[test]
+    fn max_vertex_id_matches_bits() {
+        assert_eq!(MAX_VERTEX_ID, 524_287);
+    }
+}

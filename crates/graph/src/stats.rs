@@ -1,0 +1,124 @@
+//! Degree statistics, used for generator validation and the Table 2 report.
+
+use crate::csr::Csr;
+
+/// Summary statistics of a graph's out-degree distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DegreeStats {
+    /// Minimum out-degree.
+    pub min: u64,
+    /// Maximum out-degree.
+    pub max: u64,
+    /// Mean out-degree (Table 2's `#Degree`).
+    pub mean: f64,
+    /// Standard deviation of out-degree.
+    pub stdev: f64,
+    /// Number of vertices with out-degree zero.
+    pub zeros: u64,
+}
+
+impl DegreeStats {
+    /// Computes out-degree statistics for `graph`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use higraph_graph::{gen::erdos_renyi, stats::DegreeStats};
+    ///
+    /// let g = erdos_renyi(100, 700, 3, 0);
+    /// let s = DegreeStats::of(&g);
+    /// assert!((s.mean - 7.0).abs() < 1e-9);
+    /// ```
+    pub fn of(graph: &Csr) -> Self {
+        let n = graph.num_vertices();
+        if n == 0 {
+            return DegreeStats::default();
+        }
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        let mut zeros = 0u64;
+        let mut sum = 0u64;
+        let mut sum_sq = 0f64;
+        for u in graph.vertices() {
+            let d = graph.out_degree(u);
+            min = min.min(d);
+            max = max.max(d);
+            if d == 0 {
+                zeros += 1;
+            }
+            sum += d;
+            sum_sq += (d as f64) * (d as f64);
+        }
+        let mean = sum as f64 / f64::from(n);
+        let var = (sum_sq / f64::from(n) - mean * mean).max(0.0);
+        DegreeStats {
+            min,
+            max,
+            mean,
+            stdev: var.sqrt(),
+            zeros,
+        }
+    }
+}
+
+/// The vertex with the largest out-degree (ties broken by lowest ID).
+///
+/// Benchmark harnesses use this as the traversal source: like the
+/// Graph500 rules, sources must lie in the reachable core, and the hub is
+/// deterministically so.
+///
+/// Returns `None` for an empty graph.
+pub fn hub_vertex(graph: &Csr) -> Option<crate::VertexId> {
+    graph.vertices().max_by_key(|&v| (graph.out_degree(v), std::cmp::Reverse(v.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::EdgeList;
+    use crate::VertexId;
+
+    #[test]
+    fn hub_vertex_finds_max_degree() {
+        let mut list = EdgeList::new(4);
+        list.push(2, 0, 1).unwrap();
+        list.push(2, 1, 1).unwrap();
+        list.push(0, 1, 1).unwrap();
+        assert_eq!(hub_vertex(&list.into_csr()), Some(VertexId(2)));
+        assert_eq!(hub_vertex(&EdgeList::new(0).into_csr()), None);
+    }
+
+    #[test]
+    fn star_graph_stats() {
+        let mut list = EdgeList::new(5);
+        for i in 1..5 {
+            list.push(0, i, 1).unwrap();
+        }
+        let s = DegreeStats::of(&list.into_csr());
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 4);
+        assert_eq!(s.zeros, 4);
+        assert!((s.mean - 0.8).abs() < 1e-12);
+        // variance = E[d^2]-mean^2 = 16/5 - 0.64 = 2.56; stdev = 1.6
+        assert!((s.stdev - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = DegreeStats::of(&EdgeList::new(0).into_csr());
+        assert_eq!(s, DegreeStats::default());
+    }
+
+    #[test]
+    fn regular_graph_has_zero_stdev() {
+        let mut list = EdgeList::new(8);
+        for i in 0..8 {
+            list.push(i, (i + 1) % 8, 1).unwrap();
+            list.push(i, (i + 3) % 8, 1).unwrap();
+        }
+        let s = DegreeStats::of(&list.into_csr());
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 2);
+        assert_eq!(s.stdev, 0.0);
+    }
+}

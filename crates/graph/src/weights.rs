@@ -1,0 +1,99 @@
+//! Edge-weight assignment.
+//!
+//! Sec. 5.1: "For the evaluation on unweighted graphs, random integer
+//! weights are assigned." This module provides that pass as a CSR → CSR
+//! transformation so generators and dataset loaders share one code path.
+
+use crate::csr::{Csr, Edge, Weight};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::RangeInclusive;
+
+/// Replaces every edge weight with a uniform random draw from `range`.
+///
+/// Deterministic in `(graph, range, seed)`.
+///
+/// # Panics
+///
+/// Panics if `range` is empty.
+///
+/// # Example
+///
+/// ```
+/// use higraph_graph::builder::EdgeList;
+/// use higraph_graph::weights::assign_random_weights;
+///
+/// # fn main() -> Result<(), higraph_graph::GraphError> {
+/// let mut list = EdgeList::new(2);
+/// list.push(0, 1, 0)?;
+/// let g = assign_random_weights(list.into_csr(), 1..=10, 42);
+/// assert!((1..=10).contains(&g.edges_raw()[0].weight));
+/// # Ok(())
+/// # }
+/// ```
+pub fn assign_random_weights(graph: Csr, range: RangeInclusive<Weight>, seed: u64) -> Csr {
+    assert!(!range.is_empty(), "weight range must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let offsets = graph.offsets_raw().to_vec();
+    let edges: Vec<Edge> = graph
+        .edges_raw()
+        .iter()
+        .map(|e| Edge {
+            dst: e.dst,
+            weight: rng.gen_range(range.clone()),
+        })
+        .collect();
+    Csr::from_raw_parts(offsets, edges).expect("reweighting preserves structure")
+}
+
+/// Sets every edge weight to `w` (useful for BFS-style unit-weight runs).
+pub fn assign_uniform_weight(graph: Csr, w: Weight) -> Csr {
+    let offsets = graph.offsets_raw().to_vec();
+    let edges: Vec<Edge> = graph
+        .edges_raw()
+        .iter()
+        .map(|e| Edge { dst: e.dst, weight: w })
+        .collect();
+    Csr::from_raw_parts(offsets, edges).expect("reweighting preserves structure")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::EdgeList;
+    use crate::csr::VertexId;
+
+    fn line(n: u32) -> Csr {
+        let mut list = EdgeList::new(n);
+        for i in 0..n - 1 {
+            list.push(i, i + 1, 0).unwrap();
+        }
+        list.into_csr()
+    }
+
+    #[test]
+    fn random_weights_in_range_and_deterministic() {
+        let g = line(100);
+        let a = assign_random_weights(g.clone(), 3..=9, 1);
+        let b = assign_random_weights(g.clone(), 3..=9, 1);
+        assert_eq!(a, b);
+        assert!(a.edges().all(|(_, e)| (3..=9).contains(&e.weight)));
+        // structure untouched
+        assert_eq!(a.offsets_raw(), g.offsets_raw());
+        assert_eq!(a.neighbors(VertexId(5))[0].dst, VertexId(6));
+    }
+
+    #[test]
+    fn uniform_weight() {
+        let g = assign_uniform_weight(line(10), 1);
+        assert!(g.edges().all(|(_, e)| e.weight == 1));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g = line(200);
+        let a = assign_random_weights(g.clone(), 1..=1000, 1);
+        let b = assign_random_weights(g, 1..=1000, 2);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,594 @@
+//! The MDP-network variant for Edge Array access (Sec. 4.2, Fig. 6).
+//!
+//! The access pattern in reading the Edge Array is one-to-multiple: one
+//! `{Off, nOff}` pair requires several consecutive interleaved banks. The
+//! paper's pipeline is:
+//!
+//! 1. **Replay Engine** — divides `{Off, nOff}` into `{Off, Len}` chunks of
+//!    an appropriate length (at most one bank row, so a chunk never wraps
+//!    around the bank interleaving);
+//! 2. **Range MDP-network** — propagates `{Off, Len}` stage by stage; when
+//!    a chunk spans the boundary between two target ranges it is *split*
+//!    (the paper's example: `Off 4, Len 9` → `Off 4, Len 4` + `Off 8,
+//!    Len 5`), so competition for subsequent datapaths reduces stage by
+//!    stage;
+//! 3. **Dispatcher** — a small terminal unit per output channel that fans a
+//!    final (narrow) range onto its group of consecutive banks.
+
+use crate::topology::Topology;
+use higraph_sim::{Fifo, NetworkStats};
+use std::fmt;
+
+/// A contiguous run of Edge Array entries, `[off, off + len)`, plus the
+/// payload that must accompany the eventual edge reads (typically the
+/// source vertex property).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRange<P> {
+    /// Global index of the first edge.
+    pub off: u64,
+    /// Number of edges; always ≥ 1 inside the network.
+    pub len: u32,
+    /// Caller payload carried alongside the range.
+    pub payload: P,
+}
+
+impl<P> EdgeRange<P> {
+    /// Index one past the last edge.
+    pub fn end(&self) -> u64 {
+        self.off + u64::from(self.len)
+    }
+}
+
+/// Errors constructing a [`RangeMdpNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeNetworkError {
+    /// The bank count is not a positive multiple of the channel count.
+    BankChannelMismatch {
+        /// Banks requested.
+        num_banks: usize,
+        /// Channels in the topology.
+        num_channels: usize,
+    },
+}
+
+impl fmt::Display for RangeNetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RangeNetworkError::BankChannelMismatch {
+                num_banks,
+                num_channels,
+            } => write!(
+                f,
+                "bank count {num_banks} must be a positive multiple of channel count {num_channels}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RangeNetworkError {}
+
+/// The Replay Engine: splits one `{Off, nOff}` request into row-aligned
+/// `{Off, Len}` chunks, one per cycle.
+///
+/// A chunk never crosses a multiple of `num_banks` in edge-index space, so
+/// the banks it touches are consecutive and non-wrapping — the form the
+/// range MDP-network and dispatchers handle.
+///
+/// # Example
+///
+/// ```
+/// use higraph_mdp::ReplayEngine;
+///
+/// let mut re = ReplayEngine::new(16);
+/// assert!(re.load(4, 20, ()));
+/// assert_eq!(re.emit().map(|r| (r.off, r.len)), Some((4, 12))); // up to row end
+/// assert_eq!(re.emit().map(|r| (r.off, r.len)), Some((16, 4)));
+/// assert_eq!(re.emit(), None);
+/// assert!(re.is_idle());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayEngine<P> {
+    num_banks: u64,
+    current: Option<(u64, u64, P)>,
+}
+
+impl<P: Copy> ReplayEngine<P> {
+    /// Creates a replay engine over `num_banks` interleaved edge banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_banks` is zero.
+    pub fn new(num_banks: usize) -> Self {
+        assert!(num_banks > 0, "need at least one bank");
+        ReplayEngine {
+            num_banks: num_banks as u64,
+            current: None,
+        }
+    }
+
+    /// Whether the engine can accept a new `{Off, nOff}` request.
+    pub fn is_idle(&self) -> bool {
+        self.current.is_none()
+    }
+
+    /// Loads a new request. Returns `false` (dropping nothing) if the
+    /// engine is still busy. Zero-length requests (`off == n_off`) complete
+    /// immediately.
+    pub fn load(&mut self, off: u64, n_off: u64, payload: P) -> bool {
+        if !self.is_idle() {
+            return false;
+        }
+        debug_assert!(off <= n_off, "offset pair must be ordered");
+        if off < n_off {
+            self.current = Some((off, n_off, payload));
+        }
+        true
+    }
+
+    /// Emits the next chunk, if the engine is busy. Call once per cycle.
+    pub fn emit(&mut self) -> Option<EdgeRange<P>> {
+        let (off, n_off, payload) = self.current?;
+        let row_end = (off / self.num_banks + 1) * self.num_banks;
+        let end = n_off.min(row_end);
+        let chunk = EdgeRange {
+            off,
+            len: (end - off) as u32,
+            payload,
+        };
+        self.current = if end < n_off {
+            Some((end, n_off, payload))
+        } else {
+            None
+        };
+        Some(chunk)
+    }
+}
+
+/// The terminal Dispatcher (Sec. 4.2): expands a narrow range into
+/// per-bank edge reads within one group of `width` consecutive banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dispatcher {
+    num_banks: u64,
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher aware of the global bank interleaving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_banks` is zero.
+    pub fn new(num_banks: usize) -> Self {
+        assert!(num_banks > 0, "need at least one bank");
+        Dispatcher {
+            num_banks: num_banks as u64,
+        }
+    }
+
+    /// The `(bank, global_edge_index)` reads a range issues. All banks are
+    /// distinct (the replay engine guarantees non-wrapping chunks), so a
+    /// dispatcher completes a range in a single cycle.
+    pub fn expand<P: Copy>(
+        &self,
+        range: &EdgeRange<P>,
+    ) -> impl Iterator<Item = (usize, u64)> + '_ {
+        let off = range.off;
+        let banks = self.num_banks;
+        (0..u64::from(range.len)).map(move |k| {
+            let idx = off + k;
+            ((idx % banks) as usize, idx)
+        })
+    }
+}
+
+/// The range-splitting MDP-network for Edge Array access.
+///
+/// Structurally identical to [`crate::MdpNetwork`] — `log2(n)` stages of
+/// per-channel FIFOs — but the payload is an [`EdgeRange`] and a head that
+/// spans two target ranges is split in flight. The destination key of a
+/// range is the *dispatcher group* of its first bank: with `m` banks and
+/// `n` channels, group `g` owns banks `[g·m/n, (g+1)·m/n)`.
+#[derive(Debug, Clone)]
+pub struct RangeMdpNetwork<P> {
+    topology: Topology,
+    num_banks: usize,
+    /// Banks per output channel (dispatcher width, `m / n`).
+    width: usize,
+    fifos: Vec<Vec<Fifo<EdgeRange<P>>>>,
+    stats: NetworkStats,
+    splits: u64,
+}
+
+impl<P: Copy> RangeMdpNetwork<P> {
+    /// Builds the network over `topology.num_channels()` channels serving
+    /// `num_banks` edge banks, with `fifo_capacity` entries per stage FIFO.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RangeNetworkError::BankChannelMismatch`] unless
+    /// `num_banks` is a positive multiple of the channel count.
+    pub fn new(
+        topology: Topology,
+        num_banks: usize,
+        fifo_capacity: usize,
+    ) -> Result<Self, RangeNetworkError> {
+        let n = topology.num_channels();
+        if num_banks == 0 || !num_banks.is_multiple_of(n) {
+            return Err(RangeNetworkError::BankChannelMismatch {
+                num_banks,
+                num_channels: n,
+            });
+        }
+        let fifos = (0..topology.num_stages())
+            .map(|_| (0..n).map(|_| Fifo::new(fifo_capacity)).collect())
+            .collect();
+        Ok(RangeMdpNetwork {
+            width: num_banks / n,
+            topology,
+            num_banks,
+            fifos,
+            stats: NetworkStats::new(),
+            splits: 0,
+        })
+    }
+
+    /// Number of input/output channels.
+    pub fn num_channels(&self) -> usize {
+        self.topology.num_channels()
+    }
+
+    /// Number of edge banks served.
+    pub fn num_banks(&self) -> usize {
+        self.num_banks
+    }
+
+    /// Banks per dispatcher (output channel).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// Number of in-flight range splits performed so far.
+    pub fn splits(&self) -> u64 {
+        self.splits
+    }
+
+    /// First bank of `range` (must be non-wrapping).
+    fn first_bank(&self, range: &EdgeRange<P>) -> usize {
+        (range.off % self.num_banks as u64) as usize
+    }
+
+    /// Dispatcher group of `range`'s first bank.
+    fn group_of(&self, range: &EdgeRange<P>) -> usize {
+        self.first_bank(range) / self.width
+    }
+
+    /// Splits `range` at the target-range boundaries of `stage` (regions
+    /// of `num_banks / radix^(stage+1)` banks), returning one piece per
+    /// touched region, in ascending bank order. Radix 2 yields at most two
+    /// pieces — the paper's `Off 4, Len 9 → (4,4)+(8,5)` example.
+    fn split_at_stage(&self, stage: usize, range: EdgeRange<P>) -> Vec<EdgeRange<P>> {
+        // After routing by `stage`, a piece may still reach
+        // `target_range(stage)` channels, i.e. a region of that many
+        // dispatcher groups (`width` banks each). Shift-based so
+        // mixed-radix topologies work too.
+        let region = self.width << self.topology.stage(stage).shift;
+        debug_assert!(region >= self.width);
+        let b0 = self.first_bank(&range) as u64;
+        let b_end = b0 + u64::from(range.len); // exclusive, non-wrapping
+        let mut pieces = Vec::with_capacity(2);
+        let mut cur = range.off;
+        let mut cur_bank = b0;
+        while cur_bank < b_end {
+            let boundary = (cur_bank / region as u64 + 1) * (region as u64);
+            let piece_end_bank = boundary.min(b_end);
+            let len = (piece_end_bank - cur_bank) as u32;
+            pieces.push(EdgeRange {
+                off: cur,
+                len,
+                payload: range.payload,
+            });
+            cur += u64::from(len);
+            cur_bank = piece_end_bank;
+        }
+        pieces
+    }
+
+    /// Whether input `input` can accept `range` this cycle.
+    pub fn can_accept(&self, input: usize, range: &EdgeRange<P>) -> bool {
+        self.split_at_stage(0, *range).iter().all(|piece| {
+            let t = self.topology.next_channel(0, input, self.group_of(piece));
+            !self.fifos[0][t].is_full()
+        })
+    }
+
+    /// Offers `range` at input `input`, splitting it if it spans first
+    /// stage boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(range)` (handing back the whole range) if any target
+    /// FIFO lacks space; the producer must stall.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the range wraps the bank interleaving —
+    /// the replay engine guarantees this cannot happen.
+    pub fn push(&mut self, input: usize, range: EdgeRange<P>) -> Result<(), EdgeRange<P>> {
+        debug_assert!(range.len >= 1, "empty range");
+        debug_assert!(
+            self.first_bank(&range) as u64 + u64::from(range.len) <= self.num_banks as u64,
+            "range wraps the bank interleaving"
+        );
+        if !self.can_accept(input, &range) {
+            self.stats.rejected += 1;
+            return Err(range);
+        }
+        let pieces = self.split_at_stage(0, range);
+        self.splits += pieces.len() as u64 - 1;
+        for piece in pieces {
+            let t = self.topology.next_channel(0, input, self.group_of(&piece));
+            self.fifos[0][t]
+                .push(piece)
+                .unwrap_or_else(|_| unreachable!("space checked by can_accept"));
+        }
+        self.stats.accepted += 1;
+        Ok(())
+    }
+
+    /// The range presented at output `output`, if any. Output ranges lie
+    /// entirely within the output's dispatcher group.
+    pub fn peek(&self, output: usize) -> Option<&EdgeRange<P>> {
+        self.fifos[self.topology.num_stages() - 1][output].peek()
+    }
+
+    /// Consumes the range presented at output `output`.
+    pub fn pop(&mut self, output: usize) -> Option<EdgeRange<P>> {
+        let r = self.fifos[self.topology.num_stages() - 1][output].pop();
+        if r.is_some() {
+            self.stats.delivered += 1;
+        }
+        r
+    }
+
+    /// Advances one cycle: each non-final stage head is split (if needed)
+    /// and moved one stage toward its destination.
+    ///
+    /// When a head splits across two target FIFOs, the halves advance
+    /// *independently*: if only one target has space, that half moves and
+    /// the remainder shrinks in place (skid-buffer behaviour of the 2W2R
+    /// module). Without this, sibling-FIFO coupling would let output
+    /// stages starve while the fabric is congested.
+    pub fn tick(&mut self) {
+        self.stats.cycles += 1;
+        let stages = self.topology.num_stages();
+        for s in (0..stages.saturating_sub(1)).rev() {
+            for c in 0..self.topology.num_channels() {
+                let Some(&head) = self.fifos[s][c].peek() else {
+                    continue;
+                };
+                let pieces = self.split_at_stage(s + 1, head);
+                // Move a prefix of pieces (ascending bank order) while
+                // their target FIFOs have space; the head shrinks in place
+                // to the contiguous remainder (skid-buffer behaviour of
+                // the 2W2R module). Without independent piece movement,
+                // sibling-FIFO coupling would let output stages starve
+                // while the fabric is congested.
+                let mut moved = 0usize;
+                for piece in &pieces {
+                    let t = self.topology.next_channel(s + 1, c, self.group_of(piece));
+                    if self.fifos[s + 1][t].is_full() {
+                        break;
+                    }
+                    self.fifos[s + 1][t]
+                        .push(*piece)
+                        .unwrap_or_else(|_| unreachable!("space checked"));
+                    moved += 1;
+                }
+                if moved == pieces.len() {
+                    self.fifos[s][c].pop();
+                    self.splits += pieces.len() as u64 - 1;
+                } else {
+                    self.stats.hol_blocked += 1;
+                    if moved > 0 {
+                        let first_kept = &pieces[moved];
+                        let consumed = (first_kept.off - head.off) as u32;
+                        let rest = EdgeRange {
+                            off: first_kept.off,
+                            len: head.len - consumed,
+                            payload: head.payload,
+                        };
+                        *self.fifos[s][c].peek_mut().expect("head exists") = rest;
+                        self.splits += moved as u64;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of ranges currently inside the network.
+    pub fn in_flight(&self) -> usize {
+        self.fifos
+            .iter()
+            .map(|st| st.iter().map(Fifo::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Total edges covered by in-flight ranges.
+    pub fn pending_edges(&self) -> u64 {
+        self.fifos
+            .iter()
+            .flat_map(|st| st.iter())
+            .flat_map(|f| f.iter())
+            .map(|r| u64::from(r.len))
+            .sum()
+    }
+
+    /// Whether the network holds no ranges.
+    pub fn is_empty(&self) -> bool {
+        self.in_flight() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    fn net(n: usize, m: usize, cap: usize) -> RangeMdpNetwork<u32> {
+        RangeMdpNetwork::new(Topology::new(n, 2).unwrap(), m, cap).unwrap()
+    }
+
+    #[test]
+    fn paper_example_off4_len9_splits_at_8() {
+        // Fig. 6: m = 16, "Off 4 with Len 9 … split into Off 4 with Len 4
+        // and Off 8 with Len 5" at stage 1 (boundary 8 = m/2).
+        let n = net(4, 16, 8);
+        let r = EdgeRange {
+            off: 4,
+            len: 9,
+            payload: 0u32,
+        };
+        let pieces = n.split_at_stage(0, r);
+        assert_eq!(pieces.len(), 2);
+        assert_eq!((pieces[0].off, pieces[0].len), (4, 4));
+        assert_eq!((pieces[1].off, pieces[1].len), (8, 5));
+    }
+
+    #[test]
+    fn replay_engine_chunks_are_row_aligned() {
+        let mut re = ReplayEngine::new(8);
+        assert!(re.load(5, 30, 7u32));
+        assert!(!re.load(0, 1, 7u32), "busy engine rejects load");
+        let mut chunks = Vec::new();
+        while let Some(c) = re.emit() {
+            chunks.push((c.off, c.len));
+        }
+        assert_eq!(chunks, vec![(5, 3), (8, 8), (16, 8), (24, 6)]);
+        assert!(re.is_idle());
+    }
+
+    #[test]
+    fn replay_engine_zero_length_is_noop() {
+        let mut re = ReplayEngine::new(8);
+        assert!(re.load(5, 5, ()));
+        assert!(re.is_idle());
+        assert_eq!(re.emit(), None);
+    }
+
+    #[test]
+    fn dispatcher_expands_to_distinct_banks() {
+        let d = Dispatcher::new(16);
+        let r = EdgeRange {
+            off: 20,
+            len: 9,
+            payload: (),
+        };
+        let reads: Vec<_> = d.expand(&r).collect();
+        assert_eq!(reads.len(), 9);
+        let mut banks: Vec<_> = reads.iter().map(|(b, _)| *b).collect();
+        banks.sort_unstable();
+        banks.dedup();
+        assert_eq!(banks.len(), 9, "banks must be distinct");
+        assert_eq!(reads[0], (4, 20));
+    }
+
+    #[test]
+    fn delivered_ranges_cover_exactly_the_request() {
+        // push chunks for a whole row and check output coverage
+        let mut n = net(4, 16, 8);
+        n.push(
+            0,
+            EdgeRange {
+                off: 32,
+                len: 16,
+                payload: 1u32,
+            },
+        )
+        .unwrap();
+        let mut covered = Vec::new();
+        for _ in 0..16 {
+            for o in 0..4 {
+                if let Some(r) = n.pop(o) {
+                    // output range lies inside output o's dispatcher group
+                    let b0 = (r.off % 16) as usize;
+                    assert_eq!(b0 / 4, o);
+                    assert!(b0 + r.len as usize <= (o + 1) * 4);
+                    covered.extend(r.off..r.end());
+                }
+            }
+            n.tick();
+        }
+        covered.sort_unstable();
+        assert_eq!(covered, (32..48).collect::<Vec<_>>());
+        assert!(n.is_empty());
+    }
+
+    #[test]
+    fn no_edge_lost_under_random_load() {
+        let mut n = net(8, 32, 4);
+        let mut expected = 0u64;
+        let mut got = 0u64;
+        let mut seed = 12345u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            seed >> 33
+        };
+        for _ in 0..300 {
+            for o in 0..8 {
+                if let Some(r) = n.pop(o) {
+                    got += u64::from(r.len);
+                }
+            }
+            for i in 0..8 {
+                let off = next() % 97 * 32 + next() % 20; // arbitrary rows
+                let len = (next() % (32 - off % 32)).max(1) as u32;
+                let r = EdgeRange {
+                    off,
+                    len,
+                    payload: 0u32,
+                };
+                if n.push(i, r).is_ok() {
+                    expected += u64::from(len);
+                }
+            }
+            n.tick();
+        }
+        for _ in 0..100 {
+            for o in 0..8 {
+                if let Some(r) = n.pop(o) {
+                    got += u64::from(r.len);
+                }
+            }
+            n.tick();
+        }
+        assert!(n.is_empty());
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn rejects_mismatched_banks() {
+        let t = Topology::new(4, 2).unwrap();
+        assert!(RangeMdpNetwork::<u32>::new(t.clone(), 15, 4).is_err());
+        assert!(RangeMdpNetwork::<u32>::new(t, 0, 4).is_err());
+    }
+
+    #[test]
+    fn pending_edges_counts_in_flight() {
+        let mut n = net(4, 16, 8);
+        n.push(
+            1,
+            EdgeRange {
+                off: 0,
+                len: 10,
+                payload: 0u32,
+            },
+        )
+        .unwrap();
+        assert_eq!(n.pending_edges(), 10);
+        assert!(n.splits() >= 1); // 0..10 spans the mid boundary 8
+    }
+}

@@ -1,0 +1,103 @@
+//! Area model (Sec. 5.4), TSMC 12 nm.
+//!
+//! Both fabrics are buffer-dominated; the difference is the control logic:
+//! MDP control is one small 2W1R FIFO controller per (stage, channel),
+//! while crossbar arbitration grows quadratically with port count. The
+//! constants are calibrated to reproduce the paper's two synthesis points
+//! exactly:
+//!
+//! * MDP-network, 32 channels, 160 entries/channel → **0.375 mm²**;
+//! * FIFO-plus-crossbar, 32 ports, 128 entries/channel → **0.292 mm²**.
+
+/// Area of one buffer entry (a ~38-bit register-file slot), mm².
+const AREA_PER_ENTRY: f64 = 5.5e-5;
+/// Area of one 2W1R FIFO controller, mm².
+const AREA_PER_FIFO_CTRL: f64 = 5.8375e-4;
+/// Crossbar arbitration/mux area per port², mm².
+const AREA_PER_PORT2: f64 = 6.515_625e-5;
+
+/// Area of an MDP-network with `channels` channels (radix 2, so
+/// `log2(channels)` stages) and `entries_per_channel` total buffer entries
+/// per channel.
+///
+/// # Panics
+///
+/// Panics if `channels` is not a power of two ≥ 2.
+///
+/// # Example
+///
+/// ```
+/// use higraph_model::mdp_area_mm2;
+///
+/// // the paper's synthesis point (Sec. 5.4)
+/// let a = mdp_area_mm2(32, 160);
+/// assert!((a - 0.375).abs() < 1e-3);
+/// ```
+pub fn mdp_area_mm2(channels: usize, entries_per_channel: usize) -> f64 {
+    assert!(
+        channels >= 2 && channels.is_power_of_two(),
+        "channels must be a power of two"
+    );
+    let stages = channels.trailing_zeros() as f64;
+    let entries = (channels * entries_per_channel) as f64;
+    entries * AREA_PER_ENTRY + channels as f64 * stages * AREA_PER_FIFO_CTRL
+}
+
+/// Area of a FIFO-plus-crossbar design with `ports` ports and
+/// `entries_per_channel` input-FIFO entries per port.
+///
+/// # Panics
+///
+/// Panics if `ports < 2`.
+///
+/// # Example
+///
+/// ```
+/// use higraph_model::crossbar_area_mm2;
+///
+/// let a = crossbar_area_mm2(32, 128);
+/// assert!((a - 0.292).abs() < 1e-3);
+/// ```
+pub fn crossbar_area_mm2(ports: usize, entries_per_channel: usize) -> f64 {
+    assert!(ports >= 2, "a crossbar needs at least two ports");
+    let entries = (ports * entries_per_channel) as f64;
+    entries * AREA_PER_ENTRY + (ports * ports) as f64 * AREA_PER_PORT2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_to_paper_points() {
+        assert!((mdp_area_mm2(32, 160) - 0.375).abs() < 1e-4);
+        assert!((crossbar_area_mm2(32, 128) - 0.292).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mdp_overhead_is_small_at_paper_config() {
+        // "replacing crossbar with MDP-network brings little overhead":
+        // ≤ 30% more area at the paper's buffer sizes.
+        let ratio = mdp_area_mm2(32, 160) / crossbar_area_mm2(32, 128);
+        assert!(ratio > 1.0 && ratio < 1.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn crossbar_area_grows_quadratically() {
+        // with equal buffers, doubling ports should more than double the
+        // logic term
+        let logic64 = crossbar_area_mm2(64, 0);
+        let logic32 = crossbar_area_mm2(32, 0);
+        assert!(logic64 / logic32 > 3.5);
+        // while MDP logic grows as n·log n
+        let m64 = mdp_area_mm2(64, 0);
+        let m32 = mdp_area_mm2(32, 0);
+        assert!(m64 / m32 < 2.5);
+    }
+
+    #[test]
+    fn area_monotone_in_buffer_size() {
+        assert!(mdp_area_mm2(32, 320) > mdp_area_mm2(32, 160));
+        assert!(crossbar_area_mm2(32, 256) > crossbar_area_mm2(32, 128));
+    }
+}

@@ -1,0 +1,81 @@
+//! Energy estimates derived from the Sec. 5.4 power model.
+//!
+//! The paper reports fabric power at the 1 GHz operating point; energy for
+//! a run is simply `power × modeled execution time`. The quantity of
+//! interest for accelerator comparisons is **energy per traversed edge**
+//! (nJ/edge), where a design that is both faster *and* barely more
+//! power-hungry (the MDP-network's trade) wins clearly.
+
+use crate::power::{crossbar_power_mw, mdp_power_mw};
+
+/// Energy of a run in nanojoules: mW·ns are picojoules, so
+/// `power_mw × time_ns / 1e3`.
+///
+/// # Example
+///
+/// ```
+/// use higraph_model::energy::energy_nj;
+///
+/// // 500 mW for 2 µs = 1 µJ = 1000 nJ
+/// let e = energy_nj(500.0, 2_000.0);
+/// assert!((e - 1000.0).abs() < 1e-9);
+/// ```
+pub fn energy_nj(power_mw: f64, time_ns: f64) -> f64 {
+    power_mw * time_ns / 1e3
+}
+
+/// Dataflow-fabric energy per traversed edge, in nJ/edge, for an
+/// MDP-network of `channels` channels with `entries_per_channel` buffers,
+/// given a run's modeled time and edge count.
+pub fn mdp_energy_per_edge_nj(
+    channels: usize,
+    entries_per_channel: usize,
+    time_ns: f64,
+    edges: u64,
+) -> f64 {
+    if edges == 0 {
+        return 0.0;
+    }
+    energy_nj(mdp_power_mw(channels, entries_per_channel), time_ns) / edges as f64
+}
+
+/// Dataflow-fabric energy per traversed edge for a FIFO-plus-crossbar
+/// design (see [`mdp_energy_per_edge_nj`]).
+pub fn crossbar_energy_per_edge_nj(
+    ports: usize,
+    entries_per_channel: usize,
+    time_ns: f64,
+    edges: u64,
+) -> f64 {
+    if edges == 0 {
+        return 0.0;
+    }
+    energy_nj(crossbar_power_mw(ports, entries_per_channel), time_ns) / edges as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_edges_is_zero_energy_per_edge() {
+        assert_eq!(mdp_energy_per_edge_nj(32, 160, 1000.0, 0), 0.0);
+    }
+
+    #[test]
+    fn faster_run_wins_despite_higher_power() {
+        // the paper's trade: MDP burns 22% more power but (say) finishes
+        // 1.5× sooner → lower energy per edge
+        let edges = 1_000_000;
+        let mdp = mdp_energy_per_edge_nj(32, 160, 1_000_000.0, edges);
+        let xbar = crossbar_energy_per_edge_nj(32, 128, 1_500_000.0, edges);
+        assert!(mdp < xbar, "mdp {mdp} vs crossbar {xbar}");
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_time() {
+        let a = mdp_energy_per_edge_nj(32, 160, 1_000.0, 100);
+        let b = mdp_energy_per_edge_nj(32, 160, 2_000.0, 100);
+        assert!((b / a - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,188 @@
+//! Frequency models (Fig. 4 and Sec. 5.3).
+//!
+//! A crossbar's critical path grows with both the arbitration tree depth
+//! (`log2 ports`) and the wire/mux fan-in (`ports`); we use
+//!
+//! `t(p) = T0 + A·log2(p) + B·p` (ns)
+//!
+//! with constants calibrated so the curve matches Fig. 4: ≈2.3 GHz at 4
+//! ports, ≈1.2 GHz at 32, dipping below the 1 GHz target between 32 and 64
+//! ports (which is why GraphDynS "does not support more than 64 channels",
+//! Sec. 5.3), down to ≈0.4 GHz at 256.
+//!
+//! The MDP-network's stage logic touches only `radix` channels, so its
+//! critical path grows only with the (logarithmic) stage mux depth: the
+//! paper reports 0.93 ns at 32 channels rising merely to 0.97 ns at 256.
+
+/// Crossbar critical-path constants (ns), fit to Fig. 4.
+const XBAR_T0: f64 = 0.25;
+const XBAR_LOG: f64 = 0.08;
+const XBAR_LIN: f64 = 0.006;
+
+/// MDP critical path: 0.93 ns at 32 channels, +0.0133 ns per doubling
+/// (reaching the paper's 0.97 ns at 256 channels).
+const MDP_T32: f64 = 0.93;
+const MDP_PER_OCTAVE: f64 = 0.04 / 3.0;
+
+/// Clock target of HiGraph and the baselines (Table 1): 1 GHz.
+pub const TARGET_GHZ: f64 = 1.0;
+
+/// Critical path of a `ports`-port crossbar, in ns.
+///
+/// # Panics
+///
+/// Panics if `ports < 2`.
+pub fn crossbar_critical_path_ns(ports: usize) -> f64 {
+    assert!(ports >= 2, "a crossbar needs at least two ports");
+    XBAR_T0 + XBAR_LOG * (ports as f64).log2() + XBAR_LIN * ports as f64
+}
+
+/// Achievable frequency of a `ports`-port crossbar, in GHz (Fig. 4).
+///
+/// # Example
+///
+/// ```
+/// use higraph_model::crossbar_frequency_ghz;
+///
+/// let f4 = crossbar_frequency_ghz(4);
+/// let f256 = crossbar_frequency_ghz(256);
+/// assert!(f4 > 2.0 && f4 < 2.5);
+/// assert!(f256 < 0.5); // sharp decline, as in Fig. 4
+/// ```
+pub fn crossbar_frequency_ghz(ports: usize) -> f64 {
+    1.0 / crossbar_critical_path_ns(ports)
+}
+
+/// Critical path of an MDP-network with `channels` channels, in ns
+/// (Sec. 5.3: 0.93 ns at 32 → 0.97 ns at 256).
+///
+/// # Panics
+///
+/// Panics if `channels < 2`.
+pub fn mdp_critical_path_ns(channels: usize) -> f64 {
+    assert!(channels >= 2, "need at least two channels");
+    MDP_T32 + MDP_PER_OCTAVE * ((channels as f64).log2() - 5.0)
+}
+
+/// Achievable frequency of an MDP-network, in GHz.
+pub fn mdp_frequency_ghz(channels: usize) -> f64 {
+    1.0 / mdp_critical_path_ns(channels)
+}
+
+/// Frequency penalty of the MDP-network *radix* (Sec. 5.4 design option).
+///
+/// A radix-`r` stage is an `r`-port interaction point — its write mux and
+/// full-signal tree scale like a small crossbar — so a "too large radix
+/// still encounters design centralization". Small radices clear the 1 GHz
+/// target comfortably; radix ≥ 64 falls below it.
+///
+/// # Panics
+///
+/// Panics if `radix < 2`.
+pub fn mdp_radix_frequency_ghz(radix: usize) -> f64 {
+    crossbar_frequency_ghz(radix)
+}
+
+/// Which propagation fabric a design uses at its widest interaction point
+/// (this is what bounds the clock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetworkKindModel {
+    /// Crossbar / centralized arbitration (GraphDynS, Graphicionado).
+    Crossbar,
+    /// MDP-network (HiGraph).
+    Mdp,
+    /// Naive nW1R FIFO (Fig. 5 b/c): the FIFO write mux is as centralized
+    /// as a crossbar, so it shares the crossbar's scaling.
+    NaiveFifo,
+}
+
+/// The clock a design actually achieves: the 1 GHz target, capped by the
+/// fabric's critical path at `channels` interacting channels.
+///
+/// # Example
+///
+/// ```
+/// use higraph_model::{effective_frequency_ghz, NetworkKindModel};
+///
+/// // HiGraph holds 1 GHz out to 256 channels (Sec. 5.3)…
+/// assert_eq!(effective_frequency_ghz(NetworkKindModel::Mdp, 256), 1.0);
+/// // …while a 128-port crossbar cannot reach 1 GHz.
+/// assert!(effective_frequency_ghz(NetworkKindModel::Crossbar, 128) < 1.0);
+/// ```
+pub fn effective_frequency_ghz(kind: NetworkKindModel, channels: usize) -> f64 {
+    let fabric = match kind {
+        NetworkKindModel::Crossbar | NetworkKindModel::NaiveFifo => {
+            crossbar_frequency_ghz(channels)
+        }
+        NetworkKindModel::Mdp => mdp_frequency_ghz(channels),
+    };
+    fabric.min(TARGET_GHZ)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossbar_curve_matches_fig4_shape() {
+        // Fig. 4 anchor points (GHz), read off the plot.
+        let expect = [
+            (4, 2.3),
+            (8, 1.9),
+            (16, 1.5),
+            (32, 1.2),
+            (64, 0.9),
+            (128, 0.6),
+            (256, 0.4),
+        ];
+        for (ports, ghz) in expect {
+            let f = crossbar_frequency_ghz(ports);
+            assert!(
+                (f - ghz).abs() / ghz < 0.15,
+                "{ports} ports: model {f:.2} GHz vs figure {ghz} GHz"
+            );
+        }
+    }
+
+    #[test]
+    fn crossbar_frequency_is_monotone_decreasing() {
+        let mut prev = f64::INFINITY;
+        for ports in [2, 4, 8, 16, 32, 64, 128, 256, 512] {
+            let f = crossbar_frequency_ghz(ports);
+            assert!(f < prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn mdp_matches_papers_synthesis_points() {
+        assert!((mdp_critical_path_ns(32) - 0.93).abs() < 1e-9);
+        assert!((mdp_critical_path_ns(256) - 0.97).abs() < 1e-9);
+        // both meet the 1 ns clock target
+        assert!(mdp_critical_path_ns(256) < 1.0);
+    }
+
+    #[test]
+    fn graphdyns_unsupported_above_64_channels() {
+        // Sec. 5.3: GraphDynS cannot scale past 64 channels at 1 GHz.
+        assert!(effective_frequency_ghz(NetworkKindModel::Crossbar, 64) < 1.0);
+        assert!(effective_frequency_ghz(NetworkKindModel::Crossbar, 32) > 0.95);
+        for ch in [32, 64, 128, 256] {
+            assert_eq!(effective_frequency_ghz(NetworkKindModel::Mdp, ch), 1.0);
+        }
+    }
+
+    #[test]
+    fn naive_fifo_scales_like_crossbar() {
+        assert_eq!(
+            effective_frequency_ghz(NetworkKindModel::NaiveFifo, 128),
+            effective_frequency_ghz(NetworkKindModel::Crossbar, 128)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two ports")]
+    fn one_port_crossbar_panics() {
+        let _ = crossbar_critical_path_ns(1);
+    }
+}

@@ -1,0 +1,162 @@
+//! On-chip memory layout (Fig. 7 and Table 1).
+//!
+//! HiGraph buffers all data arrays on chip in 16 MB of memory (GraphDynS
+//! uses 32 MB). Fig. 7 shows the floorplan budget; vertex IDs and
+//! properties are quantized to 19 bits to make the capacity stretch
+//! (Sec. 5.1). Graphs that exceed the budget are processed with graph
+//! slicing (`higraph_graph::slicing`).
+
+/// Bits per vertex ID / property value on chip (Sec. 5.1).
+pub const QUANT_BITS: u64 = 19;
+
+/// The Fig. 7 memory budget, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryLayout {
+    /// Edge Array budget (destination IDs + weights): 9.5 MB in Fig. 7.
+    pub edge_bytes: u64,
+    /// Edge Info Array budget: 2 MB.
+    pub edge_info_bytes: u64,
+    /// Offset Array budget: 1.4 MB.
+    pub offset_bytes: u64,
+    /// Property Array budget: 1.2 MB.
+    pub property_bytes: u64,
+    /// ActiveVertex + tProperty Array budget: 2.4 MB.
+    pub active_tprop_bytes: u64,
+}
+
+const MB: u64 = 1024 * 1024;
+
+impl MemoryLayout {
+    /// HiGraph's 16 MB layout (Fig. 7).
+    pub fn higraph() -> Self {
+        MemoryLayout {
+            edge_bytes: 9 * MB + MB / 2,
+            edge_info_bytes: 2 * MB,
+            offset_bytes: MB + 2 * MB / 5,
+            property_bytes: MB + MB / 5,
+            active_tprop_bytes: 2 * MB + 2 * MB / 5,
+        }
+    }
+
+    /// GraphDynS's 32 MB configuration (Table 1): every Fig. 7 region
+    /// doubled.
+    pub fn graphdyns() -> Self {
+        let h = MemoryLayout::higraph();
+        MemoryLayout {
+            edge_bytes: h.edge_bytes * 2,
+            edge_info_bytes: h.edge_info_bytes * 2,
+            offset_bytes: h.offset_bytes * 2,
+            property_bytes: h.property_bytes * 2,
+            active_tprop_bytes: h.active_tprop_bytes * 2,
+        }
+    }
+
+    /// Total on-chip memory, bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.edge_bytes
+            + self.edge_info_bytes
+            + self.offset_bytes
+            + self.property_bytes
+            + self.active_tprop_bytes
+    }
+
+    /// Edge capacity: the Edge Array stores one 19-bit destination ID per
+    /// edge (weights live in the separate Edge Info region). Note Fig. 7's
+    /// 9.5 MB is *exactly* `4_194_304 × 19` bits — the layout was sized for
+    /// R16, the largest Table 2 dataset.
+    pub fn max_edges(&self) -> u64 {
+        self.edge_bytes * 8 / QUANT_BITS
+    }
+
+    /// Vertex capacity, limited by the tightest of the offset (22-bit edge
+    /// pointers, enough for [`MemoryLayout::max_edges`]), property (19
+    /// bits) and active/tProperty regions — and by the 19-bit ID space
+    /// itself.
+    pub fn max_vertices(&self) -> u64 {
+        let by_offset = self.offset_bytes * 8 / 22;
+        let by_property = self.property_bytes * 8 / QUANT_BITS;
+        let by_tprop = self.active_tprop_bytes * 8 / (2 * QUANT_BITS);
+        by_offset
+            .min(by_property)
+            .min(by_tprop)
+            .min(1 << QUANT_BITS)
+    }
+
+    /// Whether a graph with the given counts fits entirely on chip.
+    pub fn fits(&self, num_vertices: u32, num_edges: u64) -> bool {
+        u64::from(num_vertices) <= self.max_vertices() && num_edges <= self.max_edges()
+    }
+
+    /// Number of destination-interval slices needed to process a graph
+    /// (1 = fits without slicing; Sec. 5.3 discussion).
+    pub fn slices_required(&self, num_vertices: u32, num_edges: u64) -> u64 {
+        let v = u64::from(num_vertices).div_ceil(self.max_vertices().max(1));
+        let e = num_edges.div_ceil(self.max_edges().max(1));
+        v.max(e).max(1)
+    }
+}
+
+impl Default for MemoryLayout {
+    fn default() -> Self {
+        MemoryLayout::higraph()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn higraph_budget_totals_16mb() {
+        // Fig. 7 regions sum to ~16.5 MB (the figure's labels are rounded);
+        // integer division of the fractional regions may shave a byte or two.
+        let total = MemoryLayout::higraph().total_bytes() as i64;
+        assert!((total - (16 * MB + MB / 2) as i64).abs() <= 4, "{total}");
+    }
+
+    #[test]
+    fn edge_region_sized_exactly_for_r16() {
+        assert_eq!(MemoryLayout::higraph().max_edges(), 4_194_304);
+    }
+
+    #[test]
+    fn graphdyns_has_double_budget() {
+        assert_eq!(
+            MemoryLayout::graphdyns().total_bytes(),
+            MemoryLayout::higraph().total_bytes() * 2
+        );
+    }
+
+    #[test]
+    fn all_table2_datasets_fit_on_chip() {
+        // The paper evaluates all six datasets without slicing.
+        let layout = MemoryLayout::higraph();
+        let table2: [(u32, u64); 6] = [
+            (7_115, 103_689),
+            (75_879, 508_837),
+            (82_168, 948_464),
+            (81_306, 1_768_149),
+            (16_384, 1_048_576),
+            (65_536, 4_194_304),
+        ];
+        for (v, e) in table2 {
+            assert!(layout.fits(v, e), "({v}, {e}) should fit");
+            assert_eq!(layout.slices_required(v, e), 1);
+        }
+    }
+
+    #[test]
+    fn huge_graph_requires_slicing() {
+        let layout = MemoryLayout::higraph();
+        assert!(!layout.fits(400_000, 80_000_000));
+        assert!(layout.slices_required(400_000, 80_000_000) > 1);
+    }
+
+    #[test]
+    fn capacity_is_19_bit_bound() {
+        // 19-bit IDs cap addressable vertices at 524288; the property
+        // region must not pretend to hold more than that
+        let layout = MemoryLayout::higraph();
+        assert!(layout.max_vertices() <= (1 << QUANT_BITS));
+    }
+}

@@ -1,0 +1,85 @@
+//! Power model (Sec. 5.4), TSMC 12 nm at 0.8 V, 1 GHz.
+//!
+//! Calibrated, like [`crate::area`], to the paper's two synthesis points:
+//!
+//! * MDP-network, 32 channels, 160 entries/channel → **621.2 mW**;
+//! * FIFO-plus-crossbar, 32 ports, 128 entries/channel → **508.1 mW**.
+
+/// Power of one buffer entry, mW.
+const POWER_PER_ENTRY: f64 = 0.095;
+/// Power of one 2W1R FIFO controller, mW.
+const POWER_PER_FIFO_CTRL: f64 = 0.8425;
+/// Crossbar arbitration/mux power per port², mW.
+const POWER_PER_PORT2: f64 = 0.116_191_406_25;
+
+/// Power of an MDP-network with `channels` channels (radix 2) and
+/// `entries_per_channel` buffer entries per channel, in mW.
+///
+/// # Panics
+///
+/// Panics if `channels` is not a power of two ≥ 2.
+///
+/// # Example
+///
+/// ```
+/// use higraph_model::mdp_power_mw;
+///
+/// let p = mdp_power_mw(32, 160);
+/// assert!((p - 621.2).abs() < 1.0);
+/// ```
+pub fn mdp_power_mw(channels: usize, entries_per_channel: usize) -> f64 {
+    assert!(
+        channels >= 2 && channels.is_power_of_two(),
+        "channels must be a power of two"
+    );
+    let stages = channels.trailing_zeros() as f64;
+    let entries = (channels * entries_per_channel) as f64;
+    entries * POWER_PER_ENTRY + channels as f64 * stages * POWER_PER_FIFO_CTRL
+}
+
+/// Power of a FIFO-plus-crossbar design with `ports` ports and
+/// `entries_per_channel` input-FIFO entries per port, in mW.
+///
+/// # Panics
+///
+/// Panics if `ports < 2`.
+///
+/// # Example
+///
+/// ```
+/// use higraph_model::crossbar_power_mw;
+///
+/// let p = crossbar_power_mw(32, 128);
+/// assert!((p - 508.1).abs() < 1.0);
+/// ```
+pub fn crossbar_power_mw(ports: usize, entries_per_channel: usize) -> f64 {
+    assert!(ports >= 2, "a crossbar needs at least two ports");
+    let entries = (ports * entries_per_channel) as f64;
+    entries * POWER_PER_ENTRY + (ports * ports) as f64 * POWER_PER_PORT2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_to_paper_points() {
+        assert!((mdp_power_mw(32, 160) - 621.2).abs() < 0.1);
+        assert!((crossbar_power_mw(32, 128) - 508.1).abs() < 0.1);
+    }
+
+    #[test]
+    fn mdp_power_overhead_is_modest() {
+        let ratio = mdp_power_mw(32, 160) / crossbar_power_mw(32, 128);
+        assert!(ratio > 1.0 && ratio < 1.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn power_scales_with_entries() {
+        let p1 = mdp_power_mw(32, 80);
+        let p2 = mdp_power_mw(32, 160);
+        assert!(p2 > p1);
+        // buffer term dominates: doubling entries adds ≥ 50%
+        assert!(p2 / p1 > 1.5);
+    }
+}

@@ -1,0 +1,176 @@
+//! A bounded FIFO queue with explicit capacity.
+//!
+//! This is the basic storage element of every buffered datapath in the
+//! reproduction: the 2W1R FIFOs inside MDP-network stages, crossbar input
+//! queues, and processing-element input buffers are all [`Fifo`]s whose
+//! per-cycle port discipline is enforced by the owning component.
+
+use std::collections::VecDeque;
+
+/// A bounded first-in-first-out queue.
+///
+/// # Example
+///
+/// ```
+/// use higraph_sim::Fifo;
+///
+/// let mut f = Fifo::new(2);
+/// assert!(f.push(1).is_ok());
+/// assert!(f.push(2).is_ok());
+/// assert_eq!(f.push(3), Err(3)); // full
+/// assert_eq!(f.pop(), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Creates an empty FIFO holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a zero-entry FIFO cannot pass data.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "FIFO capacity must be positive");
+        Fifo {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Maximum number of items the FIFO can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of queued items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the FIFO holds no items.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the FIFO is at capacity.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Number of free slots.
+    #[inline]
+    pub fn free(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Enqueues `item`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` (handing the item back) if the FIFO is full.
+    #[inline]
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.is_full() {
+            Err(item)
+        } else {
+            self.items.push_back(item);
+            Ok(())
+        }
+    }
+
+    /// Dequeues the oldest item, if any.
+    #[inline]
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// The oldest item without dequeuing it.
+    #[inline]
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Mutable access to the oldest item (e.g. to shrink a partially
+    /// forwarded range in place, as a skid buffer does).
+    #[inline]
+    pub fn peek_mut(&mut self) -> Option<&mut T> {
+        self.items.front_mut()
+    }
+
+    /// Removes all items.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Iterates from oldest to newest without consuming.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut f = Fifo::new(4);
+        for i in 0..4 {
+            f.push(i).unwrap();
+        }
+        assert!(f.is_full());
+        for i in 0..4 {
+            assert_eq!(f.pop(), Some(i));
+        }
+        assert!(f.is_empty());
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn push_to_full_returns_item() {
+        let mut f = Fifo::new(1);
+        f.push("a").unwrap();
+        assert_eq!(f.push("b"), Err("b"));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut f = Fifo::new(2);
+        f.push(7).unwrap();
+        assert_eq!(f.peek(), Some(&7));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn free_tracks_capacity() {
+        let mut f = Fifo::new(3);
+        assert_eq!(f.free(), 3);
+        f.push(0).unwrap();
+        assert_eq!(f.free(), 2);
+        f.clear();
+        assert_eq!(f.free(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Fifo::<u8>::new(0);
+    }
+
+    #[test]
+    fn iter_is_oldest_first() {
+        let mut f = Fifo::new(3);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        let v: Vec<_> = f.iter().copied().collect();
+        assert_eq!(v, vec![1, 2]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Cycle-level hardware simulation kernel.
+//!
+//! This crate holds the reusable microarchitectural building blocks the
+//! HiGraph reproduction is assembled from:
+//!
+//! * [`fifo::Fifo`] — a bounded FIFO queue with explicit capacity,
+//! * [`arbiter::RoundRobinArbiter`] / [`arbiter::OddEvenArbiter`] — the two
+//!   arbitration policies used by the paper (crossbar arbitration and the
+//!   front-end's alternating-priority odd-even arbiter),
+//! * [`network::Network`] — the interface every propagation fabric
+//!   implements (crossbar, MDP-network, naive nW1R FIFO),
+//! * [`crossbar::CrossbarNetwork`] — the input-queued crossbar with
+//!   head-of-line blocking that previous accelerators (Graphicionado,
+//!   GraphDynS) use,
+//! * [`memory::BankPorts`] — per-cycle bank-port accounting for the
+//!   interleaved on-chip buffers, including the paper's
+//!   "same target address" sharing rule,
+//! * [`stats`] — shared counters,
+//! * [`probe::Instrumented`] — an occupancy-tracing wrapper for any
+//!   fabric (buffer-sizing studies).
+//!
+//! # Cycle protocol
+//!
+//! All clocked components follow one per-cycle protocol, driven by the
+//! engine in `higraph-accel`:
+//!
+//! 1. consumers `pop` from component outputs,
+//! 2. producers `push` into component inputs (bounded by `can_accept`),
+//! 3. `tick()` advances internal state by one cycle.
+//!
+//! A packet entering a multi-stage component therefore advances at most one
+//! stage per cycle — the "trading latency for throughput" behaviour the
+//! paper relies on.
+
+pub mod arbiter;
+pub mod crossbar;
+pub mod fifo;
+pub mod memory;
+pub mod network;
+pub mod probe;
+pub mod stats;
+
+pub use arbiter::{OddEvenArbiter, RoundRobinArbiter};
+pub use crossbar::CrossbarNetwork;
+pub use fifo::Fifo;
+pub use memory::BankPorts;
+pub use network::{Network, Packet};
+pub use probe::Instrumented;
+pub use stats::NetworkStats;

@@ -1,0 +1,177 @@
+//! Per-cycle bank-port accounting for interleaved on-chip buffers.
+//!
+//! The paper's data arrays are "divided into several parts and organized in
+//! the fashion of interleaving" (Sec. 2.2). Each part (bank) serves one
+//! access per cycle. [`BankPorts`] tracks which banks are claimed in the
+//! current cycle and implements the paper's sharing rule for Offset Array
+//! access (Sec. 4.1): a second requester may proceed if "their target
+//! addresses are the same with those who have occupied the read channels".
+
+/// Tracks per-cycle usage of `k` single-ported banks.
+#[derive(Debug, Clone)]
+pub struct BankPorts {
+    /// `claims[b]` is the address bank `b` serves this cycle, if any.
+    claims: Vec<Option<u64>>,
+    /// Cumulative grants across all cycles.
+    granted: u64,
+    /// Cumulative conflicts (claim attempts that failed).
+    conflicts: u64,
+}
+
+impl BankPorts {
+    /// Creates the tracker for `k` banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "need at least one bank");
+        BankPorts {
+            claims: vec![None; k],
+            granted: 0,
+            conflicts: 0,
+        }
+    }
+
+    /// Number of banks.
+    pub fn num_banks(&self) -> usize {
+        self.claims.len()
+    }
+
+    /// Attempts to claim bank `bank` for `addr` this cycle.
+    ///
+    /// Succeeds if the bank is free, or already serving the *same* address
+    /// (the shared-read rule). Returns whether the claim succeeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn try_claim(&mut self, bank: usize, addr: u64) -> bool {
+        match self.claims[bank] {
+            None => {
+                self.claims[bank] = Some(addr);
+                self.granted += 1;
+                true
+            }
+            Some(existing) if existing == addr => {
+                self.granted += 1;
+                true
+            }
+            Some(_) => {
+                self.conflicts += 1;
+                false
+            }
+        }
+    }
+
+    /// Attempts to claim a *pair* of banks atomically (the one-to-two
+    /// Offset Array pattern: `u` and `u+1`). Either both succeed or
+    /// neither is claimed.
+    pub fn try_claim_pair(&mut self, a: (usize, u64), b: (usize, u64)) -> bool {
+        if self.would_grant(a.0, a.1) && self.would_grant_with(b.0, b.1, a) {
+            let ok_a = self.try_claim(a.0, a.1);
+            let ok_b = self.try_claim(b.0, b.1);
+            debug_assert!(ok_a && ok_b);
+            true
+        } else {
+            self.conflicts += 1;
+            false
+        }
+    }
+
+    /// Whether a claim on `bank` for `addr` would succeed right now.
+    pub fn would_grant(&self, bank: usize, addr: u64) -> bool {
+        match self.claims[bank] {
+            None => true,
+            Some(existing) => existing == addr,
+        }
+    }
+
+    fn would_grant_with(&self, bank: usize, addr: u64, pending: (usize, u64)) -> bool {
+        // Account for the not-yet-applied claim of the pair's first half.
+        if bank == pending.0 {
+            addr == pending.1
+        } else {
+            self.would_grant(bank, addr)
+        }
+    }
+
+    /// Whether `bank` is unclaimed this cycle.
+    pub fn is_free(&self, bank: usize) -> bool {
+        self.claims[bank].is_none()
+    }
+
+    /// Clears all claims; call at the start of each cycle.
+    pub fn reset(&mut self) {
+        self.claims.iter_mut().for_each(|c| *c = None);
+    }
+
+    /// Cumulative successful claims.
+    pub fn granted(&self) -> u64 {
+        self.granted
+    }
+
+    /// Cumulative failed claims.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_banks_do_not_conflict() {
+        let mut b = BankPorts::new(4);
+        assert!(b.try_claim(0, 10));
+        assert!(b.try_claim(1, 10));
+        assert_eq!(b.conflicts(), 0);
+    }
+
+    #[test]
+    fn same_bank_different_addr_conflicts() {
+        let mut b = BankPorts::new(2);
+        assert!(b.try_claim(0, 1));
+        assert!(!b.try_claim(0, 2));
+        assert_eq!(b.conflicts(), 1);
+    }
+
+    #[test]
+    fn same_address_shares_the_port() {
+        // Sec. 4.1: identical target addresses may share an occupied channel.
+        let mut b = BankPorts::new(2);
+        assert!(b.try_claim(0, 7));
+        assert!(b.try_claim(0, 7));
+        assert_eq!(b.granted(), 2);
+        assert_eq!(b.conflicts(), 0);
+    }
+
+    #[test]
+    fn pair_claim_is_atomic() {
+        let mut b = BankPorts::new(3);
+        assert!(b.try_claim(1, 5));
+        // pair needs banks 0 and 1; bank 1 busy with different addr → both fail
+        assert!(!b.try_claim_pair((0, 4), (1, 6)));
+        assert!(b.is_free(0), "failed pair must not leave bank 0 claimed");
+        // pair with matching shared address succeeds
+        assert!(b.try_claim_pair((0, 4), (1, 5)));
+    }
+
+    #[test]
+    fn pair_claim_same_bank_same_addr() {
+        // wrap-around: u = k-1 needs banks k-1 and 0; with k=1 both halves
+        // hit bank 0 and must carry the same address to succeed.
+        let mut b = BankPorts::new(1);
+        assert!(b.try_claim_pair((0, 3), (0, 3)));
+        assert!(!b.try_claim_pair((0, 3), (0, 4)));
+    }
+
+    #[test]
+    fn reset_clears_claims() {
+        let mut b = BankPorts::new(2);
+        assert!(b.try_claim(0, 1));
+        b.reset();
+        assert!(b.try_claim(0, 2));
+    }
+}

@@ -1,0 +1,80 @@
+//! The [`Network`] abstraction — the interface shared by every propagation
+//! fabric in the reproduction (crossbar, MDP-network, naive nW1R FIFO).
+//!
+//! Fig. 5 (a) of the paper abstracts the problem all three solve: data from
+//! multiple input channels must be directed to multiple output channels
+//! selected by a destination address. The accelerator engine is written
+//! against this trait, so swapping a crossbar for an MDP-network (the
+//! paper's Opt-O / Opt-E / Opt-D ablations and the Fig. 12 comparison) is a
+//! configuration change, not a code change.
+
+use crate::stats::NetworkStats;
+
+/// A routable payload: knows which output channel it must reach.
+pub trait Packet {
+    /// Index of the destination output channel.
+    fn dest(&self) -> usize;
+}
+
+/// A multi-input multi-output propagation fabric with per-cycle semantics.
+///
+/// See the crate-level docs for the push → pop → tick cycle protocol.
+pub trait Network<T: Packet> {
+    /// Number of input channels.
+    fn num_inputs(&self) -> usize;
+
+    /// Number of output channels.
+    fn num_outputs(&self) -> usize;
+
+    /// Whether input `input` can accept `packet` this cycle.
+    ///
+    /// Acceptance may depend on the packet's destination (e.g. which
+    /// stage-0 FIFO it routes to inside an MDP-network).
+    fn can_accept(&self, input: usize, packet: &T) -> bool;
+
+    /// Offers `packet` at input channel `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(packet)` (handing the packet back) if the input cannot
+    /// accept it this cycle; the producer must stall and retry.
+    fn push(&mut self, input: usize, packet: T) -> Result<(), T>;
+
+    /// The packet currently presented at output `output`, if any.
+    fn peek(&self, output: usize) -> Option<&T>;
+
+    /// Consumes the packet presented at output `output`.
+    fn pop(&mut self, output: usize) -> Option<T>;
+
+    /// Advances internal state by one cycle.
+    fn tick(&mut self);
+
+    /// Number of packets currently inside the fabric.
+    fn in_flight(&self) -> usize;
+
+    /// Whether the fabric holds no packets.
+    fn is_empty(&self) -> bool {
+        self.in_flight() == 0
+    }
+
+    /// Cumulative statistics.
+    fn stats(&self) -> &NetworkStats;
+}
+
+#[cfg(test)]
+pub(crate) mod testing {
+    use super::Packet;
+
+    /// Minimal test packet: `(dest, tag)`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct TestPacket {
+        pub dest: usize,
+        pub tag: u64,
+    }
+
+    impl Packet for TestPacket {
+        fn dest(&self) -> usize {
+            self.dest
+        }
+    }
+}

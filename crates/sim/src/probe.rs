@@ -1,0 +1,216 @@
+//! Occupancy instrumentation for propagation fabrics.
+//!
+//! [`Instrumented`] wraps any [`Network`] and records its in-flight
+//! occupancy each cycle, yielding the utilization profile behind buffer
+//! sizing decisions like the paper's Fig. 12 (the knee at 160 entries is
+//! where the occupancy distribution stops being capacity-clipped).
+
+use crate::network::{Network, Packet};
+use crate::stats::NetworkStats;
+
+/// Summary of an occupancy trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OccupancySummary {
+    /// Cycles sampled.
+    pub cycles: u64,
+    /// Mean in-flight packets per cycle.
+    pub mean: f64,
+    /// Maximum in-flight packets observed.
+    pub max: usize,
+    /// Fraction of cycles with zero in-flight packets.
+    pub idle_fraction: f64,
+}
+
+/// A [`Network`] wrapper that samples occupancy at every tick.
+///
+/// # Example
+///
+/// ```
+/// use higraph_sim::{CrossbarNetwork, Network};
+/// use higraph_sim::probe::Instrumented;
+///
+/// #[derive(Debug)]
+/// struct P(usize);
+/// impl higraph_sim::Packet for P {
+///     fn dest(&self) -> usize { self.0 }
+/// }
+///
+/// let mut net = Instrumented::new(CrossbarNetwork::new(2, 2, 4));
+/// net.push(0, P(1)).ok();
+/// net.tick();
+/// net.pop(1);
+/// net.tick();
+/// let s = net.summary();
+/// assert_eq!(s.cycles, 2);
+/// assert!(s.max >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Instrumented<N> {
+    inner: N,
+    samples: u64,
+    total_occupancy: u128,
+    max_occupancy: usize,
+    idle_cycles: u64,
+    histogram: Vec<u64>,
+}
+
+impl<N> Instrumented<N> {
+    /// Wraps `inner`, starting an empty trace.
+    pub fn new(inner: N) -> Self {
+        Instrumented {
+            inner,
+            samples: 0,
+            total_occupancy: 0,
+            max_occupancy: 0,
+            idle_cycles: 0,
+            histogram: Vec::new(),
+        }
+    }
+
+    /// The wrapped network.
+    pub fn inner(&self) -> &N {
+        &self.inner
+    }
+
+    /// Unwraps, discarding the trace.
+    pub fn into_inner(self) -> N {
+        self.inner
+    }
+
+    /// Occupancy histogram: `histogram()[k]` = cycles with exactly `k`
+    /// packets in flight.
+    pub fn histogram(&self) -> &[u64] {
+        &self.histogram
+    }
+
+    /// Summary statistics of the trace so far.
+    pub fn summary(&self) -> OccupancySummary {
+        OccupancySummary {
+            cycles: self.samples,
+            mean: if self.samples == 0 {
+                0.0
+            } else {
+                self.total_occupancy as f64 / self.samples as f64
+            },
+            max: self.max_occupancy,
+            idle_fraction: if self.samples == 0 {
+                0.0
+            } else {
+                self.idle_cycles as f64 / self.samples as f64
+            },
+        }
+    }
+}
+
+impl<T: Packet, N: Network<T>> Network<T> for Instrumented<N> {
+    fn num_inputs(&self) -> usize {
+        self.inner.num_inputs()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.inner.num_outputs()
+    }
+
+    fn can_accept(&self, input: usize, packet: &T) -> bool {
+        self.inner.can_accept(input, packet)
+    }
+
+    fn push(&mut self, input: usize, packet: T) -> Result<(), T> {
+        self.inner.push(input, packet)
+    }
+
+    fn peek(&self, output: usize) -> Option<&T> {
+        self.inner.peek(output)
+    }
+
+    fn pop(&mut self, output: usize) -> Option<T> {
+        self.inner.pop(output)
+    }
+
+    fn tick(&mut self) {
+        self.inner.tick();
+        let occ = self.inner.in_flight();
+        self.samples += 1;
+        self.total_occupancy += occ as u128;
+        self.max_occupancy = self.max_occupancy.max(occ);
+        if occ == 0 {
+            self.idle_cycles += 1;
+        }
+        if occ >= self.histogram.len() {
+            self.histogram.resize(occ + 1, 0);
+        }
+        self.histogram[occ] += 1;
+    }
+
+    fn in_flight(&self) -> usize {
+        self.inner.in_flight()
+    }
+
+    fn stats(&self) -> &NetworkStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crossbar::CrossbarNetwork;
+
+    #[derive(Debug, Clone, Copy)]
+    struct P(usize);
+    impl Packet for P {
+        fn dest(&self) -> usize {
+            self.0
+        }
+    }
+
+    #[test]
+    fn records_occupancy_over_time() {
+        let mut net = Instrumented::new(CrossbarNetwork::new(2, 2, 4));
+        // cycle 1: one packet in flight
+        net.push(0, P(1)).unwrap();
+        net.tick();
+        // cycle 2: drained
+        assert!(net.pop(1).is_some());
+        net.tick();
+        let s = net.summary();
+        assert_eq!(s.cycles, 2);
+        assert_eq!(s.max, 1);
+        assert!((s.mean - 0.5).abs() < 1e-12);
+        assert!((s.idle_fraction - 0.5).abs() < 1e-12);
+        assert_eq!(net.histogram(), &[1, 1]);
+    }
+
+    #[test]
+    fn empty_trace_summary() {
+        let net: Instrumented<CrossbarNetwork<P>> =
+            Instrumented::new(CrossbarNetwork::new(1, 1, 1));
+        let s = net.summary();
+        assert_eq!(s.cycles, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.idle_fraction, 0.0);
+    }
+
+    #[test]
+    fn histogram_total_equals_cycles() {
+        let mut net = Instrumented::new(CrossbarNetwork::new(2, 2, 8));
+        for t in 0..50 {
+            let _ = net.push(t % 2, P(t % 2));
+            if t % 3 == 0 {
+                let _ = net.pop(0);
+                let _ = net.pop(1);
+            }
+            net.tick();
+        }
+        let total: u64 = net.histogram().iter().sum();
+        assert_eq!(total, net.summary().cycles);
+    }
+
+    #[test]
+    fn into_inner_returns_wrapped_network() {
+        let mut net = Instrumented::new(CrossbarNetwork::new(2, 2, 4));
+        net.push(0, P(0)).unwrap();
+        let inner = net.into_inner();
+        assert_eq!(inner.in_flight(), 1);
+    }
+}

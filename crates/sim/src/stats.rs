@@ -1,0 +1,72 @@
+//! Shared statistics counters.
+
+/// Cumulative statistics of a propagation fabric.
+///
+/// The paper's key diagnostic — vPE starvation (Fig. 10b) — is derived from
+/// these counters plus consumer-side accounting in `higraph-accel`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Packets accepted at the inputs.
+    pub accepted: u64,
+    /// Packets rejected at the inputs (producer had to stall).
+    pub rejected: u64,
+    /// Packets delivered from the outputs.
+    pub delivered: u64,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Head-of-line blocking events: a queue head could not advance while
+    /// items behind it existed (crossbar) or its target stage FIFO was full
+    /// (MDP-network).
+    pub hol_blocked: u64,
+}
+
+impl NetworkStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        NetworkStats::default()
+    }
+
+    /// Fraction of input offers that were rejected.
+    pub fn rejection_rate(&self) -> f64 {
+        let total = self.accepted + self.rejected;
+        if total == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / total as f64
+        }
+    }
+
+    /// Mean packets delivered per cycle.
+    pub fn throughput(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let s = NetworkStats::new();
+        assert_eq!(s.rejection_rate(), 0.0);
+        assert_eq!(s.throughput(), 0.0);
+    }
+
+    #[test]
+    fn rates_compute() {
+        let s = NetworkStats {
+            accepted: 75,
+            rejected: 25,
+            delivered: 50,
+            cycles: 100,
+            hol_blocked: 3,
+        };
+        assert!((s.rejection_rate() - 0.25).abs() < 1e-12);
+        assert!((s.throughput() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,40 @@
+//! Vertex-Centric Programming Model (VCPM) for the HiGraph reproduction.
+//!
+//! The paper's Algorithm "Pseudocode of VCPM" (Fig. 2) structures iterative
+//! graph algorithms as:
+//!
+//! * **Scatter phase** — for each active vertex `u`, read its edge list and
+//!   for each edge `(u, v)` compute `Imm = Process_Edge(u.prop, e.weight)`
+//!   and fold `v.tProp = Reduce(v.tProp, Imm)`;
+//! * **Apply phase** — for every vertex, `applyRes = Apply(v.prop, v.tProp)`;
+//!   vertices whose property changed are activated for the next iteration.
+//!
+//! This crate provides the [`VertexProgram`] abstraction over the three
+//! user-defined functions, a software *reference executor*
+//! ([`reference::execute`]) that serves as the golden model for the
+//! cycle-level accelerator in `higraph-accel`, and the four algorithms the
+//! paper evaluates: [`programs::Bfs`], [`programs::Sssp`],
+//! [`programs::Sswp`] and [`programs::PageRank`].
+//!
+//! All four programs use order-independent `Reduce` functions (min / max /
+//! wrapping fixed-point add), so the reference executor and the massively
+//! parallel accelerator produce bit-identical results regardless of edge
+//! processing order — this is what the integration tests assert.
+//!
+//! # Example
+//!
+//! ```
+//! use higraph_graph::gen::erdos_renyi;
+//! use higraph_vcpm::{programs::Bfs, reference};
+//!
+//! let g = erdos_renyi(64, 512, 1, 7);
+//! let run = reference::execute(&Bfs::from_source(0), &g);
+//! assert_eq!(run.properties[0], 0); // source at level 0
+//! ```
+
+pub mod program;
+pub mod programs;
+pub mod reference;
+
+pub use program::{VertexProgram, INF};
+pub use reference::{execute, VcpmRun};

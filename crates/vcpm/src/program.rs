@@ -1,0 +1,71 @@
+//! The [`VertexProgram`] trait — the paper's three user-defined functions
+//! plus initialization and iteration control.
+
+use higraph_graph::{Csr, VertexId, Weight};
+use std::fmt::Debug;
+
+/// "Infinity" for 64-bit distance-like properties.
+///
+/// Chosen below `u64::MAX` so saturating arithmetic in `Process_Edge` never
+/// wraps even after adding a maximum edge weight.
+pub const INF: u64 = u64::MAX / 2;
+
+/// A vertex-centric graph program in the paper's VCPM form.
+///
+/// Implementations must keep [`reduce`] **commutative and associative** —
+/// the accelerator folds `Imm` values into `tProperty` in whatever order
+/// the dataflow network delivers them, and correctness of the reproduction
+/// is established by bit-comparing accelerator output against the reference
+/// executor.
+///
+/// [`reduce`]: VertexProgram::reduce
+pub trait VertexProgram {
+    /// The per-vertex property type (the Property Array element of Fig. 1).
+    type Prop: Copy + PartialEq + Debug + Send + Sync + 'static;
+
+    /// Short human-readable name ("BFS", "SSSP", ...).
+    fn name(&self) -> &'static str;
+
+    /// Initial property of vertex `v`.
+    fn init_prop(&self, v: VertexId, graph: &Csr) -> Self::Prop;
+
+    /// The initially active vertices (iteration 0 frontier), in the order
+    /// they are inserted into the ActiveVertex Array.
+    fn initial_frontier(&self, graph: &Csr) -> Vec<VertexId>;
+
+    /// Identity element of [`reduce`](VertexProgram::reduce): the value the
+    /// tProperty Array is reset to at the start of every scatter phase.
+    fn identity(&self) -> Self::Prop;
+
+    /// `Process_Edge(u.prop, e.weight)` — the per-edge propagation function
+    /// executed by the ePEs.
+    fn process_edge(&self, u_prop: Self::Prop, weight: Weight) -> Self::Prop;
+
+    /// `Reduce(v.tProp, Imm)` — the accumulation executed by the vPEs.
+    /// Must be commutative and associative.
+    fn reduce(&self, t_prop: Self::Prop, imm: Self::Prop) -> Self::Prop;
+
+    /// `Apply(v.prop, v.tProp)` — the per-vertex update of the apply phase.
+    /// `v` and the graph are provided for programs (like PageRank) whose
+    /// apply step needs degree or vertex-count information.
+    fn apply(&self, v: VertexId, prop: Self::Prop, t_prop: Self::Prop, graph: &Csr)
+        -> Self::Prop;
+
+    /// Upper bound on iterations, if the program does not converge to a
+    /// fixed point by activation alone (e.g. PageRank). `None` means run
+    /// until the frontier empties.
+    fn max_iterations(&self) -> Option<u32> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inf_is_saturation_safe() {
+        // Adding any 19-bit weight to INF must not wrap u64.
+        assert!(INF.checked_add(u64::from(u32::MAX)).is_some());
+    }
+}

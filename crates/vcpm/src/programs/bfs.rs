@@ -1,0 +1,126 @@
+//! Breadth-First Search as a vertex program.
+
+use crate::program::{VertexProgram, INF};
+use higraph_graph::{Csr, VertexId, Weight};
+
+/// BFS from a single source: the property of a vertex is its hop distance
+/// (level) from the source; unreachable vertices keep [`INF`].
+///
+/// `Process_Edge` ignores the weight (`level + 1`), `Reduce` is `min`, and
+/// `Apply` is `min` — all order-independent.
+///
+/// # Example
+///
+/// ```
+/// use higraph_graph::builder::EdgeList;
+/// use higraph_vcpm::{execute, programs::Bfs};
+///
+/// # fn main() -> Result<(), higraph_graph::GraphError> {
+/// let mut list = EdgeList::new(3);
+/// list.push(0, 1, 9)?;
+/// list.push(1, 2, 9)?;
+/// let run = execute(&Bfs::from_source(0), &list.into_csr());
+/// assert_eq!(run.properties, vec![0, 1, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bfs {
+    source: VertexId,
+}
+
+impl Bfs {
+    /// BFS rooted at `source`.
+    pub fn from_source(source: u32) -> Self {
+        Bfs {
+            source: VertexId(source),
+        }
+    }
+
+    /// The root vertex.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+}
+
+impl VertexProgram for Bfs {
+    type Prop = u64;
+
+    fn name(&self) -> &'static str {
+        "BFS"
+    }
+
+    fn init_prop(&self, v: VertexId, _graph: &Csr) -> u64 {
+        if v == self.source {
+            0
+        } else {
+            INF
+        }
+    }
+
+    fn initial_frontier(&self, graph: &Csr) -> Vec<VertexId> {
+        if self.source.0 < graph.num_vertices() {
+            vec![self.source]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn identity(&self) -> u64 {
+        INF
+    }
+
+    fn process_edge(&self, u_prop: u64, _weight: Weight) -> u64 {
+        u_prop.saturating_add(1).min(INF)
+    }
+
+    fn reduce(&self, t_prop: u64, imm: u64) -> u64 {
+        t_prop.min(imm)
+    }
+
+    fn apply(&self, _v: VertexId, prop: u64, t_prop: u64, _graph: &Csr) -> u64 {
+        prop.min(t_prop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::execute;
+    use higraph_graph::builder::EdgeList;
+
+    #[test]
+    fn levels_on_a_cycle() {
+        let mut list = EdgeList::new(4);
+        for i in 0..4 {
+            list.push(i, (i + 1) % 4, 1).unwrap();
+        }
+        let run = execute(&Bfs::from_source(0), &list.into_csr());
+        assert_eq!(run.properties, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn out_of_range_source_gives_empty_frontier() {
+        let g = EdgeList::new(2).into_csr();
+        let run = execute(&Bfs::from_source(9), &g);
+        assert_eq!(run.iterations, 0);
+        assert_eq!(run.properties, vec![INF, INF]);
+    }
+
+    #[test]
+    fn weight_is_ignored() {
+        let bfs = Bfs::from_source(0);
+        assert_eq!(bfs.process_edge(3, 1), bfs.process_edge(3, 1000));
+    }
+
+    #[test]
+    fn shortest_of_two_paths_wins() {
+        // 0 -> 1 -> 2 and 0 -> 2 directly
+        let mut list = EdgeList::new(3);
+        list.push(0, 1, 1).unwrap();
+        list.push(1, 2, 1).unwrap();
+        list.push(0, 2, 1).unwrap();
+        let run = execute(&Bfs::from_source(0), &list.into_csr());
+        assert_eq!(run.properties[2], 1);
+    }
+}

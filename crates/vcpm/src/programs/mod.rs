@@ -1,0 +1,17 @@
+//! The four graph algorithms evaluated in the paper (Sec. 5.1) — BFS,
+//! SSSP, SSWP and PageRank — plus two extension workloads (WCC and
+//! multi-source BFS), each expressed as a [`crate::VertexProgram`].
+
+mod bfs;
+mod pagerank;
+mod sssp;
+mod msbfs;
+mod sswp;
+mod wcc;
+
+pub use bfs::Bfs;
+pub use msbfs::MultiSourceBfs;
+pub use pagerank::{PageRank, RANK_SCALE};
+pub use sssp::Sssp;
+pub use sswp::Sswp;
+pub use wcc::Wcc;

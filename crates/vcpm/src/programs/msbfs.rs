@@ -1,0 +1,152 @@
+//! Multi-source BFS (landmark reachability) as a vertex program.
+//!
+//! Up to 64 landmark sources traverse the graph *simultaneously*: each
+//! vertex's property is a bitmask of the landmarks that can reach it.
+//! `Reduce` is bitwise OR — idempotent, commutative, associative — which
+//! makes this the densest-traffic workload in the suite (every frontier
+//! is the union of 64 BFS frontiers), a good stress test for the dataflow
+//! propagation fabric.
+
+use crate::program::VertexProgram;
+use higraph_graph::{Csr, VertexId, Weight};
+
+/// Multi-source reachability: `prop & (1 << i) != 0` iff landmark `i`
+/// reaches the vertex.
+///
+/// # Example
+///
+/// ```
+/// use higraph_graph::builder::EdgeList;
+/// use higraph_vcpm::{execute, programs::MultiSourceBfs};
+///
+/// # fn main() -> Result<(), higraph_graph::GraphError> {
+/// let mut list = EdgeList::new(3);
+/// list.push(0, 2, 1)?;
+/// list.push(1, 2, 1)?;
+/// let prog = MultiSourceBfs::new(vec![0, 1]).expect("two landmarks");
+/// let run = execute(&prog, &list.into_csr());
+/// assert_eq!(run.properties[2], 0b11); // reached by both landmarks
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiSourceBfs {
+    sources: Vec<u32>,
+}
+
+impl MultiSourceBfs {
+    /// Creates the program for the given landmark vertices (at most 64).
+    ///
+    /// # Errors
+    ///
+    /// Returns the source list back if it is empty or longer than 64.
+    pub fn new(sources: Vec<u32>) -> Result<Self, Vec<u32>> {
+        if sources.is_empty() || sources.len() > 64 {
+            Err(sources)
+        } else {
+            Ok(MultiSourceBfs { sources })
+        }
+    }
+
+    /// The landmark vertices, in bit order.
+    pub fn sources(&self) -> &[u32] {
+        &self.sources
+    }
+
+    /// Number of landmarks that reach a vertex with property `prop`.
+    pub fn reach_count(prop: u64) -> u32 {
+        prop.count_ones()
+    }
+}
+
+impl VertexProgram for MultiSourceBfs {
+    type Prop = u64;
+
+    fn name(&self) -> &'static str {
+        "MS-BFS"
+    }
+
+    fn init_prop(&self, v: VertexId, _graph: &Csr) -> u64 {
+        let mut mask = 0u64;
+        for (i, &s) in self.sources.iter().enumerate() {
+            if s == v.0 {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+
+    fn initial_frontier(&self, graph: &Csr) -> Vec<VertexId> {
+        let mut frontier: Vec<VertexId> = self
+            .sources
+            .iter()
+            .filter(|&&s| s < graph.num_vertices())
+            .map(|&s| VertexId(s))
+            .collect();
+        frontier.sort_unstable();
+        frontier.dedup();
+        frontier
+    }
+
+    fn identity(&self) -> u64 {
+        0
+    }
+
+    fn process_edge(&self, u_prop: u64, _weight: Weight) -> u64 {
+        u_prop
+    }
+
+    fn reduce(&self, t_prop: u64, imm: u64) -> u64 {
+        t_prop | imm
+    }
+
+    fn apply(&self, _v: VertexId, prop: u64, t_prop: u64, _graph: &Csr) -> u64 {
+        prop | t_prop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::Bfs;
+    use crate::reference::execute;
+    use crate::INF;
+    use higraph_graph::gen::power_law;
+
+    #[test]
+    fn rejects_empty_or_oversized_source_sets() {
+        assert!(MultiSourceBfs::new(vec![]).is_err());
+        assert!(MultiSourceBfs::new((0..65).collect()).is_err());
+        assert!(MultiSourceBfs::new((0..64).collect()).is_ok());
+    }
+
+    #[test]
+    fn matches_independent_bfs_runs() {
+        let g = power_law(300, 2400, 2.0, 7, 6);
+        let sources = vec![3u32, 50, 200];
+        let prog = MultiSourceBfs::new(sources.clone()).expect("three landmarks");
+        let run = execute(&prog, &g);
+        for (i, &s) in sources.iter().enumerate() {
+            let single = execute(&Bfs::from_source(s), &g);
+            for v in g.vertices() {
+                let reached_single = single.properties[v.index()] != INF;
+                let reached_multi = run.properties[v.index()] & (1 << i) != 0;
+                assert_eq!(reached_single, reached_multi, "landmark {s}, vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn reach_count_counts_bits() {
+        assert_eq!(MultiSourceBfs::reach_count(0), 0);
+        assert_eq!(MultiSourceBfs::reach_count(0b1011), 3);
+    }
+
+    #[test]
+    fn duplicate_sources_collapse_in_frontier() {
+        let g = power_law(50, 400, 2.0, 3, 1);
+        let prog = MultiSourceBfs::new(vec![5, 5, 9]).expect("valid");
+        let frontier = prog.initial_frontier(&g);
+        assert_eq!(frontier.len(), 2);
+    }
+}

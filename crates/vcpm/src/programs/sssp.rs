@@ -1,0 +1,140 @@
+//! Single-Source Shortest Path as a vertex program (Bellman-Ford style).
+
+use crate::program::{VertexProgram, INF};
+use higraph_graph::{Csr, VertexId, Weight};
+
+/// SSSP from a single source: the property is the length of the shortest
+/// known path; unreachable vertices keep [`INF`].
+///
+/// `Process_Edge` is `dist + weight` (saturating), `Reduce` and `Apply`
+/// are `min`.
+///
+/// # Example
+///
+/// ```
+/// use higraph_graph::builder::EdgeList;
+/// use higraph_vcpm::{execute, programs::Sssp};
+///
+/// # fn main() -> Result<(), higraph_graph::GraphError> {
+/// let mut list = EdgeList::new(3);
+/// list.push(0, 1, 10)?;
+/// list.push(0, 2, 1)?;
+/// list.push(2, 1, 2)?;
+/// let run = execute(&Sssp::from_source(0), &list.into_csr());
+/// assert_eq!(run.properties[1], 3); // via vertex 2
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sssp {
+    source: VertexId,
+}
+
+impl Sssp {
+    /// SSSP rooted at `source`.
+    pub fn from_source(source: u32) -> Self {
+        Sssp {
+            source: VertexId(source),
+        }
+    }
+
+    /// The root vertex.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+}
+
+impl VertexProgram for Sssp {
+    type Prop = u64;
+
+    fn name(&self) -> &'static str {
+        "SSSP"
+    }
+
+    fn init_prop(&self, v: VertexId, _graph: &Csr) -> u64 {
+        if v == self.source {
+            0
+        } else {
+            INF
+        }
+    }
+
+    fn initial_frontier(&self, graph: &Csr) -> Vec<VertexId> {
+        if self.source.0 < graph.num_vertices() {
+            vec![self.source]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn identity(&self) -> u64 {
+        INF
+    }
+
+    fn process_edge(&self, u_prop: u64, weight: Weight) -> u64 {
+        u_prop.saturating_add(u64::from(weight)).min(INF)
+    }
+
+    fn reduce(&self, t_prop: u64, imm: u64) -> u64 {
+        t_prop.min(imm)
+    }
+
+    fn apply(&self, _v: VertexId, prop: u64, t_prop: u64, _graph: &Csr) -> u64 {
+        prop.min(t_prop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::execute;
+    use higraph_graph::builder::EdgeList;
+    use higraph_graph::gen::erdos_renyi;
+
+    /// Dijkstra oracle for cross-checking.
+    fn dijkstra(graph: &higraph_graph::Csr, source: u32) -> Vec<u64> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut dist = vec![INF; graph.num_vertices() as usize];
+        let mut heap = BinaryHeap::new();
+        dist[source as usize] = 0;
+        heap.push(Reverse((0u64, source)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            for e in graph.neighbors(VertexId(u)) {
+                let nd = d + u64::from(e.weight);
+                if nd < dist[e.dst.index()] {
+                    dist[e.dst.index()] = nd;
+                    heap.push(Reverse((nd, e.dst.0)));
+                }
+            }
+        }
+        dist
+    }
+
+    #[test]
+    fn matches_dijkstra_on_random_graphs() {
+        for seed in 0..4 {
+            let g = erdos_renyi(80, 480, 31, seed);
+            let run = execute(&Sssp::from_source(0), &g);
+            assert_eq!(run.properties, dijkstra(&g, 0), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn negative_free_relaxation_terminates() {
+        let mut list = EdgeList::new(2);
+        list.push(0, 1, 1).unwrap();
+        list.push(1, 0, 1).unwrap();
+        let run = execute(&Sssp::from_source(0), &list.into_csr());
+        assert_eq!(run.properties, vec![0, 1]);
+    }
+
+    #[test]
+    fn saturating_add_never_wraps() {
+        let sssp = Sssp::from_source(0);
+        assert_eq!(sssp.process_edge(INF, u32::MAX), INF);
+    }
+}

@@ -1,0 +1,122 @@
+//! Single-Source Widest Path as a vertex program.
+
+use crate::program::{VertexProgram, INF};
+use higraph_graph::{Csr, VertexId, Weight};
+
+/// SSWP from a single source: the property of a vertex is the maximum
+/// bottleneck width over all paths from the source (the widest path).
+/// The source itself has width [`INF`]; unreachable vertices have width 0.
+///
+/// `Process_Edge` is `min(width, weight)` (the bottleneck of extending the
+/// path by one edge), `Reduce` and `Apply` are `max`.
+///
+/// # Example
+///
+/// ```
+/// use higraph_graph::builder::EdgeList;
+/// use higraph_vcpm::{execute, programs::Sswp};
+///
+/// # fn main() -> Result<(), higraph_graph::GraphError> {
+/// let mut list = EdgeList::new(3);
+/// list.push(0, 1, 3)?;
+/// list.push(1, 2, 8)?;
+/// list.push(0, 2, 2)?;
+/// let run = execute(&Sswp::from_source(0), &list.into_csr());
+/// assert_eq!(run.properties[2], 3); // via vertex 1: min(3, 8) beats 2
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sswp {
+    source: VertexId,
+}
+
+impl Sswp {
+    /// SSWP rooted at `source`.
+    pub fn from_source(source: u32) -> Self {
+        Sswp {
+            source: VertexId(source),
+        }
+    }
+
+    /// The root vertex.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+}
+
+impl VertexProgram for Sswp {
+    type Prop = u64;
+
+    fn name(&self) -> &'static str {
+        "SSWP"
+    }
+
+    fn init_prop(&self, v: VertexId, _graph: &Csr) -> u64 {
+        if v == self.source {
+            INF
+        } else {
+            0
+        }
+    }
+
+    fn initial_frontier(&self, graph: &Csr) -> Vec<VertexId> {
+        if self.source.0 < graph.num_vertices() {
+            vec![self.source]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn identity(&self) -> u64 {
+        0
+    }
+
+    fn process_edge(&self, u_prop: u64, weight: Weight) -> u64 {
+        u_prop.min(u64::from(weight))
+    }
+
+    fn reduce(&self, t_prop: u64, imm: u64) -> u64 {
+        t_prop.max(imm)
+    }
+
+    fn apply(&self, _v: VertexId, prop: u64, t_prop: u64, _graph: &Csr) -> u64 {
+        prop.max(t_prop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::execute;
+    use higraph_graph::builder::EdgeList;
+
+    #[test]
+    fn bottleneck_of_chain_is_min_weight() {
+        let mut list = EdgeList::new(4);
+        list.push(0, 1, 9).unwrap();
+        list.push(1, 2, 2).unwrap();
+        list.push(2, 3, 7).unwrap();
+        let run = execute(&Sswp::from_source(0), &list.into_csr());
+        assert_eq!(run.properties, vec![INF, 9, 2, 2]);
+    }
+
+    #[test]
+    fn widest_of_parallel_paths_wins() {
+        // two paths 0->1: direct (width 4) and via 2 (widths 6, 5 -> 5)
+        let mut list = EdgeList::new(3);
+        list.push(0, 1, 4).unwrap();
+        list.push(0, 2, 6).unwrap();
+        list.push(2, 1, 5).unwrap();
+        let run = execute(&Sswp::from_source(0), &list.into_csr());
+        assert_eq!(run.properties[1], 5);
+    }
+
+    #[test]
+    fn unreachable_width_is_zero() {
+        let mut list = EdgeList::new(3);
+        list.push(0, 1, 4).unwrap();
+        let run = execute(&Sswp::from_source(0), &list.into_csr());
+        assert_eq!(run.properties[2], 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Weakly Connected Components as a vertex program.
+//!
+//! Not part of the paper's four evaluated algorithms, but a standard
+//! member of the Graphicionado/GraphDynS workload family and a useful
+//! stress test: *every* vertex is active in iteration 0 (like PageRank)
+//! yet the frontier then decays unevenly (like BFS), exercising both
+//! front-end regimes of the accelerator.
+
+use crate::program::VertexProgram;
+use higraph_graph::{Csr, VertexId, Weight};
+
+/// Label-propagation connected components: each vertex's property is the
+/// smallest vertex ID it can be reached from along directed edges
+/// (treating the graph as undirected requires symmetrized input, as with
+/// all scatter-style WCC implementations).
+///
+/// `Process_Edge` forwards the label, `Reduce` and `Apply` take the
+/// minimum — order-independent, so the accelerator bit-matches the
+/// reference.
+///
+/// # Example
+///
+/// ```
+/// use higraph_graph::builder::EdgeList;
+/// use higraph_vcpm::{execute, programs::Wcc};
+///
+/// # fn main() -> Result<(), higraph_graph::GraphError> {
+/// let mut list = EdgeList::new(4);
+/// list.push_undirected(0, 1, 1)?;
+/// list.push_undirected(2, 3, 1)?;
+/// let run = execute(&Wcc::new(), &list.into_csr());
+/// assert_eq!(run.properties, vec![0, 0, 2, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Wcc;
+
+impl Wcc {
+    /// Creates the components program.
+    pub fn new() -> Self {
+        Wcc
+    }
+
+    /// Number of distinct components in a finished run's properties.
+    pub fn count_components(properties: &[u64]) -> usize {
+        let mut labels: Vec<u64> = properties.to_vec();
+        labels.sort_unstable();
+        labels.dedup();
+        labels.len()
+    }
+}
+
+impl VertexProgram for Wcc {
+    type Prop = u64;
+
+    fn name(&self) -> &'static str {
+        "WCC"
+    }
+
+    fn init_prop(&self, v: VertexId, _graph: &Csr) -> u64 {
+        u64::from(v.0)
+    }
+
+    fn initial_frontier(&self, graph: &Csr) -> Vec<VertexId> {
+        graph.vertices().collect()
+    }
+
+    fn identity(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn process_edge(&self, u_prop: u64, _weight: Weight) -> u64 {
+        u_prop
+    }
+
+    fn reduce(&self, t_prop: u64, imm: u64) -> u64 {
+        t_prop.min(imm)
+    }
+
+    fn apply(&self, _v: VertexId, prop: u64, t_prop: u64, _graph: &Csr) -> u64 {
+        prop.min(t_prop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::execute;
+    use higraph_graph::builder::EdgeList;
+    use higraph_graph::gen::erdos_renyi;
+
+    #[test]
+    fn labels_two_components() {
+        let mut list = EdgeList::new(6);
+        list.push_undirected(0, 1, 1).unwrap();
+        list.push_undirected(1, 2, 1).unwrap();
+        list.push_undirected(3, 4, 1).unwrap();
+        // vertex 5 isolated
+        let run = execute(&Wcc::new(), &list.into_csr());
+        assert_eq!(run.properties, vec![0, 0, 0, 3, 3, 5]);
+        assert_eq!(Wcc::count_components(&run.properties), 3);
+    }
+
+    #[test]
+    fn matches_union_find_oracle() {
+        let g = {
+            // symmetrize a random graph
+            let base = erdos_renyi(120, 400, 1, 8);
+            let mut list = EdgeList::new(120);
+            for (u, e) in base.edges() {
+                list.push_undirected(u.0, e.dst.0, 1).unwrap();
+            }
+            list.into_csr()
+        };
+        let run = execute(&Wcc::new(), &g);
+
+        // union-find oracle
+        let mut parent: Vec<u32> = (0..120).collect();
+        fn find(p: &mut Vec<u32>, x: u32) -> u32 {
+            if p[x as usize] != x {
+                let r = find(p, p[x as usize]);
+                p[x as usize] = r;
+            }
+            p[x as usize]
+        }
+        for (u, e) in g.edges() {
+            let (a, b) = (find(&mut parent, u.0), find(&mut parent, e.dst.0));
+            if a != b {
+                parent[a.max(b) as usize] = a.min(b);
+            }
+        }
+        for v in 0..120u32 {
+            let root = find(&mut parent, v);
+            assert_eq!(run.properties[v as usize], u64::from(root), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = EdgeList::new(1).into_csr();
+        let run = execute(&Wcc::new(), &g);
+        assert_eq!(run.properties, vec![0]);
+        assert_eq!(Wcc::count_components(&run.properties), 1);
+    }
+}

@@ -1,0 +1,208 @@
+//! Software reference executor — the golden model.
+//!
+//! Executes the paper's VCPM pseudocode (Fig. 2 / Algorithm "Pseudocode of
+//! VCPM") literally and sequentially. The cycle-level accelerator models in
+//! `higraph-accel` must produce bit-identical Property Arrays; integration
+//! tests enforce this.
+
+use crate::program::VertexProgram;
+use higraph_graph::{Csr, VertexId};
+
+/// Result of executing a [`VertexProgram`] to completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VcpmRun<P> {
+    /// Final Property Array, indexed by vertex ID.
+    pub properties: Vec<P>,
+    /// Number of scatter/apply iterations executed.
+    pub iterations: u32,
+    /// Total edge traversals across all scatter phases (the paper's
+    /// throughput metric counts these).
+    pub edges_processed: u64,
+    /// Active-vertex count at the start of each iteration.
+    pub frontier_sizes: Vec<usize>,
+}
+
+impl<P> VcpmRun<P> {
+    /// Mean frontier size across iterations (a workload-shape statistic).
+    pub fn mean_frontier(&self) -> f64 {
+        if self.frontier_sizes.is_empty() {
+            0.0
+        } else {
+            self.frontier_sizes.iter().sum::<usize>() as f64 / self.frontier_sizes.len() as f64
+        }
+    }
+}
+
+/// Executes `program` on `graph` until the frontier empties or the
+/// program's iteration cap is reached.
+///
+/// # Example
+///
+/// ```
+/// use higraph_graph::builder::EdgeList;
+/// use higraph_vcpm::{programs::Sssp, reference::execute};
+///
+/// # fn main() -> Result<(), higraph_graph::GraphError> {
+/// let mut list = EdgeList::new(3);
+/// list.push(0, 1, 5)?;
+/// list.push(1, 2, 7)?;
+/// let run = execute(&Sssp::from_source(0), &list.into_csr());
+/// assert_eq!(run.properties, vec![0, 5, 12]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn execute<Prog: VertexProgram>(program: &Prog, graph: &Csr) -> VcpmRun<Prog::Prop> {
+    let n = graph.num_vertices() as usize;
+    let mut properties: Vec<Prog::Prop> = graph
+        .vertices()
+        .map(|v| program.init_prop(v, graph))
+        .collect();
+    let mut active = program.initial_frontier(graph);
+    let mut iterations = 0;
+    let mut edges_processed = 0u64;
+    let mut frontier_sizes = Vec::new();
+
+    while !active.is_empty() {
+        if let Some(cap) = program.max_iterations() {
+            if iterations >= cap {
+                break;
+            }
+        }
+        frontier_sizes.push(active.len());
+
+        // Scatter phase.
+        let mut t_props: Vec<Prog::Prop> = vec![program.identity(); n];
+        for &u in &active {
+            let u_prop = properties[u.index()];
+            for e in graph.neighbors(u) {
+                let imm = program.process_edge(u_prop, e.weight);
+                let t = &mut t_props[e.dst.index()];
+                *t = program.reduce(*t, imm);
+                edges_processed += 1;
+            }
+        }
+
+        // Apply phase.
+        active.clear();
+        for v in graph.vertices() {
+            let apply_res = program.apply(v, properties[v.index()], t_props[v.index()], graph);
+            if properties[v.index()] != apply_res {
+                properties[v.index()] = apply_res;
+                active.push(v);
+            }
+        }
+        iterations += 1;
+    }
+
+    VcpmRun {
+        properties,
+        iterations,
+        edges_processed,
+        frontier_sizes,
+    }
+}
+
+/// Per-iteration trace of a VCPM execution: the frontier fed to each
+/// scatter phase. The accelerator models replay the same frontiers, so a
+/// trace is also a compact workload description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontierTrace {
+    /// `frontiers[i]` is the active list at the start of iteration `i`.
+    pub frontiers: Vec<Vec<VertexId>>,
+}
+
+/// Executes `program` and records every per-iteration frontier.
+pub fn trace_frontiers<Prog: VertexProgram>(program: &Prog, graph: &Csr) -> FrontierTrace {
+    let n = graph.num_vertices() as usize;
+    let mut properties: Vec<Prog::Prop> = graph
+        .vertices()
+        .map(|v| program.init_prop(v, graph))
+        .collect();
+    let mut active = program.initial_frontier(graph);
+    let mut frontiers = Vec::new();
+    let mut iterations = 0;
+
+    while !active.is_empty() {
+        if let Some(cap) = program.max_iterations() {
+            if iterations >= cap {
+                break;
+            }
+        }
+        frontiers.push(active.clone());
+        let mut t_props: Vec<Prog::Prop> = vec![program.identity(); n];
+        for &u in &active {
+            let u_prop = properties[u.index()];
+            for e in graph.neighbors(u) {
+                let imm = program.process_edge(u_prop, e.weight);
+                let t = &mut t_props[e.dst.index()];
+                *t = program.reduce(*t, imm);
+            }
+        }
+        active.clear();
+        for v in graph.vertices() {
+            let apply_res = program.apply(v, properties[v.index()], t_props[v.index()], graph);
+            if properties[v.index()] != apply_res {
+                properties[v.index()] = apply_res;
+                active.push(v);
+            }
+        }
+        iterations += 1;
+    }
+    FrontierTrace { frontiers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::{Bfs, PageRank, Sssp};
+    use higraph_graph::builder::EdgeList;
+
+    fn path(n: u32) -> Csr {
+        let mut list = EdgeList::new(n);
+        for i in 0..n - 1 {
+            list.push(i, i + 1, 2).unwrap();
+        }
+        list.into_csr()
+    }
+
+    #[test]
+    fn bfs_levels_on_path() {
+        let run = execute(&Bfs::from_source(0), &path(5));
+        assert_eq!(run.properties, vec![0, 1, 2, 3, 4]);
+        // iterations: one per wavefront step, plus the final iteration in
+        // which the sink vertex (out-degree 0) scatters nothing.
+        assert_eq!(run.iterations, 5);
+        assert_eq!(run.edges_processed, 4);
+    }
+
+    #[test]
+    fn frontier_trace_matches_execution() {
+        let g = path(4);
+        let t = trace_frontiers(&Bfs::from_source(0), &g);
+        assert_eq!(t.frontiers[0], vec![VertexId(0)]);
+        assert_eq!(t.frontiers[1], vec![VertexId(1)]);
+        assert_eq!(t.frontiers.len(), 4);
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_inf() {
+        let mut list = EdgeList::new(3);
+        list.push(0, 1, 1).unwrap();
+        let run = execute(&Sssp::from_source(0), &list.into_csr());
+        assert_eq!(run.properties[2], crate::INF);
+    }
+
+    #[test]
+    fn pagerank_respects_iteration_cap() {
+        let g = path(6);
+        let pr = PageRank::new(5);
+        let run = execute(&pr, &g);
+        assert!(run.iterations <= 5);
+    }
+
+    #[test]
+    fn mean_frontier() {
+        let run = execute(&Bfs::from_source(0), &path(3));
+        assert!(run.mean_frontier() > 0.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Head-to-head comparison of the three Table 1 designs (HiGraph,
+//! HiGraph-mini, GraphDynS) across the four paper algorithms on one
+//! dataset — a minature of the paper's Fig. 8/9 experiment.
+//!
+//! ```sh
+//! cargo run --release --example compare_designs [dataset] [divisor]
+//! ```
+//!
+//! `dataset` is one of VT, EP, SL, TW, R14, R16 (default EP); `divisor`
+//! scales the dataset down (default 4; use 1 for the full Table 2 size).
+
+use higraph::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let dataset = args
+        .get(1)
+        .map(|s| {
+            Dataset::ALL
+                .into_iter()
+                .find(|d| d.abbrev().eq_ignore_ascii_case(s))
+                .unwrap_or_else(|| panic!("unknown dataset {s}; use VT/EP/SL/TW/R14/R16"))
+        })
+        .unwrap_or(Dataset::Epinions);
+    let divisor: u32 = args.get(2).map(|s| s.parse().expect("divisor")).unwrap_or(4);
+
+    let graph = dataset.build_scaled(divisor);
+    let source = higraph::graph::stats::hub_vertex(&graph).expect("non-empty").0;
+    println!(
+        "{dataset} (÷{divisor}): {} vertices, {} edges\n",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let configs = [
+        AcceleratorConfig::graphdyns(),
+        AcceleratorConfig::higraph_mini(),
+        AcceleratorConfig::higraph(),
+    ];
+
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10}",
+        "design", "BFS", "SSSP", "SSWP", "PR"
+    );
+    let mut baseline: Option<[Metrics; 4]> = None;
+    for cfg in configs {
+        let run = |name: &str| -> Metrics {
+            let mut engine = Engine::new(cfg.clone(), &graph);
+            match name {
+                "BFS" => engine.run(&Bfs::from_source(source)).metrics,
+                "SSSP" => engine.run(&Sssp::from_source(source)).metrics,
+                "SSWP" => engine.run(&Sswp::from_source(source)).metrics,
+                _ => engine.run(&PageRank::new(5)).metrics,
+            }
+        };
+        let all = [run("BFS"), run("SSSP"), run("SSWP"), run("PR")];
+        print!("{:<14}", cfg.name);
+        for (i, m) in all.iter().enumerate() {
+            match &baseline {
+                None => print!(" {:>6.2} GT/s", m.gteps()),
+                Some(base) => print!(" {:>5.2}x ({:4.1})", m.speedup_over(&base[i]), m.gteps()),
+            }
+        }
+        println!();
+        if baseline.is_none() {
+            baseline = Some(all);
+        }
+    }
+    println!("\n(speedups are over GraphDynS, as in the paper's Fig. 8)");
+}

@@ -1,0 +1,51 @@
+//! Quickstart: run BFS on the cycle-accurate HiGraph model and check it
+//! against the software reference executor.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use higraph::prelude::*;
+
+fn main() {
+    // 1. Build a workload: a synthetic social network with a heavy-tailed
+    //    degree distribution (the kind of graph the paper targets).
+    let graph = higraph::graph::gen::power_law(10_000, 120_000, 2.0, 63, 42);
+    let source = higraph::graph::stats::hub_vertex(&graph)
+        .expect("graph is non-empty")
+        .0;
+    println!(
+        "graph: {} vertices, {} edges, mean degree {:.1}; BFS source v{source}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.mean_degree(),
+    );
+
+    // 2. Run BFS on the Table 1 HiGraph configuration (32 front-end and 32
+    //    back-end channels, MDP-networks at all three interaction points).
+    let program = Bfs::from_source(source);
+    let mut engine = Engine::new(AcceleratorConfig::higraph(), &graph);
+    let result = engine.run(&program);
+
+    // 3. Validate against the paper's VCPM pseudocode executed in software.
+    let reference = higraph::vcpm::execute(&program, &graph);
+    assert_eq!(
+        result.properties, reference.properties,
+        "accelerator must match the reference bit-exactly"
+    );
+
+    // 4. Report the paper's metrics.
+    let m = &result.metrics;
+    println!("cycles            : {}", m.cycles);
+    println!("edges processed   : {}", m.edges_processed);
+    println!("iterations        : {}", m.iterations);
+    println!("clock             : {:.2} GHz", m.frequency_ghz);
+    println!("throughput        : {:.2} GTEPS (ideal: 32)", m.gteps());
+    println!("vPE starvation    : {} cycles (summed over 32 vPEs)", m.vpe_starvation_cycles);
+    let reached = result
+        .properties
+        .iter()
+        .filter(|&&p| p != higraph::vcpm::INF)
+        .count();
+    println!("vertices reached  : {reached}/{}", graph.num_vertices());
+}

@@ -1,0 +1,185 @@
+//! End-to-end equivalence: the cycle-level accelerator models must produce
+//! Property Arrays **bit-identical** to the software VCPM reference
+//! executor, for every algorithm, every design, and every dataset family.
+//!
+//! This is the correctness backbone of the reproduction: performance
+//! numbers mean nothing if the accelerator computes a different answer.
+
+use higraph::prelude::*;
+use higraph::vcpm::programs::{MultiSourceBfs, Wcc};
+use higraph::vcpm::reference;
+
+fn configs() -> Vec<AcceleratorConfig> {
+    let mut cfgs = vec![
+        AcceleratorConfig::higraph(),
+        AcceleratorConfig::higraph_mini(),
+        AcceleratorConfig::graphdyns(),
+    ];
+    cfgs.extend(OptLevel::ALL.map(AcceleratorConfig::higraph_with_opts));
+    // a naive-FIFO dataflow variant (Fig. 5 b/c) must also be correct
+    let mut naive = AcceleratorConfig::higraph();
+    naive.name = "HiGraph[df=naive]".to_string();
+    naive.dataflow_network = NetworkKind::NaiveFifo;
+    cfgs.push(naive);
+    cfgs
+}
+
+fn graphs() -> Vec<(&'static str, Csr)> {
+    vec![
+        ("erdos", higraph::graph::gen::erdos_renyi(300, 2400, 63, 11)),
+        ("power_law", higraph::graph::gen::power_law(300, 2400, 2.0, 63, 12)),
+        (
+            "rmat",
+            higraph::graph::gen::rmat(
+                &higraph::graph::gen::RmatConfig {
+                    scale: 8,
+                    edge_factor: 8,
+                    ..higraph::graph::gen::RmatConfig::graph500(8)
+                },
+                13,
+            ),
+        ),
+        ("vote_tiny", Dataset::Vote.build_scaled(16)),
+    ]
+}
+
+fn source(g: &Csr) -> u32 {
+    higraph::graph::stats::hub_vertex(g).expect("non-empty").0
+}
+
+#[test]
+fn bfs_equivalence_everywhere() {
+    for (gname, g) in graphs() {
+        let prog = Bfs::from_source(source(&g));
+        let expect = reference::execute(&prog, &g);
+        for cfg in configs() {
+            let name = cfg.name.clone();
+            let got = Engine::new(cfg, &g).run(&prog);
+            assert_eq!(got.properties, expect.properties, "BFS {gname} on {name}");
+            assert_eq!(
+                got.metrics.edges_processed, expect.edges_processed,
+                "BFS {gname} on {name}: edge count"
+            );
+            assert_eq!(
+                got.metrics.iterations, expect.iterations,
+                "BFS {gname} on {name}: iterations"
+            );
+        }
+    }
+}
+
+#[test]
+fn sssp_equivalence_everywhere() {
+    for (gname, g) in graphs() {
+        let prog = Sssp::from_source(source(&g));
+        let expect = reference::execute(&prog, &g);
+        for cfg in configs() {
+            let name = cfg.name.clone();
+            let got = Engine::new(cfg, &g).run(&prog);
+            assert_eq!(got.properties, expect.properties, "SSSP {gname} on {name}");
+        }
+    }
+}
+
+#[test]
+fn sswp_equivalence_everywhere() {
+    for (gname, g) in graphs() {
+        let prog = Sswp::from_source(source(&g));
+        let expect = reference::execute(&prog, &g);
+        for cfg in configs() {
+            let name = cfg.name.clone();
+            let got = Engine::new(cfg, &g).run(&prog);
+            assert_eq!(got.properties, expect.properties, "SSWP {gname} on {name}");
+        }
+    }
+}
+
+#[test]
+fn pagerank_equivalence_everywhere() {
+    // PageRank exercises the order-independence of fixed-point reduction:
+    // the accelerator folds contributions in dataflow-arrival order, the
+    // reference in edge order — results must still be bit-identical.
+    for (gname, g) in graphs() {
+        let prog = PageRank::new(6);
+        let expect = reference::execute(&prog, &g);
+        for cfg in configs() {
+            let name = cfg.name.clone();
+            let got = Engine::new(cfg, &g).run(&prog);
+            assert_eq!(got.properties, expect.properties, "PR {gname} on {name}");
+        }
+    }
+}
+
+#[test]
+fn wcc_equivalence_everywhere() {
+    for (gname, g) in graphs() {
+        let prog = Wcc::new();
+        let expect = reference::execute(&prog, &g);
+        for cfg in configs() {
+            let name = cfg.name.clone();
+            let got = Engine::new(cfg, &g).run(&prog);
+            assert_eq!(got.properties, expect.properties, "WCC {gname} on {name}");
+        }
+    }
+}
+
+#[test]
+fn multi_source_bfs_equivalence() {
+    // the densest-traffic workload (64-way frontier union, OR reduction)
+    for (gname, g) in graphs() {
+        let sources: Vec<u32> = (0..16).map(|i| i * 7 % g.num_vertices()).collect();
+        let prog = MultiSourceBfs::new(sources).expect("16 landmarks");
+        let expect = reference::execute(&prog, &g);
+        for cfg in [AcceleratorConfig::higraph(), AcceleratorConfig::graphdyns()] {
+            let name = cfg.name.clone();
+            let got = Engine::new(cfg, &g).run(&prog);
+            assert_eq!(got.properties, expect.properties, "MS-BFS {gname} on {name}");
+        }
+    }
+}
+
+#[test]
+fn sliced_runs_match_unsliced_for_all_algorithms() {
+    let g = higraph::graph::gen::power_law(350, 2800, 2.0, 31, 44);
+    let src = source(&g);
+    macro_rules! check {
+        ($prog:expr, $label:expr) => {
+            let whole = Engine::new(AcceleratorConfig::higraph(), &g).run(&$prog);
+            let sliced = Engine::new(AcceleratorConfig::higraph(), &g)
+                .run_sliced(&$prog, 3, 64);
+            assert_eq!(sliced.properties, whole.properties, $label);
+        };
+    }
+    check!(Bfs::from_source(src), "BFS");
+    check!(Sssp::from_source(src), "SSSP");
+    check!(Sswp::from_source(src), "SSWP");
+    check!(PageRank::new(4), "PR");
+    check!(Wcc::new(), "WCC");
+}
+
+#[test]
+fn scaled_channel_counts_stay_equivalent() {
+    // Fig. 11's wide configurations must not change results.
+    let g = higraph::graph::gen::power_law(500, 4000, 2.0, 31, 5);
+    let prog = Bfs::from_source(source(&g));
+    let expect = reference::execute(&prog, &g);
+    for channels in [8usize, 64, 128] {
+        let cfg = AcceleratorConfig::higraph().scaled_to(channels);
+        let got = Engine::new(cfg, &g).run(&prog);
+        assert_eq!(got.properties, expect.properties, "{channels} channels");
+    }
+}
+
+#[test]
+fn radix_variants_stay_equivalent() {
+    let g = higraph::graph::gen::erdos_renyi(256, 2048, 15, 3);
+    let prog = Sssp::from_source(source(&g));
+    let expect = reference::execute(&prog, &g);
+    for radix in [2usize, 4, 64] {
+        // 64-channel geometry divides evenly by all three radices
+        let mut cfg = AcceleratorConfig::higraph().scaled_to(64);
+        cfg.radix = radix;
+        let got = Engine::new(cfg, &g).run(&prog);
+        assert_eq!(got.properties, expect.properties, "radix {radix}");
+    }
+}

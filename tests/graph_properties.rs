@@ -1,0 +1,139 @@
+//! Property-based tests of the graph substrate (proptest): generator
+//! invariants, CSR structural soundness, slicing losslessness, and I/O
+//! round trips under randomized shapes.
+
+use higraph::graph::builder::EdgeList;
+use higraph::graph::gen::{erdos_renyi, grid, power_law, rmat, small_world, RmatConfig};
+use higraph::graph::io::{read_edge_list, write_edge_list};
+use higraph::graph::slicing::{partition, reassemble};
+use higraph::graph::stats::DegreeStats;
+use higraph::graph::{Csr, VertexId};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// Structural CSR invariants every generator must uphold.
+fn assert_valid(g: &Csr) {
+    let offsets = g.offsets_raw();
+    assert_eq!(offsets.len(), g.num_vertices() as usize + 1);
+    assert_eq!(*offsets.last().unwrap(), g.num_edges());
+    assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+    for (_, e) in g.edges() {
+        assert!(e.dst.0 < g.num_vertices());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn erdos_invariants(n in 2u32..300, m in 0u64..2000, seed in 0u64..100) {
+        let g = erdos_renyi(n, m, 7, seed);
+        assert_valid(&g);
+        prop_assert_eq!(g.num_vertices(), n);
+        prop_assert_eq!(g.num_edges(), m);
+    }
+
+    #[test]
+    fn power_law_invariants(n in 2u32..300, m in 1u64..3000, seed in 0u64..100) {
+        let g = power_law(n, m, 2.0, 15, seed);
+        assert_valid(&g);
+        prop_assert_eq!(g.num_edges(), m);
+        // hot-vertex cap: no vertex owns more than target/128 + slack
+        let s = DegreeStats::of(&g);
+        // mirror the generator's cap formula (f64 mean, then floor)
+        let mean = (m as f64 / f64::from(n)).max(1.0);
+        let cap = (m / 128).max((4.0 * mean) as u64).max(1);
+        prop_assert!(s.max <= cap + 2, "max {} cap {cap}", s.max);
+    }
+
+    #[test]
+    fn rmat_invariants(scale in 2u32..9, ef in 1u32..16, seed in 0u64..100) {
+        let g = rmat(
+            &RmatConfig { scale, edge_factor: ef, ..RmatConfig::graph500(scale) },
+            seed,
+        );
+        assert_valid(&g);
+        prop_assert_eq!(g.num_vertices(), 1 << scale);
+        prop_assert_eq!(g.num_edges(), u64::from(ef) << scale);
+    }
+
+    #[test]
+    fn small_world_invariants(n in 3u32..200, k in 1u32..5, beta in 0.0f64..1.0, seed in 0u64..50) {
+        prop_assume!(k < n);
+        let g = small_world(n, k, beta, 9, seed);
+        assert_valid(&g);
+        let s = DegreeStats::of(&g);
+        prop_assert_eq!(s.min, u64::from(k));
+        prop_assert_eq!(s.max, u64::from(k));
+    }
+
+    #[test]
+    fn grid_invariants(rows in 1u32..20, cols in 1u32..20, wrap in proptest::bool::ANY) {
+        let g = grid(rows, cols, wrap, 3, 0);
+        assert_valid(&g);
+        prop_assert_eq!(g.num_vertices(), rows * cols);
+        if wrap && rows > 1 && cols > 1 {
+            let s = DegreeStats::of(&g);
+            prop_assert_eq!(s.min, 4);
+            prop_assert_eq!(s.max, 4);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive_on_edge_multisets(n in 2u32..100, m in 0u64..600, seed in 0u64..50) {
+        let g = erdos_renyi(n, m, 31, seed);
+        let tt = g.transpose().transpose();
+        for u in g.vertices() {
+            let mut a: Vec<_> = g.neighbors(u).to_vec();
+            let mut b: Vec<_> = tt.neighbors(u).to_vec();
+            a.sort_by_key(|e| (e.dst, e.weight));
+            b.sort_by_key(|e| (e.dst, e.weight));
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn slicing_is_lossless(n in 2u32..150, m in 1u64..900, slices in 1usize..9, seed in 0u64..50) {
+        let g = erdos_renyi(n, m, 7, seed);
+        let parts = partition(&g, slices);
+        prop_assert_eq!(parts.len(), slices);
+        let total: u64 = parts.iter().map(|s| s.graph.num_edges()).sum();
+        prop_assert_eq!(total, m);
+        let r = reassemble(&parts).expect("non-empty");
+        for u in g.vertices() {
+            let mut a: Vec<_> = g.neighbors(u).to_vec();
+            let mut b: Vec<_> = r.neighbors(u).to_vec();
+            a.sort_by_key(|e| (e.dst, e.weight));
+            b.sort_by_key(|e| (e.dst, e.weight));
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn io_round_trip(n in 2u32..100, m in 1u64..400, seed in 0u64..50) {
+        let g = erdos_renyi(n, m, 31, seed);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).expect("write");
+        let back = read_edge_list(Cursor::new(buf), 31, 0).expect("read");
+        prop_assert_eq!(back.num_edges(), g.num_edges());
+        for u in back.vertices() {
+            prop_assert_eq!(back.neighbors(u), g.neighbors(u));
+        }
+    }
+
+    #[test]
+    fn edge_list_builder_agrees_with_manual_counting(
+        edges in proptest::collection::vec((0u32..40, 0u32..40, 1u32..9), 0..200),
+    ) {
+        let mut list = EdgeList::new(40);
+        for &(s, d, w) in &edges {
+            list.push(s, d, w).expect("in range");
+        }
+        let g = list.into_csr();
+        assert_valid(&g);
+        for v in 0..40u32 {
+            let expected = edges.iter().filter(|&&(s, _, _)| s == v).count() as u64;
+            prop_assert_eq!(g.out_degree(VertexId(v)), expected, "vertex {}", v);
+        }
+    }
+}
