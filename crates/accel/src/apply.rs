@@ -1,0 +1,66 @@
+//! The apply phase (Fig. 6, bottom): identical for all designs, modeled
+//! as an `⌈V/m⌉`-cycle scan that applies `Apply( )`, rebuilds the frontier
+//! in vertex-ID order, and resets the tProperty banks.
+
+use higraph_graph::{Csr, VertexId};
+use higraph_vcpm::VertexProgram;
+
+/// Extra cycles per apply phase for pipeline fill/drain.
+pub(crate) const APPLY_PIPELINE_OVERHEAD: u64 = 4;
+
+/// Executes one apply phase: scan all vertices, apply, rebuild the
+/// frontier, and reset tProperty.
+pub(crate) fn apply_phase<Prog: VertexProgram>(
+    program: &Prog,
+    graph: &Csr,
+    properties: &mut [Prog::Prop],
+    t_props: &mut [Prog::Prop],
+    frontier: &mut Vec<VertexId>,
+) {
+    frontier.clear();
+    for v in graph.vertices() {
+        let apply_res = program.apply(v, properties[v.index()], t_props[v.index()], graph);
+        if properties[v.index()] != apply_res {
+            properties[v.index()] = apply_res;
+            frontier.push(v);
+        }
+        t_props[v.index()] = program.identity();
+    }
+}
+
+/// Cycle cost of one apply phase: the `⌈V/m⌉` scan plus fill/drain.
+pub(crate) fn apply_cycles(num_vertices: u32, back_channels: usize) -> u64 {
+    u64::from(num_vertices).div_ceil(back_channels as u64) + APPLY_PIPELINE_OVERHEAD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use higraph_graph::builder::EdgeList;
+    use higraph_vcpm::programs::Bfs;
+
+    #[test]
+    fn apply_builds_frontier_in_vertex_order() {
+        let mut list = EdgeList::new(8);
+        list.push(0, 3, 1).unwrap();
+        list.push(0, 1, 1).unwrap();
+        let g = list.into_csr();
+        let prog = Bfs::from_source(0);
+        let mut props: Vec<u64> = g.vertices().map(|v| prog.init_prop(v, &g)).collect();
+        let mut t_props: Vec<u64> = vec![prog.identity(); 8];
+        // pretend the scatter phase delivered depth-1 updates to 3 and 1
+        t_props[3] = 1;
+        t_props[1] = 1;
+        let mut frontier = Vec::new();
+        apply_phase(&prog, &g, &mut props, &mut t_props, &mut frontier);
+        assert_eq!(frontier, [VertexId(1), VertexId(3)]);
+        assert!(t_props.iter().all(|&t| t == prog.identity()));
+    }
+
+    #[test]
+    fn apply_cycle_cost_is_scan_plus_overhead() {
+        assert_eq!(apply_cycles(64, 32), 2 + APPLY_PIPELINE_OVERHEAD);
+        assert_eq!(apply_cycles(65, 32), 3 + APPLY_PIPELINE_OVERHEAD);
+        assert_eq!(apply_cycles(0, 32), APPLY_PIPELINE_OVERHEAD);
+    }
+}

@@ -1,0 +1,169 @@
+//! The scatter pipeline's back-end (Fig. 6, right): Edge Array access →
+//! ePEs (`Process_Edge`) → dataflow propagation fabric → vPEs (`Reduce`)
+//! into the tProperty banks.
+//!
+//! [`BackEnd`] owns stages 1–3 of the per-cycle protocol (the front-end
+//! owns 4–6); its [`BackEnd::step`] method is the combinational phase and
+//! the clock edge comes from its [`ClockedComponent`] implementation,
+//! driven by the shared `higraph_sim::Scheduler`.
+
+use crate::edge_access::EdgeAccess;
+use crate::metrics::Metrics;
+use crate::netfactory::{AnyNetwork, NetworkFactory};
+use crate::packets::{ImmPacket, PendingEdge};
+use higraph_graph::{Csr, EdgeId};
+use higraph_sim::{ClockedComponent, Fifo, Network, NetworkStats};
+use higraph_vcpm::VertexProgram;
+
+/// Back-end microarchitectural state, reused across scatter phases.
+#[derive(Debug)]
+pub(crate) struct BackEnd<P> {
+    /// The Edge Array access unit — the bridge the front-end's Replay
+    /// Engines push `{Off, Len}` chunks into (hence `pub(crate)`: the
+    /// engine hands it to `FrontEnd::step` each cycle).
+    pub(crate) edge_access: EdgeAccess<P>,
+    /// Per-channel pending-edge queues in front of the ePEs.
+    epe_q: Vec<Fifo<PendingEdge<P>>>,
+    /// The ePE → vPE dataflow propagation fabric.
+    dataflow: AnyNetwork<ImmPacket<P>>,
+}
+
+impl<P: Copy + 'static> BackEnd<P> {
+    /// Builds the back-end for a validated configuration.
+    pub(crate) fn new(factory: &NetworkFactory) -> Self {
+        let config = factory.config();
+        let m = config.back_channels;
+        BackEnd {
+            edge_access: factory.edge_access(),
+            epe_q: (0..m).map(|_| Fifo::new(config.staging_capacity)).collect(),
+            dataflow: factory.dataflow_fabric(),
+        }
+    }
+
+    /// The back-end's combinational phase: vPE reduce, ePE process-edge,
+    /// and edge-bank reads (stages 1–3, evaluated consumer-first).
+    pub(crate) fn step<Prog: VertexProgram<Prop = P>>(
+        &mut self,
+        program: &Prog,
+        graph: &Csr,
+        t_props: &mut [P],
+        metrics: &mut Metrics,
+    ) {
+        let m = self.epe_q.len();
+
+        // (1) vPEs: drain the dataflow fabric, fold into tProperty.
+        for c in 0..m {
+            match self.dataflow.pop(c) {
+                Some(pkt) => {
+                    debug_assert_eq!(pkt.dest, c);
+                    let t = &mut t_props[pkt.v as usize];
+                    *t = program.reduce(*t, pkt.imm);
+                }
+                None => {
+                    metrics.vpe_starvation_cycles += 1;
+                    metrics.vpe_starvation_per_channel[c] += 1;
+                }
+            }
+        }
+
+        // (2) ePEs: Process_Edge and inject into the dataflow fabric.
+        for c in 0..m {
+            let Some(&PendingEdge {
+                dst,
+                weight,
+                u_prop,
+            }) = self.epe_q[c].peek()
+            else {
+                continue;
+            };
+            let pkt = ImmPacket {
+                v: dst,
+                imm: program.process_edge(u_prop, weight),
+                dest: (dst as usize) % m,
+            };
+            if self.dataflow.push(c, pkt).is_ok() {
+                self.epe_q[c].pop();
+            }
+        }
+
+        // (3) Edge banks: one read per bank into the ePE queues.
+        let epe_space: Vec<bool> = self.epe_q.iter().map(|q| !q.is_full()).collect();
+        for read in self.edge_access.issue_reads(&epe_space) {
+            let e = graph.edge(EdgeId(read.edge_index));
+            let pushed = self.epe_q[read.bank].push(PendingEdge {
+                dst: e.dst.0,
+                weight: e.weight,
+                u_prop: read.payload,
+            });
+            debug_assert!(pushed.is_ok(), "edge unit overran an ePE queue");
+            metrics.edges_processed += 1;
+        }
+    }
+
+    /// Cumulative statistics of the edge-access unit.
+    pub(crate) fn edge_stats(&self) -> NetworkStats {
+        self.edge_access.stats()
+    }
+
+    /// Cumulative statistics of the dataflow fabric.
+    pub(crate) fn dataflow_stats(&self) -> NetworkStats {
+        self.dataflow.network_stats().expect("fabrics keep stats")
+    }
+}
+
+impl<P: Copy + 'static> ClockedComponent for BackEnd<P> {
+    fn tick(&mut self) {
+        self.edge_access.tick();
+        self.dataflow.tick();
+    }
+
+    fn in_flight(&self) -> usize {
+        ClockedComponent::in_flight(&self.edge_access)
+            + self.epe_q.in_flight()
+            + self.dataflow.in_flight()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AcceleratorConfig;
+    use higraph_graph::gen::erdos_renyi;
+    use higraph_mdp::EdgeRange;
+    use higraph_vcpm::programs::Sssp;
+
+    #[test]
+    fn processes_a_range_end_to_end() {
+        let factory = NetworkFactory::new(&AcceleratorConfig::higraph_mini()).expect("valid");
+        let graph = erdos_renyi(64, 512, 15, 5);
+        let mut be: BackEnd<u64> = BackEnd::new(&factory);
+        let prog = Sssp::from_source(0);
+        let mut t_props = vec![higraph_vcpm::INF; 64];
+        let mut metrics = Metrics {
+            vpe_starvation_per_channel: vec![0; 32],
+            ..Metrics::default()
+        };
+        let (off, n_off) = graph.offset_pair(higraph_graph::VertexId(0));
+        let len = (n_off - off) as u32;
+        be.edge_access
+            .push(
+                0,
+                EdgeRange {
+                    off,
+                    len,
+                    payload: 0u64,
+                },
+            )
+            .expect("accepts first range");
+        let mut scheduler = higraph_sim::Scheduler::new().with_stall_guard(10_000);
+        scheduler
+            .drain(&mut be, |be, _| {
+                be.step(&prog, &graph, &mut t_props, &mut metrics);
+            })
+            .expect("back-end drains");
+        assert_eq!(metrics.edges_processed, u64::from(len));
+        assert_eq!(metrics.dataflow_net, NetworkStats::default()); // not yet finalized
+        assert!(be.dataflow_stats().delivered == u64::from(len));
+        assert!(t_props.iter().any(|&t| t != higraph_vcpm::INF) || len == 0);
+    }
+}

@@ -199,18 +199,23 @@ impl AcceleratorConfig {
     pub fn effective_frequency_ghz(&self) -> f64 {
         let mut worst = [
             (self.offset_network, self.front_channels),
-            (self.edge_network, self.back_channels.max(self.front_channels)),
+            (
+                self.edge_network,
+                self.back_channels.max(self.front_channels),
+            ),
             (self.dataflow_network, self.back_channels),
         ]
         .into_iter()
-        .map(|(kind, ch)| {
-            higraph_model::effective_frequency_ghz(kind.model_kind(), ch.max(2))
-        })
+        .map(|(kind, ch)| higraph_model::effective_frequency_ghz(kind.model_kind(), ch.max(2)))
         .fold(f64::INFINITY, f64::min);
         // A radix-r MDP stage is itself an r-port interaction point
         // (Sec. 5.4: too-large radices re-introduce design centralization).
-        let uses_mdp = [self.offset_network, self.edge_network, self.dataflow_network]
-            .contains(&NetworkKind::Mdp);
+        let uses_mdp = [
+            self.offset_network,
+            self.edge_network,
+            self.dataflow_network,
+        ]
+        .contains(&NetworkKind::Mdp);
         if uses_mdp {
             worst = worst.min(
                 higraph_model::mdp_radix_frequency_ghz(self.radix)
@@ -269,7 +274,11 @@ mod tests {
         for c in [h, m, g] {
             c.validate().expect("presets are valid");
             // Table 1: all three run at 1 GHz
-            assert!((c.effective_frequency_ghz() - 1.0).abs() < 1e-9, "{}", c.name);
+            assert!(
+                (c.effective_frequency_ghz() - 1.0).abs() < 1e-9,
+                "{}",
+                c.name
+            );
         }
     }
 

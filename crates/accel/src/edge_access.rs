@@ -13,7 +13,7 @@
 //!   other channels stall it (the datapath conflict of Fig. 3 ②).
 
 use higraph_mdp::{Dispatcher, EdgeRange, RangeMdpNetwork, Topology};
-use higraph_sim::{BankPorts, Fifo, NetworkStats};
+use higraph_sim::{BankPorts, ClockedComponent, Fifo, NetworkStats};
 
 /// One edge read issued to a bank this cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,7 +122,11 @@ impl<P: Copy> EdgeAccess<P> {
     /// issues at most one read per cycle.
     pub fn issue_reads(&mut self, epe_has_space: &[bool]) -> Vec<BankRead<P>> {
         match self {
-            EdgeAccess::Mdp { net, dispatcher, read_ports } => {
+            EdgeAccess::Mdp {
+                net,
+                dispatcher,
+                read_ports,
+            } => {
                 let mut reads = Vec::new();
                 let num_banks = net.num_banks();
                 for o in 0..net.num_channels() {
@@ -164,7 +168,9 @@ impl<P: Copy> EdgeAccess<P> {
                 let n = queues.len();
                 for off in 0..n {
                     let ch = (*next + off) % n;
-                    let Some(range) = queues[ch].peek() else { continue };
+                    let Some(range) = queues[ch].peek() else {
+                        continue;
+                    };
                     let first = (range.off % *num_banks as u64) as usize;
                     let row = range.off / *num_banks as u64;
                     let banks = first..first + range.len as usize;
@@ -175,9 +181,7 @@ impl<P: Copy> EdgeAccess<P> {
                     // Like the offset arbitration, this is a centralized
                     // priority chain: the first blocked claim stops grant
                     // propagation for the cycle.
-                    let ok = banks
-                        .clone()
-                        .all(|b| ports.is_free(b) && epe_has_space[b]);
+                    let ok = banks.clone().all(|b| ports.is_free(b) && epe_has_space[b]);
                     if !ok {
                         stats.hol_blocked += 1;
                         break;
@@ -225,6 +229,23 @@ impl<P: Copy> EdgeAccess<P> {
             EdgeAccess::Mdp { net, .. } => *net.stats(),
             EdgeAccess::Direct { stats, .. } => *stats,
         }
+    }
+}
+
+impl<P: Copy> ClockedComponent for EdgeAccess<P> {
+    fn tick(&mut self) {
+        EdgeAccess::tick(self);
+    }
+
+    fn in_flight(&self) -> usize {
+        match self {
+            EdgeAccess::Mdp { net, .. } => net.in_flight(),
+            EdgeAccess::Direct { queues, .. } => queues.iter().map(Fifo::len).sum(),
+        }
+    }
+
+    fn network_stats(&self) -> Option<NetworkStats> {
+        Some(self.stats())
     }
 }
 

@@ -9,44 +9,30 @@
 //!
 //! # Pipeline
 //!
-//! Per scatter cycle, stages are evaluated consumer-first so data advances
-//! one stage per cycle under backpressure:
+//! The scatter pipeline is split across two composable stages driven by
+//! the shared [`higraph_sim::Scheduler`]:
 //!
-//! 1. **vPE** — pop one update per back-end channel from the dataflow
-//!    fabric and fold it into the tProperty bank (`Reduce`); a vPE with no
-//!    input while work remains in flight records a starvation cycle
-//!    (Fig. 10b);
-//! 2. **ePE** — pop one pending edge per channel, compute
-//!    `Process_Edge`, push the `Imm` into the dataflow fabric;
-//! 3. **Edge banks** — the edge-access unit issues at most one read per
-//!    bank into the ePE queues;
-//! 4. **Replay** — each front-end channel's Replay Engine emits one
-//!    `{Off, Len}` chunk into the edge-access unit;
-//! 5. **Offset access** — queue heads claim their `(u, u+1)` offset-bank
-//!    pair under the odd-even arbiter (HiGraph) or a rotating centralized
-//!    priority chain (GraphDynS), with the paper's same-address sharing
-//!    rule;
-//! 6. **ActiveVertex fetch** — each part feeds one vertex into the
-//!    offset-routing fabric.
+//! * `backend::BackEnd` — stages 1–3 (vPE reduce, ePE
+//!   process-edge, edge-bank reads), evaluated consumer-first so data
+//!   advances one stage per cycle under backpressure;
+//! * `frontend::FrontEnd` — stages 4–6 (Replay Engines, Offset
+//!   Array arbitration, ActiveVertex fetch).
 //!
-//! The apply phase is modeled as an `⌈V/m⌉`-cycle scan (identical for all
-//! designs) that applies `Apply( )`, rebuilds the frontier, and resets the
-//! tProperty banks.
+//! Each scatter phase is one [`Scheduler::drain`] call over the combined
+//! `ScatterPipeline`; there is no hand-rolled clock loop here. The
+//! apply phase (identical for all designs) is modeled analytically in
+//! the `apply` module.
 
-use crate::config::{AcceleratorConfig, NetworkKind};
-use crate::edge_access::EdgeAccess;
+use crate::apply::{apply_cycles, apply_phase};
+use crate::backend::BackEnd;
+use crate::config::AcceleratorConfig;
+use crate::frontend::FrontEnd;
 use crate::metrics::Metrics;
-use crate::netfactory::AnyNetwork;
-use crate::packets::{ImmPacket, PendingEdge, VertexPacket};
+use crate::netfactory::NetworkFactory;
 use higraph_graph::slicing::{partition, slice_swap_cycles, Slice};
-use higraph_graph::{Csr, EdgeId, VertexId};
-use higraph_mdp::{EdgeRange, ReplayEngine};
-use higraph_sim::{BankPorts, Fifo, Network, OddEvenArbiter};
+use higraph_graph::{Csr, VertexId};
+use higraph_sim::{ClockedComponent, Scheduler};
 use higraph_vcpm::VertexProgram;
-use std::collections::VecDeque;
-
-/// Extra cycles per apply phase for pipeline fill/drain.
-const APPLY_PIPELINE_OVERHEAD: u64 = 4;
 
 /// Result of running a program on the accelerator.
 #[derive(Debug, Clone)]
@@ -86,75 +72,37 @@ impl<P> SlicedRunResult<P> {
     }
 }
 
-/// The microarchitectural state of the scatter pipeline; reused across
-/// scatter phases (and across slices — the fabrics drain completely
-/// between phases, like the real hardware).
-struct ScatterState<P> {
-    av_parts: Vec<VecDeque<(u32, P)>>,
-    offset_net: AnyNetwork<VertexPacket<P>>,
-    offset_q: Vec<Fifo<VertexPacket<P>>>,
-    replay: Vec<ReplayEngine<P>>,
-    replay_out: Vec<Option<EdgeRange<P>>>,
-    edge_access: EdgeAccess<P>,
-    epe_q: Vec<Fifo<PendingEdge<P>>>,
-    dataflow: AnyNetwork<ImmPacket<P>>,
-    odd_even: OddEvenArbiter,
-    offset_rr: usize,
+/// The whole scatter pipeline: front-end and back-end clocked as one
+/// component by the scheduler.
+struct ScatterPipeline<P> {
+    front: FrontEnd<P>,
+    back: BackEnd<P>,
 }
 
-impl<P: Copy + 'static> ScatterState<P> {
-    fn new(config: &AcceleratorConfig) -> Self {
-        let n = config.front_channels;
-        let m = config.back_channels;
-        ScatterState {
-            av_parts: vec![VecDeque::new(); n],
-            offset_net: AnyNetwork::build(
-                config.offset_network,
-                n,
-                config.staging_capacity.max(4),
-                config.radix,
-            ),
-            offset_q: (0..n).map(|_| Fifo::new(config.staging_capacity)).collect(),
-            replay: (0..n).map(|_| ReplayEngine::new(m)).collect(),
-            replay_out: vec![None; n],
-            edge_access: match config.edge_network {
-                NetworkKind::Mdp => EdgeAccess::new_mdp(
-                    n,
-                    m,
-                    config.staging_capacity.max(4),
-                    config.radix,
-                    config.dispatcher_read_ports,
-                ),
-                _ => EdgeAccess::new_direct(n, m, config.staging_capacity.max(4)),
-            },
-            epe_q: (0..m).map(|_| Fifo::new(config.staging_capacity)).collect(),
-            dataflow: AnyNetwork::build(
-                config.dataflow_network,
-                m,
-                config.dataflow_buffer_per_channel,
-                config.radix,
-            ),
-            odd_even: OddEvenArbiter::new(),
-            offset_rr: 0,
+impl<P: Copy + 'static> ScatterPipeline<P> {
+    fn new(factory: &NetworkFactory) -> Self {
+        ScatterPipeline {
+            front: FrontEnd::new(factory),
+            back: BackEnd::new(factory),
         }
     }
+}
 
-    fn is_drained(&self) -> bool {
-        self.av_parts.iter().all(VecDeque::is_empty)
-            && self.offset_net.is_empty()
-            && self.offset_q.iter().all(Fifo::is_empty)
-            && self.replay.iter().all(ReplayEngine::is_idle)
-            && self.replay_out.iter().all(Option::is_none)
-            && self.edge_access.is_empty()
-            && self.epe_q.iter().all(Fifo::is_empty)
-            && self.dataflow.is_empty()
+impl<P: Copy + 'static> ClockedComponent for ScatterPipeline<P> {
+    fn tick(&mut self) {
+        self.front.tick();
+        self.back.tick();
+    }
+
+    fn in_flight(&self) -> usize {
+        self.front.in_flight() + self.back.in_flight()
     }
 }
 
 /// A cycle-level accelerator instance bound to a graph.
 #[derive(Debug)]
 pub struct Engine<'g> {
-    config: AcceleratorConfig,
+    factory: NetworkFactory,
     graph: &'g Csr,
 }
 
@@ -164,8 +112,8 @@ impl<'g> Engine<'g> {
     /// # Panics
     ///
     /// Panics if the configuration is structurally invalid (see
-    /// [`AcceleratorConfig::validate`]). Use [`Engine::try_new`] for a
-    /// fallible constructor.
+    /// [`NetworkFactory::new`]). Use [`Engine::try_new`] for a fallible
+    /// constructor.
     pub fn new(config: AcceleratorConfig, graph: &'g Csr) -> Self {
         Engine::try_new(config, graph).expect("invalid accelerator configuration")
     }
@@ -176,18 +124,21 @@ impl<'g> Engine<'g> {
     ///
     /// Returns the validation message for invalid configurations.
     pub fn try_new(config: AcceleratorConfig, graph: &'g Csr) -> Result<Self, String> {
-        config.validate()?;
-        Ok(Engine { config, graph })
+        Ok(Engine {
+            factory: NetworkFactory::new(&config)?,
+            graph,
+        })
     }
 
     /// The configuration this engine simulates.
     pub fn config(&self) -> &AcceleratorConfig {
-        &self.config
+        self.factory.config()
     }
 
     /// Executes `program` to completion and returns properties + metrics.
     pub fn run<Prog: VertexProgram>(&mut self, program: &Prog) -> RunResult<Prog::Prop> {
-        let m = self.config.back_channels;
+        let config = self.factory.config();
+        let m = config.back_channels;
         let graph = self.graph;
         let num_v = graph.num_vertices();
 
@@ -196,9 +147,10 @@ impl<'g> Engine<'g> {
             .map(|v| program.init_prop(v, graph))
             .collect();
         let mut t_props: Vec<Prog::Prop> = vec![program.identity(); num_v as usize];
-        let mut state = ScatterState::new(&self.config);
+        let mut pipeline = ScatterPipeline::new(&self.factory);
+        let mut scheduler = Scheduler::new();
         let mut metrics = Metrics {
-            frequency_ghz: self.config.effective_frequency_ghz(),
+            frequency_ghz: config.effective_frequency_ghz(),
             vpe_starvation_per_channel: vec![0; m],
             ..Metrics::default()
         };
@@ -216,16 +168,16 @@ impl<'g> Engine<'g> {
                 &frontier,
                 &properties,
                 &mut t_props,
-                &mut state,
+                &mut pipeline,
+                &mut scheduler,
                 &mut metrics,
             );
             apply_phase(program, graph, &mut properties, &mut t_props, &mut frontier);
-            metrics.apply_cycles +=
-                u64::from(num_v).div_ceil(m as u64) + APPLY_PIPELINE_OVERHEAD;
+            metrics.apply_cycles += apply_cycles(num_v, m);
             metrics.iterations += 1;
         }
 
-        self.finalize_metrics(&mut metrics, &state);
+        finalize_metrics(&mut metrics, &pipeline);
         RunResult {
             properties,
             metrics,
@@ -251,7 +203,8 @@ impl<'g> Engine<'g> {
         memory_bytes_per_cycle: u64,
     ) -> SlicedRunResult<Prog::Prop> {
         assert!(num_slices > 0, "need at least one slice");
-        let m = self.config.back_channels;
+        let config = self.factory.config();
+        let m = config.back_channels;
         let graph = self.graph;
         let num_v = graph.num_vertices();
         let slices: Vec<Slice> = partition(graph, num_slices);
@@ -265,9 +218,10 @@ impl<'g> Engine<'g> {
             .map(|v| program.init_prop(v, graph))
             .collect();
         let mut t_props: Vec<Prog::Prop> = vec![program.identity(); num_v as usize];
-        let mut state = ScatterState::new(&self.config);
+        let mut pipeline = ScatterPipeline::new(&self.factory);
+        let mut scheduler = Scheduler::new();
         let mut metrics = Metrics {
-            frequency_ghz: self.config.effective_frequency_ghz(),
+            frequency_ghz: config.effective_frequency_ghz(),
             vpe_starvation_per_channel: vec![0; m],
             ..Metrics::default()
         };
@@ -293,7 +247,8 @@ impl<'g> Engine<'g> {
                     &frontier,
                     &properties,
                     &mut t_props,
-                    &mut state,
+                    &mut pipeline,
+                    &mut scheduler,
                     &mut metrics,
                 );
                 let compute = metrics.scatter_cycles - before;
@@ -306,12 +261,11 @@ impl<'g> Engine<'g> {
                 prev_compute = compute;
             }
             apply_phase(program, graph, &mut properties, &mut t_props, &mut frontier);
-            metrics.apply_cycles +=
-                u64::from(num_v).div_ceil(m as u64) + APPLY_PIPELINE_OVERHEAD;
+            metrics.apply_cycles += apply_cycles(num_v, m);
             metrics.iterations += 1;
         }
 
-        self.finalize_metrics(&mut metrics, &state);
+        finalize_metrics(&mut metrics, &pipeline);
         SlicedRunResult {
             properties,
             metrics,
@@ -322,7 +276,8 @@ impl<'g> Engine<'g> {
     }
 
     /// Simulates one scatter phase of `frontier` over `graph` (which may
-    /// be a slice of the full graph), folding updates into `t_props`.
+    /// be a slice of the full graph), folding updates into `t_props`: one
+    /// scheduler drain of the scatter pipeline.
     #[allow(clippy::too_many_arguments)]
     fn simulate_scatter<Prog: VertexProgram>(
         &self,
@@ -331,198 +286,44 @@ impl<'g> Engine<'g> {
         frontier: &[VertexId],
         properties: &[Prog::Prop],
         t_props: &mut [Prog::Prop],
-        state: &mut ScatterState<Prog::Prop>,
+        pipeline: &mut ScatterPipeline<Prog::Prop>,
+        scheduler: &mut Scheduler,
         metrics: &mut Metrics,
     ) {
-        let n = self.config.front_channels;
-        let m = self.config.back_channels;
-        debug_assert!(state.is_drained(), "scatter must start from a drained pipeline");
+        debug_assert!(
+            pipeline.is_drained(),
+            "scatter must start from a drained pipeline"
+        );
+        pipeline.front.load_frontier(frontier, properties);
 
-        // Load the ActiveVertex parts round-robin in activation order.
-        for (seq, &v) in frontier.iter().enumerate() {
-            state.av_parts[seq % n].push_back((v.0, properties[v.index()]));
-        }
-
-        let mut guard: u64 = 0;
         let iteration_edges: u64 = frontier.iter().map(|&v| graph.out_degree(v)).sum();
-        let guard_limit = 10_000 + iteration_edges * 64;
-        loop {
-            if state.is_drained() {
-                break;
-            }
-            guard += 1;
-            assert!(
-                guard <= guard_limit,
-                "scatter phase of {} stalled: no completion after {guard} cycles \
-                 (iteration edges: {iteration_edges})",
-                self.config.name
-            );
-
-            // (1) vPEs: drain the dataflow fabric, fold into tProperty.
-            for c in 0..m {
-                match state.dataflow.pop(c) {
-                    Some(pkt) => {
-                        debug_assert_eq!(pkt.dest, c);
-                        let t = &mut t_props[pkt.v as usize];
-                        *t = program.reduce(*t, pkt.imm);
-                    }
-                    None => {
-                        metrics.vpe_starvation_cycles += 1;
-                        metrics.vpe_starvation_per_channel[c] += 1;
-                    }
-                }
-            }
-
-            // (2) ePEs: Process_Edge and inject into the dataflow fabric.
-            for c in 0..m {
-                let Some(&PendingEdge { dst, weight, u_prop }) = state.epe_q[c].peek() else {
-                    continue;
-                };
-                let pkt = ImmPacket {
-                    v: dst,
-                    imm: program.process_edge(u_prop, weight),
-                    dest: (dst as usize) % m,
-                };
-                if state.dataflow.push(c, pkt).is_ok() {
-                    state.epe_q[c].pop();
-                }
-            }
-
-            // (3) Edge banks: one read per bank into the ePE queues.
-            let epe_space: Vec<bool> = state.epe_q.iter().map(|q| !q.is_full()).collect();
-            for read in state.edge_access.issue_reads(&epe_space) {
-                let e = graph.edge(EdgeId(read.edge_index));
-                let pushed = state.epe_q[read.bank].push(PendingEdge {
-                    dst: e.dst.0,
-                    weight: e.weight,
-                    u_prop: read.payload,
-                });
-                debug_assert!(pushed.is_ok(), "edge unit overran an ePE queue");
-                metrics.edges_processed += 1;
-            }
-
-            // (4) Replay engines: stage one chunk, offer it downstream.
-            for c in 0..n {
-                if state.replay_out[c].is_none() {
-                    state.replay_out[c] = state.replay[c].emit();
-                }
-                if let Some(chunk) = state.replay_out[c].take() {
-                    match state.edge_access.push(c, chunk) {
-                        Ok(()) => {}
-                        Err(chunk) => state.replay_out[c] = Some(chunk),
-                    }
-                }
-            }
-
-            // (5) Offset Array access: claim (u, u+1) bank pairs.
-            let mut offset_banks = BankPorts::new(n);
-            let claim = |u: u32, ports: &mut BankPorts| -> bool {
-                let b0 = (u as usize) % n;
-                let b1 = (u as usize + 1) % n;
-                let r0 = u64::from(u) / n as u64;
-                let r1 = (u64::from(u) + 1) / n as u64;
-                ports.try_claim_pair((b0, r0), (b1, r1))
-            };
-            let strict_chain = self.config.offset_network != NetworkKind::Mdp;
-            let mut issue_order: Vec<usize> = Vec::with_capacity(n);
-            if self.config.offset_network == NetworkKind::Mdp {
-                // HiGraph: odd-even alternating priority (Sec. 4.1).
-                // Every channel's conflict check is local (its own and its
-                // neighbour's banks), so channels issue independently.
-                issue_order.extend((0..n).filter(|&c| state.odd_even.has_priority(c)));
-                issue_order.extend((0..n).filter(|&c| !state.odd_even.has_priority(c)));
-            } else {
-                // GraphDynS: the "delicate" centralized arbitration — a
-                // rotating priority *chain*. Grants propagate down the
-                // chain until the first conflicting claim; later channels
-                // cannot be granted past a blocked one (skip-over would
-                // require full per-bank parallel arbitration, exactly the
-                // centralization the paper says caps this design at 4
-                // channels).
-                issue_order.extend((0..n).map(|off| (state.offset_rr + off) % n));
-                state.offset_rr = (state.offset_rr + 1) % n;
-            }
-            for c in issue_order {
-                let Some(head) = state.offset_q[c].peek() else { continue };
-                if !state.replay[c].is_idle() {
-                    continue;
-                }
-                let u = head.u;
-                if claim(u, &mut offset_banks) {
-                    let pkt = state.offset_q[c].pop().expect("peeked head");
-                    let (off, n_off) = graph.offset_pair(VertexId(pkt.u));
-                    let loaded = state.replay[c].load(off, n_off, pkt.prop);
-                    debug_assert!(loaded, "replay engine checked idle");
-                } else {
-                    metrics.offset_conflicts += 1;
-                    if strict_chain {
-                        break;
-                    }
-                }
-            }
-
-            // (5b) Drain the offset-routing fabric into the channel queues.
-            for c in 0..n {
-                if !state.offset_q[c].is_full() {
-                    if let Some(pkt) = state.offset_net.pop(c) {
-                        debug_assert_eq!(pkt.dest, c);
-                        state.offset_q[c]
-                            .push(pkt)
-                            .unwrap_or_else(|_| unreachable!("space checked"));
-                    }
-                }
-            }
-
-            // (6) ActiveVertex fetch: one vertex per part per cycle.
-            for c in 0..n {
-                let Some(&(u, prop)) = state.av_parts[c].front() else {
-                    continue;
-                };
-                let pkt = VertexPacket {
-                    u,
-                    prop,
-                    dest: (u as usize) % n,
-                };
-                if state.offset_net.push(c, pkt).is_ok() {
-                    state.av_parts[c].pop_front();
-                }
-            }
-
-            // (7) clock edge
-            state.offset_net.tick();
-            state.edge_access.tick();
-            state.dataflow.tick();
-            state.odd_even.tick();
-            metrics.scatter_cycles += 1;
-        }
-    }
-
-    fn finalize_metrics<P: Copy + 'static>(&self, metrics: &mut Metrics, state: &ScatterState<P>) {
-        metrics.cycles = metrics.scatter_cycles + metrics.apply_cycles;
-        metrics.offset_net = *state.offset_net.stats();
-        metrics.edge_net = state.edge_access.stats();
-        metrics.dataflow_net = *state.dataflow.stats();
+        scheduler.set_stall_guard(10_000 + iteration_edges * 64);
+        let spent = scheduler
+            .drain(pipeline, |pipeline, _| {
+                // Stages evaluate consumer-first: back-end (1–3), then
+                // front-end (4–6) feeding the back-end's edge unit.
+                pipeline.back.step(program, graph, t_props, metrics);
+                pipeline
+                    .front
+                    .step(graph, &mut pipeline.back.edge_access, metrics);
+            })
+            .unwrap_or_else(|stall| {
+                panic!(
+                    "scatter phase of {} stalled: {stall} (iteration edges: {iteration_edges})",
+                    self.factory.config().name
+                )
+            });
+        metrics.scatter_cycles += spent;
     }
 }
 
-/// The apply phase (identical across designs): scan all vertices, apply,
-/// rebuild the frontier in vertex-ID order, and reset tProperty.
-fn apply_phase<Prog: VertexProgram>(
-    program: &Prog,
-    graph: &Csr,
-    properties: &mut [Prog::Prop],
-    t_props: &mut [Prog::Prop],
-    frontier: &mut Vec<VertexId>,
-) {
-    frontier.clear();
-    for v in graph.vertices() {
-        let apply_res = program.apply(v, properties[v.index()], t_props[v.index()], graph);
-        if properties[v.index()] != apply_res {
-            properties[v.index()] = apply_res;
-            frontier.push(v);
-        }
-        t_props[v.index()] = program.identity();
-    }
+/// Harvests the fabric statistics through the unified
+/// [`ClockedComponent::network_stats`] collection point.
+fn finalize_metrics<P: Copy + 'static>(metrics: &mut Metrics, pipeline: &ScatterPipeline<P>) {
+    metrics.cycles = metrics.scatter_cycles + metrics.apply_cycles;
+    metrics.offset_net = pipeline.front.offset_stats();
+    metrics.edge_net = pipeline.back.edge_stats();
+    metrics.dataflow_net = pipeline.back.dataflow_stats();
 }
 
 #[cfg(test)]
@@ -556,7 +357,10 @@ mod tests {
             let got = Engine::new(cfg, &g).run(&prog);
             assert_eq!(got.properties, expect.properties, "{name}");
             assert_eq!(got.metrics.iterations, expect.iterations, "{name}");
-            assert_eq!(got.metrics.edges_processed, expect.edges_processed, "{name}");
+            assert_eq!(
+                got.metrics.edges_processed, expect.edges_processed,
+                "{name}"
+            );
         }
     }
 
@@ -650,13 +454,9 @@ mod tests {
     fn starvation_is_lower_with_full_opts() {
         let g = power_law(2000, 16_000, 2.0, 31, 11);
         let prog = PageRank::new(3);
-        let base = Engine::new(
-            AcceleratorConfig::higraph_with_opts(OptLevel::BASELINE),
-            &g,
-        )
-        .run(&prog);
-        let full =
-            Engine::new(AcceleratorConfig::higraph_with_opts(OptLevel::OED), &g).run(&prog);
+        let base =
+            Engine::new(AcceleratorConfig::higraph_with_opts(OptLevel::BASELINE), &g).run(&prog);
+        let full = Engine::new(AcceleratorConfig::higraph_with_opts(OptLevel::OED), &g).run(&prog);
         assert!(
             full.metrics.vpe_starvation_cycles < base.metrics.vpe_starvation_cycles,
             "full {} vs base {}",
@@ -692,8 +492,8 @@ mod tests {
         let prog = Sssp::from_source(src);
         let whole = Engine::new(AcceleratorConfig::higraph(), &g).run(&prog);
         for slices in [1usize, 2, 5] {
-            let sliced = Engine::new(AcceleratorConfig::higraph(), &g)
-                .run_sliced(&prog, slices, 64);
+            let sliced =
+                Engine::new(AcceleratorConfig::higraph(), &g).run_sliced(&prog, slices, 64);
             assert_eq!(sliced.properties, whole.properties, "{slices} slices");
             assert_eq!(
                 sliced.metrics.edges_processed,
@@ -708,9 +508,7 @@ mod tests {
         let mut engine = Engine::new(AcceleratorConfig::higraph(), &g);
         let r = engine.run_sliced(&PageRank::new(3), 4, 16);
         assert!(r.swap_cycles_overlapped <= r.swap_cycles_sequential);
-        assert!(
-            r.total_cycles_double_buffered() <= r.total_cycles_single_buffered()
-        );
+        assert!(r.total_cycles_double_buffered() <= r.total_cycles_single_buffered());
         assert!(r.swap_cycles_sequential > 0);
     }
 
@@ -723,5 +521,20 @@ mod tests {
         cfg.radix = 4; // mixed-radix topology: 4 × 4
         let got = Engine::new(cfg, &g).run_sliced(&prog, 3, 32);
         assert_eq!(got.properties, expect.properties);
+    }
+
+    #[test]
+    fn scheduler_cycle_accounting_matches_fabric_counters() {
+        // The scheduler's per-drain cycle counts (summed into
+        // `scatter_cycles`) must agree with the fabrics' own independent
+        // counters: every fabric ticks exactly once per scatter cycle,
+        // so its `NetworkStats::cycles` is a second clock to check the
+        // scheduler against — the engine has no clock loop of its own.
+        let g = small_graph(8);
+        let got = Engine::new(AcceleratorConfig::higraph(), &g).run(&Bfs::from_source(0));
+        assert!(got.metrics.scatter_cycles > 0);
+        assert_eq!(got.metrics.dataflow_net.cycles, got.metrics.scatter_cycles);
+        assert_eq!(got.metrics.offset_net.cycles, got.metrics.scatter_cycles);
+        assert_eq!(got.metrics.edge_net.cycles, got.metrics.scatter_cycles);
     }
 }

@@ -5,13 +5,21 @@
 //! VCPM-based graph-analytics accelerators, reproducing Fig. 6 of the
 //! paper:
 //!
-//! * **front-end** (`n` channels): ActiveVertex fetch → routing network →
-//!   Offset Array access under the odd-even arbiter → Replay Engines;
-//! * **back-end** (`m` channels): Edge Array access (range network or
-//!   direct arbitration) → ePEs (`Process_Edge`) → dataflow propagation
-//!   network → vPEs (`Reduce`) → tProperty banks;
-//! * **apply phase**: an `⌈V/m⌉`-cycle scan applying `Apply( )` and
-//!   building the next frontier.
+//! * **front-end** (`n` channels, the `frontend` module): ActiveVertex
+//!   fetch → routing network → Offset Array access under the odd-even
+//!   arbiter → Replay Engines;
+//! * **back-end** (`m` channels, the `backend` module): Edge Array access
+//!   (range network or direct arbitration) → ePEs (`Process_Edge`) →
+//!   dataflow propagation network → vPEs (`Reduce`) → tProperty banks;
+//! * **apply phase** (the `apply` module): an `⌈V/m⌉`-cycle scan applying
+//!   `Apply( )` and building the next frontier.
+//!
+//! Both pipeline halves implement `higraph_sim::ClockedComponent` and the
+//! engine drives them through the shared `higraph_sim::Scheduler` — the
+//! per-cycle protocol lives in one place, not in a hand-woven loop. All
+//! fabrics are built by the validated [`netfactory::NetworkFactory`], and
+//! whole sweeps of independent simulations execute in parallel through
+//! the [`runner::BatchRunner`].
 //!
 //! Each of the three interaction points can independently use a crossbar,
 //! an MDP-network, or the naive nW1R FIFO — that is exactly the paper's
@@ -38,13 +46,20 @@
 //! assert_eq!(result.properties[0], 0);
 //! ```
 
+mod apply;
+mod backend;
+mod frontend;
+
 pub mod config;
 pub mod edge_access;
 pub mod engine;
 pub mod metrics;
 pub mod netfactory;
 pub mod packets;
+pub mod runner;
 
 pub use config::{AcceleratorConfig, NetworkKind, OptLevel};
 pub use engine::{Engine, RunResult, SlicedRunResult};
 pub use metrics::Metrics;
+pub use netfactory::{AnyNetwork, NetworkFactory};
+pub use runner::{BatchJob, BatchReport, BatchResult, BatchRunner, RunMode};

@@ -1,12 +1,22 @@
-//! Runtime-selectable propagation fabric.
+//! Runtime-selectable propagation fabrics and the validated factory that
+//! builds them.
 //!
 //! [`AnyNetwork`] wraps the three interchangeable fabrics behind one type
 //! so the engine can swap them per configuration (the paper's ablations
 //! and the Fig. 12 comparison) without generics at every call site.
+//!
+//! [`NetworkFactory`] is the single construction path: it validates an
+//! [`AcceleratorConfig`] once (channel geometry, radix, buffer budgets,
+//! bank divisibility) and then hands out any fabric of the accelerator —
+//! offset routing, edge access, dataflow propagation — infallibly. The
+//! engine, the pipeline stages and the tests all build their networks
+//! through it, so an invalid geometry is rejected in exactly one place
+//! instead of panicking somewhere inside a constructor.
 
-use crate::config::NetworkKind;
+use crate::config::{AcceleratorConfig, NetworkKind};
+use crate::edge_access::EdgeAccess;
 use higraph_mdp::{MdpNetwork, NaiveFifoNetwork, Topology};
-use higraph_sim::{CrossbarNetwork, Network, NetworkStats, Packet};
+use higraph_sim::{ClockedComponent, CrossbarNetwork, Network, NetworkStats, Packet};
 
 /// A crossbar, MDP-network, or naive nW1R-FIFO fabric.
 #[derive(Debug, Clone)]
@@ -24,25 +34,25 @@ impl<T: Packet> AnyNetwork<T> {
     /// a total buffer budget of `buffer_per_channel` entries per channel
     /// and the given MDP radix.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `channels` is not a valid size for the chosen kind (the
-    /// engine validates configurations before construction).
-    pub fn build(
+    /// Returns a message if `channels` is not a valid size for the chosen
+    /// kind (the MDP-network needs a power-of-two channel count reachable
+    /// by the radix).
+    pub fn try_build(
         kind: NetworkKind,
         channels: usize,
         buffer_per_channel: usize,
         radix: usize,
-    ) -> Self {
-        match kind {
+    ) -> Result<Self, String> {
+        Ok(match kind {
             NetworkKind::Crossbar => AnyNetwork::Crossbar(CrossbarNetwork::new(
                 channels,
                 channels,
                 buffer_per_channel.max(1),
             )),
             NetworkKind::Mdp => {
-                let topo = Topology::new_mixed(channels, radix)
-                    .expect("validated config guarantees a power-of-two channel count");
+                let topo = Topology::new_mixed(channels, radix).map_err(|e| e.to_string())?;
                 AnyNetwork::Mdp(MdpNetwork::with_channel_budget(topo, buffer_per_channel))
             }
             NetworkKind::NaiveFifo => AnyNetwork::Naive(NaiveFifoNetwork::new(
@@ -50,7 +60,23 @@ impl<T: Packet> AnyNetwork<T> {
                 channels,
                 buffer_per_channel.max(1),
             )),
-        }
+        })
+    }
+
+    /// Builds like [`AnyNetwork::try_build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid shapes; use [`NetworkFactory`] (which validates
+    /// up front) or [`AnyNetwork::try_build`] in fallible contexts.
+    pub fn build(
+        kind: NetworkKind,
+        channels: usize,
+        buffer_per_channel: usize,
+        radix: usize,
+    ) -> Self {
+        AnyNetwork::try_build(kind, channels, buffer_per_channel, radix)
+            .expect("invalid fabric shape")
     }
 }
 
@@ -103,6 +129,16 @@ impl<T: Packet> Network<T> for AnyNetwork<T> {
         }
     }
 
+    fn stats(&self) -> &NetworkStats {
+        match self {
+            AnyNetwork::Crossbar(n) => n.stats(),
+            AnyNetwork::Mdp(n) => n.stats(),
+            AnyNetwork::Naive(n) => n.stats(),
+        }
+    }
+}
+
+impl<T: Packet> ClockedComponent for AnyNetwork<T> {
     fn tick(&mut self) {
         match self {
             AnyNetwork::Crossbar(n) => n.tick(),
@@ -119,11 +155,96 @@ impl<T: Packet> Network<T> for AnyNetwork<T> {
         }
     }
 
-    fn stats(&self) -> &NetworkStats {
-        match self {
-            AnyNetwork::Crossbar(n) => n.stats(),
-            AnyNetwork::Mdp(n) => n.stats(),
-            AnyNetwork::Naive(n) => n.stats(),
+    fn network_stats(&self) -> Option<NetworkStats> {
+        Some(*self.stats())
+    }
+}
+
+/// Validated builder for every fabric of one accelerator configuration.
+///
+/// Construction runs all structural checks; afterwards the builder
+/// methods cannot fail.
+#[derive(Debug, Clone)]
+pub struct NetworkFactory {
+    config: AcceleratorConfig,
+}
+
+impl NetworkFactory {
+    /// Validates `config` and captures it for fabric construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation failure: the basic geometry checks of
+    /// [`AcceleratorConfig::validate`] plus the fabric-specific shape
+    /// requirements (MDP topology reachability for each interaction point
+    /// that uses an MDP-network).
+    pub fn new(config: &AcceleratorConfig) -> Result<Self, String> {
+        config.validate()?;
+        // Prove each MDP interaction point can actually build its
+        // topology, so the infallible builders below cannot panic.
+        if config.offset_network == NetworkKind::Mdp {
+            Topology::new_mixed(config.front_channels, config.radix)
+                .map_err(|e| format!("offset network: {e}"))?;
+        }
+        if config.edge_network == NetworkKind::Mdp {
+            // Bank divisibility (m a multiple of n) is already part of
+            // `AcceleratorConfig::validate`; only the topology shape is
+            // fabric-specific.
+            Topology::new_mixed(config.front_channels, config.radix)
+                .map_err(|e| format!("edge network: {e}"))?;
+        }
+        if config.dataflow_network == NetworkKind::Mdp {
+            Topology::new_mixed(config.back_channels, config.radix)
+                .map_err(|e| format!("dataflow network: {e}"))?;
+        }
+        Ok(NetworkFactory {
+            config: config.clone(),
+        })
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// The front-end offset-routing fabric (`n × n`).
+    pub fn offset_fabric<T: Packet>(&self) -> AnyNetwork<T> {
+        let c = &self.config;
+        AnyNetwork::try_build(
+            c.offset_network,
+            c.front_channels,
+            c.staging_capacity.max(4),
+            c.radix,
+        )
+        .expect("validated at factory construction")
+    }
+
+    /// The back-end dataflow-propagation fabric (`m × m`).
+    pub fn dataflow_fabric<T: Packet>(&self) -> AnyNetwork<T> {
+        let c = &self.config;
+        AnyNetwork::try_build(
+            c.dataflow_network,
+            c.back_channels,
+            c.dataflow_buffer_per_channel,
+            c.radix,
+        )
+        .expect("validated at factory construction")
+    }
+
+    /// The Edge Array access unit (`n` channels over `m` banks).
+    pub fn edge_access<P: Copy>(&self) -> EdgeAccess<P> {
+        let c = &self.config;
+        match c.edge_network {
+            NetworkKind::Mdp => EdgeAccess::new_mdp(
+                c.front_channels,
+                c.back_channels,
+                c.staging_capacity.max(4),
+                c.radix,
+                c.dispatcher_read_ports,
+            ),
+            _ => {
+                EdgeAccess::new_direct(c.front_channels, c.back_channels, c.staging_capacity.max(4))
+            }
         }
     }
 }
@@ -155,7 +276,11 @@ mod tests {
 
     #[test]
     fn all_kinds_route_correctly() {
-        for kind in [NetworkKind::Crossbar, NetworkKind::Mdp, NetworkKind::NaiveFifo] {
+        for kind in [
+            NetworkKind::Crossbar,
+            NetworkKind::Mdp,
+            NetworkKind::NaiveFifo,
+        ] {
             exercise(AnyNetwork::build(kind, 8, 16, 2));
         }
     }
@@ -167,5 +292,40 @@ mod tests {
             AnyNetwork::Mdp(m) => assert_eq!(m.topology().radix(), 4),
             _ => panic!("expected MDP"),
         }
+    }
+
+    #[test]
+    fn try_build_rejects_bad_mdp_shapes() {
+        assert!(AnyNetwork::<P>::try_build(NetworkKind::Mdp, 6, 8, 2).is_err());
+        assert!(AnyNetwork::<P>::try_build(NetworkKind::Crossbar, 6, 8, 2).is_ok());
+    }
+
+    #[test]
+    fn factory_validates_once_then_builds_all_fabrics() {
+        let factory = NetworkFactory::new(&AcceleratorConfig::higraph()).expect("valid");
+        let offset: AnyNetwork<P> = factory.offset_fabric();
+        let dataflow: AnyNetwork<P> = factory.dataflow_fabric();
+        assert_eq!(offset.num_inputs(), 32);
+        assert_eq!(dataflow.num_inputs(), 32);
+        let ea: EdgeAccess<u32> = factory.edge_access();
+        assert!(ea.is_empty());
+    }
+
+    #[test]
+    fn factory_rejects_invalid_geometry() {
+        let mut cfg = AcceleratorConfig::higraph();
+        cfg.front_channels = 3;
+        assert!(NetworkFactory::new(&cfg).is_err());
+        let mut cfg = AcceleratorConfig::higraph();
+        cfg.radix = 6;
+        assert!(NetworkFactory::new(&cfg).is_err());
+    }
+
+    #[test]
+    fn clocked_stats_match_network_stats() {
+        let mut net: AnyNetwork<P> = AnyNetwork::build(NetworkKind::Crossbar, 8, 4, 2);
+        net.push(0, P(1)).unwrap();
+        let unified = ClockedComponent::network_stats(&net).expect("fabrics keep stats");
+        assert_eq!(&unified, net.stats());
     }
 }

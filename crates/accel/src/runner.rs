@@ -1,0 +1,388 @@
+//! Parallel batch execution of accelerator simulations.
+//!
+//! A single [`Engine::run`] models one accelerator on one workload; the
+//! paper's evaluation — and any serving deployment of the model — instead
+//! sweeps whole *batches* of (graph × program × config) points: the Fig. 8
+//! design comparison is a 4 × 6 × 3 sweep, Fig. 10 a 4 × 4 ablation grid,
+//! the buffer/radix studies more still. Every point is an independent
+//! deterministic simulation, so the batch is embarrassingly parallel.
+//!
+//! [`BatchRunner`] executes such batches across worker threads (via
+//! `rayon`) and reports aggregate throughput. Parallelism changes *only*
+//! wall-clock time: each simulation is single-threaded and seeded by its
+//! own inputs, so results are bit-identical to running the same jobs
+//! serially through [`Engine::run`] — `tests/batch_runner.rs` asserts
+//! this.
+//!
+//! Sliced large-graph schedules ([`Engine::run_sliced`], Sec. 5.3) ride
+//! the same path through [`RunMode::Sliced`].
+//!
+//! # Example
+//!
+//! ```
+//! use higraph_accel::{AcceleratorConfig, BatchJob, BatchRunner};
+//! use higraph_graph::gen::erdos_renyi;
+//! use higraph_vcpm::programs::Bfs;
+//!
+//! let graph = erdos_renyi(128, 1024, 31, 1);
+//! let jobs: Vec<_> = [AcceleratorConfig::higraph(), AcceleratorConfig::graphdyns()]
+//!     .into_iter()
+//!     .map(|config| BatchJob::new(&config.name.clone(), &graph, Bfs::from_source(0), config))
+//!     .collect();
+//! let (results, report) = BatchRunner::parallel().run(jobs);
+//! assert_eq!(results.len(), 2);
+//! assert_eq!(report.jobs, 2);
+//! assert!(report.total_edges_processed > 0);
+//! ```
+
+use crate::config::AcceleratorConfig;
+use crate::engine::Engine;
+use crate::metrics::Metrics;
+use higraph_graph::Csr;
+use higraph_vcpm::VertexProgram;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// How one batched simulation executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// The whole graph resides on chip ([`Engine::run`]).
+    Whole,
+    /// The Sec. 5.3 large-graph schedule ([`Engine::run_sliced`]).
+    Sliced {
+        /// Destination-interval slice count (must be positive).
+        num_slices: usize,
+        /// Off-chip bandwidth for slice replacement, bytes per cycle.
+        memory_bytes_per_cycle: u64,
+    },
+}
+
+/// One (graph × program × config) simulation in a batch.
+#[derive(Debug, Clone)]
+pub struct BatchJob<'g, Prog> {
+    /// Label carried through to the result (design name, sweep point…).
+    pub label: String,
+    /// The input graph.
+    pub graph: &'g Csr,
+    /// The vertex program to execute.
+    pub program: Prog,
+    /// The accelerator design point.
+    pub config: AcceleratorConfig,
+    /// Whole-graph or sliced execution.
+    pub mode: RunMode,
+}
+
+impl<'g, Prog> BatchJob<'g, Prog> {
+    /// A whole-graph job.
+    pub fn new(label: &str, graph: &'g Csr, program: Prog, config: AcceleratorConfig) -> Self {
+        BatchJob {
+            label: label.to_string(),
+            graph,
+            program,
+            config,
+            mode: RunMode::Whole,
+        }
+    }
+
+    /// Switches this job to the sliced large-graph schedule.
+    pub fn sliced(mut self, num_slices: usize, memory_bytes_per_cycle: u64) -> Self {
+        self.mode = RunMode::Sliced {
+            num_slices,
+            memory_bytes_per_cycle,
+        };
+        self
+    }
+}
+
+/// Timing detail only sliced runs produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlicedTiming {
+    /// Slices per iteration.
+    pub num_slices: usize,
+    /// Exposed replacement cycles, single-buffered.
+    pub swap_cycles_sequential: u64,
+    /// Exposed replacement cycles, double-buffered.
+    pub swap_cycles_overlapped: u64,
+}
+
+/// Result of one batched simulation.
+#[derive(Debug, Clone)]
+pub struct BatchResult<P> {
+    /// The job's label.
+    pub label: String,
+    /// Final Property Array — bit-identical to a serial [`Engine::run`]
+    /// (or [`Engine::run_sliced`]) of the same job.
+    pub properties: Vec<P>,
+    /// Performance metrics of the simulated accelerator.
+    pub metrics: Metrics,
+    /// Slice-replacement timing for [`RunMode::Sliced`] jobs.
+    pub sliced: Option<SlicedTiming>,
+}
+
+/// Aggregate throughput of one batch execution.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Number of simulations executed.
+    pub jobs: usize,
+    /// Sum of edge traversals across all simulations.
+    pub total_edges_processed: u64,
+    /// Sum of simulated cycles across all simulations.
+    pub total_simulated_cycles: u64,
+    /// Sum of modeled execution time across all simulations, ns.
+    pub total_simulated_ns: f64,
+    /// Host wall-clock time for the whole batch, seconds.
+    pub wall_seconds: f64,
+    /// Worker threads available to the runner (1 when serial).
+    pub workers: usize,
+}
+
+impl BatchReport {
+    /// Aggregate modeled throughput: total edges over total modeled time
+    /// (GTEPS), i.e. the batch viewed as one long accelerator run.
+    pub fn aggregate_gteps(&self) -> f64 {
+        if self.total_simulated_ns == 0.0 {
+            0.0
+        } else {
+            self.total_edges_processed as f64 / self.total_simulated_ns
+        }
+    }
+
+    /// Host-side simulation rate: simulations completed per wall second.
+    pub fn sims_per_second(&self) -> f64 {
+        if self.wall_seconds == 0.0 {
+            0.0
+        } else {
+            self.jobs as f64 / self.wall_seconds
+        }
+    }
+
+    /// Host-side edge-traversal simulation rate, millions per wall second.
+    pub fn simulated_meps(&self) -> f64 {
+        if self.wall_seconds == 0.0 {
+            0.0
+        } else {
+            self.total_edges_processed as f64 / self.wall_seconds / 1e6
+        }
+    }
+}
+
+/// Executes batches of independent simulations, serially or in parallel.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchRunner {
+    parallel: bool,
+}
+
+impl BatchRunner {
+    /// A runner that spreads jobs across all available cores.
+    pub fn parallel() -> Self {
+        BatchRunner { parallel: true }
+    }
+
+    /// A runner that executes jobs one by one on the calling thread
+    /// (reference path for the bit-identity tests, and for callers that
+    /// already parallelize at a higher level).
+    pub fn serial() -> Self {
+        BatchRunner { parallel: false }
+    }
+
+    /// Worker threads this runner will use.
+    pub fn workers(&self) -> usize {
+        if self.parallel {
+            rayon::current_num_threads()
+        } else {
+            1
+        }
+    }
+
+    /// Executes a typed batch and returns per-job results (in job order)
+    /// plus the aggregate report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job's configuration is invalid or a sliced job has
+    /// zero slices — batch construction is programmer-controlled, exactly
+    /// like direct [`Engine::new`] use.
+    pub fn run<Prog>(
+        &self,
+        jobs: Vec<BatchJob<'_, Prog>>,
+    ) -> (Vec<BatchResult<Prog::Prop>>, BatchReport)
+    where
+        Prog: VertexProgram + Sync,
+        Prog::Prop: Send,
+    {
+        let started = Instant::now();
+        let results = self.execute(&jobs, run_one);
+        let report = self.summarize(results.iter().map(|r| &r.metrics), started);
+        (results, report)
+    }
+
+    /// The untyped execution primitive: applies `work` to every job,
+    /// in parallel when the runner is parallel, preserving job order.
+    ///
+    /// The figure sweeps in `higraph-bench` run on this directly — their
+    /// result rows are not property arrays, but the execution layer is
+    /// the same one the typed [`BatchRunner::run`] uses.
+    pub fn execute<J, R, F>(&self, jobs: &[J], work: F) -> Vec<R>
+    where
+        J: Sync,
+        R: Send,
+        F: Fn(&J) -> R + Sync,
+    {
+        if self.parallel && jobs.len() > 1 {
+            jobs.par_iter().map(work).collect()
+        } else {
+            jobs.iter().map(work).collect()
+        }
+    }
+
+    /// Builds the aggregate report for a set of per-job metrics.
+    pub fn summarize<'m>(
+        &self,
+        metrics: impl Iterator<Item = &'m Metrics>,
+        started: Instant,
+    ) -> BatchReport {
+        let mut report = BatchReport {
+            jobs: 0,
+            total_edges_processed: 0,
+            total_simulated_cycles: 0,
+            total_simulated_ns: 0.0,
+            wall_seconds: 0.0,
+            workers: self.workers(),
+        };
+        for m in metrics {
+            report.jobs += 1;
+            report.total_edges_processed += m.edges_processed;
+            report.total_simulated_cycles += m.cycles;
+            report.total_simulated_ns += m.time_ns();
+        }
+        report.wall_seconds = started.elapsed().as_secs_f64();
+        report
+    }
+}
+
+fn run_one<Prog>(job: &BatchJob<'_, Prog>) -> BatchResult<Prog::Prop>
+where
+    Prog: VertexProgram,
+{
+    let mut engine = Engine::new(job.config.clone(), job.graph);
+    match job.mode {
+        RunMode::Whole => {
+            let r = engine.run(&job.program);
+            BatchResult {
+                label: job.label.clone(),
+                properties: r.properties,
+                metrics: r.metrics,
+                sliced: None,
+            }
+        }
+        RunMode::Sliced {
+            num_slices,
+            memory_bytes_per_cycle,
+        } => {
+            let r = engine.run_sliced(&job.program, num_slices, memory_bytes_per_cycle);
+            BatchResult {
+                label: job.label.clone(),
+                properties: r.properties,
+                metrics: r.metrics,
+                sliced: Some(SlicedTiming {
+                    num_slices: r.num_slices,
+                    swap_cycles_sequential: r.swap_cycles_sequential,
+                    swap_cycles_overlapped: r.swap_cycles_overlapped,
+                }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use higraph_graph::gen::{erdos_renyi, power_law};
+    use higraph_vcpm::programs::{Bfs, PageRank};
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let g = erdos_renyi(128, 1024, 31, 2);
+        let make_jobs = || {
+            vec![
+                BatchJob::new("hi", &g, Bfs::from_source(0), AcceleratorConfig::higraph()),
+                BatchJob::new(
+                    "mini",
+                    &g,
+                    Bfs::from_source(0),
+                    AcceleratorConfig::higraph_mini(),
+                ),
+                BatchJob::new(
+                    "gd",
+                    &g,
+                    Bfs::from_source(0),
+                    AcceleratorConfig::graphdyns(),
+                ),
+                BatchJob::new(
+                    "hi16",
+                    &g,
+                    Bfs::from_source(0),
+                    AcceleratorConfig::higraph().scaled_to(16),
+                ),
+            ]
+        };
+        let (par, _) = BatchRunner::parallel().run(make_jobs());
+        let (ser, _) = BatchRunner::serial().run(make_jobs());
+        assert_eq!(par.len(), ser.len());
+        for (p, s) in par.iter().zip(&ser) {
+            assert_eq!(p.label, s.label);
+            assert_eq!(p.properties, s.properties, "{}", p.label);
+            assert_eq!(p.metrics, s.metrics, "{}", p.label);
+        }
+    }
+
+    #[test]
+    fn sliced_jobs_ride_the_batch_path() {
+        let g = power_law(300, 2400, 2.0, 31, 5);
+        let jobs = vec![
+            BatchJob::new("whole", &g, PageRank::new(3), AcceleratorConfig::higraph()),
+            BatchJob::new("sliced", &g, PageRank::new(3), AcceleratorConfig::higraph())
+                .sliced(3, 64),
+        ];
+        let (results, report) = BatchRunner::parallel().run(jobs);
+        assert_eq!(report.jobs, 2);
+        assert_eq!(results[0].properties, results[1].properties);
+        assert!(results[0].sliced.is_none());
+        let t = results[1].sliced.expect("sliced timing");
+        assert_eq!(t.num_slices, 3);
+        assert!(t.swap_cycles_overlapped <= t.swap_cycles_sequential);
+    }
+
+    #[test]
+    fn report_aggregates_across_jobs() {
+        let g = erdos_renyi(64, 512, 15, 7);
+        let jobs = vec![
+            BatchJob::new("a", &g, Bfs::from_source(0), AcceleratorConfig::higraph()),
+            BatchJob::new("b", &g, Bfs::from_source(1), AcceleratorConfig::higraph()),
+        ];
+        let (results, report) = BatchRunner::parallel().run(jobs);
+        assert_eq!(report.jobs, 2);
+        assert_eq!(
+            report.total_edges_processed,
+            results
+                .iter()
+                .map(|r| r.metrics.edges_processed)
+                .sum::<u64>()
+        );
+        assert_eq!(
+            report.total_simulated_cycles,
+            results.iter().map(|r| r.metrics.cycles).sum::<u64>()
+        );
+        assert!(report.aggregate_gteps() > 0.0);
+        assert!(report.wall_seconds >= 0.0);
+        assert!(report.workers >= 1);
+    }
+
+    #[test]
+    fn execute_preserves_job_order() {
+        let runner = BatchRunner::parallel();
+        let jobs: Vec<u64> = (0..100).collect();
+        let out = runner.execute(&jobs, |&j| j * 3);
+        assert_eq!(out, (0..100).map(|j| j * 3).collect::<Vec<_>>());
+    }
+}

@@ -23,5 +23,31 @@ fn bench_opt_levels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_opt_levels);
+fn bench_opt_batch(c: &mut Criterion) {
+    // The whole ablation column as one batch through the parallel runner.
+    let scale = Scale::tiny();
+    let graph = scale.build(Dataset::Rmat14);
+    let mut group = c.benchmark_group("fig10_batch");
+    group.sample_size(10);
+    group.bench_function("four_opt_levels_parallel", |b| {
+        b.iter(|| {
+            let jobs: Vec<_> = OptLevel::ALL
+                .into_iter()
+                .map(|opts| {
+                    BatchJob::new(
+                        opts.label(),
+                        &graph,
+                        PageRank::new(scale.pr_iters),
+                        AcceleratorConfig::higraph_with_opts(opts),
+                    )
+                })
+                .collect();
+            let (results, _) = BatchRunner::parallel().run(jobs);
+            black_box(results.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_opt_levels, bench_opt_batch);
 criterion_main!(benches);

@@ -13,22 +13,54 @@ fn bench_channels(c: &mut Criterion) {
     group.sample_size(10);
     for channels in [32usize, 64, 128, 256] {
         let cfg = AcceleratorConfig::higraph().scaled_to(channels);
-        group.bench_with_input(
-            BenchmarkId::new("HiGraph", channels),
-            &cfg,
-            |b, cfg| b.iter(|| black_box(Algo::Pr.run(cfg, &graph, scale.pr_iters).cycles)),
-        );
+        group.bench_with_input(BenchmarkId::new("HiGraph", channels), &cfg, |b, cfg| {
+            b.iter(|| black_box(Algo::Pr.run(cfg, &graph, scale.pr_iters).cycles))
+        });
         if channels <= 64 {
             let gd = AcceleratorConfig::graphdyns().scaled_to(channels);
-            group.bench_with_input(
-                BenchmarkId::new("GraphDynS", channels),
-                &gd,
-                |b, cfg| b.iter(|| black_box(Algo::Pr.run(cfg, &graph, scale.pr_iters).cycles)),
-            );
+            group.bench_with_input(BenchmarkId::new("GraphDynS", channels), &gd, |b, cfg| {
+                b.iter(|| black_box(Algo::Pr.run(cfg, &graph, scale.pr_iters).cycles))
+            });
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_channels);
+fn bench_channel_batch(c: &mut Criterion) {
+    // The scalability sweep as one batch, including a sliced large-graph
+    // schedule at the widest design.
+    let scale = Scale::tiny();
+    let graph = scale.build(Dataset::Rmat14);
+    let mut group = c.benchmark_group("fig11_batch");
+    group.sample_size(10);
+    group.bench_function("channel_sweep_parallel", |b| {
+        b.iter(|| {
+            let mut jobs: Vec<_> = [32usize, 64, 128]
+                .into_iter()
+                .map(|ch| {
+                    BatchJob::new(
+                        &format!("hi{ch}"),
+                        &graph,
+                        PageRank::new(scale.pr_iters),
+                        AcceleratorConfig::higraph().scaled_to(ch),
+                    )
+                })
+                .collect();
+            jobs.push(
+                BatchJob::new(
+                    "hi256/sliced",
+                    &graph,
+                    PageRank::new(scale.pr_iters),
+                    AcceleratorConfig::higraph().scaled_to(256),
+                )
+                .sliced(4, 64),
+            );
+            let (results, _) = BatchRunner::parallel().run(jobs);
+            black_box(results.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_channels, bench_channel_batch);
 criterion_main!(benches);

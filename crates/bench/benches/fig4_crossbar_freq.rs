@@ -18,10 +18,8 @@ fn bench_models(c: &mut Criterion) {
             let mut acc = 0.0;
             for ports in [4usize, 8, 16, 32, 64, 128, 256] {
                 acc += model::crossbar_frequency_ghz(black_box(ports));
-                acc += model::effective_frequency_ghz(
-                    model::NetworkKindModel::Mdp,
-                    black_box(ports),
-                );
+                acc +=
+                    model::effective_frequency_ghz(model::NetworkKindModel::Mdp, black_box(ports));
             }
             black_box(acc)
         })

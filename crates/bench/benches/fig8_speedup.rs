@@ -1,7 +1,8 @@
 //! Fig. 8/9 (speedup & throughput): benchmark one simulated scatter/apply
-//! execution per design on a representative workload, so `cargo bench`
-//! tracks the relative cost (and the `repro` binary prints the actual
-//! figure series).
+//! execution per design on a representative workload, plus the whole
+//! three-design sweep as one batch through the parallel `BatchRunner` —
+//! so `cargo bench` tracks both single-simulation cost and batch wall
+//! time (the `repro` binary prints the actual figure series).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use higraph::prelude::*;
@@ -42,5 +43,42 @@ fn bench_algorithms(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_designs, bench_algorithms);
+fn bench_design_batch(c: &mut Criterion) {
+    // The Fig. 8 three-design comparison as one parallel batch: wall time
+    // here against the single-design times above shows the realized batch
+    // speedup on this host.
+    let scale = Scale::tiny();
+    let graph = scale.build(Dataset::Vote);
+    let mut group = c.benchmark_group("fig8_batch");
+    group.sample_size(10);
+    group.bench_function("three_designs_parallel", |b| {
+        b.iter(|| {
+            let jobs = vec![
+                BatchJob::new(
+                    "gd",
+                    &graph,
+                    Bfs::from_source(0),
+                    AcceleratorConfig::graphdyns(),
+                ),
+                BatchJob::new(
+                    "mini",
+                    &graph,
+                    Bfs::from_source(0),
+                    AcceleratorConfig::higraph_mini(),
+                ),
+                BatchJob::new(
+                    "hi",
+                    &graph,
+                    Bfs::from_source(0),
+                    AcceleratorConfig::higraph(),
+                ),
+            ];
+            let (results, report) = BatchRunner::parallel().run(jobs);
+            black_box((results.len(), report.total_simulated_cycles))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_designs, bench_algorithms, bench_design_batch);
 criterion_main!(benches);

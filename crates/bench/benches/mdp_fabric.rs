@@ -47,7 +47,12 @@ fn bench_fabrics(c: &mut Criterion) {
         })
     });
     group.bench_function("crossbar_32ch", |b| {
-        b.iter(|| black_box(drive(CrossbarNetwork::new(channels, channels, 128), channels)))
+        b.iter(|| {
+            black_box(drive(
+                CrossbarNetwork::new(channels, channels, 128),
+                channels,
+            ))
+        })
     });
     group.finish();
 }

@@ -6,10 +6,11 @@
 //! ```
 //!
 //! Targets: `table1 table2 fig4 fig5 fig7 fig8 fig9 fig10a fig10b fig11
-//! fig12 radix areapower ablation all`. Default scale divides Table 2
-//! datasets by 4 (Figs. 5/10/11/12 and the radix sweep always run
-//! full-scale R14); `--full` uses the paper's exact sizes everywhere
-//! (minutes, not seconds).
+//! fig12 radix areapower ablation batch all`. Default scale divides
+//! Table 2 datasets by 4 (Figs. 5/10/11/12 and the radix sweep always run
+//! full-scale R14); `--full` uses the paper's exact sizes everywhere.
+//! Every sweep executes through the parallel batch runner, so wall time
+//! scales down with core count.
 
 use higraph_bench::{figures, Algo, Scale};
 use std::collections::BTreeSet;
@@ -25,8 +26,21 @@ fn main() {
         .collect();
     if targets.is_empty() || targets.contains("all") {
         targets = [
-            "table1", "table2", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10a", "fig10b",
-            "fig11", "fig12", "radix", "areapower", "ablation",
+            "table1",
+            "table2",
+            "fig4",
+            "fig5",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10a",
+            "fig10b",
+            "fig11",
+            "fig12",
+            "radix",
+            "areapower",
+            "ablation",
+            "batch",
         ]
         .into_iter()
         .map(String::from)
@@ -88,6 +102,33 @@ fn main() {
     if targets.contains("ablation") {
         ablation(scale);
     }
+    if targets.contains("batch") {
+        batch(scale);
+    }
+}
+
+fn batch(scale: Scale) {
+    println!("-- Batch runner: parallel (program × config) sweep (PR, Slashdot) --");
+    let (rows, report) = figures::batch_throughput(scale);
+    for r in &rows {
+        println!(
+            "{:<18} {:5.1} GTEPS over {:>11} cycles{}",
+            r.label,
+            r.gteps,
+            r.cycles,
+            if r.sliced { "  (sliced)" } else { "" }
+        );
+    }
+    println!(
+        "{} sims on {} workers: {:.2}s wall, {:.2} sims/s, {:.1}M simulated edges/s host-side,\n\
+         aggregate modeled throughput {:.1} GTEPS\n",
+        report.jobs,
+        report.workers,
+        report.wall_seconds,
+        report.sims_per_second(),
+        report.simulated_meps(),
+        report.aggregate_gteps()
+    );
 }
 
 fn fig5(scale: Scale) {
@@ -173,20 +214,36 @@ fn fig7() {
     let (layout, fits) = figures::fig7();
     let mb = |b: u64| b as f64 / (1024.0 * 1024.0);
     println!("Edge Array            {:5.1} MB", mb(layout.edge_bytes));
-    println!("Edge Info Array       {:5.1} MB", mb(layout.edge_info_bytes));
+    println!(
+        "Edge Info Array       {:5.1} MB",
+        mb(layout.edge_info_bytes)
+    );
     println!("Offset Array          {:5.1} MB", mb(layout.offset_bytes));
     println!("Property Array        {:5.1} MB", mb(layout.property_bytes));
-    println!("ActiveVertex + tProp  {:5.1} MB", mb(layout.active_tprop_bytes));
-    println!("capacity: {} vertices, {} edges", layout.max_vertices(), layout.max_edges());
+    println!(
+        "ActiveVertex + tProp  {:5.1} MB",
+        mb(layout.active_tprop_bytes)
+    );
+    println!(
+        "capacity: {} vertices, {} edges",
+        layout.max_vertices(),
+        layout.max_edges()
+    );
     for (d, ok) in fits {
-        println!("  {d:<4} fits on chip: {}", if ok { "yes" } else { "NO (needs slicing)" });
+        println!(
+            "  {d:<4} fits on chip: {}",
+            if ok { "yes" } else { "NO (needs slicing)" }
+        );
     }
     println!();
 }
 
 fn fig8(rows: &[figures::OverallRow]) {
     println!("-- Fig. 8: speedup over GraphDynS --");
-    println!("{:<5} {:<4} {:>14} {:>10}", "algo", "data", "HiGraph-mini", "HiGraph");
+    println!(
+        "{:<5} {:<4} {:>14} {:>10}",
+        "algo", "data", "HiGraph-mini", "HiGraph"
+    );
     let (mut sum_mini, mut sum_hi, mut n) = (0.0, 0.0, 0);
     for r in rows {
         println!(
@@ -238,7 +295,9 @@ fn fig10a(rows: &[figures::AblationRow]) {
 
 fn fig10b(rows: &[figures::AblationRow]) {
     println!("-- Fig. 10b: vPE starvation cycles (RMAT14, x10000) --");
-    print_ablation(rows, |m| format!("{:6.1}", m.vpe_starvation_cycles as f64 / 1e4));
+    print_ablation(rows, |m| {
+        format!("{:6.1}", m.vpe_starvation_cycles as f64 / 1e4)
+    });
 }
 
 fn print_ablation(
@@ -288,7 +347,10 @@ fn fig11(scale: Scale) {
 fn fig12(scale: Scale) {
     println!("-- Fig. 12: throughput vs per-channel buffer size (PR, RMAT14) --");
     let rows = figures::fig12(scale);
-    println!("{:<14} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}", "", 10, 20, 40, 80, 160, 240, 320);
+    println!(
+        "{:<14} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "", 10, 20, 40, 80, 160, 240, 320
+    );
     for design in ["FIFO+Crossbar", "MDP-network"] {
         print!("{design:<14}");
         for buf in [10usize, 20, 40, 80, 160, 240, 320] {
@@ -311,7 +373,11 @@ fn radix(scale: Scale) {
             r.radix,
             r.frequency_ghz,
             r.gteps,
-            if r.radix == 2 { "<- paper's choice" } else { "" }
+            if r.radix == 2 {
+                "<- paper's choice"
+            } else {
+                ""
+            }
         );
     }
     println!();

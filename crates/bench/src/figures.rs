@@ -1,7 +1,12 @@
 //! One harness function per table/figure of the paper.
 //!
-//! See `DESIGN.md`'s experiment index for the mapping, and
-//! `EXPERIMENTS.md` for recorded paper-vs-measured results.
+//! Every multi-point sweep executes through the
+//! [`BatchRunner`] — each (algorithm × dataset ×
+//! design) point is an independent deterministic simulation, so the
+//! sweeps parallelize across cores with bit-identical results (see
+//! `higraph_accel::runner`). See `DESIGN.md`'s experiment index for the
+//! figure mapping, and `EXPERIMENTS.md` for recorded paper-vs-measured
+//! results.
 
 use crate::workload::{Algo, Scale};
 use higraph::model;
@@ -26,9 +31,18 @@ pub struct Table1Row {
 pub fn table1() -> Vec<Table1Row> {
     let mb = |layout: model::MemoryLayout| layout.total_bytes() / (1024 * 1024);
     [
-        (AcceleratorConfig::higraph(), mb(model::MemoryLayout::higraph())),
-        (AcceleratorConfig::higraph_mini(), mb(model::MemoryLayout::higraph())),
-        (AcceleratorConfig::graphdyns(), mb(model::MemoryLayout::graphdyns())),
+        (
+            AcceleratorConfig::higraph(),
+            mb(model::MemoryLayout::higraph()),
+        ),
+        (
+            AcceleratorConfig::higraph_mini(),
+            mb(model::MemoryLayout::higraph()),
+        ),
+        (
+            AcceleratorConfig::graphdyns(),
+            mb(model::MemoryLayout::graphdyns()),
+        ),
     ]
     .into_iter()
     .map(|(c, onchip_mb)| Table1Row {
@@ -130,23 +144,27 @@ impl OverallRow {
     }
 }
 
-/// Figs. 8 and 9: the full 4-algorithm × 6-dataset × 3-design sweep.
-/// This is the headline experiment; expect a few minutes at full scale.
+/// Figs. 8 and 9: the full 4-algorithm × 6-dataset × 3-design sweep,
+/// batched across cores. This is the headline experiment; expect minutes
+/// at full scale on one core, much less on many.
 pub fn overall(scale: Scale) -> Vec<OverallRow> {
-    let mut rows = Vec::new();
-    for algo in Algo::ALL {
-        for dataset in Dataset::ALL {
-            let graph = scale.build(dataset);
-            rows.push(OverallRow {
-                algo,
-                dataset,
-                graphdyns: algo.run(&AcceleratorConfig::graphdyns(), &graph, scale.pr_iters),
-                higraph_mini: algo.run(&AcceleratorConfig::higraph_mini(), &graph, scale.pr_iters),
-                higraph: algo.run(&AcceleratorConfig::higraph(), &graph, scale.pr_iters),
-            });
+    let runner = BatchRunner::parallel();
+    // Build each dataset once (itself parallel), share across algorithms.
+    let graphs: Vec<(Dataset, Csr)> = runner.execute(&Dataset::ALL, |&d| (d, scale.build(d)));
+    let points: Vec<(Algo, usize)> = Algo::ALL
+        .into_iter()
+        .flat_map(|algo| (0..graphs.len()).map(move |g| (algo, g)))
+        .collect();
+    runner.execute(&points, |&(algo, g)| {
+        let (dataset, ref graph) = graphs[g];
+        OverallRow {
+            algo,
+            dataset,
+            graphdyns: algo.run(&AcceleratorConfig::graphdyns(), graph, scale.pr_iters),
+            higraph_mini: algo.run(&AcceleratorConfig::higraph_mini(), graph, scale.pr_iters),
+            higraph: algo.run(&AcceleratorConfig::higraph(), graph, scale.pr_iters),
         }
-    }
-    rows
+    })
 }
 
 /// One bar group of Fig. 10: one algorithm at one optimization step.
@@ -169,18 +187,19 @@ pub struct AblationRow {
 /// exists to show (see EXPERIMENTS.md, "dataset-scale notes").
 pub fn fig10(scale: Scale) -> Vec<AblationRow> {
     let graph = Dataset::Rmat14.build();
-    let mut rows = Vec::new();
-    for algo in Algo::ALL {
-        for opts in OptLevel::ALL {
-            let cfg = AcceleratorConfig::higraph_with_opts(opts);
-            rows.push(AblationRow {
-                algo,
-                opts,
-                metrics: algo.run(&cfg, &graph, scale.pr_iters),
-            });
-        }
-    }
-    rows
+    let points: Vec<(Algo, OptLevel)> = Algo::ALL
+        .into_iter()
+        .flat_map(|algo| OptLevel::ALL.into_iter().map(move |opts| (algo, opts)))
+        .collect();
+    BatchRunner::parallel().execute(&points, |&(algo, opts)| AblationRow {
+        algo,
+        opts,
+        metrics: algo.run(
+            &AcceleratorConfig::higraph_with_opts(opts),
+            &graph,
+            scale.pr_iters,
+        ),
+    })
 }
 
 /// One point of Fig. 11: a design at a back-end channel count.
@@ -199,30 +218,28 @@ pub struct ScalabilityRow {
 /// Like [`fig10`], always runs full-scale R14.
 pub fn fig11(scale: Scale) -> Vec<ScalabilityRow> {
     let graph = Dataset::Rmat14.build();
-    let mut rows = Vec::new();
-    for channels in [32, 64, 128, 256] {
-        let hi = AcceleratorConfig::higraph().scaled_to(channels);
-        let m = Algo::Pr.run(&hi, &graph, scale.pr_iters);
-        rows.push(ScalabilityRow {
-            design: "HiGraph",
-            channels,
-            gteps: Some(m.gteps()),
-        });
+    let points: Vec<(&'static str, usize)> = [32, 64, 128, 256]
+        .into_iter()
+        .flat_map(|ch| [("HiGraph", ch), ("GraphDynS", ch)])
+        .collect();
+    BatchRunner::parallel().execute(&points, |&(design, channels)| {
         // GraphDynS "does not support more than 64 channels due to
         // significant frequency decline" (Sec. 5.3).
-        let gteps = if channels <= 64 {
+        let gteps = if design == "HiGraph" {
+            let hi = AcceleratorConfig::higraph().scaled_to(channels);
+            Some(Algo::Pr.run(&hi, &graph, scale.pr_iters).gteps())
+        } else if channels <= 64 {
             let gd = AcceleratorConfig::graphdyns().scaled_to(channels);
             Some(Algo::Pr.run(&gd, &graph, scale.pr_iters).gteps())
         } else {
             None
         };
-        rows.push(ScalabilityRow {
-            design: "GraphDynS",
+        ScalabilityRow {
+            design,
             channels,
             gteps,
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// One point of Fig. 12: a dataflow fabric at a per-channel buffer size.
@@ -242,25 +259,27 @@ pub struct BufferSweepRow {
 /// Like [`fig10`], always runs full-scale R14.
 pub fn fig12(scale: Scale) -> Vec<BufferSweepRow> {
     let graph = Dataset::Rmat14.build();
-    let mut rows = Vec::new();
-    for buffer in [10, 20, 40, 80, 160, 240, 320] {
-        for (design, kind) in [
-            ("MDP-network", NetworkKind::Mdp),
-            ("FIFO+Crossbar", NetworkKind::Crossbar),
-        ] {
-            let mut cfg = AcceleratorConfig::higraph();
-            cfg.name = format!("HiGraph[df={design},buf={buffer}]");
-            cfg.dataflow_network = kind;
-            cfg.dataflow_buffer_per_channel = buffer;
-            let m = Algo::Pr.run(&cfg, &graph, scale.pr_iters);
-            rows.push(BufferSweepRow {
-                design,
-                buffer,
-                gteps: m.gteps(),
-            });
+    let points: Vec<(&'static str, NetworkKind, usize)> = [10, 20, 40, 80, 160, 240, 320]
+        .into_iter()
+        .flat_map(|buffer| {
+            [
+                ("MDP-network", NetworkKind::Mdp, buffer),
+                ("FIFO+Crossbar", NetworkKind::Crossbar, buffer),
+            ]
+        })
+        .collect();
+    BatchRunner::parallel().execute(&points, |&(design, kind, buffer)| {
+        let mut cfg = AcceleratorConfig::higraph();
+        cfg.name = format!("HiGraph[df={design},buf={buffer}]");
+        cfg.dataflow_network = kind;
+        cfg.dataflow_buffer_per_channel = buffer;
+        let m = Algo::Pr.run(&cfg, &graph, scale.pr_iters);
+        BufferSweepRow {
+            design,
+            buffer,
+            gteps: m.gteps(),
         }
-    }
-    rows
+    })
 }
 
 /// One point of the Sec. 5.4 radix sweep.
@@ -279,20 +298,17 @@ pub struct RadixRow {
 /// Like [`fig10`], always runs full-scale R14.
 pub fn radix_sweep(scale: Scale) -> Vec<RadixRow> {
     let graph = Dataset::Rmat14.build();
-    [2usize, 4, 8, 64]
-        .into_iter()
-        .map(|radix| {
-            let mut cfg = AcceleratorConfig::higraph().scaled_to(64);
-            cfg.radix = radix;
-            cfg.name = format!("HiGraph-64[r{radix}]");
-            let m = Algo::Pr.run(&cfg, &graph, scale.pr_iters);
-            RadixRow {
-                radix,
-                frequency_ghz: cfg.effective_frequency_ghz(),
-                gteps: m.gteps(),
-            }
-        })
-        .collect()
+    BatchRunner::parallel().execute(&[2usize, 4, 8, 64], |&radix| {
+        let mut cfg = AcceleratorConfig::higraph().scaled_to(64);
+        cfg.radix = radix;
+        cfg.name = format!("HiGraph-64[r{radix}]");
+        let m = Algo::Pr.run(&cfg, &graph, scale.pr_iters);
+        RadixRow {
+            radix,
+            frequency_ghz: cfg.effective_frequency_ghz(),
+            gteps: m.gteps(),
+        }
+    })
 }
 
 /// One point of the Fig. 5 design-theory comparison.
@@ -316,25 +332,27 @@ pub struct DesignTheoryRow {
 /// against the MDP-network, which works from small per-stage FIFOs.
 pub fn fig5_design_theory(scale: Scale) -> Vec<DesignTheoryRow> {
     let graph = Dataset::Rmat14.build();
-    let mut rows = Vec::new();
-    for buffer in [40usize, 160] {
-        for (fabric, kind) in [
-            ("Crossbar", NetworkKind::Crossbar),
-            ("nW1R FIFO", NetworkKind::NaiveFifo),
-            ("MDP-network", NetworkKind::Mdp),
-        ] {
-            let mut cfg = AcceleratorConfig::higraph();
-            cfg.name = format!("HiGraph[df={fabric},buf={buffer}]");
-            cfg.dataflow_network = kind;
-            cfg.dataflow_buffer_per_channel = buffer;
-            rows.push(DesignTheoryRow {
-                fabric,
-                buffer,
-                metrics: Algo::Pr.run(&cfg, &graph, scale.pr_iters),
-            });
+    let points: Vec<(&'static str, NetworkKind, usize)> = [40usize, 160]
+        .into_iter()
+        .flat_map(|buffer| {
+            [
+                ("Crossbar", NetworkKind::Crossbar, buffer),
+                ("nW1R FIFO", NetworkKind::NaiveFifo, buffer),
+                ("MDP-network", NetworkKind::Mdp, buffer),
+            ]
+        })
+        .collect();
+    BatchRunner::parallel().execute(&points, |&(fabric, kind, buffer)| {
+        let mut cfg = AcceleratorConfig::higraph();
+        cfg.name = format!("HiGraph[df={fabric},buf={buffer}]");
+        cfg.dataflow_network = kind;
+        cfg.dataflow_buffer_per_channel = buffer;
+        DesignTheoryRow {
+            fabric,
+            buffer,
+            metrics: Algo::Pr.run(&cfg, &graph, scale.pr_iters),
         }
-    }
-    rows
+    })
 }
 
 /// One point of the dispatcher read-port ablation (a design choice
@@ -352,18 +370,15 @@ pub struct DispatcherAblationRow {
 /// Ablation: dispatcher read ports 1 vs 2 vs 4 on an edge-bound workload.
 pub fn dispatcher_ablation(scale: Scale) -> Vec<DispatcherAblationRow> {
     let graph = scale.build(Dataset::Epinions);
-    [1usize, 2, 4]
-        .into_iter()
-        .map(|read_ports| {
-            let mut cfg = AcceleratorConfig::higraph_mini();
-            cfg.name = format!("HiGraph-mini[{read_ports}R]");
-            cfg.dispatcher_read_ports = read_ports;
-            DispatcherAblationRow {
-                read_ports,
-                metrics: Algo::Pr.run(&cfg, &graph, scale.pr_iters),
-            }
-        })
-        .collect()
+    BatchRunner::parallel().execute(&[1usize, 2, 4], |&read_ports| {
+        let mut cfg = AcceleratorConfig::higraph_mini();
+        cfg.name = format!("HiGraph-mini[{read_ports}R]");
+        cfg.dispatcher_read_ports = read_ports;
+        DispatcherAblationRow {
+            read_ports,
+            metrics: Algo::Pr.run(&cfg, &graph, scale.pr_iters),
+        }
+    })
 }
 
 /// Sec. 5.4 area/power comparison at the paper's synthesis points.
@@ -395,6 +410,78 @@ pub fn area_power() -> Vec<AreaPowerRow> {
             power_mw: model::crossbar_power_mw(32, 128),
         },
     ]
+}
+
+/// One row of the batch-runner throughput demonstration.
+#[derive(Debug, Clone)]
+pub struct BatchSweepRow {
+    /// Job label.
+    pub label: String,
+    /// Simulated throughput of that design point.
+    pub gteps: f64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Whether the job used the sliced large-graph schedule.
+    pub sliced: bool,
+}
+
+/// The batch-runner demonstration: one typed batch of PageRank jobs —
+/// all three Table 1 designs, a buffer-starved variant, and two sliced
+/// large-graph schedules — executed in parallel, with the aggregate
+/// report. Results are bit-identical to serial execution
+/// (`tests/batch_runner.rs` asserts this for the same job shapes).
+pub fn batch_throughput(scale: Scale) -> (Vec<BatchSweepRow>, BatchReport) {
+    let graph = scale.build(Dataset::Slashdot);
+    let pr = scale.pr_iters;
+    let mut small_buffer = AcceleratorConfig::higraph();
+    small_buffer.name = "HiGraph[buf=20]".to_string();
+    small_buffer.dataflow_buffer_per_channel = 20;
+    let jobs = vec![
+        BatchJob::new(
+            "GraphDynS",
+            &graph,
+            PageRank::new(pr),
+            AcceleratorConfig::graphdyns(),
+        ),
+        BatchJob::new(
+            "HiGraph-mini",
+            &graph,
+            PageRank::new(pr),
+            AcceleratorConfig::higraph_mini(),
+        ),
+        BatchJob::new(
+            "HiGraph",
+            &graph,
+            PageRank::new(pr),
+            AcceleratorConfig::higraph(),
+        ),
+        BatchJob::new("HiGraph[buf=20]", &graph, PageRank::new(pr), small_buffer),
+        BatchJob::new(
+            "HiGraph/4 slices",
+            &graph,
+            PageRank::new(pr),
+            AcceleratorConfig::higraph(),
+        )
+        .sliced(4, 64),
+        BatchJob::new(
+            "HiGraph/8 slices",
+            &graph,
+            PageRank::new(pr),
+            AcceleratorConfig::higraph(),
+        )
+        .sliced(8, 64),
+    ];
+    let (results, report) = BatchRunner::parallel().run(jobs);
+    let rows = results
+        .into_iter()
+        .map(|r| BatchSweepRow {
+            label: r.label,
+            gteps: r.metrics.gteps(),
+            cycles: r.metrics.cycles,
+            sliced: r.sliced.is_some(),
+        })
+        .collect();
+    (rows, report)
 }
 
 #[cfg(test)]

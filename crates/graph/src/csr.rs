@@ -349,7 +349,10 @@ mod tests {
             }],
         )
         .unwrap_err();
-        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 5, .. }));
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfRange { vertex: 5, .. }
+        ));
     }
 
     #[test]

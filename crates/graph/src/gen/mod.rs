@@ -18,11 +18,11 @@
 pub mod erdos;
 pub mod grid;
 pub mod powerlaw;
-pub mod smallworld;
 pub mod rmat;
+pub mod smallworld;
 
 pub use erdos::erdos_renyi;
 pub use grid::grid;
 pub use powerlaw::power_law;
-pub use smallworld::small_world;
 pub use rmat::{rmat, RmatConfig};
+pub use smallworld::small_world;

@@ -84,7 +84,9 @@ fn degree_sequence(rng: &mut StdRng, n: u32, target: u64, alpha: f64) -> Vec<u64
     let cap = ((target / 128).max((4.0 * mean) as u64)).max(1) as f64;
     let max_sample = (f64::from(n)).max(2.0);
 
-    let raw: Vec<f64> = (0..n).map(|_| sample_power(rng, alpha, max_sample)).collect();
+    let raw: Vec<f64> = (0..n)
+        .map(|_| sample_power(rng, alpha, max_sample))
+        .collect();
     let total: f64 = raw.iter().sum();
     let scale = target as f64 / total.max(1.0);
     let scaled: Vec<f64> = raw.iter().map(|d| (d * scale).min(cap)).collect();

@@ -35,13 +35,7 @@ use rand::{Rng, SeedableRng};
 /// assert_eq!(g.num_vertices(), 100);
 /// assert_eq!(g.num_edges(), 400); // out-degree exactly k
 /// ```
-pub fn small_world(
-    num_vertices: u32,
-    k: u32,
-    beta: f64,
-    max_weight: u32,
-    seed: u64,
-) -> Csr {
+pub fn small_world(num_vertices: u32, k: u32, beta: f64, max_weight: u32, seed: u64) -> Csr {
     assert!(num_vertices >= 2, "need at least two vertices");
     assert!(k > 0 && k < num_vertices, "k must be in 1..num_vertices");
     assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
@@ -99,7 +93,6 @@ mod tests {
         };
         assert!(spread(&local) < 3.0);
         assert!(spread(&random) > 100.0);
-        
     }
 
     #[test]

@@ -88,8 +88,7 @@ pub fn partition(graph: &Csr, num_slices: usize) -> Vec<Slice> {
 pub fn slice_swap_cycles(slice: &Slice, bytes_per_cycle: u64) -> u64 {
     // Edge array entry: 19-bit dst + weight, stored as 8 bytes on chip;
     // offsets: 8 bytes per vertex.
-    let bytes =
-        slice.graph.num_edges() * 8 + u64::from(slice.graph.num_vertices()) * 8;
+    let bytes = slice.graph.num_edges() * 8 + u64::from(slice.graph.num_vertices()) * 8;
     bytes.div_ceil(bytes_per_cycle.max(1))
 }
 

@@ -69,7 +69,9 @@ impl DegreeStats {
 ///
 /// Returns `None` for an empty graph.
 pub fn hub_vertex(graph: &Csr) -> Option<crate::VertexId> {
-    graph.vertices().max_by_key(|&v| (graph.out_degree(v), std::cmp::Reverse(v.0)))
+    graph
+        .vertices()
+        .max_by_key(|&v| (graph.out_degree(v), std::cmp::Reverse(v.0)))
 }
 
 #[cfg(test)]

@@ -52,7 +52,10 @@ pub fn assign_uniform_weight(graph: Csr, w: Weight) -> Csr {
     let edges: Vec<Edge> = graph
         .edges_raw()
         .iter()
-        .map(|e| Edge { dst: e.dst, weight: w })
+        .map(|e| Edge {
+            dst: e.dst,
+            weight: w,
+        })
         .collect();
     Csr::from_raw_parts(offsets, edges).expect("reweighting preserves structure")
 }

@@ -8,10 +8,11 @@
 //! |---|---|---|
 //! | [`graph`] | `higraph-graph` | CSR format, generators, Table 2 datasets, slicing |
 //! | [`vcpm`] | `higraph-vcpm` | Vertex-Centric Programming Model + BFS/SSSP/SSWP/PR |
-//! | [`sim`] | `higraph-sim` | cycle-level kernel: FIFOs, arbiters, crossbar, banks |
+//! | [`sim`] | `higraph-sim` | cycle-level kernel: FIFOs, arbiters, crossbar, banks, **cycle scheduler** ([`sim::clock`]) |
 //! | [`mdp`] | `higraph-mdp` | **MDP-network**: topology generator, cycle model, range variant, Verilog emitter |
-//! | [`accel`] | `higraph-accel` | HiGraph / HiGraph-mini / GraphDynS engines + metrics |
+//! | [`accel`] | `higraph-accel` | HiGraph / HiGraph-mini / GraphDynS engines, metrics, **parallel batch runner** ([`accel::runner`]) |
 //! | [`model`] | `higraph-model` | frequency (Fig. 4), area/power (Sec. 5.4), layout (Fig. 7) |
+//! | — | `higraph-bench` | `repro` binary, figure sweeps, Criterion benches (depends on this facade) |
 //!
 //! # Quickstart
 //!
@@ -41,10 +42,13 @@ pub use higraph_vcpm as vcpm;
 
 /// The most common imports, in one place.
 pub mod prelude {
-    pub use higraph_accel::{AcceleratorConfig, Engine, Metrics, NetworkKind, OptLevel};
+    pub use higraph_accel::{
+        AcceleratorConfig, BatchJob, BatchReport, BatchResult, BatchRunner, Engine, Metrics,
+        NetworkKind, OptLevel, RunMode,
+    };
     pub use higraph_graph::{Csr, Dataset, EdgeList, VertexId};
     pub use higraph_mdp::{MdpNetwork, Topology};
-    pub use higraph_sim::Network;
+    pub use higraph_sim::{ClockedComponent, Network, Scheduler};
     pub use higraph_vcpm::programs::{Bfs, PageRank, Sssp, Sswp};
     pub use higraph_vcpm::{VertexProgram, INF};
 }

@@ -33,7 +33,7 @@
 //!
 //! ```
 //! use higraph_mdp::{MdpNetwork, topology::Topology};
-//! use higraph_sim::Network;
+//! use higraph_sim::{ClockedComponent, Network};
 //!
 //! #[derive(Debug)]
 //! struct P(usize);

@@ -10,7 +10,7 @@
 //! reproduces the capacity rule; the frequency penalty of the wide FIFO is
 //! modeled in `higraph-model`.
 
-use higraph_sim::{Fifo, Network, NetworkStats, Packet};
+use higraph_sim::{ClockedComponent, Fifo, Network, NetworkStats, Packet};
 
 /// An `n_in → n_out` network made of per-output nW1R FIFOs.
 #[derive(Debug, Clone)]
@@ -92,6 +92,12 @@ impl<T: Packet> Network<T> for NaiveFifoNetwork<T> {
         p
     }
 
+    fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+}
+
+impl<T: Packet> ClockedComponent for NaiveFifoNetwork<T> {
     fn tick(&mut self) {
         self.stats.cycles += 1;
         for (snap, f) in self.free_snapshot.iter_mut().zip(&self.fifos) {
@@ -103,8 +109,8 @@ impl<T: Packet> Network<T> for NaiveFifoNetwork<T> {
         self.fifos.iter().map(Fifo::len).sum()
     }
 
-    fn stats(&self) -> &NetworkStats {
-        &self.stats
+    fn network_stats(&self) -> Option<NetworkStats> {
+        Some(self.stats)
     }
 }
 

@@ -8,7 +8,7 @@
 //! deterministic propagation, no arbitration anywhere.
 
 use crate::topology::Topology;
-use higraph_sim::{Fifo, Network, NetworkStats, Packet};
+use higraph_sim::{ClockedComponent, Fifo, Network, NetworkStats, Packet};
 
 /// A cycle-accurate MDP-network over `T` packets.
 ///
@@ -111,6 +111,12 @@ impl<T: Packet> Network<T> for MdpNetwork<T> {
         p
     }
 
+    fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+}
+
+impl<T: Packet> ClockedComponent for MdpNetwork<T> {
     fn tick(&mut self) {
         self.stats.cycles += 1;
         let stages = self.topology.num_stages();
@@ -143,8 +149,8 @@ impl<T: Packet> Network<T> for MdpNetwork<T> {
             .sum()
     }
 
-    fn stats(&self) -> &NetworkStats {
-        &self.stats
+    fn network_stats(&self) -> Option<NetworkStats> {
+        Some(self.stats)
     }
 }
 
@@ -190,7 +196,14 @@ mod tests {
     fn delivers_to_correct_output() {
         let mut n = net(8, 4);
         for dest in 0..8 {
-            n.push(0, P { dest, tag: dest as u64 }).unwrap();
+            n.push(
+                0,
+                P {
+                    dest,
+                    tag: dest as u64,
+                },
+            )
+            .unwrap();
         }
         let out = drain(&mut n, 64);
         assert_eq!(out.len(), 8);
@@ -306,7 +319,14 @@ mod tests {
                 }
             }
             for i in 0..8usize {
-                n.push(i, P { dest: i, tag: cycle }).unwrap();
+                n.push(
+                    i,
+                    P {
+                        dest: i,
+                        tag: cycle,
+                    },
+                )
+                .unwrap();
             }
             n.tick();
         }

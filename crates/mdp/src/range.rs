@@ -16,7 +16,7 @@
 //!    final (narrow) range onto its group of consecutive banks.
 
 use crate::topology::Topology;
-use higraph_sim::{Fifo, NetworkStats};
+use higraph_sim::{ClockedComponent, Fifo, NetworkStats};
 use std::fmt;
 
 /// A contiguous run of Edge Array entries, `[off, off + len)`, plus the
@@ -167,10 +167,7 @@ impl Dispatcher {
     /// The `(bank, global_edge_index)` reads a range issues. All banks are
     /// distinct (the replay engine guarantees non-wrapping chunks), so a
     /// dispatcher completes a range in a single cycle.
-    pub fn expand<P: Copy>(
-        &self,
-        range: &EdgeRange<P>,
-    ) -> impl Iterator<Item = (usize, u64)> + '_ {
+    pub fn expand<P: Copy>(&self, range: &EdgeRange<P>) -> impl Iterator<Item = (usize, u64)> + '_ {
         let off = range.off;
         let banks = self.num_banks;
         (0..u64::from(range.len)).map(move |k| {
@@ -430,6 +427,20 @@ impl<P: Copy> RangeMdpNetwork<P> {
     /// Whether the network holds no ranges.
     pub fn is_empty(&self) -> bool {
         self.in_flight() == 0
+    }
+}
+
+impl<P: Copy> ClockedComponent for RangeMdpNetwork<P> {
+    fn tick(&mut self) {
+        RangeMdpNetwork::tick(self);
+    }
+
+    fn in_flight(&self) -> usize {
+        RangeMdpNetwork::in_flight(self)
+    }
+
+    fn network_stats(&self) -> Option<NetworkStats> {
+        Some(*self.stats())
     }
 }
 

@@ -208,9 +208,7 @@ impl Topology {
     /// Whether every stage uses the same radix (required by the Verilog
     /// generator, which emits one FIFO module shared by all stages).
     pub fn is_uniform_radix(&self) -> bool {
-        self.stages
-            .iter()
-            .all(|s| s.mask == self.stages[0].mask)
+        self.stages.iter().all(|s| s.mask == self.stages[0].mask)
     }
 
     /// Number of channels.

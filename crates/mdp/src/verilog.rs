@@ -415,7 +415,10 @@ mod testbench_tests {
     fn testbench_is_deterministic() {
         let topo = Topology::new(16, 2).unwrap();
         let opts = VerilogOptions::default();
-        assert_eq!(generate_testbench(&topo, &opts), generate_testbench(&topo, &opts));
+        assert_eq!(
+            generate_testbench(&topo, &opts),
+            generate_testbench(&topo, &opts)
+        );
     }
 
     #[test]

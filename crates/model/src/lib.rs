@@ -22,10 +22,10 @@ pub mod layout;
 pub mod power;
 
 pub use area::{crossbar_area_mm2, mdp_area_mm2};
+pub use energy::energy_nj;
 pub use frequency::{
     crossbar_critical_path_ns, crossbar_frequency_ghz, effective_frequency_ghz,
     mdp_critical_path_ns, mdp_frequency_ghz, mdp_radix_frequency_ghz, NetworkKindModel,
 };
-pub use energy::energy_nj;
 pub use layout::MemoryLayout;
 pub use power::{crossbar_power_mw, mdp_power_mw};

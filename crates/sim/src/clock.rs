@@ -1,0 +1,355 @@
+//! The cycle protocol as a first-class abstraction: [`ClockedComponent`]
+//! and the [`Scheduler`] that drives any set of components.
+//!
+//! Every stateful block in the reproduction follows the same per-cycle
+//! protocol (see the crate docs): consumers pop, producers push, then one
+//! `tick()` advances the clock. Before this module existed the protocol
+//! was prose in the crate docs and a hand-woven loop in the accelerator
+//! engine; now it is a trait plus a driver, so any composition of
+//! components — a single fabric under test, or the engine's whole
+//! scatter pipeline — is clocked by the same code.
+//!
+//! # Driving a component
+//!
+//! [`Scheduler::drain`] runs the canonical loop: each cycle it first calls
+//! the caller's *combinational phase* (the pop/push stage logic, evaluated
+//! consumer-first), then [`ClockedComponent::tick`] (the clock edge), until
+//! [`ClockedComponent::is_drained`] reports no work left. A stall guard
+//! bounds the loop so a backpressure deadlock surfaces as a
+//! [`StallError`] instead of a hang.
+//!
+//! ```
+//! use higraph_sim::clock::{ClockedComponent, Scheduler};
+//! use higraph_sim::{CrossbarNetwork, Network, Packet};
+//!
+//! #[derive(Debug)]
+//! struct P(usize);
+//! impl Packet for P {
+//!     fn dest(&self) -> usize { self.0 }
+//! }
+//!
+//! let mut net = CrossbarNetwork::new(4, 4, 8);
+//! net.push(0, P(2)).ok();
+//! let mut got = 0;
+//! let mut scheduler = Scheduler::new();
+//! let cycles = scheduler
+//!     .drain(&mut net, |net, _cycle| {
+//!         if net.pop(2).is_some() {
+//!             got += 1;
+//!         }
+//!     })
+//!     .expect("no stall");
+//! assert_eq!(got, 1);
+//! assert!(cycles >= 1);
+//! assert_eq!(scheduler.cycles(), cycles);
+//! ```
+
+use crate::arbiter::OddEvenArbiter;
+use crate::stats::NetworkStats;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A block of hardware state advanced by the common clock.
+///
+/// This is the protocol's sequential half: [`crate::Network`] (and every other
+/// stage interface) is layered *on top* of it, so `tick` and the
+/// in-flight accounting are defined exactly once per component.
+/// Implementations must uphold the one-stage-per-cycle contract: state
+/// pushed into the component becomes observable at the earliest on the
+/// *next* cycle's combinational phase, never the same one.
+pub trait ClockedComponent {
+    /// Advances internal state by one cycle (the clock edge).
+    fn tick(&mut self);
+
+    /// Number of items (packets, ranges, queued entries) currently held.
+    ///
+    /// Purely combinational components (arbiters, priority state) hold
+    /// nothing and return 0.
+    fn in_flight(&self) -> usize;
+
+    /// Whether the component holds no in-flight work.
+    fn is_drained(&self) -> bool {
+        self.in_flight() == 0
+    }
+
+    /// The component's cumulative fabric statistics, if it keeps any.
+    ///
+    /// This is the unified collection point: a driver can harvest stats
+    /// from any component mix without knowing the concrete fabric types.
+    fn network_stats(&self) -> Option<NetworkStats> {
+        None
+    }
+}
+
+/// A bounded FIFO holds work but has no sequential logic of its own.
+impl<T> ClockedComponent for crate::fifo::Fifo<T> {
+    fn tick(&mut self) {}
+
+    fn in_flight(&self) -> usize {
+        self.len()
+    }
+}
+
+/// Plain queues (the engine's ActiveVertex parts) count as storage.
+impl<T> ClockedComponent for VecDeque<T> {
+    fn tick(&mut self) {}
+
+    fn in_flight(&self) -> usize {
+        self.len()
+    }
+}
+
+/// The odd-even arbiter's only state is its alternating priority bit.
+impl ClockedComponent for OddEvenArbiter {
+    fn tick(&mut self) {
+        OddEvenArbiter::tick(self);
+    }
+
+    fn in_flight(&self) -> usize {
+        0
+    }
+}
+
+/// A homogeneous bank of components clocks as one.
+impl<C: ClockedComponent> ClockedComponent for Vec<C> {
+    fn tick(&mut self) {
+        for c in self.iter_mut() {
+            c.tick();
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        self.iter().map(|c| c.in_flight()).sum()
+    }
+
+    fn is_drained(&self) -> bool {
+        self.iter().all(ClockedComponent::is_drained)
+    }
+}
+
+/// The scheduler hit its stall guard: no completion within the cycle
+/// budget, i.e. the pipeline deadlocked or livelocked under backpressure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallError {
+    /// Cycles executed in the stalled drain.
+    pub cycles: u64,
+    /// The guard that was exceeded.
+    pub limit: u64,
+}
+
+impl fmt::Display for StallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "drain stalled: no completion after {} cycles (guard: {})",
+            self.cycles, self.limit
+        )
+    }
+}
+
+impl std::error::Error for StallError {}
+
+/// Default stall guard for [`Scheduler::drain`] when the caller does not
+/// provide a workload-derived bound.
+pub const DEFAULT_STALL_GUARD: u64 = 1_000_000;
+
+/// Drives [`ClockedComponent`]s through the pop → push → tick protocol and
+/// accounts the cycles they consume.
+///
+/// One scheduler instance accumulates cycles across many drains (the
+/// engine reuses one per program execution, so `cycles()` is the total
+/// scatter cycle count across iterations and slices).
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    cycles: u64,
+    stall_guard: u64,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler::new()
+    }
+}
+
+impl Scheduler {
+    /// A scheduler with the [`DEFAULT_STALL_GUARD`].
+    pub fn new() -> Self {
+        Scheduler {
+            cycles: 0,
+            stall_guard: DEFAULT_STALL_GUARD,
+        }
+    }
+
+    /// Sets the stall guard applied to subsequent drains.
+    pub fn with_stall_guard(mut self, limit: u64) -> Self {
+        self.stall_guard = limit.max(1);
+        self
+    }
+
+    /// Replaces the stall guard (e.g. re-derived per workload phase).
+    pub fn set_stall_guard(&mut self, limit: u64) {
+        self.stall_guard = limit.max(1);
+    }
+
+    /// Total cycles driven by this scheduler so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Runs `component` until it drains.
+    ///
+    /// Per cycle: `combinational(component, cycle_index)` evaluates the
+    /// stage logic (pops and pushes, consumer-first), then the clock edge
+    /// `component.tick()` commits it. `cycle_index` counts from zero
+    /// within this drain.
+    ///
+    /// Returns the number of cycles this drain consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`StallError`] if the component does not drain within the stall
+    /// guard; the scheduler's cycle count still includes the aborted
+    /// cycles, so diagnostics can report where time went.
+    pub fn drain<C, F>(
+        &mut self,
+        component: &mut C,
+        mut combinational: F,
+    ) -> Result<u64, StallError>
+    where
+        C: ClockedComponent + ?Sized,
+        F: FnMut(&mut C, u64),
+    {
+        let mut spent = 0u64;
+        while !component.is_drained() {
+            if spent >= self.stall_guard {
+                return Err(StallError {
+                    cycles: spent,
+                    limit: self.stall_guard,
+                });
+            }
+            combinational(component, spent);
+            component.tick();
+            spent += 1;
+            self.cycles += 1;
+        }
+        Ok(spent)
+    }
+
+    /// Runs `component` for exactly `cycles` cycles regardless of drain
+    /// state (warm-up, fixed-horizon throughput measurements).
+    pub fn run_for<C, F>(&mut self, component: &mut C, cycles: u64, mut combinational: F)
+    where
+        C: ClockedComponent + ?Sized,
+        F: FnMut(&mut C, u64),
+    {
+        for cycle in 0..cycles {
+            combinational(component, cycle);
+            component.tick();
+            self.cycles += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crossbar::CrossbarNetwork;
+    use crate::fifo::Fifo;
+    use crate::network::testing::TestPacket;
+    use crate::network::Network;
+
+    #[test]
+    fn drain_stops_when_component_empties() {
+        let mut net: CrossbarNetwork<TestPacket> = CrossbarNetwork::new(2, 2, 4);
+        net.push(0, TestPacket { dest: 1, tag: 7 }).unwrap();
+        let mut seen = Vec::new();
+        let mut s = Scheduler::new();
+        let spent = s
+            .drain(&mut net, |net, _| {
+                if let Some(p) = net.pop(1) {
+                    seen.push(p.tag);
+                }
+            })
+            .expect("drains");
+        assert_eq!(seen, [7]);
+        assert!(spent >= 1);
+        assert_eq!(s.cycles(), spent);
+    }
+
+    #[test]
+    fn drain_of_drained_component_is_free() {
+        let mut fifo: Fifo<u32> = Fifo::new(4);
+        let mut s = Scheduler::new();
+        let spent = s.drain(&mut fifo, |_, _| {}).expect("empty");
+        assert_eq!(spent, 0);
+        assert_eq!(s.cycles(), 0);
+    }
+
+    #[test]
+    fn stall_guard_reports_deadlock() {
+        // A FIFO nobody pops can never drain.
+        let mut fifo: Fifo<u32> = Fifo::new(4);
+        fifo.push(9).unwrap();
+        let mut s = Scheduler::new().with_stall_guard(50);
+        let err = s.drain(&mut fifo, |_, _| {}).expect_err("stalls");
+        assert_eq!(
+            err,
+            StallError {
+                cycles: 50,
+                limit: 50
+            }
+        );
+        assert_eq!(s.cycles(), 50);
+        assert!(err.to_string().contains("50"));
+    }
+
+    #[test]
+    fn cycles_accumulate_across_drains() {
+        let mut s = Scheduler::new();
+        for round in 1..=3u64 {
+            let mut net: CrossbarNetwork<TestPacket> = CrossbarNetwork::new(2, 2, 4);
+            net.push(
+                0,
+                TestPacket {
+                    dest: 0,
+                    tag: round,
+                },
+            )
+            .unwrap();
+            s.drain(&mut net, |net, _| {
+                net.pop(0);
+            })
+            .expect("drains");
+        }
+        assert!(s.cycles() >= 3);
+    }
+
+    #[test]
+    fn vec_of_components_clocks_as_one() {
+        let mut bank: Vec<Fifo<u32>> = vec![Fifo::new(2), Fifo::new(2)];
+        assert!(bank.is_drained());
+        bank[1].push(3).unwrap();
+        assert!(!bank.is_drained());
+        bank.tick(); // no-op for FIFOs, must not panic
+        bank[1].pop();
+        assert!(bank.is_drained());
+    }
+
+    #[test]
+    fn run_for_counts_fixed_cycles() {
+        let mut net: CrossbarNetwork<TestPacket> = CrossbarNetwork::new(2, 2, 4);
+        let mut s = Scheduler::new();
+        s.run_for(&mut net, 10, |_, _| {});
+        assert_eq!(s.cycles(), 10);
+    }
+
+    #[test]
+    fn stats_collection_is_uniform() {
+        let mut net: CrossbarNetwork<TestPacket> = CrossbarNetwork::new(2, 2, 4);
+        net.push(0, TestPacket { dest: 0, tag: 1 }).unwrap();
+        let stats = ClockedComponent::network_stats(&net).expect("fabrics keep stats");
+        assert_eq!(stats.accepted, 1);
+        let fifo: Fifo<u32> = Fifo::new(1);
+        assert!(ClockedComponent::network_stats(&fifo).is_none());
+    }
+}

@@ -14,6 +14,7 @@
 //! (Fig. 4) — is modeled separately in `higraph-model`; at cycle level a
 //! crossbar is conflict-limited, not frequency-limited.
 
+use crate::clock::ClockedComponent;
 use crate::fifo::Fifo;
 use crate::network::{Network, Packet};
 use crate::stats::NetworkStats;
@@ -23,7 +24,7 @@ use crate::stats::NetworkStats;
 /// # Example
 ///
 /// ```
-/// use higraph_sim::{CrossbarNetwork, Network};
+/// use higraph_sim::{ClockedComponent, CrossbarNetwork, Network};
 ///
 /// #[derive(Debug)]
 /// struct P(usize);
@@ -53,7 +54,10 @@ impl<T: Packet> CrossbarNetwork<T> {
     ///
     /// Panics if any dimension or the capacity is zero.
     pub fn new(n_in: usize, n_out: usize, queue_capacity: usize) -> Self {
-        assert!(n_in > 0 && n_out > 0, "crossbar dimensions must be positive");
+        assert!(
+            n_in > 0 && n_out > 0,
+            "crossbar dimensions must be positive"
+        );
         CrossbarNetwork {
             input_queues: (0..n_in).map(|_| Fifo::new(queue_capacity)).collect(),
             outputs: (0..n_out).map(|_| None).collect(),
@@ -107,6 +111,12 @@ impl<T: Packet> Network<T> for CrossbarNetwork<T> {
         p
     }
 
+    fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+}
+
+impl<T: Packet> ClockedComponent for CrossbarNetwork<T> {
     fn tick(&mut self) {
         self.stats.cycles += 1;
         let n_in = self.input_queues.len();
@@ -150,8 +160,8 @@ impl<T: Packet> Network<T> for CrossbarNetwork<T> {
             + self.outputs.iter().filter(|o| o.is_some()).count()
     }
 
-    fn stats(&self) -> &NetworkStats {
-        &self.stats
+    fn network_stats(&self) -> Option<NetworkStats> {
+        Some(self.stats)
     }
 }
 

@@ -17,12 +17,15 @@
 //!   "same target address" sharing rule,
 //! * [`stats`] — shared counters,
 //! * [`probe::Instrumented`] — an occupancy-tracing wrapper for any
-//!   fabric (buffer-sizing studies).
+//!   fabric (buffer-sizing studies),
+//! * [`clock::ClockedComponent`] / [`clock::Scheduler`] — the cycle
+//!   protocol as a trait plus the driver that clocks any set of
+//!   components.
 //!
 //! # Cycle protocol
 //!
-//! All clocked components follow one per-cycle protocol, driven by the
-//! engine in `higraph-accel`:
+//! All clocked components follow one per-cycle protocol, expressed by
+//! [`clock::ClockedComponent`] and driven by [`clock::Scheduler`]:
 //!
 //! 1. consumers `pop` from component outputs,
 //! 2. producers `push` into component inputs (bounded by `can_accept`),
@@ -30,9 +33,11 @@
 //!
 //! A packet entering a multi-stage component therefore advances at most one
 //! stage per cycle — the "trading latency for throughput" behaviour the
-//! paper relies on.
+//! paper relies on. `tests/scheduler_properties.rs` asserts this invariant
+//! under randomized traffic.
 
 pub mod arbiter;
+pub mod clock;
 pub mod crossbar;
 pub mod fifo;
 pub mod memory;
@@ -41,6 +46,7 @@ pub mod probe;
 pub mod stats;
 
 pub use arbiter::{OddEvenArbiter, RoundRobinArbiter};
+pub use clock::{ClockedComponent, Scheduler, StallError};
 pub use crossbar::CrossbarNetwork;
 pub use fifo::Fifo;
 pub use memory::BankPorts;

@@ -8,6 +8,7 @@
 //! paper's Opt-O / Opt-E / Opt-D ablations and the Fig. 12 comparison) is a
 //! configuration change, not a code change.
 
+use crate::clock::ClockedComponent;
 use crate::stats::NetworkStats;
 
 /// A routable payload: knows which output channel it must reach.
@@ -18,8 +19,11 @@ pub trait Packet {
 
 /// A multi-input multi-output propagation fabric with per-cycle semantics.
 ///
-/// See the crate-level docs for the push → pop → tick cycle protocol.
-pub trait Network<T: Packet> {
+/// The sequential half of the protocol — `tick`, `in_flight`, drain
+/// detection — comes from the [`ClockedComponent`] supertrait; this trait
+/// adds the combinational routing interface. See the crate-level docs for
+/// the push → pop → tick cycle protocol.
+pub trait Network<T: Packet>: ClockedComponent {
     /// Number of input channels.
     fn num_inputs(&self) -> usize;
 
@@ -46,15 +50,9 @@ pub trait Network<T: Packet> {
     /// Consumes the packet presented at output `output`.
     fn pop(&mut self, output: usize) -> Option<T>;
 
-    /// Advances internal state by one cycle.
-    fn tick(&mut self);
-
-    /// Number of packets currently inside the fabric.
-    fn in_flight(&self) -> usize;
-
     /// Whether the fabric holds no packets.
     fn is_empty(&self) -> bool {
-        self.in_flight() == 0
+        self.is_drained()
     }
 
     /// Cumulative statistics.

@@ -5,6 +5,7 @@
 //! sizing decisions like the paper's Fig. 12 (the knee at 160 entries is
 //! where the occupancy distribution stops being capacity-clipped).
 
+use crate::clock::ClockedComponent;
 use crate::network::{Network, Packet};
 use crate::stats::NetworkStats;
 
@@ -26,7 +27,7 @@ pub struct OccupancySummary {
 /// # Example
 ///
 /// ```
-/// use higraph_sim::{CrossbarNetwork, Network};
+/// use higraph_sim::{ClockedComponent, CrossbarNetwork, Network};
 /// use higraph_sim::probe::Instrumented;
 ///
 /// #[derive(Debug)]
@@ -127,6 +128,12 @@ impl<T: Packet, N: Network<T>> Network<T> for Instrumented<N> {
         self.inner.pop(output)
     }
 
+    fn stats(&self) -> &NetworkStats {
+        self.inner.stats()
+    }
+}
+
+impl<N: ClockedComponent> ClockedComponent for Instrumented<N> {
     fn tick(&mut self) {
         self.inner.tick();
         let occ = self.inner.in_flight();
@@ -146,8 +153,8 @@ impl<T: Packet, N: Network<T>> Network<T> for Instrumented<N> {
         self.inner.in_flight()
     }
 
-    fn stats(&self) -> &NetworkStats {
-        self.inner.stats()
+    fn network_stats(&self) -> Option<NetworkStats> {
+        self.inner.network_stats()
     }
 }
 

@@ -48,8 +48,7 @@ pub trait VertexProgram {
     /// `Apply(v.prop, v.tProp)` — the per-vertex update of the apply phase.
     /// `v` and the graph are provided for programs (like PageRank) whose
     /// apply step needs degree or vertex-count information.
-    fn apply(&self, v: VertexId, prop: Self::Prop, t_prop: Self::Prop, graph: &Csr)
-        -> Self::Prop;
+    fn apply(&self, v: VertexId, prop: Self::Prop, t_prop: Self::Prop, graph: &Csr) -> Self::Prop;
 
     /// Upper bound on iterations, if the program does not converge to a
     /// fixed point by activation alone (e.g. PageRank). `None` means run

@@ -3,9 +3,9 @@
 //! multi-source BFS), each expressed as a [`crate::VertexProgram`].
 
 mod bfs;
+mod msbfs;
 mod pagerank;
 mod sssp;
-mod msbfs;
 mod sswp;
 mod wcc;
 

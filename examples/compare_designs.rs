@@ -22,10 +22,15 @@ fn main() {
                 .unwrap_or_else(|| panic!("unknown dataset {s}; use VT/EP/SL/TW/R14/R16"))
         })
         .unwrap_or(Dataset::Epinions);
-    let divisor: u32 = args.get(2).map(|s| s.parse().expect("divisor")).unwrap_or(4);
+    let divisor: u32 = args
+        .get(2)
+        .map(|s| s.parse().expect("divisor"))
+        .unwrap_or(4);
 
     let graph = dataset.build_scaled(divisor);
-    let source = higraph::graph::stats::hub_vertex(&graph).expect("non-empty").0;
+    let source = higraph::graph::stats::hub_vertex(&graph)
+        .expect("non-empty")
+        .0;
     println!(
         "{dataset} (÷{divisor}): {} vertices, {} edges\n",
         graph.num_vertices(),

@@ -11,7 +11,10 @@ use higraph::prelude::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let channels: usize = args.get(1).map(|s| s.parse().expect("channels")).unwrap_or(16);
+    let channels: usize = args
+        .get(1)
+        .map(|s| s.parse().expect("channels"))
+        .unwrap_or(16);
     let radix: usize = args.get(2).map(|s| s.parse().expect("radix")).unwrap_or(2);
 
     let topo = match Topology::new(channels, radix) {
@@ -45,7 +48,10 @@ fn main() {
             assert_eq!(*topo.route(input, dest).last().expect("stages"), dest);
         }
     }
-    println!("routing check: all {0}x{0} paths deliver correctly", channels);
+    println!(
+        "routing check: all {0}x{0} paths deliver correctly",
+        channels
+    );
 
     let rtl = verilog::generate(&topo, &VerilogOptions::default());
     let tb = verilog::generate_testbench(&topo, &VerilogOptions::default());
@@ -60,7 +66,10 @@ fn main() {
             );
         }
         None => {
-            println!("\n// ---- generated RTL ({} lines) ----", rtl.lines().count());
+            println!(
+                "\n// ---- generated RTL ({} lines) ----",
+                rtl.lines().count()
+            );
             // print just the headline module to keep stdout readable
             for line in rtl.lines().take(24) {
                 println!("{line}");

@@ -41,7 +41,10 @@ fn main() {
     println!("iterations        : {}", m.iterations);
     println!("clock             : {:.2} GHz", m.frequency_ghz);
     println!("throughput        : {:.2} GTEPS (ideal: 32)", m.gteps());
-    println!("vPE starvation    : {} cycles (summed over 32 vPEs)", m.vpe_starvation_cycles);
+    println!(
+        "vPE starvation    : {} cycles (summed over 32 vPEs)",
+        m.vpe_starvation_cycles
+    );
     let reached = result
         .properties
         .iter()

@@ -1,0 +1,220 @@
+//! Offline stand-in for the parts of `criterion` this workspace uses.
+//!
+//! The benches keep their upstream source shape (`criterion_group!` /
+//! `criterion_main!`, benchmark groups, `BenchmarkId`, `Throughput`) but
+//! run under a deliberately small harness: a fixed warm-up followed by a
+//! fixed number of timed samples, reporting mean / min / max (and
+//! elements-per-second when a throughput is declared). There is no
+//! statistical analysis, no HTML report, and no saved baselines — the
+//! numbers are for eyeballing regressions in an offline container, not
+//! for publication.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Declared per-iteration throughput of a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        run_benchmark(&id.to_string(), 10, None, f);
+    }
+}
+
+/// A group of benchmarks sharing sample-size and throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        run_benchmark(&id.to_string(), self.sample_size, self.throughput, f);
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&id.to_string(), self.sample_size, self.throughput, |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints as
+    /// it goes, so this only prints a separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Per-benchmark timing handle passed to the closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times one call of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let value = routine();
+        self.elapsed = Some(start.elapsed());
+        drop(value);
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // one warm-up call
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+
+    let mut samples = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        samples.push(
+            bencher
+                .elapsed
+                .expect("benchmark closure must call Bencher::iter"),
+        );
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().expect("non-empty");
+    let max = samples.iter().max().expect("non-empty");
+    let rate = throughput.map(|t| {
+        let per_iter = match t {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        };
+        let unit = match t {
+            Throughput::Elements(_) => "elem/s",
+            Throughput::Bytes(_) => "B/s",
+        };
+        format!(
+            "  {:.3e} {unit}",
+            per_iter as f64 / mean.as_secs_f64().max(f64::MIN_POSITIVE)
+        )
+    });
+    println!(
+        "  {id:<40} mean {mean:>10.3?}  [min {min:>10.3?}, max {max:>10.3?}]{}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declares a group function invoking each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_ids_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        let mut calls = 0u32;
+        group.bench_with_input(BenchmarkId::new("add", 4), &4u32, |b, &x| {
+            b.iter(|| {
+                calls += 1;
+                x + 1
+            })
+        });
+        group.finish();
+        assert!(calls >= 4); // warm-up + samples
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+        assert_eq!(BenchmarkId::new("f", 2).to_string(), "f/2");
+    }
+}

@@ -1,0 +1,403 @@
+//! Offline stand-in for the parts of `rayon` this workspace uses.
+//!
+//! The batch runner in `higraph-accel` wants real data parallelism:
+//! `par_iter().map(f).collect()` over independent simulations. This shim
+//! delivers it with `std::thread::scope` and an atomic work cursor —
+//! genuinely parallel, dynamically load-balanced (each thread grabs the
+//! next unclaimed index, so one long simulation does not serialize the
+//! rest of the batch), and dependency-free. It is not a full work-stealing
+//! deque, and only the adaptors the workspace calls are provided:
+//!
+//! * [`IntoParallelIterator`] / [`IntoParallelRefIterator`] for slices,
+//!   `Vec`, and `Range<usize>`;
+//! * [`ParallelIterator::map`] followed by `collect`;
+//! * [`current_num_threads`].
+//!
+//! Ordering contract: `collect` preserves input order, exactly like
+//! upstream rayon's indexed parallel iterators.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `rayon::prelude`.
+
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`] for the
+    /// current thread's parallel calls.
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads a parallel call will use for a large batch:
+/// an installed [`ThreadPool`]'s size, else `RAYON_NUM_THREADS` (as in
+/// upstream rayon), else the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_THREADS.with(Cell::get) {
+        return n;
+    }
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Builder for an explicitly sized [`ThreadPool`], mirroring
+/// `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker-thread count (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = (n > 0).then_some(n);
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the shim; the `Result` mirrors upstream's signature.
+    pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(current_num_threads),
+        })
+    }
+}
+
+/// An explicitly sized worker pool.
+///
+/// The shim spawns scoped threads per parallel call rather than keeping
+/// persistent workers, so the pool is just the thread count to use while
+/// [`ThreadPool::install`] runs a closure.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` with this pool's thread count governing any parallel
+    /// calls it makes (on this thread).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let previous = POOL_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(previous);
+        op()
+    }
+}
+
+/// Runs `f` over `0..len`, in parallel, collecting results in index order.
+fn parallel_indexed<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = current_num_threads().min(len);
+    if workers <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let buckets: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(len));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                buckets
+                    .lock()
+                    .expect("worker panicked while holding results lock")
+                    .append(&mut local);
+            });
+        }
+    });
+    let mut indexed = buckets.into_inner().expect("all workers joined");
+    indexed.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(indexed.len(), len);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// A (lazy) parallel iterator: a source plus the mapped pipeline.
+pub trait ParallelIterator: Sized {
+    /// Item type produced by the pipeline.
+    type Item: Send;
+
+    /// Evaluates the pipeline for one source index.
+    fn eval(&self, index: usize) -> Self::Item;
+
+    /// Number of source items.
+    fn len(&self) -> usize;
+
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maps each item through `op` (lazily; work happens at `collect`).
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, op: F) -> Map<Self, F> {
+        Map { base: self, op }
+    }
+
+    /// Executes the pipeline in parallel and collects in input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C
+    where
+        Self: Sync,
+    {
+        C::from_ordered_vec(parallel_indexed(self.len(), |i| self.eval(i)))
+    }
+
+    /// Executes the pipeline in parallel for its side effects.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, op: F)
+    where
+        Self: Sync,
+    {
+        let _: Vec<()> = parallel_indexed(self.len(), |i| op(self.eval(i)));
+    }
+}
+
+/// Collection types buildable from an order-preserving parallel pipeline.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from results already in input order.
+    fn from_ordered_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// `map` adaptor.
+pub struct Map<B, F> {
+    base: B,
+    op: F,
+}
+
+impl<B, F, R> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn eval(&self, index: usize) -> R {
+        (self.op)(self.base.eval(index))
+    }
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+
+    fn eval(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+}
+
+/// Parallel iterator over owned `Vec<T>` elements.
+///
+/// Items are cloned out of the source at evaluation time — upstream rayon
+/// moves them, but a shared-reference pipeline cannot; the batch-runner
+/// payloads are small descriptor structs, so the clone is cheap.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone + Send + Sync> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn eval(&self, index: usize) -> T {
+        self.items[index].clone()
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct RangeParIter {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangeParIter {
+    type Item = usize;
+
+    fn eval(&self, index: usize) -> usize {
+        self.start + index
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// Types convertible into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// The produced item type.
+    type Item: Send;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Clone + Send + Sync> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = RangeParIter;
+
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+/// Types whose references iterate in parallel (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The produced item type.
+    type Item: Send;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..500).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..500).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_and_ranges() {
+        let out: Vec<usize> = (3..11usize).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, (4..12).collect::<Vec<_>>());
+        let owned: Vec<String> = vec!["a".to_string(), "b".to_string()]
+            .into_par_iter()
+            .map(|s| s + "!")
+            .collect();
+        assert_eq!(owned, ["a!", "b!"]);
+    }
+
+    #[test]
+    fn work_actually_spreads_across_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        // Pin 4 workers regardless of host CPU count so the threaded
+        // path is exercised even on single-core machines.
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("infallible");
+        let seen = Mutex::new(HashSet::new());
+        let input: Vec<u32> = (0..256).collect();
+        pool.install(|| {
+            assert_eq!(super::current_num_threads(), 4);
+            let _: Vec<()> = input
+                .par_iter()
+                .map(|_| {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                })
+                .collect();
+        });
+        assert!(
+            seen.lock().unwrap().len() > 1,
+            "expected >1 worker thread, saw {:?}",
+            seen.lock().unwrap().len()
+        );
+    }
+
+    #[test]
+    fn install_restores_previous_pool_size() {
+        let outer = super::current_num_threads();
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .expect("infallible");
+        pool.install(|| assert_eq!(super::current_num_threads(), 3));
+        assert_eq!(super::current_num_threads(), outer);
+    }
+}

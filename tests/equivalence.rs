@@ -27,7 +27,10 @@ fn configs() -> Vec<AcceleratorConfig> {
 fn graphs() -> Vec<(&'static str, Csr)> {
     vec![
         ("erdos", higraph::graph::gen::erdos_renyi(300, 2400, 63, 11)),
-        ("power_law", higraph::graph::gen::power_law(300, 2400, 2.0, 63, 12)),
+        (
+            "power_law",
+            higraph::graph::gen::power_law(300, 2400, 2.0, 63, 12),
+        ),
         (
             "rmat",
             higraph::graph::gen::rmat(
@@ -133,7 +136,10 @@ fn multi_source_bfs_equivalence() {
         for cfg in [AcceleratorConfig::higraph(), AcceleratorConfig::graphdyns()] {
             let name = cfg.name.clone();
             let got = Engine::new(cfg, &g).run(&prog);
-            assert_eq!(got.properties, expect.properties, "MS-BFS {gname} on {name}");
+            assert_eq!(
+                got.properties, expect.properties,
+                "MS-BFS {gname} on {name}"
+            );
         }
     }
 }
@@ -145,8 +151,7 @@ fn sliced_runs_match_unsliced_for_all_algorithms() {
     macro_rules! check {
         ($prog:expr, $label:expr) => {
             let whole = Engine::new(AcceleratorConfig::higraph(), &g).run(&$prog);
-            let sliced = Engine::new(AcceleratorConfig::higraph(), &g)
-                .run_sliced(&$prog, 3, 64);
+            let sliced = Engine::new(AcceleratorConfig::higraph(), &g).run_sliced(&$prog, 3, 64);
             assert_eq!(sliced.properties, whole.properties, $label);
         };
     }

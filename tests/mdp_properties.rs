@@ -10,7 +10,7 @@
 //! * the replay engine's chunks tile `{Off, nOff}` without gaps/overlap.
 
 use higraph::mdp::{EdgeRange, MdpNetwork, RangeMdpNetwork, ReplayEngine, Topology};
-use higraph::sim::{Network, Packet};
+use higraph::sim::{ClockedComponent, Network, Packet};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -215,7 +215,13 @@ fn fifo_capacity_invariant_under_stress() {
         }
         for i in 0..16 {
             rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let _ = net.push(i, P { dest: (rng >> 33) as usize % 16, tag: cycle });
+            let _ = net.push(
+                i,
+                P {
+                    dest: (rng >> 33) as usize % 16,
+                    tag: cycle,
+                },
+            );
         }
         net.tick();
         assert!(net.in_flight() <= budget);

@@ -5,7 +5,10 @@ use higraph::mdp::verilog::{generate, VerilogOptions};
 use higraph::mdp::Topology;
 
 fn rtl(n: usize, radix: usize) -> String {
-    generate(&Topology::new(n, radix).expect("valid"), &VerilogOptions::default())
+    generate(
+        &Topology::new(n, radix).expect("valid"),
+        &VerilogOptions::default(),
+    )
 }
 
 #[test]
