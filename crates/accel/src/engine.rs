@@ -73,14 +73,15 @@ impl<P> SlicedRunResult<P> {
 }
 
 /// The whole scatter pipeline: front-end and back-end clocked as one
-/// component by the scheduler.
-struct ScatterPipeline<P> {
-    front: FrontEnd<P>,
-    back: BackEnd<P>,
+/// component by the scheduler. One instance is one chip; the sharded
+/// executor (`crate::sharded`) clocks several of them in lock step.
+pub(crate) struct ScatterPipeline<P> {
+    pub(crate) front: FrontEnd<P>,
+    pub(crate) back: BackEnd<P>,
 }
 
 impl<P: Copy + 'static> ScatterPipeline<P> {
-    fn new(factory: &NetworkFactory) -> Self {
+    pub(crate) fn new(factory: &NetworkFactory) -> Self {
         ScatterPipeline {
             front: FrontEnd::new(factory),
             back: BackEnd::new(factory),
@@ -319,7 +320,10 @@ impl<'g> Engine<'g> {
 
 /// Harvests the fabric statistics through the unified
 /// [`ClockedComponent::network_stats`] collection point.
-fn finalize_metrics<P: Copy + 'static>(metrics: &mut Metrics, pipeline: &ScatterPipeline<P>) {
+pub(crate) fn finalize_metrics<P: Copy + 'static>(
+    metrics: &mut Metrics,
+    pipeline: &ScatterPipeline<P>,
+) {
     metrics.cycles = metrics.scatter_cycles + metrics.apply_cycles;
     metrics.offset_net = pipeline.front.offset_stats();
     metrics.edge_net = pipeline.back.edge_stats();

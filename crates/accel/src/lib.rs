@@ -12,7 +12,10 @@
 //!   (range network or direct arbitration) → ePEs (`Process_Edge`) →
 //!   dataflow propagation network → vPEs (`Reduce`) → tProperty banks;
 //! * **apply phase** (the `apply` module): an `⌈V/m⌉`-cycle scan applying
-//!   `Apply( )` and building the next frontier.
+//!   `Apply( )` and building the next frontier;
+//! * **multi-chip scale-out** (the `sharded` module): P whole pipelines
+//!   over a destination-interval partition, coupled by a modeled
+//!   inter-chip link and clocked in lock step.
 //!
 //! Both pipeline halves implement `higraph_sim::ClockedComponent` and the
 //! engine drives them through the shared `higraph_sim::Scheduler` — the
@@ -57,9 +60,11 @@ pub mod metrics;
 pub mod netfactory;
 pub mod packets;
 pub mod runner;
+pub mod sharded;
 
 pub use config::{AcceleratorConfig, NetworkKind, OptLevel};
 pub use engine::{Engine, RunResult, SlicedRunResult};
 pub use metrics::Metrics;
 pub use netfactory::{AnyNetwork, NetworkFactory};
-pub use runner::{BatchJob, BatchReport, BatchResult, BatchRunner, RunMode};
+pub use runner::{BatchJob, BatchReport, BatchResult, BatchRunner, RunMode, ShardedTiming};
+pub use sharded::{ShardConfig, ShardedEngine, ShardedRunResult};

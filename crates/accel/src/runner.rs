@@ -38,6 +38,7 @@
 use crate::config::AcceleratorConfig;
 use crate::engine::Engine;
 use crate::metrics::Metrics;
+use crate::sharded::{ShardConfig, ShardedEngine};
 use higraph_graph::Csr;
 use higraph_vcpm::VertexProgram;
 use rayon::prelude::*;
@@ -54,6 +55,11 @@ pub enum RunMode {
         num_slices: usize,
         /// Off-chip bandwidth for slice replacement, bytes per cycle.
         memory_bytes_per_cycle: u64,
+    },
+    /// Sharded multi-chip execution ([`ShardedEngine::run`]).
+    Sharded {
+        /// Chip count and inter-chip link model.
+        shard: ShardConfig,
     },
 }
 
@@ -92,6 +98,12 @@ impl<'g, Prog> BatchJob<'g, Prog> {
         };
         self
     }
+
+    /// Switches this job to sharded multi-chip execution.
+    pub fn sharded(mut self, shard: ShardConfig) -> Self {
+        self.mode = RunMode::Sharded { shard };
+        self
+    }
 }
 
 /// Timing detail only sliced runs produce.
@@ -105,18 +117,33 @@ pub struct SlicedTiming {
     pub swap_cycles_overlapped: u64,
 }
 
+/// Detail only sharded multi-chip runs produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedTiming {
+    /// Chips the job executed on.
+    pub num_chips: usize,
+    /// Update packets that crossed the inter-chip link.
+    pub cross_chip_packets: u64,
+    /// Per-chip scatter+apply cycle totals, indexed by chip.
+    pub per_chip_cycles: Vec<u64>,
+}
+
 /// Result of one batched simulation.
 #[derive(Debug, Clone)]
 pub struct BatchResult<P> {
     /// The job's label.
     pub label: String,
     /// Final Property Array — bit-identical to a serial [`Engine::run`]
-    /// (or [`Engine::run_sliced`]) of the same job.
+    /// (or [`Engine::run_sliced`] / [`ShardedEngine::run`]) of the same
+    /// job.
     pub properties: Vec<P>,
-    /// Performance metrics of the simulated accelerator.
+    /// Performance metrics of the simulated accelerator (the aggregate
+    /// critical-path metrics for sharded jobs).
     pub metrics: Metrics,
     /// Slice-replacement timing for [`RunMode::Sliced`] jobs.
     pub sliced: Option<SlicedTiming>,
+    /// Multi-chip detail for [`RunMode::Sharded`] jobs.
+    pub sharded: Option<ShardedTiming>,
 }
 
 /// Aggregate throughput of one batch execution.
@@ -264,22 +291,26 @@ fn run_one<Prog>(job: &BatchJob<'_, Prog>) -> BatchResult<Prog::Prop>
 where
     Prog: VertexProgram,
 {
-    let mut engine = Engine::new(job.config.clone(), job.graph);
     match job.mode {
         RunMode::Whole => {
-            let r = engine.run(&job.program);
+            let r = Engine::new(job.config.clone(), job.graph).run(&job.program);
             BatchResult {
                 label: job.label.clone(),
                 properties: r.properties,
                 metrics: r.metrics,
                 sliced: None,
+                sharded: None,
             }
         }
         RunMode::Sliced {
             num_slices,
             memory_bytes_per_cycle,
         } => {
-            let r = engine.run_sliced(&job.program, num_slices, memory_bytes_per_cycle);
+            let r = Engine::new(job.config.clone(), job.graph).run_sliced(
+                &job.program,
+                num_slices,
+                memory_bytes_per_cycle,
+            );
             BatchResult {
                 label: job.label.clone(),
                 properties: r.properties,
@@ -289,6 +320,21 @@ where
                     swap_cycles_sequential: r.swap_cycles_sequential,
                     swap_cycles_overlapped: r.swap_cycles_overlapped,
                 }),
+                sharded: None,
+            }
+        }
+        RunMode::Sharded { shard } => {
+            let r = ShardedEngine::new(job.config.clone(), shard, job.graph).run(&job.program);
+            BatchResult {
+                label: job.label.clone(),
+                properties: r.properties,
+                sliced: None,
+                sharded: Some(ShardedTiming {
+                    num_chips: r.chips.len(),
+                    cross_chip_packets: r.cross_chip_packets,
+                    per_chip_cycles: r.chips.iter().map(|c| c.cycles).collect(),
+                }),
+                metrics: r.metrics,
             }
         }
     }
@@ -351,6 +397,24 @@ mod tests {
         let t = results[1].sliced.expect("sliced timing");
         assert_eq!(t.num_slices, 3);
         assert!(t.swap_cycles_overlapped <= t.swap_cycles_sequential);
+    }
+
+    #[test]
+    fn sharded_jobs_ride_the_batch_path() {
+        let g = power_law(320, 2700, 2.0, 31, 9);
+        let jobs = vec![
+            BatchJob::new("serial", &g, PageRank::new(3), AcceleratorConfig::higraph()),
+            BatchJob::new("p4", &g, PageRank::new(3), AcceleratorConfig::higraph())
+                .sharded(crate::sharded::ShardConfig::new(4)),
+        ];
+        let (results, report) = BatchRunner::parallel().run(jobs);
+        assert_eq!(report.jobs, 2);
+        assert_eq!(results[0].properties, results[1].properties);
+        assert!(results[0].sharded.is_none());
+        let t = results[1].sharded.as_ref().expect("sharded timing");
+        assert_eq!(t.num_chips, 4);
+        assert_eq!(t.per_chip_cycles.len(), 4);
+        assert!(t.cross_chip_packets > 0);
     }
 
     #[test]

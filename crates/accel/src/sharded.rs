@@ -1,0 +1,547 @@
+//! Sharded multi-chip execution: P engine pipelines over a
+//! destination-interval partition, coupled by a modeled inter-chip link.
+//!
+//! The paper's scalability story (Fig. 11) widens one chip; this module
+//! scales *out* instead. [`ShardedEngine`] instantiates one scatter
+//! pipeline per chip over the `higraph_graph::slicing::partition` shards
+//! and clocks all of them — plus a `higraph_sim::InterChipLink` carrying
+//! cross-shard edge updates — under a single `Scheduler` drain per
+//! iteration, so compute and communication share one clock and the
+//! iteration ends only when both have drained.
+//!
+//! # Execution model
+//!
+//! Destination-interval sharding keeps the algorithm untouched: chip `p`
+//! owns destinations `[dst_start, dst_end)` of slice `p`, scatters the
+//! *global* frontier over its slice graph into its own tProperty
+//! interval, and applies its owned vertices. Because every edge lives on
+//! exactly one chip and reduction is per-destination, the final Property
+//! Array is bit-identical to the serial [`Engine::run`] — with one chip
+//! the whole run (metrics included) is bit-identical, which
+//! `tests/sharded_equivalence.rs` asserts.
+//!
+//! # Traffic model
+//!
+//! Each processed edge whose source vertex is owned by a different chip
+//! than its destination contributes one update packet on the inter-chip
+//! link, entering at the source chip and delivered to the destination
+//! chip. Over one full-frontier iteration the packet count therefore
+//! equals the partitioner's reported cut-edge count
+//! ([`higraph_graph::slicing::total_cut_edges`]) — a property test holds
+//! the two equal. The link models egress-queue depth, per-chip injection
+//! bandwidth, and flight latency; see `docs/sharding.md` for the
+//! cycle-accounting assumptions.
+
+use crate::apply::{apply_cycles, apply_phase};
+use crate::config::AcceleratorConfig;
+use crate::engine::{finalize_metrics, ScatterPipeline};
+use crate::metrics::Metrics;
+use crate::netfactory::NetworkFactory;
+use higraph_graph::slicing::{partition, total_cut_edges, Slice};
+use higraph_graph::{Csr, VertexId};
+use higraph_sim::{ClockedComponent, InterChipLink, Network, NetworkStats, Packet, Scheduler};
+use higraph_vcpm::VertexProgram;
+
+/// Geometry and timing of the inter-chip fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Number of chips (= shards). 1 reproduces the serial engine.
+    pub num_chips: usize,
+    /// Link flight latency in cycles, on top of the one-cycle stage
+    /// minimum every clocked component obeys.
+    pub link_latency: u64,
+    /// Update packets each chip can inject per cycle.
+    pub link_bandwidth: usize,
+    /// Depth of each chip's link egress queue.
+    pub link_capacity: usize,
+}
+
+impl ShardConfig {
+    /// A `num_chips`-way configuration with board-level defaults: 8-cycle
+    /// flight latency, 4 packets/cycle/chip, 64-entry egress queues.
+    pub fn new(num_chips: usize) -> Self {
+        ShardConfig {
+            num_chips,
+            link_latency: 8,
+            link_bandwidth: 4,
+            link_capacity: 64,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the chip count, bandwidth, or queue capacity
+    /// is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_chips == 0 {
+            return Err("need at least one chip".to_string());
+        }
+        if self.link_bandwidth == 0 || self.link_capacity == 0 {
+            return Err("link bandwidth and capacity must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// One cross-shard edge update on the inter-chip link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPacket {
+    /// Chip owning the source vertex (link input).
+    pub src_chip: usize,
+    /// Chip owning the destination vertex (link output).
+    pub dst_chip: usize,
+}
+
+impl Packet for ShardPacket {
+    fn dest(&self) -> usize {
+        self.dst_chip
+    }
+}
+
+/// Result of a sharded run ([`ShardedEngine::run`]).
+#[derive(Debug, Clone)]
+pub struct ShardedRunResult<P> {
+    /// Final Property Array — bit-identical to the serial engine's.
+    pub properties: Vec<P>,
+    /// Aggregate metrics on the multi-chip critical path: scatter cycles
+    /// are the lock-step drain (all chips *and* the link), apply cycles
+    /// the slowest chip's owned-interval scan per iteration. Fabric stats
+    /// and counters are merged across chips.
+    pub metrics: Metrics,
+    /// Per-chip metrics, indexed by chip (= slice) number.
+    pub chips: Vec<Metrics>,
+    /// Update packets that crossed the inter-chip link.
+    pub cross_chip_packets: u64,
+    /// Link fabric counters (accepted/rejected/delivered/cycles).
+    pub link: NetworkStats,
+}
+
+impl<P> ShardedRunResult<P> {
+    /// Number of chips that executed this run.
+    pub fn num_chips(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// Scatter cycles of the slowest chip — the compute-only critical
+    /// path, before communication is folded in by the lock-step drain.
+    pub fn max_chip_scatter_cycles(&self) -> u64 {
+        self.chips
+            .iter()
+            .map(|m| m.scatter_cycles)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Aggregate cycles per processed edge — the scale-out efficiency
+    /// figure the multi-chip sweep reports.
+    pub fn cycles_per_edge(&self) -> f64 {
+        if self.metrics.edges_processed == 0 {
+            0.0
+        } else {
+            self.metrics.cycles as f64 / self.metrics.edges_processed as f64
+        }
+    }
+}
+
+/// Everything the lock-step drain clocks: P chip pipelines, the link,
+/// and the per-chip egress staging for packets the link has not yet
+/// accepted. Draining this composite *is* the iteration barrier: the
+/// scatter phase ends when no chip and no link queue holds work.
+///
+/// Staged traffic is a `[src][dst]` remaining-count matrix, not a queue
+/// of materialized packets: every packet of a (src, dst) pair is
+/// identical and consumers discard them on arrival, so synthesizing
+/// packets at link-push time models the same cycles and counts in O(P²)
+/// memory instead of O(cut edges) per iteration.
+struct MultiChip<P> {
+    chips: Vec<ScatterPipeline<P>>,
+    link: InterChipLink<ShardPacket>,
+    staged: Vec<Vec<u64>>,
+}
+
+impl<P> MultiChip<P> {
+    /// Packets staged but not yet accepted by the link.
+    fn staged_total(&self) -> u64 {
+        self.staged.iter().flatten().sum()
+    }
+}
+
+impl<P: Copy + 'static> ClockedComponent for MultiChip<P> {
+    fn tick(&mut self) {
+        for chip in &mut self.chips {
+            chip.tick();
+        }
+        self.link.tick();
+    }
+
+    fn in_flight(&self) -> usize {
+        self.chips
+            .iter()
+            .map(ClockedComponent::in_flight)
+            .sum::<usize>()
+            + self.link.in_flight()
+            + self.staged_total() as usize
+    }
+}
+
+/// A multi-chip accelerator instance bound to a partitioned graph.
+#[derive(Debug)]
+pub struct ShardedEngine<'g> {
+    factory: NetworkFactory,
+    shard: ShardConfig,
+    graph: &'g Csr,
+    slices: Vec<Slice>,
+    /// Owning chip per vertex (destination-interval lookup).
+    owner: Vec<usize>,
+}
+
+impl<'g> ShardedEngine<'g> {
+    /// Creates a sharded engine: `shard.num_chips` identical chips built
+    /// from `config`, over the destination-interval partition of `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either configuration is invalid; use
+    /// [`ShardedEngine::try_new`] for a fallible constructor.
+    pub fn new(config: AcceleratorConfig, shard: ShardConfig, graph: &'g Csr) -> Self {
+        ShardedEngine::try_new(config, shard, graph).expect("invalid sharded configuration")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation message for an invalid accelerator or
+    /// shard configuration.
+    pub fn try_new(
+        config: AcceleratorConfig,
+        shard: ShardConfig,
+        graph: &'g Csr,
+    ) -> Result<Self, String> {
+        shard.validate()?;
+        let factory = NetworkFactory::new(&config)?;
+        let slices = partition(graph, shard.num_chips);
+        let mut owner = vec![0usize; graph.num_vertices() as usize];
+        for s in &slices {
+            for v in s.dst_start..s.dst_end {
+                owner[v as usize] = s.index;
+            }
+        }
+        Ok(ShardedEngine {
+            factory,
+            shard,
+            graph,
+            slices,
+            owner,
+        })
+    }
+
+    /// The per-chip accelerator configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        self.factory.config()
+    }
+
+    /// The shard/link configuration.
+    pub fn shard_config(&self) -> &ShardConfig {
+        &self.shard
+    }
+
+    /// The destination-interval shards, one per chip.
+    pub fn slices(&self) -> &[Slice] {
+        &self.slices
+    }
+
+    /// The partitioner's total cut-edge count — the per-full-frontier
+    /// cross-chip packet count.
+    pub fn cut_edges(&self) -> u64 {
+        total_cut_edges(&self.slices)
+    }
+
+    /// Executes `program` across all chips to completion.
+    pub fn run<Prog: VertexProgram>(&mut self, program: &Prog) -> ShardedRunResult<Prog::Prop> {
+        let config = self.factory.config();
+        let m = config.back_channels;
+        let frequency_ghz = config.effective_frequency_ghz();
+        let num_chips = self.shard.num_chips;
+        let graph = self.graph;
+        let num_v = graph.num_vertices();
+
+        let mut properties: Vec<Prog::Prop> = graph
+            .vertices()
+            .map(|v| program.init_prop(v, graph))
+            .collect();
+        let mut t_props: Vec<Prog::Prop> = vec![program.identity(); num_v as usize];
+        let mut multi = MultiChip {
+            chips: (0..num_chips)
+                .map(|_| ScatterPipeline::new(&self.factory))
+                .collect(),
+            link: InterChipLink::new(
+                num_chips,
+                self.shard.link_latency,
+                self.shard.link_bandwidth,
+                self.shard.link_capacity,
+            ),
+            staged: vec![vec![0u64; num_chips]; num_chips],
+        };
+        let mut scheduler = Scheduler::new();
+        let fresh_metrics = || Metrics {
+            frequency_ghz,
+            vpe_starvation_per_channel: vec![0; m],
+            ..Metrics::default()
+        };
+        let mut chips: Vec<Metrics> = (0..num_chips).map(|_| fresh_metrics()).collect();
+        let mut agg = fresh_metrics();
+        let mut cross_chip_packets = 0u64;
+
+        let mut frontier: Vec<VertexId> = program.initial_frontier(graph);
+        while !frontier.is_empty() {
+            if let Some(cap) = program.max_iterations() {
+                if agg.iterations >= cap {
+                    break;
+                }
+            }
+            debug_assert!(
+                multi.is_drained(),
+                "a scatter phase must start from a drained multi-chip composite"
+            );
+
+            // Stage this iteration's cross-shard traffic: one packet per
+            // edge a chip will process from a remotely-owned source,
+            // counted per (source chip, destination chip) pair.
+            for &u in &frontier {
+                let src_chip = self.owner[u.index()];
+                for slice in &self.slices {
+                    if slice.index != src_chip {
+                        multi.staged[src_chip][slice.index] += slice.graph.out_degree(u);
+                    }
+                }
+            }
+            let staged = multi.staged_total();
+            cross_chip_packets += staged;
+
+            // Load the global frontier into every chip's front-end.
+            for chip in &mut multi.chips {
+                chip.front.load_frontier(&frontier, &properties);
+            }
+
+            // One lock-step drain: all chips plus the link, per cycle.
+            let iteration_edges: u64 = frontier.iter().map(|&v| graph.out_degree(v)).sum();
+            scheduler.set_stall_guard(
+                10_000
+                    + iteration_edges * 64 * num_chips as u64
+                    + staged * 8
+                    + self.shard.link_latency,
+            );
+            let mut chip_cycles = vec![0u64; num_chips];
+            let spent = scheduler
+                .drain(&mut multi, |multi, cycle| {
+                    for (ci, chip) in multi.chips.iter_mut().enumerate() {
+                        // A drained chip idles (no starvation accrues)
+                        // while slower chips and the link finish.
+                        if chip.is_drained() {
+                            continue;
+                        }
+                        chip_cycles[ci] = cycle + 1;
+                        let slice_graph = &self.slices[ci].graph;
+                        chip.back
+                            .step(program, slice_graph, &mut t_props, &mut chips[ci]);
+                        chip.front
+                            .step(slice_graph, &mut chip.back.edge_access, &mut chips[ci]);
+                    }
+                    // Chips sink whatever updates arrived this cycle…
+                    for ci in 0..multi.staged.len() {
+                        while multi.link.pop(ci).is_some() {}
+                    }
+                    // …and offer staged updates (synthesized from the
+                    // counts) until the link back-pressures.
+                    for src_chip in 0..multi.staged.len() {
+                        // a full egress queue blocks every destination of
+                        // this source chip alike — move to the next chip
+                        'dsts: for dst_chip in 0..multi.staged[src_chip].len() {
+                            while multi.staged[src_chip][dst_chip] > 0 {
+                                let pkt = ShardPacket { src_chip, dst_chip };
+                                match multi.link.push(src_chip, pkt) {
+                                    Ok(()) => multi.staged[src_chip][dst_chip] -= 1,
+                                    Err(_) => break 'dsts,
+                                }
+                            }
+                        }
+                    }
+                })
+                .unwrap_or_else(|stall| {
+                    panic!(
+                        "sharded scatter phase of {} x{num_chips} stalled: {stall} \
+                         (iteration edges: {iteration_edges}, staged packets: {staged})",
+                        self.factory.config().name
+                    )
+                });
+            agg.scatter_cycles += spent;
+            for (ci, cycles) in chip_cycles.iter().enumerate() {
+                chips[ci].scatter_cycles += *cycles;
+            }
+
+            // Apply: functionally global (bit-identity), cycle-wise each
+            // chip scans only its owned interval; the slowest chip gates
+            // the iteration.
+            apply_phase(program, graph, &mut properties, &mut t_props, &mut frontier);
+            let mut max_apply = 0u64;
+            for (ci, slice) in self.slices.iter().enumerate() {
+                let a = apply_cycles(slice.num_owned(), m);
+                chips[ci].apply_cycles += a;
+                chips[ci].iterations += 1;
+                max_apply = max_apply.max(a);
+            }
+            agg.apply_cycles += max_apply;
+            agg.iterations += 1;
+        }
+
+        for (ci, chip) in multi.chips.iter().enumerate() {
+            finalize_metrics(&mut chips[ci], chip);
+        }
+        for chip in &chips {
+            agg.edges_processed += chip.edges_processed;
+            agg.vpe_starvation_cycles += chip.vpe_starvation_cycles;
+            for (c, s) in chip.vpe_starvation_per_channel.iter().enumerate() {
+                agg.vpe_starvation_per_channel[c] += s;
+            }
+            agg.offset_conflicts += chip.offset_conflicts;
+            agg.offset_net.merge(&chip.offset_net);
+            agg.edge_net.merge(&chip.edge_net);
+            agg.dataflow_net.merge(&chip.dataflow_net);
+        }
+        agg.cycles = agg.scatter_cycles + agg.apply_cycles;
+        let link = multi.link.network_stats().expect("links keep stats");
+        ShardedRunResult {
+            properties,
+            metrics: agg,
+            chips,
+            cross_chip_packets,
+            link,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use higraph_graph::gen::{erdos_renyi, power_law};
+    use higraph_vcpm::programs::{Bfs, PageRank, Sssp};
+    use higraph_vcpm::reference;
+
+    #[test]
+    fn one_chip_is_bit_identical_to_serial() {
+        let g = power_law(300, 2700, 2.0, 31, 23);
+        let prog = Sssp::from_source(higraph_graph::stats::hub_vertex(&g).expect("non-empty").0);
+        let serial = Engine::new(AcceleratorConfig::higraph(), &g).run(&prog);
+        let sharded =
+            ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(1), &g).run(&prog);
+        assert_eq!(sharded.properties, serial.properties);
+        assert_eq!(sharded.metrics, serial.metrics);
+        assert_eq!(sharded.chips.len(), 1);
+        assert_eq!(sharded.chips[0], serial.metrics);
+        assert_eq!(sharded.cross_chip_packets, 0);
+        assert_eq!(sharded.link.accepted, 0);
+    }
+
+    #[test]
+    fn multi_chip_matches_reference_results() {
+        let g = erdos_renyi(256, 2048, 31, 29);
+        let prog = Bfs::from_source(0);
+        let expect = reference::execute(&prog, &g);
+        for p in [2usize, 3, 4, 8] {
+            let r = ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(p), &g)
+                .run(&prog);
+            assert_eq!(r.properties, expect.properties, "{p} chips");
+            assert_eq!(
+                r.metrics.edges_processed, expect.edges_processed,
+                "{p} chips"
+            );
+            assert_eq!(r.num_chips(), p);
+        }
+    }
+
+    #[test]
+    fn cross_chip_traffic_is_delivered_and_counted() {
+        let g = power_law(200, 1800, 2.0, 31, 37);
+        let mut engine = ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(4), &g);
+        // one full-frontier iteration: packets == the partition's cut edges
+        let r = engine.run(&PageRank::new(1));
+        assert_eq!(r.cross_chip_packets, engine.cut_edges());
+        assert!(r.cross_chip_packets > 0, "4-way partition must cut edges");
+        assert_eq!(r.link.delivered, r.cross_chip_packets);
+        assert_eq!(r.link.accepted, r.cross_chip_packets);
+    }
+
+    #[test]
+    fn lockstep_drain_covers_compute_and_link() {
+        // With a huge link latency the drain must extend past the slowest
+        // chip's compute: communication is simulated, not hand-waved.
+        let g = power_law(200, 1800, 2.0, 31, 41);
+        let shard = ShardConfig::new(4);
+        let slow_link = ShardConfig {
+            link_latency: 100_000,
+            ..shard
+        };
+        let fast =
+            ShardedEngine::new(AcceleratorConfig::higraph(), shard, &g).run(&PageRank::new(1));
+        let slow =
+            ShardedEngine::new(AcceleratorConfig::higraph(), slow_link, &g).run(&PageRank::new(1));
+        assert_eq!(fast.properties, slow.properties);
+        assert!(
+            slow.metrics.scatter_cycles > fast.metrics.scatter_cycles,
+            "slow {} vs fast {}",
+            slow.metrics.scatter_cycles,
+            fast.metrics.scatter_cycles
+        );
+        assert!(slow.metrics.scatter_cycles > 100_000);
+        // compute-only critical path is unchanged by link latency
+        assert_eq!(
+            slow.max_chip_scatter_cycles(),
+            fast.max_chip_scatter_cycles()
+        );
+    }
+
+    #[test]
+    fn aggregate_counters_sum_over_chips() {
+        let g = erdos_renyi(192, 1600, 31, 43);
+        let r = ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(2), &g)
+            .run(&Bfs::from_source(0));
+        assert_eq!(
+            r.metrics.edges_processed,
+            r.chips.iter().map(|c| c.edges_processed).sum::<u64>()
+        );
+        assert_eq!(
+            r.metrics.dataflow_net.delivered,
+            r.chips
+                .iter()
+                .map(|c| c.dataflow_net.delivered)
+                .sum::<u64>()
+        );
+        assert_eq!(
+            r.metrics.cycles,
+            r.metrics.scatter_cycles + r.metrics.apply_cycles
+        );
+        assert!(r.cycles_per_edge() > 0.0);
+        for chip in &r.chips {
+            assert!(chip.scatter_cycles <= r.metrics.scatter_cycles);
+        }
+    }
+
+    #[test]
+    fn invalid_shard_config_rejected() {
+        let g = erdos_renyi(64, 256, 15, 47);
+        let bad = ShardConfig {
+            num_chips: 0,
+            ..ShardConfig::new(1)
+        };
+        assert!(ShardedEngine::try_new(AcceleratorConfig::higraph(), bad, &g).is_err());
+        let bad = ShardConfig {
+            link_bandwidth: 0,
+            ..ShardConfig::new(2)
+        };
+        assert!(ShardedEngine::try_new(AcceleratorConfig::higraph(), bad, &g).is_err());
+    }
+}

@@ -3,49 +3,119 @@
 //! ```sh
 //! cargo run --release -p higraph-bench --bin repro -- all
 //! cargo run --release -p higraph-bench --bin repro -- fig8 fig9 --full
+//! cargo run --release -p higraph-bench --bin repro -- table1 shard --json
 //! ```
 //!
 //! Targets: `table1 table2 fig4 fig5 fig7 fig8 fig9 fig10a fig10b fig11
-//! fig12 radix areapower ablation batch all`. Default scale divides
+//! fig12 radix areapower ablation batch shard all`. Default scale divides
 //! Table 2 datasets by 4 (Figs. 5/10/11/12 and the radix sweep always run
 //! full-scale R14); `--full` uses the paper's exact sizes everywhere.
 //! Every sweep executes through the parallel batch runner, so wall time
 //! scales down with core count.
+//!
+//! Flags:
+//!
+//! * `--json` — additionally write the machine-readable metrics to
+//!   `bench-report.json` for CI artifacts and offline comparison.
+//!   Recording targets: `table1`, `fig4`, `fig8`/`fig9` (the shared
+//!   sweep records both), `fig11`, `batch`, `shard` — per-figure cycles,
+//!   throughput, and shard traffic. The remaining targets print
+//!   human-readable output only;
+//! * `--check <baseline.json>` — compare this run against a flat
+//!   `{"metric.key": number}` baseline and exit non-zero if any baseline
+//!   metric is missing or deviates more than 10%;
+//! * `--full` — paper-exact dataset sizes.
 
-use higraph_bench::{figures, Algo, Scale};
+use higraph_bench::report::{check_against_baseline, parse_flat_json, DEFAULT_TOLERANCE};
+use higraph_bench::{figures, Algo, Report, Scale};
 use std::collections::BTreeSet;
+use std::process::ExitCode;
 
-fn main() {
+/// Path `--json` writes to, and the artifact name CI uploads.
+const REPORT_PATH: &str = "bench-report.json";
+
+/// Every runnable target, plus the `all` alias.
+const KNOWN_TARGETS: [&str; 16] = [
+    "table1",
+    "table2",
+    "fig4",
+    "fig5",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10a",
+    "fig10b",
+    "fig11",
+    "fig12",
+    "radix",
+    "areapower",
+    "ablation",
+    "batch",
+    "shard",
+];
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
-    let scale = if full { Scale::full() } else { Scale::quick() };
-    let mut targets: BTreeSet<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.to_lowercase())
-        .collect();
-    if targets.is_empty() || targets.contains("all") {
-        targets = [
-            "table1",
-            "table2",
-            "fig4",
-            "fig5",
-            "fig7",
-            "fig8",
-            "fig9",
-            "fig10a",
-            "fig10b",
-            "fig11",
-            "fig12",
-            "radix",
-            "areapower",
-            "ablation",
-            "batch",
-        ]
-        .into_iter()
-        .map(String::from)
-        .collect();
+    let mut full = false;
+    let mut json = false;
+    let mut check: Option<String> = None;
+    let mut targets: BTreeSet<String> = BTreeSet::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => full = true,
+            "--json" => json = true,
+            "--check" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => check = Some(path.clone()),
+                    None => {
+                        eprintln!("--check needs a baseline path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag} (known: --full --json --check <path>)");
+                return ExitCode::FAILURE;
+            }
+            target => {
+                let target = target.to_lowercase();
+                if target != "all" && !KNOWN_TARGETS.contains(&target.as_str()) {
+                    eprintln!(
+                        "unknown target {target} (known: all {})",
+                        KNOWN_TARGETS.join(" ")
+                    );
+                    return ExitCode::FAILURE;
+                }
+                targets.insert(target);
+            }
+        }
+        i += 1;
     }
+    let scale = if full { Scale::full() } else { Scale::quick() };
+    if targets.is_empty() || targets.contains("all") {
+        targets = KNOWN_TARGETS.into_iter().map(String::from).collect();
+    }
+
+    // Read and parse the baseline up front: a bad path or malformed file
+    // must fail in milliseconds, not after the whole sweep has run.
+    let baseline = match &check {
+        None => None,
+        Some(path) => match std::fs::read_to_string(path) {
+            Err(e) => {
+                eprintln!("failed to read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            Ok(text) => match parse_flat_json(&text) {
+                Err(e) => {
+                    eprintln!("malformed baseline {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                Ok(map) => Some((path.clone(), map)),
+            },
+        },
+    };
 
     println!(
         "== HiGraph reproduction harness (scale: ÷{}, PR iterations: {}) ==",
@@ -53,61 +123,107 @@ fn main() {
     );
     println!("   (Figs. 5 and 10-12 + radix always use full-scale R14; see EXPERIMENTS.md)\n");
 
+    let mut report = Report::new();
     if targets.contains("table1") {
-        table1();
+        report.ran("table1");
+        table1(&mut report);
     }
     if targets.contains("table2") {
+        report.ran("table2");
         table2(scale);
     }
     if targets.contains("fig4") {
-        fig4();
+        report.ran("fig4");
+        fig4(&mut report);
     }
     if targets.contains("fig5") {
+        report.ran("fig5");
         fig5(scale);
     }
     if targets.contains("fig7") {
+        report.ran("fig7");
         fig7();
     }
     // fig8 and fig9 share the expensive sweep
     if targets.contains("fig8") || targets.contains("fig9") {
         let rows = figures::overall(scale);
+        record_overall(&mut report, &rows);
         if targets.contains("fig8") {
+            report.ran("fig8");
             fig8(&rows);
         }
         if targets.contains("fig9") {
+            report.ran("fig9");
             fig9(&rows);
         }
     }
     if targets.contains("fig10a") || targets.contains("fig10b") {
         let rows = figures::fig10(scale);
         if targets.contains("fig10a") {
+            report.ran("fig10a");
             fig10a(&rows);
         }
         if targets.contains("fig10b") {
+            report.ran("fig10b");
             fig10b(&rows);
         }
     }
     if targets.contains("fig11") {
-        fig11(scale);
+        report.ran("fig11");
+        fig11(scale, &mut report);
     }
     if targets.contains("fig12") {
+        report.ran("fig12");
         fig12(scale);
     }
     if targets.contains("radix") {
+        report.ran("radix");
         radix(scale);
     }
     if targets.contains("areapower") {
+        report.ran("areapower");
         areapower();
     }
     if targets.contains("ablation") {
+        report.ran("ablation");
         ablation(scale);
     }
     if targets.contains("batch") {
-        batch(scale);
+        report.ran("batch");
+        batch(scale, &mut report);
     }
+    if targets.contains("shard") {
+        report.ran("shard");
+        shard(scale, &mut report);
+    }
+
+    if json {
+        if let Err(e) = std::fs::write(REPORT_PATH, report.to_json()) {
+            eprintln!("failed to write {REPORT_PATH}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} metrics to {REPORT_PATH}", report.metrics.len());
+    }
+    if let Some((baseline_path, baseline)) = baseline {
+        let violations = check_against_baseline(&report.metrics, &baseline, DEFAULT_TOLERANCE);
+        if violations.is_empty() {
+            println!(
+                "perf gate: all {} baseline metrics within {:.0}% of {baseline_path}",
+                baseline.len(),
+                DEFAULT_TOLERANCE * 100.0
+            );
+        } else {
+            eprintln!("perf gate FAILED against {baseline_path}:");
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }
 
-fn batch(scale: Scale) {
+fn batch(scale: Scale, out: &mut Report) {
     println!("-- Batch runner: parallel (program × config) sweep (PR, Slashdot) --");
     let (rows, report) = figures::batch_throughput(scale);
     for r in &rows {
@@ -118,6 +234,8 @@ fn batch(scale: Scale) {
             r.cycles,
             if r.sliced { "  (sliced)" } else { "" }
         );
+        out.record(format!("batch.{}.cycles", r.label), r.cycles as f64);
+        out.record(format!("batch.{}.gteps", r.label), r.gteps);
     }
     println!(
         "{} sims on {} workers: {:.2}s wall, {:.2} sims/s, {:.1}M simulated edges/s host-side,\n\
@@ -128,6 +246,43 @@ fn batch(scale: Scale) {
         report.sims_per_second(),
         report.simulated_meps(),
         report.aggregate_gteps()
+    );
+}
+
+fn shard(scale: Scale, out: &mut Report) {
+    println!("-- Multi-chip sharding: PR on the Twitter stand-in, P = 1/2/4/8 chips --");
+    println!(
+        "{:>6} {:>12} {:>8} {:>12} {:>13} {:>14} {:>14}",
+        "chips", "cycles", "GTEPS", "cycles/edge", "compute-max", "x-chip pkts", "pkts/edge"
+    );
+    let rows = figures::shard_sweep(scale);
+    for r in &rows {
+        println!(
+            "{:>6} {:>12} {:>8.1} {:>12.3} {:>13} {:>14} {:>13.1}%",
+            r.chips,
+            r.cycles,
+            r.gteps,
+            r.cycles_per_edge,
+            r.max_chip_scatter_cycles,
+            r.cross_chip_packets,
+            100.0 * r.cross_chip_packets as f64 / r.edges.max(1) as f64
+        );
+        let p = format!("shard.p{}", r.chips);
+        out.record(format!("{p}.cycles"), r.cycles as f64);
+        out.record(format!("{p}.gteps"), r.gteps);
+        out.record(format!("{p}.cycles_per_edge"), r.cycles_per_edge);
+        out.record(
+            format!("{p}.cross_chip_packets"),
+            r.cross_chip_packets as f64,
+        );
+        out.record(
+            format!("{p}.max_chip_scatter_cycles"),
+            r.max_chip_scatter_cycles as f64,
+        );
+    }
+    println!(
+        "(P=1 is bit-identical to the serial engine; cross-chip packets are modeled\n\
+         through the latency/bandwidth link fabric — see docs/sharding.md)\n"
     );
 }
 
@@ -165,7 +320,7 @@ fn ablation(scale: Scale) {
     println!();
 }
 
-fn table1() {
+fn table1(out: &mut Report) {
     println!("-- Table 1: configurations --");
     println!(
         "{:<14} {:>10} {:>12} {:>12} {:>14}",
@@ -176,6 +331,11 @@ fn table1() {
             "{:<14} {:>7.0}GHz {:>12} {:>12} {:>12}MB",
             r.name, r.frequency_ghz, r.front_channels, r.back_channels, r.onchip_mb
         );
+        let p = format!("table1.{}", r.name);
+        out.record(format!("{p}.frequency_ghz"), r.frequency_ghz);
+        out.record(format!("{p}.front_channels"), r.front_channels as f64);
+        out.record(format!("{p}.back_channels"), r.back_channels as f64);
+        out.record(format!("{p}.onchip_mb"), r.onchip_mb as f64);
     }
     println!();
 }
@@ -201,12 +361,31 @@ fn table2(scale: Scale) {
     println!();
 }
 
-fn fig4() {
+fn fig4(out: &mut Report) {
     println!("-- Fig. 4: crossbar frequency vs port count --");
     for (ports, ghz) in figures::fig4() {
         println!("{ports:>4} ports: {ghz:5.2} GHz  {}", bar(ghz / 2.5, 40));
+        out.record(format!("fig4.ports{ports}.frequency_ghz"), ghz);
     }
     println!();
+}
+
+fn record_overall(out: &mut Report, rows: &[figures::OverallRow]) {
+    for r in rows {
+        let p = format!("fig9.{}.{}", r.algo.label(), r.dataset.abbrev());
+        out.record(format!("{p}.graphdyns_gteps"), r.graphdyns.gteps());
+        out.record(format!("{p}.higraph_mini_gteps"), r.higraph_mini.gteps());
+        out.record(format!("{p}.higraph_gteps"), r.higraph.gteps());
+        out.record(format!("{p}.higraph_cycles"), r.higraph.cycles as f64);
+        out.record(
+            format!(
+                "fig8.{}.{}.higraph_speedup",
+                r.algo.label(),
+                r.dataset.abbrev()
+            ),
+            r.higraph_speedup(),
+        );
+    }
 }
 
 fn fig7() {
@@ -323,7 +502,7 @@ fn print_ablation(
     println!();
 }
 
-fn fig11(scale: Scale) {
+fn fig11(scale: Scale, out: &mut Report) {
     println!("-- Fig. 11: throughput vs #back-end channels (PR, RMAT14) --");
     let rows = figures::fig11(scale);
     println!("{:<10} {:>8} {:>8} {:>8} {:>8}", "", 32, 64, 128, 256);
@@ -335,7 +514,10 @@ fn fig11(scale: Scale) {
                 .find(|r| r.design == design && r.channels == ch)
                 .expect("complete sweep");
             match r.gteps {
-                Some(g) => print!(" {g:>8.1}"),
+                Some(g) => {
+                    print!(" {g:>8.1}");
+                    out.record(format!("fig11.{design}.ch{ch}.gteps"), g);
+                }
                 None => print!(" {:>8}", "n/a"),
             }
         }

@@ -242,6 +242,54 @@ pub fn fig11(scale: Scale) -> Vec<ScalabilityRow> {
     })
 }
 
+/// One point of the multi-chip scalability sweep (the Fig. 11 harness
+/// extended past a single accelerator).
+#[derive(Debug, Clone)]
+pub struct ShardSweepRow {
+    /// Chip count.
+    pub chips: usize,
+    /// Aggregate critical-path cycles (lock-step scatter + slowest apply).
+    pub cycles: u64,
+    /// Edge traversals across all chips.
+    pub edges: u64,
+    /// Aggregate modeled throughput in GTEPS.
+    pub gteps: f64,
+    /// Aggregate cycles per processed edge (scale-out efficiency).
+    pub cycles_per_edge: f64,
+    /// Update packets that crossed the inter-chip link.
+    pub cross_chip_packets: u64,
+    /// Compute-only cycles of the slowest chip (before communication).
+    pub max_chip_scatter_cycles: u64,
+    /// Per-chip total cycles, indexed by chip.
+    pub per_chip_cycles: Vec<u64>,
+}
+
+/// Multi-chip scalability: PageRank on the Twitter stand-in across
+/// P ∈ {1, 2, 4, 8} chips with the default board-level link model.
+/// P = 1 is bit-identical to the serial engine (the integration tests
+/// assert this), so the row doubles as the sweep's serial baseline.
+pub fn shard_sweep(scale: Scale) -> Vec<ShardSweepRow> {
+    let graph = scale.build(Dataset::Twitter);
+    BatchRunner::parallel().execute(&[1usize, 2, 4, 8], |&chips| {
+        let mut engine = ShardedEngine::new(
+            AcceleratorConfig::higraph(),
+            ShardConfig::new(chips),
+            &graph,
+        );
+        let r = engine.run(&PageRank::new(scale.pr_iters));
+        ShardSweepRow {
+            chips,
+            cycles: r.metrics.cycles,
+            edges: r.metrics.edges_processed,
+            gteps: r.metrics.gteps(),
+            cycles_per_edge: r.cycles_per_edge(),
+            cross_chip_packets: r.cross_chip_packets,
+            max_chip_scatter_cycles: r.max_chip_scatter_cycles(),
+            per_chip_cycles: r.chips.iter().map(|c| c.cycles).collect(),
+        }
+    })
+}
+
 /// One point of Fig. 12: a dataflow fabric at a per-channel buffer size.
 #[derive(Debug, Clone)]
 pub struct BufferSweepRow {
@@ -518,6 +566,26 @@ mod tests {
         assert!((rows[0].power_mw - 621.2).abs() < 0.5);
         assert!((rows[1].area_mm2 - 0.292).abs() < 1e-3);
         assert!((rows[1].power_mw - 508.1).abs() < 0.5);
+    }
+
+    #[test]
+    fn shard_sweep_reports_traffic_and_efficiency() {
+        let rows = shard_sweep(Scale::tiny());
+        assert_eq!(rows.len(), 4);
+        assert_eq!(
+            rows.iter().map(|r| r.chips).collect::<Vec<_>>(),
+            [1, 2, 4, 8]
+        );
+        // every chip count traverses the same edges
+        assert!(rows.iter().all(|r| r.edges == rows[0].edges));
+        // a single chip never crosses the link; partitions do
+        assert_eq!(rows[0].cross_chip_packets, 0);
+        assert!(rows[1..].iter().all(|r| r.cross_chip_packets > 0));
+        for r in &rows {
+            assert_eq!(r.per_chip_cycles.len(), r.chips);
+            assert!(r.cycles_per_edge > 0.0);
+            assert!(r.max_chip_scatter_cycles <= r.cycles);
+        }
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! `--full` to the binary for Table 2 sizes.
 
 pub mod figures;
+pub mod report;
 pub mod workload;
 
 pub use figures::*;
+pub use report::Report;
 pub use workload::{Algo, Scale};

@@ -23,6 +23,14 @@ pub struct Slice {
     /// The sliced graph: same vertex set, only edges whose destination is
     /// in `[dst_start, dst_end)`.
     pub graph: Csr,
+    /// Boundary traffic of this slice: edges whose *source* vertex is
+    /// owned by a different slice of the same partition. When slices map
+    /// to chips, each such edge's update crosses the inter-chip fabric.
+    pub cut_edges: u64,
+    /// Ghost vertices: distinct source vertices not owned by this slice
+    /// that have at least one edge into it. Their IDs and properties must
+    /// be replicated (as ghosts) for the slice to scatter locally.
+    pub ghost_vertices: u32,
 }
 
 impl Slice {
@@ -30,6 +38,19 @@ impl Slice {
     pub fn num_owned(&self) -> u32 {
         self.dst_end - self.dst_start
     }
+
+    /// Whether this slice owns destination vertex `v`.
+    pub fn owns(&self, v: VertexId) -> bool {
+        (self.dst_start..self.dst_end).contains(&v.0)
+    }
+}
+
+/// Total cut edges reported by a partition: the number of edges whose
+/// source and destination are owned by different slices. This is exactly
+/// the per-full-frontier packet count on a modeled inter-chip fabric
+/// (`tests/sharded_equivalence.rs` holds the two equal by property test).
+pub fn total_cut_edges(slices: &[Slice]) -> u64 {
+    slices.iter().map(|s| s.cut_edges).sum()
 }
 
 /// Partitions `graph` into `num_slices` destination-interval slices.
@@ -63,11 +84,18 @@ pub fn partition(graph: &Csr, num_slices: usize) -> Vec<Slice> {
             let mut offsets = Vec::with_capacity(n as usize + 1);
             offsets.push(0u64);
             let mut edges = Vec::new();
+            let mut cut_edges = 0u64;
+            let mut ghost_vertices = 0u32;
             for u in graph.vertices() {
+                let before = edges.len();
                 for e in graph.neighbors(u) {
                     if (dst_start..dst_end).contains(&e.dst.0) {
                         edges.push(*e);
                     }
+                }
+                if !(dst_start..dst_end).contains(&u.0) && edges.len() > before {
+                    cut_edges += (edges.len() - before) as u64;
+                    ghost_vertices += 1;
                 }
                 offsets.push(edges.len() as u64);
             }
@@ -77,6 +105,8 @@ pub fn partition(graph: &Csr, num_slices: usize) -> Vec<Slice> {
                 dst_end,
                 graph: Csr::from_raw_parts(offsets, edges)
                     .expect("slice construction preserves CSR validity"),
+                cut_edges,
+                ghost_vertices,
             }
         })
         .collect()
@@ -94,9 +124,28 @@ pub fn slice_swap_cycles(slice: &Slice, bytes_per_cycle: u64) -> u64 {
 
 /// Reassembles the destination-sliced partition back into the original
 /// graph (used to verify the partition is lossless).
+///
+/// The slices must form a complete partition *in order*: every slice over
+/// the same vertex set, destination ranges contiguous and non-overlapping
+/// from vertex 0 to the last vertex. Returns `None` for anything else —
+/// out-of-order, overlapping, or gapped slices used to be concatenated
+/// silently into a structurally valid but wrong [`Csr`].
 pub fn reassemble(slices: &[Slice]) -> Option<Csr> {
     let first = slices.first()?;
     let n = first.graph.num_vertices();
+    let mut expect_start = 0u32;
+    for (i, s) in slices.iter().enumerate() {
+        if s.graph.num_vertices() != n {
+            return None; // slice of a different graph
+        }
+        if s.index != i || s.dst_start != expect_start || s.dst_end < s.dst_start {
+            return None; // out of order, overlapping, or gapped
+        }
+        expect_start = s.dst_end;
+    }
+    if expect_start != n {
+        return None; // ranges do not cover the vertex set
+    }
     let mut offsets = vec![0u64];
     let mut edges: Vec<Edge> = Vec::new();
     for u in 0..n {
@@ -156,6 +205,64 @@ mod tests {
         let slices = partition(&g, 8);
         let total: u64 = slices.iter().map(|s| s.graph.num_edges()).sum();
         assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn single_slice_has_no_boundary() {
+        let g = power_law(96, 700, 2.0, 7, 5);
+        let slices = partition(&g, 1);
+        assert_eq!(slices[0].cut_edges, 0);
+        assert_eq!(slices[0].ghost_vertices, 0);
+        assert_eq!(total_cut_edges(&slices), 0);
+        assert_eq!(slices[0].graph, g);
+    }
+
+    #[test]
+    fn cut_edges_count_cross_owner_edges() {
+        let g = power_law(128, 1024, 2.0, 7, 11);
+        let slices = partition(&g, 4);
+        // recount from first principles: an edge is cut when the slice
+        // owning its destination does not own its source
+        let expect: u64 = g
+            .edges()
+            .filter(|&(u, e)| {
+                let owner = slices.iter().find(|s| s.owns(e.dst)).expect("covered");
+                !owner.owns(u)
+            })
+            .count() as u64;
+        assert_eq!(total_cut_edges(&slices), expect);
+        // per-slice ghosts never exceed per-slice cut edges
+        for s in &slices {
+            assert!(u64::from(s.ghost_vertices) <= s.cut_edges);
+        }
+    }
+
+    #[test]
+    fn reassemble_rejects_out_of_order_slices() {
+        let g = power_law(64, 512, 2.0, 7, 9);
+        let mut slices = partition(&g, 4);
+        assert!(reassemble(&slices).is_some());
+        slices.swap(1, 2);
+        assert!(reassemble(&slices).is_none());
+    }
+
+    #[test]
+    fn reassemble_rejects_gapped_or_foreign_slices() {
+        let g = power_law(64, 512, 2.0, 7, 13);
+        let slices = partition(&g, 4);
+        // dropping a middle slice leaves a gap
+        let gapped: Vec<Slice> = [&slices[0], &slices[2], &slices[3]]
+            .into_iter()
+            .cloned()
+            .collect();
+        assert!(reassemble(&gapped).is_none());
+        // dropping the tail fails coverage
+        assert!(reassemble(&slices[..3]).is_none());
+        // a slice of a different graph is rejected
+        let other = power_law(32, 256, 2.0, 7, 13);
+        let mut mixed = partition(&g, 2);
+        mixed[1] = partition(&other, 2).remove(1);
+        assert!(reassemble(&mixed).is_none());
     }
 
     #[test]

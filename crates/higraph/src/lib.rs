@@ -44,7 +44,7 @@ pub use higraph_vcpm as vcpm;
 pub mod prelude {
     pub use higraph_accel::{
         AcceleratorConfig, BatchJob, BatchReport, BatchResult, BatchRunner, Engine, Metrics,
-        NetworkKind, OptLevel, RunMode,
+        NetworkKind, OptLevel, RunMode, ShardConfig, ShardedEngine, ShardedRunResult,
     };
     pub use higraph_graph::{Csr, Dataset, EdgeList, VertexId};
     pub use higraph_mdp::{MdpNetwork, Topology};

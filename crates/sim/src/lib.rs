@@ -15,6 +15,8 @@
 //! * [`memory::BankPorts`] — per-cycle bank-port accounting for the
 //!   interleaved on-chip buffers, including the paper's
 //!   "same target address" sharing rule,
+//! * [`link::InterChipLink`] — the latency/bandwidth-modeled board-level
+//!   interconnect coupling sharded multi-chip executions,
 //! * [`stats`] — shared counters,
 //! * [`probe::Instrumented`] — an occupancy-tracing wrapper for any
 //!   fabric (buffer-sizing studies),
@@ -40,6 +42,7 @@ pub mod arbiter;
 pub mod clock;
 pub mod crossbar;
 pub mod fifo;
+pub mod link;
 pub mod memory;
 pub mod network;
 pub mod probe;
@@ -49,6 +52,7 @@ pub use arbiter::{OddEvenArbiter, RoundRobinArbiter};
 pub use clock::{ClockedComponent, Scheduler, StallError};
 pub use crossbar::CrossbarNetwork;
 pub use fifo::Fifo;
+pub use link::InterChipLink;
 pub use memory::BankPorts;
 pub use network::{Network, Packet};
 pub use probe::Instrumented;

@@ -44,6 +44,20 @@ impl NetworkStats {
             self.delivered as f64 / self.cycles as f64
         }
     }
+
+    /// Folds `other` into `self` by summing every counter.
+    ///
+    /// Used to aggregate the same fabric across multiple chips (the
+    /// sharded executor reports one merged counter set next to the
+    /// per-chip ones). Note `cycles` sums too: the merged value is
+    /// fabric-cycles across all instances, not wall-clock cycles.
+    pub fn merge(&mut self, other: &NetworkStats) {
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+        self.delivered += other.delivered;
+        self.cycles += other.cycles;
+        self.hol_blocked += other.hol_blocked;
+    }
 }
 
 #[cfg(test)]
@@ -68,5 +82,38 @@ mod tests {
         };
         assert!((s.rejection_rate() - 0.25).abs() < 1e-12);
         assert!((s.throughput() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let mut a = NetworkStats {
+            accepted: 1,
+            rejected: 2,
+            delivered: 3,
+            cycles: 4,
+            hol_blocked: 5,
+        };
+        let b = NetworkStats {
+            accepted: 10,
+            rejected: 20,
+            delivered: 30,
+            cycles: 40,
+            hol_blocked: 50,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            NetworkStats {
+                accepted: 11,
+                rejected: 22,
+                delivered: 33,
+                cycles: 44,
+                hol_blocked: 55,
+            }
+        );
+        // merging into zeroed counters is the identity
+        let mut zero = NetworkStats::new();
+        zero.merge(&b);
+        assert_eq!(zero, b);
     }
 }

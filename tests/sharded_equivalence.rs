@@ -1,0 +1,124 @@
+//! Sharded multi-chip execution must compute exactly what the serial
+//! engine computes, and its modeled inter-chip traffic must agree with
+//! the partitioner's static cut.
+//!
+//! Three layers of guarantees:
+//!
+//! * **P = 1 bit-identity** — one chip over a one-slice partition is the
+//!   serial engine: identical Property Array *and* identical `Metrics`
+//!   (cycles, starvation, fabric counters), on the Twitter stand-in.
+//! * **P > 1 result identity** — any chip count yields the serial
+//!   Property Array; only the timing model changes.
+//! * **Traffic accounting** — over one full-frontier iteration, the
+//!   packets carried by the link fabric equal the partitioner's reported
+//!   cut-edge count (property-tested across random graphs and chip
+//!   counts), and the link delivers every packet it accepts.
+
+use higraph::graph::gen::{erdos_renyi, power_law};
+use higraph::graph::slicing::{partition, total_cut_edges};
+use higraph::prelude::*;
+use proptest::prelude::*;
+
+fn twitter_standin() -> Csr {
+    // ÷16 keeps the conflict-heavy shape at integration-test cost.
+    Dataset::Twitter.build_scaled(16)
+}
+
+#[test]
+fn one_chip_is_bit_identical_to_serial_on_twitter() {
+    let g = twitter_standin();
+    let src = higraph::graph::stats::hub_vertex(&g).expect("non-empty").0;
+    let prog = Bfs::from_source(src);
+    let serial = Engine::new(AcceleratorConfig::higraph(), &g).run(&prog);
+    let sharded =
+        ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(1), &g).run(&prog);
+    assert_eq!(sharded.properties, serial.properties);
+    assert_eq!(sharded.metrics, serial.metrics, "aggregate == serial");
+    assert_eq!(sharded.chips[0], serial.metrics, "chip 0 == serial");
+    assert_eq!(sharded.cross_chip_packets, 0);
+}
+
+#[test]
+fn four_chips_match_serial_results_on_twitter() {
+    let g = twitter_standin();
+    let src = higraph::graph::stats::hub_vertex(&g).expect("non-empty").0;
+    for_programs(&g, src, |name, serial_props, sharded| {
+        assert_eq!(sharded.properties, serial_props, "{name}");
+        assert!(
+            sharded.cross_chip_packets > 0,
+            "{name}: 4-way cut is never free"
+        );
+        assert_eq!(sharded.link.delivered, sharded.link.accepted, "{name}");
+    });
+}
+
+/// Runs BFS and PR through both engines at P=4 and hands the results to
+/// `check`.
+fn for_programs<F>(g: &Csr, src: u32, mut check: F)
+where
+    F: FnMut(&str, Vec<u64>, ShardedRunResult<u64>),
+{
+    let bfs = Bfs::from_source(src);
+    let serial = Engine::new(AcceleratorConfig::higraph(), g).run(&bfs);
+    let sharded =
+        ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(4), g).run(&bfs);
+    check("BFS", serial.properties, sharded);
+
+    let pr = PageRank::new(3);
+    let serial = Engine::new(AcceleratorConfig::higraph(), g).run(&pr);
+    let sharded = ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(4), g).run(&pr);
+    check("PR", serial.properties, sharded);
+}
+
+#[test]
+fn sharded_jobs_match_through_the_batch_runner() {
+    let g = power_law(400, 3600, 2.0, 31, 51);
+    let make_jobs = || {
+        vec![
+            BatchJob::new("serial", &g, PageRank::new(4), AcceleratorConfig::higraph()),
+            BatchJob::new("p2", &g, PageRank::new(4), AcceleratorConfig::higraph())
+                .sharded(ShardConfig::new(2)),
+            BatchJob::new("p8", &g, PageRank::new(4), AcceleratorConfig::higraph())
+                .sharded(ShardConfig::new(8)),
+        ]
+    };
+    let (par, _) = BatchRunner::parallel().run(make_jobs());
+    let (ser, _) = BatchRunner::serial().run(make_jobs());
+    for (p, s) in par.iter().zip(&ser) {
+        assert_eq!(p.properties, s.properties, "{}", p.label);
+        assert_eq!(p.metrics, s.metrics, "{}", p.label);
+        assert_eq!(p.sharded, s.sharded, "{}", p.label);
+    }
+    // all three modes agree on the algorithm result
+    assert_eq!(par[0].properties, par[1].properties);
+    assert_eq!(par[0].properties, par[2].properties);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// One full-frontier iteration ships exactly the partitioner's cut:
+    /// the link fabric's packet count equals `total_cut_edges`, for any
+    /// graph shape and chip count.
+    #[test]
+    fn cross_shard_packets_equal_cut_edges(
+        n in 16u32..200,
+        m in 32u64..1600,
+        chips in 2usize..9,
+        seed in 0u64..50,
+    ) {
+        let g = erdos_renyi(n, m, 15, seed);
+        let cut = total_cut_edges(&partition(&g, chips));
+        let mut engine =
+            ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(chips), &g);
+        prop_assert_eq!(engine.cut_edges(), cut);
+        // PageRank's first (and here only) iteration activates every vertex,
+        // so each edge is processed exactly once.
+        let r = engine.run(&PageRank::new(1));
+        prop_assert_eq!(r.cross_chip_packets, cut);
+        prop_assert_eq!(r.link.accepted, cut);
+        prop_assert_eq!(r.link.delivered, cut);
+        // and the traversal itself covers every edge exactly once
+        prop_assert_eq!(r.metrics.edges_processed, g.num_edges());
+    }
+}
