@@ -1,7 +1,99 @@
 //! Accelerator configuration and the Table 1 presets.
 
 use higraph_model::NetworkKindModel;
+use higraph_sim::DramTiming;
 use std::fmt;
+
+/// Off-chip memory hierarchy knobs: the edge/offset cache and the HBM
+/// channel geometry behind it (see `docs/memory.md`).
+///
+/// `AcceleratorConfig::memory` is `None` by default — infinite
+/// bandwidth, zero latency — which keeps every metric bit-identical to
+/// the pre-memory-model simulator. Set `Some(MemoryConfig::hbm2())` (or
+/// a customized value) to make off-chip fetches cost cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryConfig {
+    /// HBM channels; lines interleave across them.
+    pub channels: usize,
+    /// Row-buffered banks per channel.
+    pub banks_per_channel: usize,
+    /// Request-queue depth per channel (producers stall beyond it).
+    pub queue_depth: usize,
+    /// Cache line size in bytes (power of two, at least one edge —
+    /// `cache::EDGE_BYTES` — so per-line accounting never undercounts).
+    pub line_bytes: usize,
+    /// DRAM row size in bytes (power-of-two multiple of the line size);
+    /// sets how many consecutive lines share one row-buffer activation.
+    pub row_bytes: usize,
+    /// Capacity of the on-chip edge/offset cache in KiB.
+    pub cache_kb: usize,
+    /// tCAS-class latency parameters, in accelerator clock cycles.
+    pub timing: DramTiming,
+}
+
+impl MemoryConfig {
+    /// An HBM2-class stack at a 1 GHz accelerator clock: 8 channels ×
+    /// 16 banks, 2 KiB rows, 64 B lines, a 256 KiB edge/offset cache.
+    pub fn hbm2() -> Self {
+        MemoryConfig {
+            channels: 8,
+            banks_per_channel: 16,
+            queue_depth: 16,
+            line_bytes: 64,
+            row_bytes: 2048,
+            cache_kb: 256,
+            timing: DramTiming::default(),
+        }
+    }
+
+    /// This configuration with a different cache capacity (the `repro
+    /// mem` sweep axis).
+    pub fn with_cache_kb(mut self, cache_kb: usize) -> Self {
+        self.cache_kb = cache_kb;
+        self
+    }
+
+    /// Validates the memory knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if any count is zero, the line size is not a
+    /// power of two, or the row size is not a multiple of the line size.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels == 0 || self.banks_per_channel == 0 || self.queue_depth == 0 {
+            return Err("memory channels, banks, and queue depth must be positive".to_string());
+        }
+        if !self.line_bytes.is_power_of_two() || (self.line_bytes as u64) < crate::cache::EDGE_BYTES
+        {
+            return Err(format!(
+                "cache line size {} must be a power of two >= one edge ({} B)",
+                self.line_bytes,
+                crate::cache::EDGE_BYTES
+            ));
+        }
+        if self.row_bytes < self.line_bytes || !self.row_bytes.is_multiple_of(self.line_bytes) {
+            return Err(format!(
+                "row size {} must be a multiple of the line size {}",
+                self.row_bytes, self.line_bytes
+            ));
+        }
+        if self.cache_kb == 0 {
+            return Err("cache capacity must be positive".to_string());
+        }
+        Ok(())
+    }
+
+    /// Worst-case memory cycles one scatter phase can spend, used to size
+    /// the stall guard: every line the phase can touch (edges plus one
+    /// offset pair per frontier vertex) paying a full row conflict, plus
+    /// queue-depth serialization slack per line.
+    pub(crate) fn stall_guard_bonus(&self, iteration_edges: u64, frontier_len: u64) -> u64 {
+        let per_line = self.timing.conflict_cycles() + self.queue_depth as u64 + 4;
+        let edge_lines = iteration_edges + 16; // ≥ lines touched (16 B edges, ≥ 16 B lines)
+        let offset_lines = 2 * frontier_len + 16;
+        (edge_lines + offset_lines).saturating_mul(per_line)
+    }
+}
 
 /// Which fabric serves an interaction point (Sec. 2.2's three conflict
 /// sites).
@@ -118,6 +210,11 @@ pub struct AcceleratorConfig {
     /// Edge-Array MDP-network is a 2W2R module, so 2 is the paper-faithful
     /// value; 1 models a single-read-port dispatcher for ablation).
     pub dispatcher_read_ports: usize,
+    /// Off-chip memory model. `None` (the default for every preset) is
+    /// infinite bandwidth: offset and edge fetches are free, exactly the
+    /// pre-memory-model behaviour. `Some(_)` routes them through the
+    /// edge/offset cache and the HBM channel model (`docs/memory.md`).
+    pub memory: Option<MemoryConfig>,
 }
 
 impl AcceleratorConfig {
@@ -135,6 +232,7 @@ impl AcceleratorConfig {
             staging_capacity: 8,
             radix: 2,
             dispatcher_read_ports: 2,
+            memory: None,
         }
     }
 
@@ -163,6 +261,7 @@ impl AcceleratorConfig {
             staging_capacity: 8,
             radix: 2,
             dispatcher_read_ports: 2,
+            memory: None,
         }
     }
 
@@ -254,6 +353,9 @@ impl AcceleratorConfig {
         if self.dispatcher_read_ports == 0 {
             return Err("dispatchers need at least one read port".to_string());
         }
+        if let Some(memory) = &self.memory {
+            memory.validate()?;
+        }
         Ok(())
     }
 }
@@ -300,6 +402,44 @@ mod tests {
         assert_eq!(oe.edge_network, NetworkKind::Mdp);
         assert_eq!(oe.dataflow_network, NetworkKind::Crossbar);
         assert_eq!(OptLevel::OED.label(), "OPT-O + OPT-E + OPT-D");
+    }
+
+    #[test]
+    fn memory_defaults_to_infinite_and_validates() {
+        assert!(AcceleratorConfig::higraph().memory.is_none());
+        let mut c = AcceleratorConfig::higraph();
+        c.memory = Some(MemoryConfig::hbm2());
+        c.validate().expect("hbm2 preset is valid");
+        c.memory = Some(MemoryConfig {
+            line_bytes: 48,
+            ..MemoryConfig::hbm2()
+        });
+        assert!(c.validate().is_err());
+        // a power-of-two line smaller than one edge would break the
+        // per-line stall-guard accounting
+        c.memory = Some(MemoryConfig {
+            line_bytes: 8,
+            ..MemoryConfig::hbm2()
+        });
+        assert!(c.validate().is_err());
+        c.memory = Some(MemoryConfig {
+            line_bytes: 16,
+            row_bytes: 2048,
+            ..MemoryConfig::hbm2()
+        });
+        assert!(c.validate().is_ok());
+        c.memory = Some(MemoryConfig {
+            channels: 0,
+            ..MemoryConfig::hbm2()
+        });
+        assert!(c.validate().is_err());
+        c.memory = Some(MemoryConfig {
+            row_bytes: 96,
+            ..MemoryConfig::hbm2()
+        });
+        assert!(c.validate().is_err());
+        c.memory = Some(MemoryConfig::hbm2().with_cache_kb(0));
+        assert!(c.validate().is_err());
     }
 
     #[test]

@@ -25,14 +25,61 @@
 
 use crate::apply::{apply_cycles, apply_phase};
 use crate::backend::BackEnd;
+use crate::cache::MemorySubsystem;
 use crate::config::AcceleratorConfig;
 use crate::frontend::FrontEnd;
 use crate::metrics::Metrics;
 use crate::netfactory::NetworkFactory;
 use higraph_graph::slicing::{partition, slice_swap_cycles, Slice};
 use higraph_graph::{Csr, VertexId};
-use higraph_sim::{ClockedComponent, Scheduler};
+use higraph_sim::{ClockedComponent, Scheduler, StallError};
 use higraph_vcpm::VertexProgram;
+use std::fmt;
+
+/// A scatter phase failed to drain within its stall guard: the modeled
+/// fabric (or memory) configuration deadlocked or livelocked under
+/// backpressure.
+///
+/// This is a *diagnostic* error, not a panic: a mis-sized design point
+/// fails its own run (one batch entry, one sweep cell) and reports what
+/// it was doing, instead of aborting the whole process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallDiagnostic {
+    /// Name of the accelerator configuration that stalled.
+    pub config: String,
+    /// Chips in the run (1 for the serial engine).
+    pub num_chips: usize,
+    /// VCPM iteration (0-based) whose scatter phase stalled.
+    pub iteration: u32,
+    /// Edges the stalled iteration was scattering.
+    pub iteration_edges: u64,
+    /// Cross-chip packets staged for the stalled iteration (0 serial).
+    pub staged_packets: u64,
+    /// The scheduler's underlying stall report (cycles spent, guard).
+    pub stall: StallError,
+}
+
+impl fmt::Display for StallDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scatter phase of {} x{} stalled at iteration {}: {} \
+             (iteration edges: {}, staged packets: {})",
+            self.config,
+            self.num_chips,
+            self.iteration,
+            self.stall,
+            self.iteration_edges,
+            self.staged_packets
+        )
+    }
+}
+
+impl std::error::Error for StallDiagnostic {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.stall)
+    }
+}
 
 /// Result of running a program on the accelerator.
 #[derive(Debug, Clone)]
@@ -78,6 +125,9 @@ impl<P> SlicedRunResult<P> {
 pub(crate) struct ScatterPipeline<P> {
     pub(crate) front: FrontEnd<P>,
     pub(crate) back: BackEnd<P>,
+    /// The chip's off-chip memory path (cache → DRAM channels); the
+    /// infinite stub unless the configuration models memory.
+    pub(crate) mem: MemorySubsystem,
 }
 
 impl<P: Copy + 'static> ScatterPipeline<P> {
@@ -85,6 +135,7 @@ impl<P: Copy + 'static> ScatterPipeline<P> {
         ScatterPipeline {
             front: FrontEnd::new(factory),
             back: BackEnd::new(factory),
+            mem: factory.memory_subsystem(),
         }
     }
 }
@@ -93,10 +144,11 @@ impl<P: Copy + 'static> ClockedComponent for ScatterPipeline<P> {
     fn tick(&mut self) {
         self.front.tick();
         self.back.tick();
+        self.mem.tick();
     }
 
     fn in_flight(&self) -> usize {
-        self.front.in_flight() + self.back.in_flight()
+        self.front.in_flight() + self.back.in_flight() + self.mem.in_flight()
     }
 }
 
@@ -105,6 +157,9 @@ impl<P: Copy + 'static> ClockedComponent for ScatterPipeline<P> {
 pub struct Engine<'g> {
     factory: NetworkFactory,
     graph: &'g Csr,
+    /// Overrides the workload-derived stall guard when set (bounding
+    /// simulation time for serving deployments and stall-path tests).
+    stall_guard: Option<u64>,
 }
 
 impl<'g> Engine<'g> {
@@ -128,6 +183,7 @@ impl<'g> Engine<'g> {
         Ok(Engine {
             factory: NetworkFactory::new(&config)?,
             graph,
+            stall_guard: None,
         })
     }
 
@@ -136,8 +192,25 @@ impl<'g> Engine<'g> {
         self.factory.config()
     }
 
+    /// Replaces the workload-derived stall guard with a fixed cycle
+    /// budget per scatter phase (`None` restores the derived guard). A
+    /// run that exceeds it fails with a [`StallDiagnostic`] instead of
+    /// simulating indefinitely.
+    pub fn set_stall_guard(&mut self, guard: Option<u64>) {
+        self.stall_guard = guard;
+    }
+
     /// Executes `program` to completion and returns properties + metrics.
-    pub fn run<Prog: VertexProgram>(&mut self, program: &Prog) -> RunResult<Prog::Prop> {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StallDiagnostic`] if a scatter phase fails to drain
+    /// within its stall guard (a mis-sized fabric or memory
+    /// configuration); the run's partial work is discarded.
+    pub fn run<Prog: VertexProgram>(
+        &mut self,
+        program: &Prog,
+    ) -> Result<RunResult<Prog::Prop>, StallDiagnostic> {
         let config = self.factory.config();
         let m = config.back_channels;
         let graph = self.graph;
@@ -172,17 +245,17 @@ impl<'g> Engine<'g> {
                 &mut pipeline,
                 &mut scheduler,
                 &mut metrics,
-            );
+            )?;
             apply_phase(program, graph, &mut properties, &mut t_props, &mut frontier);
             metrics.apply_cycles += apply_cycles(num_v, m);
             metrics.iterations += 1;
         }
 
         finalize_metrics(&mut metrics, &pipeline);
-        RunResult {
+        Ok(RunResult {
             properties,
             metrics,
-        }
+        })
     }
 
     /// Executes `program` with the Sec. 5.3 large-graph schedule: the graph
@@ -194,6 +267,11 @@ impl<'g> Engine<'g> {
     /// The final Property Array is identical to [`Engine::run`]'s (the
     /// integration tests assert this); only the timing model differs.
     ///
+    /// # Errors
+    ///
+    /// Returns a [`StallDiagnostic`] if a slice's scatter phase fails to
+    /// drain within its stall guard.
+    ///
     /// # Panics
     ///
     /// Panics if `num_slices` is zero.
@@ -202,7 +280,7 @@ impl<'g> Engine<'g> {
         program: &Prog,
         num_slices: usize,
         memory_bytes_per_cycle: u64,
-    ) -> SlicedRunResult<Prog::Prop> {
+    ) -> Result<SlicedRunResult<Prog::Prop>, StallDiagnostic> {
         assert!(num_slices > 0, "need at least one slice");
         let config = self.factory.config();
         let m = config.back_channels;
@@ -251,7 +329,7 @@ impl<'g> Engine<'g> {
                     &mut pipeline,
                     &mut scheduler,
                     &mut metrics,
-                );
+                )?;
                 let compute = metrics.scatter_cycles - before;
                 swap_sequential += swap_per_slice[i];
                 swap_overlapped += if i == 0 {
@@ -267,18 +345,22 @@ impl<'g> Engine<'g> {
         }
 
         finalize_metrics(&mut metrics, &pipeline);
-        SlicedRunResult {
+        Ok(SlicedRunResult {
             properties,
             metrics,
             num_slices,
             swap_cycles_sequential: swap_sequential,
             swap_cycles_overlapped: swap_overlapped,
-        }
+        })
     }
 
     /// Simulates one scatter phase of `frontier` over `graph` (which may
     /// be a slice of the full graph), folding updates into `t_props`: one
     /// scheduler drain of the scatter pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StallDiagnostic`] if the drain exceeds its guard.
     #[allow(clippy::too_many_arguments)]
     fn simulate_scatter<Prog: VertexProgram>(
         &self,
@@ -290,7 +372,7 @@ impl<'g> Engine<'g> {
         pipeline: &mut ScatterPipeline<Prog::Prop>,
         scheduler: &mut Scheduler,
         metrics: &mut Metrics,
-    ) {
+    ) -> Result<(), StallDiagnostic> {
         debug_assert!(
             pipeline.is_drained(),
             "scatter must start from a drained pipeline"
@@ -298,24 +380,57 @@ impl<'g> Engine<'g> {
         pipeline.front.load_frontier(frontier, properties);
 
         let iteration_edges: u64 = frontier.iter().map(|&v| graph.out_degree(v)).sum();
-        scheduler.set_stall_guard(10_000 + iteration_edges * 64);
+        let guard = self.stall_guard.unwrap_or_else(|| {
+            derived_stall_guard(
+                self.factory.config(),
+                iteration_edges,
+                frontier.len() as u64,
+                1,
+                0,
+            )
+        });
+        scheduler.set_stall_guard(guard);
         let spent = scheduler
             .drain(pipeline, |pipeline, _| {
                 // Stages evaluate consumer-first: back-end (1–3), then
                 // front-end (4–6) feeding the back-end's edge unit.
                 pipeline.back.step(program, graph, t_props, metrics);
-                pipeline
-                    .front
-                    .step(graph, &mut pipeline.back.edge_access, metrics);
+                pipeline.front.step(
+                    graph,
+                    &mut pipeline.back.edge_access,
+                    &mut pipeline.mem,
+                    metrics,
+                );
             })
-            .unwrap_or_else(|stall| {
-                panic!(
-                    "scatter phase of {} stalled: {stall} (iteration edges: {iteration_edges})",
-                    self.factory.config().name
-                )
-            });
+            .map_err(|stall| StallDiagnostic {
+                config: self.factory.config().name.clone(),
+                num_chips: 1,
+                iteration: metrics.iterations,
+                iteration_edges,
+                staged_packets: 0,
+                stall,
+            })?;
         metrics.scatter_cycles += spent;
+        Ok(())
     }
+}
+
+/// The workload-derived stall guard of one scatter phase: compute slack
+/// per edge, plus the link term for sharded runs, plus the worst-case
+/// off-chip latency when memory is modeled.
+pub(crate) fn derived_stall_guard(
+    config: &AcceleratorConfig,
+    iteration_edges: u64,
+    frontier_len: u64,
+    num_chips: u64,
+    staged_packets: u64,
+) -> u64 {
+    let mem_bonus = config
+        .memory
+        .as_ref()
+        .map(|m| m.stall_guard_bonus(iteration_edges, frontier_len))
+        .unwrap_or(0);
+    10_000 + iteration_edges * 64 * num_chips + staged_packets * 8 + mem_bonus
 }
 
 /// Harvests the fabric statistics through the unified
@@ -328,6 +443,10 @@ pub(crate) fn finalize_metrics<P: Copy + 'static>(
     metrics.offset_net = pipeline.front.offset_stats();
     metrics.edge_net = pipeline.back.edge_stats();
     metrics.dataflow_net = pipeline.back.dataflow_stats();
+    let cache = pipeline.mem.cache_stats();
+    metrics.memory.cache_hits = cache.hits;
+    metrics.memory.cache_misses = cache.misses;
+    metrics.memory.dram = pipeline.mem.dram_stats();
 }
 
 #[cfg(test)]
@@ -358,7 +477,7 @@ mod tests {
         let expect = reference::execute(&prog, &g);
         for cfg in all_configs() {
             let name = cfg.name.clone();
-            let got = Engine::new(cfg, &g).run(&prog);
+            let got = Engine::new(cfg, &g).run(&prog).expect("no stall");
             assert_eq!(got.properties, expect.properties, "{name}");
             assert_eq!(got.metrics.iterations, expect.iterations, "{name}");
             assert_eq!(
@@ -373,7 +492,9 @@ mod tests {
         let g = small_graph(2);
         let prog = Sssp::from_source(3);
         let expect = reference::execute(&prog, &g);
-        let got = Engine::new(AcceleratorConfig::higraph(), &g).run(&prog);
+        let got = Engine::new(AcceleratorConfig::higraph(), &g)
+            .run(&prog)
+            .expect("no stall");
         assert_eq!(got.properties, expect.properties);
     }
 
@@ -382,7 +503,9 @@ mod tests {
         let g = small_graph(3);
         let prog = Sswp::from_source(5);
         let expect = reference::execute(&prog, &g);
-        let got = Engine::new(AcceleratorConfig::graphdyns(), &g).run(&prog);
+        let got = Engine::new(AcceleratorConfig::graphdyns(), &g)
+            .run(&prog)
+            .expect("no stall");
         assert_eq!(got.properties, expect.properties);
     }
 
@@ -391,7 +514,9 @@ mod tests {
         let g = small_graph(9);
         let prog = Wcc::new();
         let expect = reference::execute(&prog, &g);
-        let got = Engine::new(AcceleratorConfig::higraph_mini(), &g).run(&prog);
+        let got = Engine::new(AcceleratorConfig::higraph_mini(), &g)
+            .run(&prog)
+            .expect("no stall");
         assert_eq!(got.properties, expect.properties);
     }
 
@@ -402,7 +527,7 @@ mod tests {
         let expect = reference::execute(&prog, &g);
         for cfg in all_configs() {
             let name = cfg.name.clone();
-            let got = Engine::new(cfg, &g).run(&prog);
+            let got = Engine::new(cfg, &g).run(&prog).expect("no stall");
             assert_eq!(got.properties, expect.properties, "{name}");
         }
     }
@@ -414,7 +539,7 @@ mod tests {
         let expect = reference::execute(&prog, &g);
         for opts in OptLevel::ALL {
             let cfg = AcceleratorConfig::higraph_with_opts(opts);
-            let got = Engine::new(cfg, &g).run(&prog);
+            let got = Engine::new(cfg, &g).run(&prog).expect("no stall");
             assert_eq!(got.properties, expect.properties, "{}", opts.label());
         }
     }
@@ -428,8 +553,12 @@ mod tests {
         let g = power_law(4000, 28_000, 2.0, 31, 7);
         let src = higraph_graph::stats::hub_vertex(&g).expect("non-empty").0;
         let prog = Bfs::from_source(src);
-        let hi = Engine::new(AcceleratorConfig::higraph(), &g).run(&prog);
-        let gd = Engine::new(AcceleratorConfig::graphdyns(), &g).run(&prog);
+        let hi = Engine::new(AcceleratorConfig::higraph(), &g)
+            .run(&prog)
+            .expect("no stall");
+        let gd = Engine::new(AcceleratorConfig::graphdyns(), &g)
+            .run(&prog)
+            .expect("no stall");
         let speedup = hi.metrics.speedup_over(&gd.metrics);
         assert!(speedup > 1.05, "speedup {speedup}");
     }
@@ -438,7 +567,9 @@ mod tests {
     fn empty_frontier_terminates_immediately() {
         let g = small_graph(5);
         let prog = Bfs::from_source(9999); // out of range → empty frontier
-        let got = Engine::new(AcceleratorConfig::higraph(), &g).run(&prog);
+        let got = Engine::new(AcceleratorConfig::higraph(), &g)
+            .run(&prog)
+            .expect("no stall");
         assert_eq!(got.metrics.cycles, 0);
         assert_eq!(got.metrics.iterations, 0);
     }
@@ -449,7 +580,9 @@ mod tests {
         list.push(1, 2, 1).unwrap();
         let g = list.into_csr();
         let prog = Bfs::from_source(0); // source has no edges
-        let got = Engine::new(AcceleratorConfig::higraph(), &g).run(&prog);
+        let got = Engine::new(AcceleratorConfig::higraph(), &g)
+            .run(&prog)
+            .expect("no stall");
         assert_eq!(got.metrics.iterations, 1);
         assert_eq!(got.metrics.edges_processed, 0);
     }
@@ -458,15 +591,94 @@ mod tests {
     fn starvation_is_lower_with_full_opts() {
         let g = power_law(2000, 16_000, 2.0, 31, 11);
         let prog = PageRank::new(3);
-        let base =
-            Engine::new(AcceleratorConfig::higraph_with_opts(OptLevel::BASELINE), &g).run(&prog);
-        let full = Engine::new(AcceleratorConfig::higraph_with_opts(OptLevel::OED), &g).run(&prog);
+        let base = Engine::new(AcceleratorConfig::higraph_with_opts(OptLevel::BASELINE), &g)
+            .run(&prog)
+            .expect("no stall");
+        let full = Engine::new(AcceleratorConfig::higraph_with_opts(OptLevel::OED), &g)
+            .run(&prog)
+            .expect("no stall");
         assert!(
             full.metrics.vpe_starvation_cycles < base.metrics.vpe_starvation_cycles,
             "full {} vs base {}",
             full.metrics.vpe_starvation_cycles,
             base.metrics.vpe_starvation_cycles
         );
+    }
+
+    #[test]
+    fn modeled_memory_keeps_results_and_costs_cycles() {
+        use crate::config::MemoryConfig;
+        let g = power_law(400, 3200, 2.0, 31, 21);
+        let src = higraph_graph::stats::hub_vertex(&g).expect("non-empty").0;
+        let prog = Sssp::from_source(src);
+        let free = Engine::new(AcceleratorConfig::higraph(), &g)
+            .run(&prog)
+            .expect("no stall");
+        let mut cfg = AcceleratorConfig::higraph();
+        cfg.memory = Some(MemoryConfig::hbm2().with_cache_kb(16));
+        let priced = Engine::new(cfg, &g).run(&prog).expect("no stall");
+        // timing model only: the algorithm result is untouched
+        assert_eq!(priced.properties, free.properties);
+        assert_eq!(priced.metrics.edges_processed, free.metrics.edges_processed);
+        // …but off-chip fetches now cost cycles and are accounted
+        assert!(priced.metrics.cycles > free.metrics.cycles);
+        let mem = &priced.metrics.memory;
+        assert!(mem.stall_cycles > 0, "finite memory must stall sometimes");
+        assert!(mem.cache_misses > 0);
+        assert!(mem.dram.completed >= mem.cache_misses);
+        assert!(mem.cache_hit_rate() > 0.0 && mem.cache_hit_rate() <= 1.0);
+        assert!(mem.row_hit_rate() >= 0.0 && mem.row_hit_rate() <= 1.0);
+        // the infinite default keeps the memory counters at zero
+        assert_eq!(
+            free.metrics.memory,
+            crate::metrics::MemoryMetrics::default()
+        );
+    }
+
+    #[test]
+    fn larger_cache_stalls_less() {
+        use crate::config::MemoryConfig;
+        let g = power_law(600, 6000, 2.0, 31, 25);
+        let prog = PageRank::new(3);
+        let run_with = |kb: usize| {
+            let mut cfg = AcceleratorConfig::higraph();
+            cfg.memory = Some(MemoryConfig::hbm2().with_cache_kb(kb));
+            Engine::new(cfg, &g).run(&prog).expect("no stall").metrics
+        };
+        let small = run_with(4);
+        let large = run_with(4096);
+        assert!(
+            small.memory.cache_hit_rate() < large.memory.cache_hit_rate(),
+            "small {} vs large {}",
+            small.memory.cache_hit_rate(),
+            large.memory.cache_hit_rate()
+        );
+        assert!(
+            small.memory.stall_cycles > large.memory.stall_cycles,
+            "small {} vs large {}",
+            small.memory.stall_cycles,
+            large.memory.stall_cycles
+        );
+        assert!(small.cycles >= large.cycles);
+    }
+
+    #[test]
+    fn stall_guard_override_fails_run_with_diagnostic() {
+        let g = small_graph(10);
+        let mut engine = Engine::new(AcceleratorConfig::higraph(), &g);
+        engine.set_stall_guard(Some(1));
+        let err = engine.run(&Bfs::from_source(0)).expect_err("must stall");
+        assert_eq!(err.config, "HiGraph");
+        assert_eq!(err.num_chips, 1);
+        assert_eq!(err.stall.limit, 1);
+        let text = err.to_string();
+        assert!(
+            text.contains("HiGraph") && text.contains("stalled"),
+            "{text}"
+        );
+        // restoring the derived guard completes the run
+        engine.set_stall_guard(None);
+        assert!(engine.run(&Bfs::from_source(0)).is_ok());
     }
 
     #[test]
@@ -480,7 +692,9 @@ mod tests {
     #[test]
     fn metrics_are_populated() {
         let g = small_graph(7);
-        let got = Engine::new(AcceleratorConfig::higraph(), &g).run(&Bfs::from_source(0));
+        let got = Engine::new(AcceleratorConfig::higraph(), &g)
+            .run(&Bfs::from_source(0))
+            .expect("no stall");
         let m = &got.metrics;
         assert!(m.cycles > 0);
         assert_eq!(m.cycles, m.scatter_cycles + m.apply_cycles);
@@ -494,10 +708,13 @@ mod tests {
         let g = power_law(400, 3600, 2.0, 31, 13);
         let src = higraph_graph::stats::hub_vertex(&g).expect("non-empty").0;
         let prog = Sssp::from_source(src);
-        let whole = Engine::new(AcceleratorConfig::higraph(), &g).run(&prog);
+        let whole = Engine::new(AcceleratorConfig::higraph(), &g)
+            .run(&prog)
+            .expect("no stall");
         for slices in [1usize, 2, 5] {
-            let sliced =
-                Engine::new(AcceleratorConfig::higraph(), &g).run_sliced(&prog, slices, 64);
+            let sliced = Engine::new(AcceleratorConfig::higraph(), &g)
+                .run_sliced(&prog, slices, 64)
+                .expect("no stall");
             assert_eq!(sliced.properties, whole.properties, "{slices} slices");
             assert_eq!(
                 sliced.metrics.edges_processed,
@@ -510,7 +727,9 @@ mod tests {
     fn double_buffering_hides_swap_time() {
         let g = power_law(600, 9000, 2.0, 31, 17);
         let mut engine = Engine::new(AcceleratorConfig::higraph(), &g);
-        let r = engine.run_sliced(&PageRank::new(3), 4, 16);
+        let r = engine
+            .run_sliced(&PageRank::new(3), 4, 16)
+            .expect("no stall");
         assert!(r.swap_cycles_overlapped <= r.swap_cycles_sequential);
         assert!(r.total_cycles_double_buffered() <= r.total_cycles_single_buffered());
         assert!(r.swap_cycles_sequential > 0);
@@ -523,7 +742,9 @@ mod tests {
         let expect = reference::execute(&prog, &g);
         let mut cfg = AcceleratorConfig::higraph().scaled_to(16);
         cfg.radix = 4; // mixed-radix topology: 4 × 4
-        let got = Engine::new(cfg, &g).run_sliced(&prog, 3, 32);
+        let got = Engine::new(cfg, &g)
+            .run_sliced(&prog, 3, 32)
+            .expect("no stall");
         assert_eq!(got.properties, expect.properties);
     }
 
@@ -535,7 +756,9 @@ mod tests {
         // so its `NetworkStats::cycles` is a second clock to check the
         // scheduler against — the engine has no clock loop of its own.
         let g = small_graph(8);
-        let got = Engine::new(AcceleratorConfig::higraph(), &g).run(&Bfs::from_source(0));
+        let got = Engine::new(AcceleratorConfig::higraph(), &g)
+            .run(&Bfs::from_source(0))
+            .expect("no stall");
         assert!(got.metrics.scatter_cycles > 0);
         assert_eq!(got.metrics.dataflow_net.cycles, got.metrics.scatter_cycles);
         assert_eq!(got.metrics.offset_net.cycles, got.metrics.scatter_cycles);

@@ -8,6 +8,7 @@
 //! [`ClockedComponent`] implementation, driven by the shared
 //! `higraph_sim::Scheduler`.
 
+use crate::cache::MemorySubsystem;
 use crate::edge_access::EdgeAccess;
 use crate::metrics::Metrics;
 use crate::netfactory::{AnyNetwork, NetworkFactory};
@@ -71,23 +72,39 @@ impl<P: Copy + 'static> FrontEnd<P> {
 
     /// The front-end's combinational phase: replay staging, Offset Array
     /// arbitration, fabric drain, and ActiveVertex fetch (stages 4–6).
+    ///
+    /// Off-chip fetches gate two stages through `mem` (`docs/memory.md`):
+    /// a replayed edge range may only enter the edge-access unit once its
+    /// Edge Array lines are cached, and an Offset Array claim waits for
+    /// its offset pair's line. Blocked channel-cycles accrue to
+    /// `metrics.memory.stall_cycles`. With the default infinite
+    /// subsystem both gates are always open and behaviour is
+    /// bit-identical to the pre-memory-model pipeline.
     pub(crate) fn step(
         &mut self,
         graph: &Csr,
         edge_access: &mut EdgeAccess<P>,
+        mem: &mut MemorySubsystem,
         metrics: &mut Metrics,
     ) {
         let n = self.av_parts.len();
+        mem.begin_cycle();
 
-        // (4) Replay engines: stage one chunk, offer it downstream.
+        // (4) Replay engines: stage one chunk, offer it downstream once
+        // its edge lines are resident.
         for c in 0..n {
             if self.replay_out[c].is_none() {
                 self.replay_out[c] = self.replay[c].emit();
             }
             if let Some(chunk) = self.replay_out[c].take() {
-                match edge_access.push(c, chunk) {
-                    Ok(()) => {}
-                    Err(chunk) => self.replay_out[c] = Some(chunk),
+                if mem.edges_ready(c, chunk.off, chunk.len) {
+                    match edge_access.push(c, chunk) {
+                        Ok(()) => {}
+                        Err(chunk) => self.replay_out[c] = Some(chunk),
+                    }
+                } else {
+                    metrics.memory.stall_cycles += 1;
+                    self.replay_out[c] = Some(chunk);
                 }
             }
         }
@@ -126,6 +143,13 @@ impl<P: Copy + 'static> FrontEnd<P> {
                 continue;
             }
             let u = head.u;
+            // The offset pair must be on chip before the bank claim is
+            // even attempted (a memory stall, not an arbitration
+            // conflict — the grant chain is unaffected).
+            if !mem.offset_ready(c, u) {
+                metrics.memory.stall_cycles += 1;
+                continue;
+            }
             if claim(u, &mut offset_banks) {
                 let pkt = self.offset_q[c].pop().expect("peeked head");
                 let (off, n_off) = graph.offset_pair(VertexId(pkt.u));
@@ -205,13 +229,14 @@ mod tests {
         let props: Vec<u64> = (0..64).collect();
         fe.load_frontier(&frontier, &props);
         assert!(!fe.is_drained());
+        let mut mem = MemorySubsystem::infinite();
         let mut scheduler = higraph_sim::Scheduler::new().with_stall_guard(10_000);
         let epe_space = vec![true; 32];
         let mut edges = 0usize;
         scheduler
             .drain(&mut fe, |fe, _| {
                 edges += ea.issue_reads(&epe_space).len();
-                fe.step(&graph, &mut ea, &mut metrics);
+                fe.step(&graph, &mut ea, &mut mem, &mut metrics);
                 ea.tick();
             })
             .expect("front-end drains");

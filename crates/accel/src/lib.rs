@@ -44,7 +44,7 @@
 //!
 //! let graph = erdos_renyi(256, 2048, 63, 1);
 //! let mut engine = Engine::new(AcceleratorConfig::higraph(), &graph);
-//! let result = engine.run(&Bfs::from_source(0));
+//! let result = engine.run(&Bfs::from_source(0)).expect("well-sized config");
 //! assert!(result.metrics.cycles > 0);
 //! assert_eq!(result.properties[0], 0);
 //! ```
@@ -53,6 +53,7 @@ mod apply;
 mod backend;
 mod frontend;
 
+pub mod cache;
 pub mod config;
 pub mod edge_access;
 pub mod engine;
@@ -62,9 +63,10 @@ pub mod packets;
 pub mod runner;
 pub mod sharded;
 
-pub use config::{AcceleratorConfig, NetworkKind, OptLevel};
-pub use engine::{Engine, RunResult, SlicedRunResult};
-pub use metrics::Metrics;
+pub use cache::MemorySubsystem;
+pub use config::{AcceleratorConfig, MemoryConfig, NetworkKind, OptLevel};
+pub use engine::{Engine, RunResult, SlicedRunResult, StallDiagnostic};
+pub use metrics::{MemoryMetrics, Metrics};
 pub use netfactory::{AnyNetwork, NetworkFactory};
 pub use runner::{BatchJob, BatchReport, BatchResult, BatchRunner, RunMode, ShardedTiming};
 pub use sharded::{ShardConfig, ShardedEngine, ShardedRunResult};

@@ -1,6 +1,57 @@
 //! Execution metrics: the quantities the paper's evaluation reports.
+//!
+//! # Finiteness
+//!
+//! Every derived ratio on [`Metrics`] (and [`MemoryMetrics`]) guards its
+//! denominator and returns a finite number on degenerate runs — an empty
+//! graph, an empty initial frontier, zero processed edges. `repro
+//! --json` relies on this: the report writer serializes non-finite
+//! values as `null`, which the `--check` perf gate then rejects, so a
+//! NaN metric would fail CI rather than silently pass.
 
+use crate::cache::CacheStats;
+use higraph_sim::dram::MemoryStats;
 use higraph_sim::NetworkStats;
+
+/// Off-chip memory counters of one run (all zero under the default
+/// infinite-bandwidth configuration).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MemoryMetrics {
+    /// Edge/offset cache line touches served on chip.
+    pub cache_hits: u64,
+    /// Cache lines fetched from DRAM.
+    pub cache_misses: u64,
+    /// Pipeline-stage stall cycles waiting on off-chip data, summed over
+    /// channels (one blocked channel-cycle = one stall cycle).
+    pub stall_cycles: u64,
+    /// DRAM channel counters (row-buffer locality lives here).
+    pub dram: MemoryStats,
+}
+
+impl MemoryMetrics {
+    /// Cache hit rate; 0.0 when memory is unmodeled or untouched.
+    pub fn cache_hit_rate(&self) -> f64 {
+        CacheStats {
+            hits: self.cache_hits,
+            misses: self.cache_misses,
+        }
+        .hit_rate()
+    }
+
+    /// DRAM row-buffer hit rate; 0.0 when memory is unmodeled.
+    pub fn row_hit_rate(&self) -> f64 {
+        self.dram.row_hit_rate()
+    }
+
+    /// Folds `other` into `self` by summing every counter (multi-chip
+    /// aggregation).
+    pub fn merge(&mut self, other: &MemoryMetrics) {
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.stall_cycles += other.stall_cycles;
+        self.dram.merge(&other.dram);
+    }
+}
 
 /// Metrics of one accelerator run.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -32,6 +83,9 @@ pub struct Metrics {
     pub edge_net: NetworkStats,
     /// Dataflow-propagation fabric statistics.
     pub dataflow_net: NetworkStats,
+    /// Off-chip memory statistics (cache + DRAM); all zero under the
+    /// default infinite-bandwidth memory configuration.
+    pub memory: MemoryMetrics,
 }
 
 impl Metrics {
@@ -70,8 +124,18 @@ impl Metrics {
 
     /// Speedup of `self` over `other` (ratio of modeled execution times,
     /// as in Fig. 8).
+    ///
+    /// Always finite: a comparison involving a degenerate run — zero
+    /// modeled time (empty workload) or infinite time (zero clock) —
+    /// carries no information and reports 1.0 instead of NaN/∞.
     pub fn speedup_over(&self, other: &Metrics) -> f64 {
-        other.time_ns() / self.time_ns()
+        let (mine, theirs) = (self.time_ns(), other.time_ns());
+        let degenerate = |t: f64| t == 0.0 || !t.is_finite();
+        if degenerate(mine) || degenerate(theirs) {
+            1.0
+        } else {
+            theirs / mine
+        }
     }
 
     /// Mean starvation cycles per vPE.
@@ -125,6 +189,51 @@ mod tests {
             ..Metrics::default()
         };
         assert!((fast.speedup_over(&derated) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycle_metrics_stay_finite() {
+        // the degenerate run (empty graph / empty frontier): every
+        // derived quantity must be finite so `--json` never emits null
+        let m = Metrics::default();
+        assert_eq!(m.gteps(), 0.0);
+        assert!(m.speedup_over(&Metrics::default()).is_finite());
+        assert_eq!(m.speedup_over(&Metrics::default()), 1.0);
+        // mixed zero/non-zero and zero-clock comparisons stay finite too
+        let real = Metrics {
+            cycles: 1000,
+            frequency_ghz: 1.0,
+            ..Metrics::default()
+        };
+        assert_eq!(m.speedup_over(&real), 1.0); // zero-time self
+        assert_eq!(real.speedup_over(&m), 1.0); // zero-time other (0/1000)
+        let unclocked = Metrics {
+            cycles: 1000,
+            frequency_ghz: 0.0, // time_ns() == ∞
+            ..Metrics::default()
+        };
+        assert_eq!(real.speedup_over(&unclocked), 1.0);
+        assert_eq!(unclocked.speedup_over(&real), 1.0);
+        assert!(unclocked.speedup_over(&unclocked).is_finite());
+        assert_eq!(m.starvation_per_vpe(0), 0.0);
+        assert_eq!(m.starvation_imbalance(), 1.0);
+        assert_eq!(m.memory.cache_hit_rate(), 0.0);
+        assert_eq!(m.memory.row_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn memory_metrics_merge_and_rates() {
+        let mut a = MemoryMetrics {
+            cache_hits: 6,
+            cache_misses: 2,
+            stall_cycles: 10,
+            ..MemoryMetrics::default()
+        };
+        assert!((a.cache_hit_rate() - 0.75).abs() < 1e-12);
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.cache_hits, 12);
+        assert_eq!(a.stall_cycles, 20);
     }
 
     #[test]

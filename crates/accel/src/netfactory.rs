@@ -13,6 +13,7 @@
 //! through it, so an invalid geometry is rejected in exactly one place
 //! instead of panicking somewhere inside a constructor.
 
+use crate::cache::MemorySubsystem;
 use crate::config::{AcceleratorConfig, NetworkKind};
 use crate::edge_access::EdgeAccess;
 use higraph_mdp::{MdpNetwork, NaiveFifoNetwork, Topology};
@@ -245,6 +246,15 @@ impl NetworkFactory {
             _ => {
                 EdgeAccess::new_direct(c.front_channels, c.back_channels, c.staging_capacity.max(4))
             }
+        }
+    }
+
+    /// The off-chip memory subsystem (cache → DRAM channels); the
+    /// infinite-bandwidth stub when the configuration models no memory.
+    pub fn memory_subsystem(&self) -> MemorySubsystem {
+        match &self.config.memory {
+            Some(memory) => MemorySubsystem::modeled(memory, self.config.front_channels),
+            None => MemorySubsystem::infinite(),
         }
     }
 }

@@ -36,7 +36,7 @@
 //! ```
 
 use crate::config::AcceleratorConfig;
-use crate::engine::Engine;
+use crate::engine::{Engine, StallDiagnostic};
 use crate::metrics::Metrics;
 use crate::sharded::{ShardConfig, ShardedEngine};
 use higraph_graph::Csr;
@@ -76,6 +76,10 @@ pub struct BatchJob<'g, Prog> {
     pub config: AcceleratorConfig,
     /// Whole-graph or sliced execution.
     pub mode: RunMode,
+    /// Optional fixed stall guard (cycles per scatter phase) instead of
+    /// the workload-derived one; bounds how long a mis-sized design
+    /// point may simulate before failing its entry.
+    pub stall_guard: Option<u64>,
 }
 
 impl<'g, Prog> BatchJob<'g, Prog> {
@@ -87,7 +91,15 @@ impl<'g, Prog> BatchJob<'g, Prog> {
             program,
             config,
             mode: RunMode::Whole,
+            stall_guard: None,
         }
+    }
+
+    /// Bounds this job's per-scatter-phase cycle budget; beyond it the
+    /// entry fails with a [`StallDiagnostic`] instead of simulating on.
+    pub fn with_stall_guard(mut self, guard: u64) -> Self {
+        self.stall_guard = Some(guard);
+        self
     }
 
     /// Switches this job to the sliced large-graph schedule.
@@ -135,15 +147,27 @@ pub struct BatchResult<P> {
     pub label: String,
     /// Final Property Array — bit-identical to a serial [`Engine::run`]
     /// (or [`Engine::run_sliced`] / [`ShardedEngine::run`]) of the same
-    /// job.
+    /// job. Empty when the entry failed (see [`BatchResult::error`]).
     pub properties: Vec<P>,
     /// Performance metrics of the simulated accelerator (the aggregate
-    /// critical-path metrics for sharded jobs).
+    /// critical-path metrics for sharded jobs); default-zero when the
+    /// entry failed.
     pub metrics: Metrics,
     /// Slice-replacement timing for [`RunMode::Sliced`] jobs.
     pub sliced: Option<SlicedTiming>,
     /// Multi-chip detail for [`RunMode::Sharded`] jobs.
     pub sharded: Option<ShardedTiming>,
+    /// The stall diagnostic if this entry's simulation failed. A stalled
+    /// design point fails its own entry; the rest of the batch runs to
+    /// completion.
+    pub error: Option<StallDiagnostic>,
+}
+
+impl<P> BatchResult<P> {
+    /// Whether this entry simulated to completion.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
 }
 
 /// Aggregate throughput of one batch execution.
@@ -157,6 +181,9 @@ pub struct BatchReport {
     pub total_simulated_cycles: u64,
     /// Sum of modeled execution time across all simulations, ns.
     pub total_simulated_ns: f64,
+    /// Entries that failed with a stall diagnostic (their metrics are
+    /// excluded from the totals above).
+    pub failed_jobs: usize,
     /// Host wall-clock time for the whole batch, seconds.
     pub wall_seconds: f64,
     /// Worker threads available to the runner (1 when serial).
@@ -239,7 +266,12 @@ impl BatchRunner {
     {
         let started = Instant::now();
         let results = self.execute(&jobs, run_one);
-        let report = self.summarize(results.iter().map(|r| &r.metrics), started);
+        let mut report = self.summarize(
+            results.iter().filter(|r| r.is_ok()).map(|r| &r.metrics),
+            started,
+        );
+        report.jobs = results.len();
+        report.failed_jobs = results.iter().filter(|r| !r.is_ok()).count();
         (results, report)
     }
 
@@ -273,6 +305,7 @@ impl BatchRunner {
             total_edges_processed: 0,
             total_simulated_cycles: 0,
             total_simulated_ns: 0.0,
+            failed_jobs: 0,
             wall_seconds: 0.0,
             workers: self.workers(),
         };
@@ -291,41 +324,44 @@ fn run_one<Prog>(job: &BatchJob<'_, Prog>) -> BatchResult<Prog::Prop>
 where
     Prog: VertexProgram,
 {
-    match job.mode {
+    let outcome = match job.mode {
         RunMode::Whole => {
-            let r = Engine::new(job.config.clone(), job.graph).run(&job.program);
-            BatchResult {
+            let mut engine = Engine::new(job.config.clone(), job.graph);
+            engine.set_stall_guard(job.stall_guard);
+            engine.run(&job.program).map(|r| BatchResult {
                 label: job.label.clone(),
                 properties: r.properties,
                 metrics: r.metrics,
                 sliced: None,
                 sharded: None,
-            }
+                error: None,
+            })
         }
         RunMode::Sliced {
             num_slices,
             memory_bytes_per_cycle,
         } => {
-            let r = Engine::new(job.config.clone(), job.graph).run_sliced(
-                &job.program,
-                num_slices,
-                memory_bytes_per_cycle,
-            );
-            BatchResult {
-                label: job.label.clone(),
-                properties: r.properties,
-                metrics: r.metrics,
-                sliced: Some(SlicedTiming {
-                    num_slices: r.num_slices,
-                    swap_cycles_sequential: r.swap_cycles_sequential,
-                    swap_cycles_overlapped: r.swap_cycles_overlapped,
-                }),
-                sharded: None,
-            }
+            let mut engine = Engine::new(job.config.clone(), job.graph);
+            engine.set_stall_guard(job.stall_guard);
+            engine
+                .run_sliced(&job.program, num_slices, memory_bytes_per_cycle)
+                .map(|r| BatchResult {
+                    label: job.label.clone(),
+                    properties: r.properties,
+                    metrics: r.metrics,
+                    sliced: Some(SlicedTiming {
+                        num_slices: r.num_slices,
+                        swap_cycles_sequential: r.swap_cycles_sequential,
+                        swap_cycles_overlapped: r.swap_cycles_overlapped,
+                    }),
+                    sharded: None,
+                    error: None,
+                })
         }
         RunMode::Sharded { shard } => {
-            let r = ShardedEngine::new(job.config.clone(), shard, job.graph).run(&job.program);
-            BatchResult {
+            let mut engine = ShardedEngine::new(job.config.clone(), shard, job.graph);
+            engine.set_stall_guard(job.stall_guard);
+            engine.run(&job.program).map(|r| BatchResult {
                 label: job.label.clone(),
                 properties: r.properties,
                 sliced: None,
@@ -335,9 +371,18 @@ where
                     per_chip_cycles: r.chips.iter().map(|c| c.cycles).collect(),
                 }),
                 metrics: r.metrics,
-            }
+                error: None,
+            })
         }
-    }
+    };
+    outcome.unwrap_or_else(|e| BatchResult {
+        label: job.label.clone(),
+        properties: Vec::new(),
+        metrics: Metrics::default(),
+        sliced: None,
+        sharded: None,
+        error: Some(e),
+    })
 }
 
 #[cfg(test)]

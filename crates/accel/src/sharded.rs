@@ -34,7 +34,7 @@
 
 use crate::apply::{apply_cycles, apply_phase};
 use crate::config::AcceleratorConfig;
-use crate::engine::{finalize_metrics, ScatterPipeline};
+use crate::engine::{derived_stall_guard, finalize_metrics, ScatterPipeline, StallDiagnostic};
 use crate::metrics::Metrics;
 use crate::netfactory::NetworkFactory;
 use higraph_graph::slicing::{partition, total_cut_edges, Slice};
@@ -195,6 +195,8 @@ pub struct ShardedEngine<'g> {
     slices: Vec<Slice>,
     /// Owning chip per vertex (destination-interval lookup).
     owner: Vec<usize>,
+    /// Overrides the workload-derived stall guard when set.
+    stall_guard: Option<u64>,
 }
 
 impl<'g> ShardedEngine<'g> {
@@ -235,7 +237,14 @@ impl<'g> ShardedEngine<'g> {
             graph,
             slices,
             owner,
+            stall_guard: None,
         })
+    }
+
+    /// Replaces the workload-derived stall guard with a fixed cycle
+    /// budget per lock-step drain (`None` restores the derived guard).
+    pub fn set_stall_guard(&mut self, guard: Option<u64>) {
+        self.stall_guard = guard;
     }
 
     /// The per-chip accelerator configuration.
@@ -260,7 +269,16 @@ impl<'g> ShardedEngine<'g> {
     }
 
     /// Executes `program` across all chips to completion.
-    pub fn run<Prog: VertexProgram>(&mut self, program: &Prog) -> ShardedRunResult<Prog::Prop> {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StallDiagnostic`] if the lock-step drain of an
+    /// iteration fails to finish within its stall guard (a mis-sized
+    /// fabric, link, or memory configuration).
+    pub fn run<Prog: VertexProgram>(
+        &mut self,
+        program: &Prog,
+    ) -> Result<ShardedRunResult<Prog::Prop>, StallDiagnostic> {
         let config = self.factory.config();
         let m = config.back_channels;
         let frequency_ghz = config.effective_frequency_ghz();
@@ -328,12 +346,15 @@ impl<'g> ShardedEngine<'g> {
 
             // One lock-step drain: all chips plus the link, per cycle.
             let iteration_edges: u64 = frontier.iter().map(|&v| graph.out_degree(v)).sum();
-            scheduler.set_stall_guard(
-                10_000
-                    + iteration_edges * 64 * num_chips as u64
-                    + staged * 8
-                    + self.shard.link_latency,
-            );
+            scheduler.set_stall_guard(self.stall_guard.unwrap_or_else(|| {
+                derived_stall_guard(
+                    self.factory.config(),
+                    iteration_edges,
+                    frontier.len() as u64,
+                    num_chips as u64,
+                    staged,
+                ) + self.shard.link_latency
+            }));
             let mut chip_cycles = vec![0u64; num_chips];
             let spent = scheduler
                 .drain(&mut multi, |multi, cycle| {
@@ -347,8 +368,12 @@ impl<'g> ShardedEngine<'g> {
                         let slice_graph = &self.slices[ci].graph;
                         chip.back
                             .step(program, slice_graph, &mut t_props, &mut chips[ci]);
-                        chip.front
-                            .step(slice_graph, &mut chip.back.edge_access, &mut chips[ci]);
+                        chip.front.step(
+                            slice_graph,
+                            &mut chip.back.edge_access,
+                            &mut chip.mem,
+                            &mut chips[ci],
+                        );
                     }
                     // Chips sink whatever updates arrived this cycle…
                     for ci in 0..multi.staged.len() {
@@ -370,13 +395,14 @@ impl<'g> ShardedEngine<'g> {
                         }
                     }
                 })
-                .unwrap_or_else(|stall| {
-                    panic!(
-                        "sharded scatter phase of {} x{num_chips} stalled: {stall} \
-                         (iteration edges: {iteration_edges}, staged packets: {staged})",
-                        self.factory.config().name
-                    )
-                });
+                .map_err(|stall| StallDiagnostic {
+                    config: self.factory.config().name.clone(),
+                    num_chips,
+                    iteration: agg.iterations,
+                    iteration_edges,
+                    staged_packets: staged,
+                    stall,
+                })?;
             agg.scatter_cycles += spent;
             for (ci, cycles) in chip_cycles.iter().enumerate() {
                 chips[ci].scatter_cycles += *cycles;
@@ -410,16 +436,17 @@ impl<'g> ShardedEngine<'g> {
             agg.offset_net.merge(&chip.offset_net);
             agg.edge_net.merge(&chip.edge_net);
             agg.dataflow_net.merge(&chip.dataflow_net);
+            agg.memory.merge(&chip.memory);
         }
         agg.cycles = agg.scatter_cycles + agg.apply_cycles;
         let link = multi.link.network_stats().expect("links keep stats");
-        ShardedRunResult {
+        Ok(ShardedRunResult {
             properties,
             metrics: agg,
             chips,
             cross_chip_packets,
             link,
-        }
+        })
     }
 }
 
@@ -435,9 +462,12 @@ mod tests {
     fn one_chip_is_bit_identical_to_serial() {
         let g = power_law(300, 2700, 2.0, 31, 23);
         let prog = Sssp::from_source(higraph_graph::stats::hub_vertex(&g).expect("non-empty").0);
-        let serial = Engine::new(AcceleratorConfig::higraph(), &g).run(&prog);
-        let sharded =
-            ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(1), &g).run(&prog);
+        let serial = Engine::new(AcceleratorConfig::higraph(), &g)
+            .run(&prog)
+            .expect("no stall");
+        let sharded = ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(1), &g)
+            .run(&prog)
+            .expect("no stall");
         assert_eq!(sharded.properties, serial.properties);
         assert_eq!(sharded.metrics, serial.metrics);
         assert_eq!(sharded.chips.len(), 1);
@@ -453,7 +483,8 @@ mod tests {
         let expect = reference::execute(&prog, &g);
         for p in [2usize, 3, 4, 8] {
             let r = ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(p), &g)
-                .run(&prog);
+                .run(&prog)
+                .expect("no stall");
             assert_eq!(r.properties, expect.properties, "{p} chips");
             assert_eq!(
                 r.metrics.edges_processed, expect.edges_processed,
@@ -468,7 +499,7 @@ mod tests {
         let g = power_law(200, 1800, 2.0, 31, 37);
         let mut engine = ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(4), &g);
         // one full-frontier iteration: packets == the partition's cut edges
-        let r = engine.run(&PageRank::new(1));
+        let r = engine.run(&PageRank::new(1)).expect("no stall");
         assert_eq!(r.cross_chip_packets, engine.cut_edges());
         assert!(r.cross_chip_packets > 0, "4-way partition must cut edges");
         assert_eq!(r.link.delivered, r.cross_chip_packets);
@@ -485,10 +516,12 @@ mod tests {
             link_latency: 100_000,
             ..shard
         };
-        let fast =
-            ShardedEngine::new(AcceleratorConfig::higraph(), shard, &g).run(&PageRank::new(1));
-        let slow =
-            ShardedEngine::new(AcceleratorConfig::higraph(), slow_link, &g).run(&PageRank::new(1));
+        let fast = ShardedEngine::new(AcceleratorConfig::higraph(), shard, &g)
+            .run(&PageRank::new(1))
+            .expect("no stall");
+        let slow = ShardedEngine::new(AcceleratorConfig::higraph(), slow_link, &g)
+            .run(&PageRank::new(1))
+            .expect("no stall");
         assert_eq!(fast.properties, slow.properties);
         assert!(
             slow.metrics.scatter_cycles > fast.metrics.scatter_cycles,
@@ -508,7 +541,8 @@ mod tests {
     fn aggregate_counters_sum_over_chips() {
         let g = erdos_renyi(192, 1600, 31, 43);
         let r = ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(2), &g)
-            .run(&Bfs::from_source(0));
+            .run(&Bfs::from_source(0))
+            .expect("no stall");
         assert_eq!(
             r.metrics.edges_processed,
             r.chips.iter().map(|c| c.edges_processed).sum::<u64>()
@@ -528,6 +562,47 @@ mod tests {
         for chip in &r.chips {
             assert!(chip.scatter_cycles <= r.metrics.scatter_cycles);
         }
+    }
+
+    #[test]
+    fn per_chip_memory_channels_are_modeled_and_merged() {
+        use crate::config::MemoryConfig;
+        let g = power_law(300, 2700, 2.0, 31, 53);
+        let prog = Sssp::from_source(higraph_graph::stats::hub_vertex(&g).expect("non-empty").0);
+        let free = ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(4), &g)
+            .run(&prog)
+            .expect("no stall");
+        let mut cfg = AcceleratorConfig::higraph();
+        cfg.memory = Some(MemoryConfig::hbm2().with_cache_kb(16));
+        let priced = ShardedEngine::new(cfg, ShardConfig::new(4), &g)
+            .run(&prog)
+            .expect("no stall");
+        assert_eq!(priced.properties, free.properties);
+        // each chip owns its channels; the aggregate merges their counters
+        let per_chip_misses: u64 = priced.chips.iter().map(|c| c.memory.cache_misses).sum();
+        assert!(per_chip_misses > 0);
+        assert_eq!(priced.metrics.memory.cache_misses, per_chip_misses);
+        assert_eq!(
+            priced.metrics.memory.stall_cycles,
+            priced
+                .chips
+                .iter()
+                .map(|c| c.memory.stall_cycles)
+                .sum::<u64>()
+        );
+        assert!(priced.metrics.scatter_cycles >= free.metrics.scatter_cycles);
+    }
+
+    #[test]
+    fn sharded_stall_guard_override_fails_with_diagnostic() {
+        let g = erdos_renyi(128, 1024, 31, 59);
+        let mut engine = ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(2), &g);
+        engine.set_stall_guard(Some(1));
+        let err = engine.run(&Bfs::from_source(0)).expect_err("must stall");
+        assert_eq!(err.num_chips, 2);
+        assert_eq!(err.stall.limit, 1);
+        engine.set_stall_guard(None);
+        assert!(engine.run(&Bfs::from_source(0)).is_ok());
     }
 
     #[test]

@@ -276,7 +276,9 @@ pub fn shard_sweep(scale: Scale) -> Vec<ShardSweepRow> {
             ShardConfig::new(chips),
             &graph,
         );
-        let r = engine.run(&PageRank::new(scale.pr_iters));
+        let r = engine
+            .run(&PageRank::new(scale.pr_iters))
+            .expect("no stall");
         ShardSweepRow {
             chips,
             cycles: r.metrics.cycles,
@@ -286,6 +288,59 @@ pub fn shard_sweep(scale: Scale) -> Vec<ShardSweepRow> {
             cross_chip_packets: r.cross_chip_packets,
             max_chip_scatter_cycles: r.max_chip_scatter_cycles(),
             per_chip_cycles: r.chips.iter().map(|c| c.cycles).collect(),
+        }
+    })
+}
+
+/// One point of the off-chip memory sweep (`repro mem`).
+#[derive(Debug, Clone)]
+pub struct MemSweepRow {
+    /// Edge/offset cache capacity in KiB.
+    pub cache_kb: usize,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Modeled throughput.
+    pub gteps: f64,
+    /// Cache hit rate (lines served on chip).
+    pub cache_hit_rate: f64,
+    /// Cache lines fetched from DRAM.
+    pub cache_misses: u64,
+    /// DRAM row-buffer hit rate (locality behind the cache).
+    pub dram_row_hit_rate: f64,
+    /// Pipeline cycles stalled on off-chip data, summed over channels.
+    pub mem_stall_cycles: u64,
+}
+
+/// The cache-size axis of [`mem_sweep`], smallest to largest.
+pub const MEM_SWEEP_CACHE_KB: [usize; 4] = [16, 64, 256, 1024];
+
+/// Off-chip memory sweep: PageRank on the Twitter stand-in under the
+/// HBM2-class memory model ([`MemoryConfig::hbm2`]), sweeping the
+/// edge/offset cache capacity. Hit rate rises and memory-stall cycles
+/// fall monotonically with cache size — the `repro mem` target gates
+/// both against the checked-in baseline. The infinite-bandwidth default
+/// (`memory: None`) is untouched by this sweep.
+pub fn mem_sweep(scale: Scale) -> Vec<MemSweepRow> {
+    mem_sweep_on(&scale.build(Dataset::Twitter), scale.pr_iters)
+}
+
+/// [`mem_sweep`] over an arbitrary graph (unit tests run it on a small
+/// one — memory-stalled cycle counts make the Twitter stand-in a
+/// release-build-only workload).
+fn mem_sweep_on(graph: &Csr, pr_iters: u32) -> Vec<MemSweepRow> {
+    BatchRunner::parallel().execute(&MEM_SWEEP_CACHE_KB, |&cache_kb| {
+        let mut cfg = AcceleratorConfig::higraph();
+        cfg.name = format!("HiGraph[mem,c{cache_kb}KB]");
+        cfg.memory = Some(MemoryConfig::hbm2().with_cache_kb(cache_kb));
+        let m = Algo::Pr.run(&cfg, graph, pr_iters);
+        MemSweepRow {
+            cache_kb,
+            cycles: m.cycles,
+            gteps: m.gteps(),
+            cache_hit_rate: m.memory.cache_hit_rate(),
+            cache_misses: m.memory.cache_misses,
+            dram_row_hit_rate: m.memory.row_hit_rate(),
+            mem_stall_cycles: m.memory.stall_cycles,
         }
     })
 }
@@ -585,6 +640,35 @@ mod tests {
             assert_eq!(r.per_chip_cycles.len(), r.chips);
             assert!(r.cycles_per_edge > 0.0);
             assert!(r.max_chip_scatter_cycles <= r.cycles);
+        }
+    }
+
+    #[test]
+    fn mem_sweep_is_monotone_in_cache_size() {
+        // the smallest Table 2 dataset: debug builds must finish fast
+        let rows = mem_sweep_on(&Scale::tiny().build(Dataset::Vote), 2);
+        assert_eq!(rows.len(), MEM_SWEEP_CACHE_KB.len());
+        for pair in rows.windows(2) {
+            assert!(
+                pair[0].cache_hit_rate <= pair[1].cache_hit_rate,
+                "{}KB {} vs {}KB {}",
+                pair[0].cache_kb,
+                pair[0].cache_hit_rate,
+                pair[1].cache_kb,
+                pair[1].cache_hit_rate
+            );
+            assert!(
+                pair[0].mem_stall_cycles >= pair[1].mem_stall_cycles,
+                "{}KB {} vs {}KB {}",
+                pair[0].cache_kb,
+                pair[0].mem_stall_cycles,
+                pair[1].cache_kb,
+                pair[1].mem_stall_cycles
+            );
+        }
+        for r in &rows {
+            assert!(r.cache_hit_rate.is_finite() && r.dram_row_hit_rate.is_finite());
+            assert!(r.cache_misses > 0, "{}KB must still miss cold", r.cache_kb);
         }
     }
 

@@ -263,6 +263,31 @@ fn utf8_len(first_byte: u8) -> usize {
     }
 }
 
+/// Restricts a baseline to the metrics of targets that actually ran.
+///
+/// Metric keys are dotted with the producing target as their first
+/// segment (`"shard.p4.cycles"` ← target `shard`). A baseline may carry
+/// keys for the whole sweep, while one invocation runs a subset of
+/// targets (`repro table1 shard --check …`): keys whose leading segment
+/// is a *known* target that did **not** run are dropped from gating, so
+/// a partial run is not failed for metrics it never measured. Keys with
+/// an unknown leading segment are kept — a stale or misspelled baseline
+/// entry should fail the gate loudly, not vanish.
+pub fn filter_baseline_to_targets(
+    baseline: &BTreeMap<String, f64>,
+    ran: &[String],
+    known_targets: &[&str],
+) -> BTreeMap<String, f64> {
+    baseline
+        .iter()
+        .filter(|(key, _)| {
+            let prefix = key.split('.').next().unwrap_or(key);
+            !known_targets.contains(&prefix) || ran.iter().any(|t| t == prefix)
+        })
+        .map(|(k, &v)| (k.clone(), v))
+        .collect()
+}
+
 /// Compares measured metrics against a baseline: every baseline key must
 /// be present, finite, and within `tolerance` relative deviation. Returns
 /// the list of human-readable violations (empty = gate passes). Metrics
@@ -386,6 +411,50 @@ mod tests {
         assert!(parsed["x"].is_nan());
         let v = check_against_baseline(&parsed, &base, DEFAULT_TOLERANCE);
         assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn baseline_filter_scopes_to_ran_targets() {
+        let known = ["table1", "shard", "mem"];
+        let mut base = BTreeMap::new();
+        base.insert("table1.HiGraph.frequency_ghz".to_string(), 1.0);
+        base.insert("shard.p4.cycles".to_string(), 100.0);
+        base.insert("mem.c16.cache_hit_rate".to_string(), 0.5);
+        base.insert("stale.key".to_string(), 9.0);
+        let ran = vec!["table1".to_string(), "shard".to_string()];
+        let gated = filter_baseline_to_targets(&base, &ran, &known);
+        // mem didn't run → its keys are not gated; unknown keys stay
+        assert!(gated.contains_key("table1.HiGraph.frequency_ghz"));
+        assert!(gated.contains_key("shard.p4.cycles"));
+        assert!(!gated.contains_key("mem.c16.cache_hit_rate"));
+        assert!(gated.contains_key("stale.key"));
+        // with mem run, its keys gate again
+        let all = vec!["table1".into(), "shard".into(), "mem".into()];
+        assert_eq!(filter_baseline_to_targets(&base, &all, &known).len(), 4);
+    }
+
+    #[test]
+    fn round_trip_preserves_formerly_nan_metric_after_fix() {
+        // Before the finiteness fixes a degenerate run serialized e.g.
+        // gteps as null; now the same metric is a finite 0 and survives
+        // the writer → parser → gate round trip.
+        let mut r = Report::new();
+        r.ran("mem");
+        r.record("mem.degenerate.gteps", 0.0); // formerly NaN
+        r.record("mem.c16.cache_hit_rate", 0.75);
+        let json = r.to_json();
+        assert!(!json.contains("null"), "fixed metrics serialize as numbers");
+        let metrics_obj = json
+            .split("\"metrics\": ")
+            .nth(1)
+            .unwrap()
+            .trim_end()
+            .trim_end_matches('}')
+            .trim_end();
+        let parsed = parse_flat_json(metrics_obj).expect("parses");
+        assert_eq!(parsed["mem.degenerate.gteps"], 0.0);
+        // gating such a report against itself passes
+        assert!(check_against_baseline(&parsed, &parsed.clone(), DEFAULT_TOLERANCE).is_empty());
     }
 
     #[test]

@@ -40,10 +40,30 @@ impl Algo {
             .unwrap_or(0);
         let mut engine = Engine::new(config.clone(), graph);
         match self {
-            Algo::Bfs => engine.run(&Bfs::from_source(source)).metrics,
-            Algo::Sssp => engine.run(&Sssp::from_source(source)).metrics,
-            Algo::Sswp => engine.run(&Sswp::from_source(source)).metrics,
-            Algo::Pr => engine.run(&PageRank::new(pr_iters)).metrics,
+            Algo::Bfs => {
+                engine
+                    .run(&Bfs::from_source(source))
+                    .expect("no stall")
+                    .metrics
+            }
+            Algo::Sssp => {
+                engine
+                    .run(&Sssp::from_source(source))
+                    .expect("no stall")
+                    .metrics
+            }
+            Algo::Sswp => {
+                engine
+                    .run(&Sswp::from_source(source))
+                    .expect("no stall")
+                    .metrics
+            }
+            Algo::Pr => {
+                engine
+                    .run(&PageRank::new(pr_iters))
+                    .expect("no stall")
+                    .metrics
+            }
         }
     }
 }

@@ -25,7 +25,7 @@
 //!
 //! // run BFS on the cycle-accurate HiGraph model…
 //! let mut engine = Engine::new(AcceleratorConfig::higraph(), &graph);
-//! let result = engine.run(&Bfs::from_source(source));
+//! let result = engine.run(&Bfs::from_source(source)).expect("well-sized config");
 //!
 //! // …and validate bit-exactly against the software reference
 //! let reference = higraph::vcpm::execute(&Bfs::from_source(source), &graph);
@@ -43,8 +43,9 @@ pub use higraph_vcpm as vcpm;
 /// The most common imports, in one place.
 pub mod prelude {
     pub use higraph_accel::{
-        AcceleratorConfig, BatchJob, BatchReport, BatchResult, BatchRunner, Engine, Metrics,
-        NetworkKind, OptLevel, RunMode, ShardConfig, ShardedEngine, ShardedRunResult,
+        AcceleratorConfig, BatchJob, BatchReport, BatchResult, BatchRunner, Engine, MemoryConfig,
+        MemoryMetrics, Metrics, NetworkKind, OptLevel, RunMode, ShardConfig, ShardedEngine,
+        ShardedRunResult, StallDiagnostic,
     };
     pub use higraph_graph::{Csr, Dataset, EdgeList, VertexId};
     pub use higraph_mdp::{MdpNetwork, Topology};

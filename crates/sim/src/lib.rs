@@ -17,6 +17,9 @@
 //!   "same target address" sharing rule,
 //! * [`link::InterChipLink`] — the latency/bandwidth-modeled board-level
 //!   interconnect coupling sharded multi-chip executions,
+//! * [`dram::MemoryChannel`] / [`dram::DramSystem`] — the off-chip memory
+//!   hierarchy: HBM-style channels with per-bank row buffers and
+//!   tCAS-class timing,
 //! * [`stats`] — shared counters,
 //! * [`probe::Instrumented`] — an occupancy-tracing wrapper for any
 //!   fabric (buffer-sizing studies),
@@ -41,6 +44,7 @@
 pub mod arbiter;
 pub mod clock;
 pub mod crossbar;
+pub mod dram;
 pub mod fifo;
 pub mod link;
 pub mod memory;
@@ -51,6 +55,7 @@ pub mod stats;
 pub use arbiter::{OddEvenArbiter, RoundRobinArbiter};
 pub use clock::{ClockedComponent, Scheduler, StallError};
 pub use crossbar::CrossbarNetwork;
+pub use dram::{DramSystem, DramTiming, MemoryChannel, MemoryStats};
 pub use fifo::Fifo;
 pub use link::InterChipLink;
 pub use memory::BankPorts;

@@ -52,10 +52,25 @@ fn main() {
         let run = |name: &str| -> Metrics {
             let mut engine = Engine::new(cfg.clone(), &graph);
             match name {
-                "BFS" => engine.run(&Bfs::from_source(source)).metrics,
-                "SSSP" => engine.run(&Sssp::from_source(source)).metrics,
-                "SSWP" => engine.run(&Sswp::from_source(source)).metrics,
-                _ => engine.run(&PageRank::new(5)).metrics,
+                "BFS" => {
+                    engine
+                        .run(&Bfs::from_source(source))
+                        .expect("no stall")
+                        .metrics
+                }
+                "SSSP" => {
+                    engine
+                        .run(&Sssp::from_source(source))
+                        .expect("no stall")
+                        .metrics
+                }
+                "SSWP" => {
+                    engine
+                        .run(&Sswp::from_source(source))
+                        .expect("no stall")
+                        .metrics
+                }
+                _ => engine.run(&PageRank::new(5)).expect("no stall").metrics,
             }
         };
         let all = [run("BFS"), run("SSSP"), run("SSWP"), run("PR")];

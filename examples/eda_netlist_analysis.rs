@@ -62,7 +62,9 @@ fn main() {
     let cfg = AcceleratorConfig::higraph();
 
     // Levelization: BFS depth from the clock/primary-input root.
-    let bfs = Engine::new(cfg.clone(), &netlist).run(&Bfs::from_source(0));
+    let bfs = Engine::new(cfg.clone(), &netlist)
+        .run(&Bfs::from_source(0))
+        .expect("no stall");
     let max_level = bfs
         .properties
         .iter()
@@ -78,7 +80,9 @@ fn main() {
     );
 
     // Min-wirelength arrival estimate.
-    let sssp = Engine::new(cfg.clone(), &netlist).run(&Sssp::from_source(0));
+    let sssp = Engine::new(cfg.clone(), &netlist)
+        .run(&Sssp::from_source(0))
+        .expect("no stall");
     let worst = sssp
         .properties
         .iter()
@@ -94,7 +98,7 @@ fn main() {
 
     // Congestion proxy: PageRank highlights convergence points.
     let pr_prog = PageRank::new(10);
-    let pr = Engine::new(cfg, &netlist).run(&pr_prog);
+    let pr = Engine::new(cfg, &netlist).run(&pr_prog).expect("no stall");
     let mut hot: Vec<(u32, f64)> = netlist
         .vertices()
         .map(|v| (v.0, pr_prog.rank_of(pr.properties[v.index()], &netlist, v)))

@@ -42,11 +42,15 @@ fn main() {
     let memory_bw = 64;
     let prog = PageRank::new(5);
     let mut engine = Engine::new(AcceleratorConfig::higraph(), &graph);
-    let sliced = engine.run_sliced(&prog, num_slices, memory_bw);
+    let sliced = engine
+        .run_sliced(&prog, num_slices, memory_bw)
+        .expect("no stall");
 
     // Same answer as unsliced execution (also checked by integration
     // tests): slicing is a schedule, not an approximation.
-    let whole = Engine::new(AcceleratorConfig::higraph(), &graph).run(&prog);
+    let whole = Engine::new(AcceleratorConfig::higraph(), &graph)
+        .run(&prog)
+        .expect("no stall");
     assert_eq!(sliced.properties, whole.properties);
 
     println!("\ncompute cycles            : {}", sliced.metrics.cycles);

@@ -25,9 +25,11 @@ fn main() {
         let prog = PageRank::new(5);
         let gd = Engine::new(AcceleratorConfig::graphdyns(), &graph)
             .run(&prog)
+            .expect("no stall")
             .metrics;
         let hi = Engine::new(AcceleratorConfig::higraph(), &graph)
             .run(&prog)
+            .expect("no stall")
             .metrics;
         println!(
             "{beta:>5.2} {:>7.1} GTEPS {:>7.1} GTEPS {:>8.2}x",

@@ -25,7 +25,7 @@ fn main() {
     //    back-end channels, MDP-networks at all three interaction points).
     let program = Bfs::from_source(source);
     let mut engine = Engine::new(AcceleratorConfig::higraph(), &graph);
-    let result = engine.run(&program);
+    let result = engine.run(&program).expect("no stall");
 
     // 3. Validate against the paper's VCPM pseudocode executed in software.
     let reference = higraph::vcpm::execute(&program, &graph);

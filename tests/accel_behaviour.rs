@@ -196,7 +196,7 @@ fn locality_reduces_dataflow_conflicts() {
     let run = |beta: f64| {
         let g = small_world(4096, 8, beta, 15, 3);
         let mut engine = Engine::new(AcceleratorConfig::graphdyns(), &g);
-        engine.run(&PageRank::new(3)).metrics
+        engine.run(&PageRank::new(3)).expect("no stall").metrics
     };
     let local = run(0.0);
     let random = run(1.0);

@@ -43,7 +43,9 @@ fn parallel_batch_is_bit_identical_to_serial_engine_runs() {
     let batched = run_on_pool(jobs);
     assert_eq!(batched.len(), configs.len());
     for (result, config) in batched.iter().zip(&configs) {
-        let serial = Engine::new(config.clone(), &graph).run(&Bfs::from_source(source));
+        let serial = Engine::new(config.clone(), &graph)
+            .run(&Bfs::from_source(source))
+            .expect("no stall");
         assert_eq!(result.label, config.name);
         assert_eq!(result.properties, serial.properties, "{}", config.name);
         assert_eq!(result.metrics, serial.metrics, "{}", config.name);
@@ -57,7 +59,9 @@ fn parallel_batch_is_bit_identical_to_serial_engine_runs() {
         .map(|c| BatchJob::new(&c.name, &graph, PageRank::new(scale.pr_iters), c.clone()))
         .collect();
     for (result, config) in run_on_pool(pr_jobs).iter().zip(&pr_configs) {
-        let serial = Engine::new(config.clone(), &graph).run(&PageRank::new(scale.pr_iters));
+        let serial = Engine::new(config.clone(), &graph)
+            .run(&PageRank::new(scale.pr_iters))
+            .expect("no stall");
         assert_eq!(result.properties, serial.properties, "PR {}", config.name);
         assert_eq!(result.metrics, serial.metrics, "PR {}", config.name);
     }
@@ -80,11 +84,9 @@ fn batched_sliced_runs_match_serial_run_sliced() {
         .collect();
     let batched = run_on_pool(jobs);
     for (result, slices) in batched.iter().zip([2usize, 4]) {
-        let serial = Engine::new(AcceleratorConfig::higraph(), &graph).run_sliced(
-            &PageRank::new(3),
-            slices,
-            64,
-        );
+        let serial = Engine::new(AcceleratorConfig::higraph(), &graph)
+            .run_sliced(&PageRank::new(3), slices, 64)
+            .expect("no stall");
         assert_eq!(result.properties, serial.properties, "{slices} slices");
         assert_eq!(result.metrics, serial.metrics, "{slices} slices");
         let timing = result.sliced.expect("sliced timing reported");

@@ -57,7 +57,7 @@ fn bfs_equivalence_everywhere() {
         let expect = reference::execute(&prog, &g);
         for cfg in configs() {
             let name = cfg.name.clone();
-            let got = Engine::new(cfg, &g).run(&prog);
+            let got = Engine::new(cfg, &g).run(&prog).expect("no stall");
             assert_eq!(got.properties, expect.properties, "BFS {gname} on {name}");
             assert_eq!(
                 got.metrics.edges_processed, expect.edges_processed,
@@ -78,7 +78,7 @@ fn sssp_equivalence_everywhere() {
         let expect = reference::execute(&prog, &g);
         for cfg in configs() {
             let name = cfg.name.clone();
-            let got = Engine::new(cfg, &g).run(&prog);
+            let got = Engine::new(cfg, &g).run(&prog).expect("no stall");
             assert_eq!(got.properties, expect.properties, "SSSP {gname} on {name}");
         }
     }
@@ -91,7 +91,7 @@ fn sswp_equivalence_everywhere() {
         let expect = reference::execute(&prog, &g);
         for cfg in configs() {
             let name = cfg.name.clone();
-            let got = Engine::new(cfg, &g).run(&prog);
+            let got = Engine::new(cfg, &g).run(&prog).expect("no stall");
             assert_eq!(got.properties, expect.properties, "SSWP {gname} on {name}");
         }
     }
@@ -107,7 +107,7 @@ fn pagerank_equivalence_everywhere() {
         let expect = reference::execute(&prog, &g);
         for cfg in configs() {
             let name = cfg.name.clone();
-            let got = Engine::new(cfg, &g).run(&prog);
+            let got = Engine::new(cfg, &g).run(&prog).expect("no stall");
             assert_eq!(got.properties, expect.properties, "PR {gname} on {name}");
         }
     }
@@ -120,7 +120,7 @@ fn wcc_equivalence_everywhere() {
         let expect = reference::execute(&prog, &g);
         for cfg in configs() {
             let name = cfg.name.clone();
-            let got = Engine::new(cfg, &g).run(&prog);
+            let got = Engine::new(cfg, &g).run(&prog).expect("no stall");
             assert_eq!(got.properties, expect.properties, "WCC {gname} on {name}");
         }
     }
@@ -135,7 +135,7 @@ fn multi_source_bfs_equivalence() {
         let expect = reference::execute(&prog, &g);
         for cfg in [AcceleratorConfig::higraph(), AcceleratorConfig::graphdyns()] {
             let name = cfg.name.clone();
-            let got = Engine::new(cfg, &g).run(&prog);
+            let got = Engine::new(cfg, &g).run(&prog).expect("no stall");
             assert_eq!(
                 got.properties, expect.properties,
                 "MS-BFS {gname} on {name}"
@@ -150,8 +150,12 @@ fn sliced_runs_match_unsliced_for_all_algorithms() {
     let src = source(&g);
     macro_rules! check {
         ($prog:expr, $label:expr) => {
-            let whole = Engine::new(AcceleratorConfig::higraph(), &g).run(&$prog);
-            let sliced = Engine::new(AcceleratorConfig::higraph(), &g).run_sliced(&$prog, 3, 64);
+            let whole = Engine::new(AcceleratorConfig::higraph(), &g)
+                .run(&$prog)
+                .expect("no stall");
+            let sliced = Engine::new(AcceleratorConfig::higraph(), &g)
+                .run_sliced(&$prog, 3, 64)
+                .expect("no stall");
             assert_eq!(sliced.properties, whole.properties, $label);
         };
     }
@@ -170,7 +174,7 @@ fn scaled_channel_counts_stay_equivalent() {
     let expect = reference::execute(&prog, &g);
     for channels in [8usize, 64, 128] {
         let cfg = AcceleratorConfig::higraph().scaled_to(channels);
-        let got = Engine::new(cfg, &g).run(&prog);
+        let got = Engine::new(cfg, &g).run(&prog).expect("no stall");
         assert_eq!(got.properties, expect.properties, "{channels} channels");
     }
 }
@@ -184,7 +188,7 @@ fn radix_variants_stay_equivalent() {
         // 64-channel geometry divides evenly by all three radices
         let mut cfg = AcceleratorConfig::higraph().scaled_to(64);
         cfg.radix = radix;
-        let got = Engine::new(cfg, &g).run(&prog);
+        let got = Engine::new(cfg, &g).run(&prog).expect("no stall");
         assert_eq!(got.properties, expect.properties, "radix {radix}");
     }
 }

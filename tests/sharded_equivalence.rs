@@ -29,9 +29,12 @@ fn one_chip_is_bit_identical_to_serial_on_twitter() {
     let g = twitter_standin();
     let src = higraph::graph::stats::hub_vertex(&g).expect("non-empty").0;
     let prog = Bfs::from_source(src);
-    let serial = Engine::new(AcceleratorConfig::higraph(), &g).run(&prog);
-    let sharded =
-        ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(1), &g).run(&prog);
+    let serial = Engine::new(AcceleratorConfig::higraph(), &g)
+        .run(&prog)
+        .expect("no stall");
+    let sharded = ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(1), &g)
+        .run(&prog)
+        .expect("no stall");
     assert_eq!(sharded.properties, serial.properties);
     assert_eq!(sharded.metrics, serial.metrics, "aggregate == serial");
     assert_eq!(sharded.chips[0], serial.metrics, "chip 0 == serial");
@@ -59,14 +62,21 @@ where
     F: FnMut(&str, Vec<u64>, ShardedRunResult<u64>),
 {
     let bfs = Bfs::from_source(src);
-    let serial = Engine::new(AcceleratorConfig::higraph(), g).run(&bfs);
-    let sharded =
-        ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(4), g).run(&bfs);
+    let serial = Engine::new(AcceleratorConfig::higraph(), g)
+        .run(&bfs)
+        .expect("no stall");
+    let sharded = ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(4), g)
+        .run(&bfs)
+        .expect("no stall");
     check("BFS", serial.properties, sharded);
 
     let pr = PageRank::new(3);
-    let serial = Engine::new(AcceleratorConfig::higraph(), g).run(&pr);
-    let sharded = ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(4), g).run(&pr);
+    let serial = Engine::new(AcceleratorConfig::higraph(), g)
+        .run(&pr)
+        .expect("no stall");
+    let sharded = ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(4), g)
+        .run(&pr)
+        .expect("no stall");
     check("PR", serial.properties, sharded);
 }
 
@@ -114,7 +124,7 @@ proptest! {
         prop_assert_eq!(engine.cut_edges(), cut);
         // PageRank's first (and here only) iteration activates every vertex,
         // so each edge is processed exactly once.
-        let r = engine.run(&PageRank::new(1));
+        let r = engine.run(&PageRank::new(1)).expect("no stall");
         prop_assert_eq!(r.cross_chip_packets, cut);
         prop_assert_eq!(r.link.accepted, cut);
         prop_assert_eq!(r.link.delivered, cut);

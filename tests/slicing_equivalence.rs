@@ -92,8 +92,12 @@ fn engine_on_reassembled_partition_matches() {
 
     let src = higraph::graph::stats::hub_vertex(&g).expect("non-empty").0;
     let prog = Sssp::from_source(src);
-    let a = Engine::new(AcceleratorConfig::higraph(), &g).run(&prog);
-    let b = Engine::new(AcceleratorConfig::higraph(), &r).run(&prog);
+    let a = Engine::new(AcceleratorConfig::higraph(), &g)
+        .run(&prog)
+        .expect("no stall");
+    let b = Engine::new(AcceleratorConfig::higraph(), &r)
+        .run(&prog)
+        .expect("no stall");
     assert_eq!(a.properties, b.properties);
     assert_eq!(a.metrics.edges_processed, b.metrics.edges_processed);
 }
@@ -109,6 +113,7 @@ fn per_slice_engine_runs_cover_all_edges() {
     for s in &slices {
         let m = Engine::new(AcceleratorConfig::higraph(), &s.graph)
             .run(&PageRank::new(1))
+            .expect("no stall")
             .metrics;
         total += m.edges_processed;
     }
