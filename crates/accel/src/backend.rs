@@ -100,6 +100,21 @@ impl<P: Copy + 'static> BackEnd<P> {
         }
     }
 
+    /// Commits the per-cycle effects of `cycles` idle [`BackEnd::step`]s
+    /// in O(channels): stage 1 polls every vPE each cycle regardless of
+    /// work (counting starvation when the fabric delivers nothing — and
+    /// a drained back-end delivers nothing), and the direct edge-access
+    /// variant's arbitration pointer rotates per issue call. Only valid
+    /// when the back-end is drained (the fast-forward precondition).
+    pub(crate) fn commit_idle(&mut self, cycles: u64, metrics: &mut Metrics) {
+        let m = self.epe_q.len() as u64;
+        metrics.vpe_starvation_cycles += m * cycles;
+        for per_channel in metrics.vpe_starvation_per_channel.iter_mut() {
+            *per_channel += cycles;
+        }
+        self.edge_access.commit_idle_issue(cycles);
+    }
+
     /// Cumulative statistics of the edge-access unit.
     pub(crate) fn edge_stats(&self) -> NetworkStats {
         self.edge_access.stats()
@@ -121,6 +136,15 @@ impl<P: Copy + 'static> ClockedComponent for BackEnd<P> {
         ClockedComponent::in_flight(&self.edge_access)
             + self.epe_q.in_flight()
             + self.dataflow.in_flight()
+    }
+
+    // `next_activity` keeps the default: a non-drained back-end always
+    // does something at its next step (reads issue, ePEs fire, the
+    // fabric moves or counts blocking), so only the drained state skips.
+
+    fn skip(&mut self, cycles: u64) {
+        ClockedComponent::skip(&mut self.edge_access, cycles);
+        self.dataflow.skip(cycles);
     }
 }
 

@@ -92,6 +92,27 @@ enum Port {
     Offset,
 }
 
+/// What the next `*_ready` ask about a fetch would do — a non-mutating
+/// probe for the fast-forward activity contract (`docs/simulation.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum QueryState {
+    /// The query has fully streamed in: the consuming stage can act now.
+    Ready,
+    /// The ask would mutate state this cycle in a way that depends on
+    /// the cycle — start or replace a query, have a DRAM request
+    /// accepted, or consume a resident line.
+    Active,
+    /// Waiting on DRAM: the next line is not resident and every missing
+    /// line is either outstanding in the MSHR or retrying against a
+    /// [`retry-stable`] full channel. Re-asking per cycle is then fully
+    /// deterministic — nothing beyond the caller's stall accounting and
+    /// the channels' rejection counters, both of which
+    /// [`MemorySubsystem::commit_idle`] commits in bulk.
+    ///
+    /// [`retry-stable`]: higraph_sim::MemoryChannel::retry_stable
+    Blocked,
+}
+
 /// One multi-line fetch, consumed in address order. The completed query
 /// stays in its slot (`next > last`) until a *different* request
 /// replaces it, so a stage that is back-pressured downstream can re-ask
@@ -214,6 +235,45 @@ impl Modeled {
             self.arrived.insert(line);
         }
     }
+
+    /// Residency as the *next* cycle's `begin_cycle` will see it: the
+    /// `arrived` set is cleared there, so activity probes (evaluated
+    /// between cycles) must ignore it — a line surviving only in
+    /// `arrived` will be re-requested next cycle, which is activity.
+    fn tag_resident(&self, line: u64) -> bool {
+        self.tags[self.set_of(line)] == Some(line)
+    }
+
+    /// Non-mutating twin of [`Modeled::step_query`]; see [`QueryState`].
+    fn query_state(&self, ch: usize, port: Port, base: u64, bytes: u64) -> QueryState {
+        let slot = match port {
+            Port::Edge => &self.edge_q[ch],
+            Port::Offset => &self.offset_q[ch],
+        };
+        match slot {
+            Some(q) if q.key == (base, bytes) => {
+                if q.next > q.last {
+                    return QueryState::Ready;
+                }
+                for line in q.next..=q.last {
+                    if !self.tag_resident(line)
+                        && !self.mshr.contains(&line)
+                        && !self.dram.line_retry_stable(line)
+                    {
+                        return QueryState::Active; // a (re)request would land
+                    }
+                }
+                if self.tag_resident(q.next) {
+                    QueryState::Active // would consume in order
+                } else {
+                    QueryState::Blocked
+                }
+            }
+            // No query yet (or the slot holds a different request): the
+            // next ask creates one and issues its fetches.
+            _ => QueryState::Active,
+        }
+    }
 }
 
 /// The off-chip memory subsystem one chip owns: cache → DRAM channels.
@@ -304,6 +364,58 @@ impl MemorySubsystem {
         m.step_query(ch, port, (base, bytes), first, last)
     }
 
+    /// Commits the per-cycle effects of `cycles` idle cycles of blocked
+    /// queries: every missing line that is neither resident nor in the
+    /// MSHR was being re-requested — and deterministically rejected (the
+    /// fast-forward precondition: no such line's request could land) —
+    /// once per cycle by each query holding it.
+    pub(crate) fn commit_idle(&mut self, cycles: u64) {
+        let Some(m) = &mut self.inner else {
+            return;
+        };
+        let mut retried: Vec<u64> = Vec::new();
+        for q in m.edge_q.iter().chain(m.offset_q.iter()).flatten() {
+            if q.next > q.last {
+                continue;
+            }
+            for line in q.next..=q.last {
+                if !m.tag_resident(line) && !m.mshr.contains(&line) {
+                    retried.push(line);
+                }
+            }
+        }
+        for line in retried {
+            m.dram.commit_rejected(line, cycles);
+        }
+    }
+
+    /// Non-mutating probe of what the next [`MemorySubsystem::offset_ready`]
+    /// ask for channel `ch`'s pair `{Off[u], Off[u+1]}` would do.
+    pub(crate) fn offset_query_state(&self, ch: usize, u: u32) -> QueryState {
+        let Some(m) = &self.inner else {
+            return QueryState::Ready;
+        };
+        let lo = OFFSET_REGION + u64::from(u) * OFFSET_BYTES;
+        m.query_state(ch, Port::Offset, lo, 2 * OFFSET_BYTES)
+    }
+
+    /// Non-mutating probe of what the next [`MemorySubsystem::edges_ready`]
+    /// ask for channel `ch`'s range `[off, off + len)` would do.
+    pub(crate) fn edge_query_state(&self, ch: usize, off: u64, len: u32) -> QueryState {
+        let Some(m) = &self.inner else {
+            return QueryState::Ready;
+        };
+        if len == 0 {
+            return QueryState::Ready;
+        }
+        m.query_state(
+            ch,
+            Port::Edge,
+            off * EDGE_BYTES,
+            u64::from(len) * EDGE_BYTES,
+        )
+    }
+
     /// Cumulative cache counters (zero in infinite mode).
     pub fn cache_stats(&self) -> CacheStats {
         self.inner.as_ref().map(|m| m.stats).unwrap_or_default()
@@ -327,6 +439,20 @@ impl ClockedComponent for MemorySubsystem {
 
     fn in_flight(&self) -> usize {
         self.inner.as_ref().map_or(0, |m| m.dram.in_flight())
+    }
+
+    /// The subsystem acts on its own only when DRAM does: queries advance
+    /// exclusively when a pipeline stage asks (the stage's own activity
+    /// is probed via [`MemorySubsystem::edge_query_state`] /
+    /// [`MemorySubsystem::offset_query_state`]).
+    fn next_activity(&self) -> Option<u64> {
+        self.inner.as_ref().and_then(|m| m.dram.next_activity())
+    }
+
+    fn skip(&mut self, cycles: u64) {
+        if let Some(m) = &mut self.inner {
+            m.dram.skip(cycles);
+        }
     }
 }
 

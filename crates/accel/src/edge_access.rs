@@ -215,6 +215,17 @@ impl<P: Copy> EdgeAccess<P> {
         }
     }
 
+    /// Commits the per-cycle effect of [`EdgeAccess::issue_reads`] over
+    /// `cycles` empty-unit cycles: the direct variant's arbitration
+    /// pointer rotates every call even when nothing issues (the MDP
+    /// variant's empty issue path is pure).
+    pub(crate) fn commit_idle_issue(&mut self, cycles: u64) {
+        if let EdgeAccess::Direct { queues, next, .. } = self {
+            let n = queues.len();
+            *next = (*next + (cycles % n as u64) as usize) % n;
+        }
+    }
+
     /// Whether any ranges are waiting or in flight.
     pub fn is_empty(&self) -> bool {
         match self {
@@ -246,6 +257,18 @@ impl<P: Copy> ClockedComponent for EdgeAccess<P> {
 
     fn network_stats(&self) -> Option<NetworkStats> {
         Some(self.stats())
+    }
+
+    /// An idle tick of an empty unit only advances cycle counters.
+    fn skip(&mut self, cycles: u64) {
+        debug_assert!(
+            cycles == 0 || ClockedComponent::in_flight(self) == 0,
+            "skip() on an edge-access unit holding ranges"
+        );
+        match self {
+            EdgeAccess::Mdp { net, .. } => ClockedComponent::skip(net, cycles),
+            EdgeAccess::Direct { stats, .. } => stats.cycles += cycles,
+        }
     }
 }
 

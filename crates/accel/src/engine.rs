@@ -32,7 +32,7 @@ use crate::metrics::Metrics;
 use crate::netfactory::NetworkFactory;
 use higraph_graph::slicing::{partition, slice_swap_cycles, Slice};
 use higraph_graph::{Csr, VertexId};
-use higraph_sim::{ClockedComponent, Scheduler, StallError};
+use higraph_sim::{ClockedComponent, DrainStep, Scheduler, StallError};
 use higraph_vcpm::VertexProgram;
 use std::fmt;
 
@@ -140,6 +140,18 @@ impl<P: Copy + 'static> ScatterPipeline<P> {
     }
 }
 
+impl<P: Copy + 'static> ScatterPipeline<P> {
+    /// Commits the per-cycle combinational effects of `cycles` idle
+    /// steps (stall and starvation accounting, rotating grant chains);
+    /// the sequential state was already advanced by
+    /// [`ClockedComponent::skip`]. Drives [`DrainStep::Skipped`].
+    pub(crate) fn commit_idle(&mut self, cycles: u64, metrics: &mut Metrics) {
+        self.back.commit_idle(cycles, metrics);
+        self.front.commit_idle(cycles, metrics);
+        self.mem.commit_idle(cycles);
+    }
+}
+
 impl<P: Copy + 'static> ClockedComponent for ScatterPipeline<P> {
     fn tick(&mut self) {
         self.front.tick();
@@ -149,6 +161,30 @@ impl<P: Copy + 'static> ClockedComponent for ScatterPipeline<P> {
 
     fn in_flight(&self) -> usize {
         self.front.in_flight() + self.back.in_flight() + self.mem.in_flight()
+    }
+
+    /// The pipeline is busy while the back-end holds anything (its next
+    /// step always acts) or the front-end can move without memory; when
+    /// everything held is waiting on DRAM, the memory subsystem's next
+    /// event bounds the idle window.
+    fn next_activity(&self) -> Option<u64> {
+        if !self.back.is_drained() || self.front.has_immediate_work(&self.mem) {
+            return Some(0);
+        }
+        match self.mem.next_activity() {
+            Some(window) => Some(window),
+            // Defensive: a held item the activity model failed to map to
+            // a memory event must fall back to naive stepping, never to
+            // a spurious stall.
+            None if !self.is_drained() => Some(0),
+            None => None,
+        }
+    }
+
+    fn skip(&mut self, cycles: u64) {
+        self.front.skip(cycles);
+        self.back.skip(cycles);
+        self.mem.skip(cycles);
     }
 }
 
@@ -160,6 +196,9 @@ pub struct Engine<'g> {
     /// Overrides the workload-derived stall guard when set (bounding
     /// simulation time for serving deployments and stall-path tests).
     stall_guard: Option<u64>,
+    /// Event-driven fast-forward of idle scatter cycles (on by default;
+    /// bit-identical to per-cycle ticking — see `docs/simulation.md`).
+    fast_forward: bool,
 }
 
 impl<'g> Engine<'g> {
@@ -184,6 +223,7 @@ impl<'g> Engine<'g> {
             factory: NetworkFactory::new(&config)?,
             graph,
             stall_guard: None,
+            fast_forward: true,
         })
     }
 
@@ -198,6 +238,19 @@ impl<'g> Engine<'g> {
     /// simulating indefinitely.
     pub fn set_stall_guard(&mut self, guard: Option<u64>) {
         self.stall_guard = guard;
+    }
+
+    /// Enables or disables the event-driven fast-forward of idle scatter
+    /// cycles (on by default). Results — cycle counts and every metric —
+    /// are bit-identical either way; disabling it only reverts host
+    /// performance to per-cycle ticking (the `simspeed` repro target
+    /// measures the difference).
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
+    }
+
+    fn scheduler(&self) -> Scheduler {
+        Scheduler::new().with_fast_forward(self.fast_forward)
     }
 
     /// Executes `program` to completion and returns properties + metrics.
@@ -222,7 +275,7 @@ impl<'g> Engine<'g> {
             .collect();
         let mut t_props: Vec<Prog::Prop> = vec![program.identity(); num_v as usize];
         let mut pipeline = ScatterPipeline::new(&self.factory);
-        let mut scheduler = Scheduler::new();
+        let mut scheduler = self.scheduler();
         let mut metrics = Metrics {
             frequency_ghz: config.effective_frequency_ghz(),
             vpe_starvation_per_channel: vec![0; m],
@@ -298,7 +351,7 @@ impl<'g> Engine<'g> {
             .collect();
         let mut t_props: Vec<Prog::Prop> = vec![program.identity(); num_v as usize];
         let mut pipeline = ScatterPipeline::new(&self.factory);
-        let mut scheduler = Scheduler::new();
+        let mut scheduler = self.scheduler();
         let mut metrics = Metrics {
             frequency_ghz: config.effective_frequency_ghz(),
             vpe_starvation_per_channel: vec![0; m],
@@ -391,16 +444,20 @@ impl<'g> Engine<'g> {
         });
         scheduler.set_stall_guard(guard);
         let spent = scheduler
-            .drain(pipeline, |pipeline, _| {
-                // Stages evaluate consumer-first: back-end (1–3), then
-                // front-end (4–6) feeding the back-end's edge unit.
-                pipeline.back.step(program, graph, t_props, metrics);
-                pipeline.front.step(
-                    graph,
-                    &mut pipeline.back.edge_access,
-                    &mut pipeline.mem,
-                    metrics,
-                );
+            .drain_with(pipeline, |pipeline, step| match step {
+                DrainStep::Cycle(_) => {
+                    // Stages evaluate consumer-first: back-end (1–3),
+                    // then front-end (4–6) feeding the back-end's edge
+                    // unit.
+                    pipeline.back.step(program, graph, t_props, metrics);
+                    pipeline.front.step(
+                        graph,
+                        &mut pipeline.back.edge_access,
+                        &mut pipeline.mem,
+                        metrics,
+                    );
+                }
+                DrainStep::Skipped { cycles, .. } => pipeline.commit_idle(cycles, metrics),
             })
             .map_err(|stall| StallDiagnostic {
                 config: self.factory.config().name.clone(),
@@ -660,6 +717,45 @@ mod tests {
             large.memory.stall_cycles
         );
         assert!(small.cycles >= large.cycles);
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_under_modeled_memory() {
+        use crate::config::MemoryConfig;
+        let g = power_law(400, 3200, 2.0, 31, 33);
+        let prog = PageRank::new(3);
+        let mut cfg = AcceleratorConfig::higraph();
+        cfg.memory = Some(MemoryConfig::hbm2().with_cache_kb(16));
+        let run = |fast: bool| {
+            let mut engine = Engine::new(cfg.clone(), &g);
+            engine.set_fast_forward(fast);
+            engine.run(&prog).expect("no stall")
+        };
+        let naive = run(false);
+        let fast = run(true);
+        assert_eq!(fast.properties, naive.properties);
+        assert_eq!(fast.metrics, naive.metrics);
+        assert!(fast.metrics.memory.stall_cycles > 0, "memory must stall");
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_on_sliced_runs() {
+        use crate::config::MemoryConfig;
+        let g = power_law(300, 2400, 2.0, 31, 35);
+        let prog = Sssp::from_source(higraph_graph::stats::hub_vertex(&g).expect("non-empty").0);
+        let mut cfg = AcceleratorConfig::higraph();
+        cfg.memory = Some(MemoryConfig::hbm2().with_cache_kb(32));
+        let run = |fast: bool| {
+            let mut engine = Engine::new(cfg.clone(), &g);
+            engine.set_fast_forward(fast);
+            engine.run_sliced(&prog, 3, 32).expect("no stall")
+        };
+        let naive = run(false);
+        let fast = run(true);
+        assert_eq!(fast.properties, naive.properties);
+        assert_eq!(fast.metrics, naive.metrics);
+        assert_eq!(fast.swap_cycles_sequential, naive.swap_cycles_sequential);
+        assert_eq!(fast.swap_cycles_overlapped, naive.swap_cycles_overlapped);
     }
 
     #[test]

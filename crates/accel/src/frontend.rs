@@ -8,7 +8,7 @@
 //! [`ClockedComponent`] implementation, driven by the shared
 //! `higraph_sim::Scheduler`.
 
-use crate::cache::MemorySubsystem;
+use crate::cache::{MemorySubsystem, QueryState};
 use crate::edge_access::EdgeAccess;
 use crate::metrics::Metrics;
 use crate::netfactory::{AnyNetwork, NetworkFactory};
@@ -195,6 +195,101 @@ impl<P: Copy + 'static> FrontEnd<P> {
     pub(crate) fn offset_stats(&self) -> NetworkStats {
         self.offset_net.network_stats().expect("fabrics keep stats")
     }
+
+    /// Whether the next [`FrontEnd::step`] can do anything beyond stall
+    /// accounting. Mirrors `step` stage by stage: vertices to fetch or
+    /// route, a replay engine that can emit, a staged chunk or offset
+    /// head whose memory query is ready (or would advance) — any of
+    /// these makes the cycle active. When it returns `false`, every
+    /// held item is purely waiting on DRAM (or the front-end is
+    /// drained), and [`MemorySubsystem::next_activity`] bounds the wait.
+    pub(crate) fn has_immediate_work(&self, mem: &MemorySubsystem) -> bool {
+        let n = self.av_parts.len();
+        // (6) an ActiveVertex push that would be *accepted* is activity;
+        // one the fabric keeps rejecting is deterministic bookkeeping
+        // (committed in bulk by `commit_idle`).
+        for c in 0..n {
+            if let Some(&(u, prop)) = self.av_parts[c].front() {
+                let pkt = VertexPacket {
+                    u,
+                    prop,
+                    dest: (u as usize) % n,
+                };
+                if self.offset_net.can_accept(c, &pkt) {
+                    return true;
+                }
+            }
+        }
+        // (5b) + clock edge: internal fabric movement, or a delivery a
+        // staging queue has room to take.
+        if self.offset_net.in_flight() > 0 {
+            if !self.offset_net.is_wedged() {
+                return true;
+            }
+            for c in 0..n {
+                if !self.offset_q[c].is_full() && self.offset_net.peek(c).is_some() {
+                    return true;
+                }
+            }
+        }
+        for c in 0..self.av_parts.len() {
+            match &self.replay_out[c] {
+                // (4) a staged chunk advances unless its lines are still
+                // on their way from DRAM.
+                Some(chunk) => {
+                    if mem.edge_query_state(c, chunk.off, chunk.len) != QueryState::Blocked {
+                        return true;
+                    }
+                }
+                // (4) a busy replay engine refills the skid buffer.
+                None => {
+                    if !self.replay[c].is_idle() {
+                        return true;
+                    }
+                }
+            }
+            // (5) an offset head claims its bank pair once the replay
+            // engine is free and its offset pair is on chip.
+            if let Some(head) = self.offset_q[c].peek() {
+                if self.replay[c].is_idle()
+                    && mem.offset_query_state(c, head.u) != QueryState::Blocked
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Commits the per-cycle effects of `cycles` idle [`FrontEnd::step`]s
+    /// in O(channels): one memory-stall cycle per blocked chunk and per
+    /// ready-to-issue-but-waiting offset head, plus the GraphDynS
+    /// rotating grant chain. Only valid when
+    /// [`FrontEnd::has_immediate_work`] is `false` (the fast-forward
+    /// precondition) — every counted item is then genuinely mem-blocked.
+    pub(crate) fn commit_idle(&mut self, cycles: u64, metrics: &mut Metrics) {
+        let n = self.av_parts.len();
+        let mut stalled_channels = 0u64;
+        let mut rejected_pushes = 0u64;
+        for c in 0..n {
+            if self.replay_out[c].is_some() {
+                stalled_channels += 1;
+            }
+            if !self.offset_q[c].is_empty() && self.replay[c].is_idle() {
+                stalled_channels += 1;
+            }
+            // (6) one rejected ActiveVertex push per blocked channel per
+            // cycle (the fast-forward precondition: none could land)
+            if !self.av_parts[c].is_empty() {
+                rejected_pushes += 1;
+            }
+        }
+        metrics.memory.stall_cycles += stalled_channels * cycles;
+        self.offset_net.commit_rejected(rejected_pushes * cycles);
+        if !self.mdp_offset {
+            self.offset_rr = (self.offset_rr + (cycles % n as u64) as usize) % n;
+        }
+    }
 }
 
 impl<P: Copy + 'static> ClockedComponent for FrontEnd<P> {
@@ -209,6 +304,17 @@ impl<P: Copy + 'static> ClockedComponent for FrontEnd<P> {
             + self.offset_q.in_flight()
             + self.replay.iter().filter(|r| !r.is_idle()).count()
             + self.replay_out.iter().filter(|o| o.is_some()).count()
+    }
+
+    // `next_activity` keeps the conservative default; the memory-aware
+    // hint lives in `ScatterPipeline`, which owns the subsystem this
+    // front-end's gates depend on (`FrontEnd::has_immediate_work`).
+
+    /// The front-end's sequential state during an idle window: fabric
+    /// cycle counters and the odd-even parity.
+    fn skip(&mut self, cycles: u64) {
+        self.offset_net.skip(cycles);
+        self.odd_even.advance(cycles);
     }
 }
 

@@ -64,6 +64,27 @@ impl<T: Packet> AnyNetwork<T> {
         })
     }
 
+    /// Whether the next tick can move nothing inside the fabric — the
+    /// wedge half of the fast-forward contract (output consumption and
+    /// input offers are the owner's side). See the concrete fabrics'
+    /// `is_wedged` docs.
+    pub fn is_wedged(&self) -> bool {
+        match self {
+            AnyNetwork::Crossbar(n) => n.is_wedged(),
+            AnyNetwork::Mdp(n) => n.is_wedged(),
+            AnyNetwork::Naive(n) => n.is_wedged(),
+        }
+    }
+
+    /// Bulk-commits `count` deterministic input rejections.
+    pub fn commit_rejected(&mut self, count: u64) {
+        match self {
+            AnyNetwork::Crossbar(n) => n.commit_rejected(count),
+            AnyNetwork::Mdp(n) => n.commit_rejected(count),
+            AnyNetwork::Naive(n) => n.commit_rejected(count),
+        }
+    }
+
     /// Builds like [`AnyNetwork::try_build`].
     ///
     /// # Panics
@@ -158,6 +179,22 @@ impl<T: Packet> ClockedComponent for AnyNetwork<T> {
 
     fn network_stats(&self) -> Option<NetworkStats> {
         Some(*self.stats())
+    }
+
+    fn next_activity(&self) -> Option<u64> {
+        match self {
+            AnyNetwork::Crossbar(n) => n.next_activity(),
+            AnyNetwork::Mdp(n) => n.next_activity(),
+            AnyNetwork::Naive(n) => n.next_activity(),
+        }
+    }
+
+    fn skip(&mut self, cycles: u64) {
+        match self {
+            AnyNetwork::Crossbar(n) => n.skip(cycles),
+            AnyNetwork::Mdp(n) => n.skip(cycles),
+            AnyNetwork::Naive(n) => n.skip(cycles),
+        }
     }
 }
 

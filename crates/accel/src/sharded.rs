@@ -39,7 +39,10 @@ use crate::metrics::Metrics;
 use crate::netfactory::NetworkFactory;
 use higraph_graph::slicing::{partition, total_cut_edges, Slice};
 use higraph_graph::{Csr, VertexId};
-use higraph_sim::{ClockedComponent, InterChipLink, Network, NetworkStats, Packet, Scheduler};
+use higraph_sim::{
+    min_activity, ClockedComponent, DrainStep, InterChipLink, Network, NetworkStats, Packet,
+    Scheduler,
+};
 use higraph_vcpm::VertexProgram;
 
 /// Geometry and timing of the inter-chip fabric.
@@ -184,6 +187,33 @@ impl<P: Copy + 'static> ClockedComponent for MultiChip<P> {
             + self.link.in_flight()
             + self.staged_total() as usize
     }
+
+    /// The composite idles only when every chip and the link idle and no
+    /// staged traffic is waiting (staged packets are offered — and their
+    /// rejections counted — every cycle until the link accepts them).
+    fn next_activity(&self) -> Option<u64> {
+        if self.staged_total() > 0 {
+            return Some(0);
+        }
+        let window = self
+            .chips
+            .iter()
+            .map(ClockedComponent::next_activity)
+            .fold(self.link.next_activity(), min_activity);
+        match window {
+            Some(w) => Some(w),
+            // Defensive, as in `ScatterPipeline::next_activity`.
+            None if !self.is_drained() => Some(0),
+            None => None,
+        }
+    }
+
+    fn skip(&mut self, cycles: u64) {
+        for chip in &mut self.chips {
+            chip.skip(cycles);
+        }
+        self.link.skip(cycles);
+    }
 }
 
 /// A multi-chip accelerator instance bound to a partitioned graph.
@@ -197,6 +227,9 @@ pub struct ShardedEngine<'g> {
     owner: Vec<usize>,
     /// Overrides the workload-derived stall guard when set.
     stall_guard: Option<u64>,
+    /// Event-driven fast-forward of idle lock-step cycles (on by
+    /// default; bit-identical — see `docs/simulation.md`).
+    fast_forward: bool,
 }
 
 impl<'g> ShardedEngine<'g> {
@@ -238,6 +271,7 @@ impl<'g> ShardedEngine<'g> {
             slices,
             owner,
             stall_guard: None,
+            fast_forward: true,
         })
     }
 
@@ -245,6 +279,12 @@ impl<'g> ShardedEngine<'g> {
     /// budget per lock-step drain (`None` restores the derived guard).
     pub fn set_stall_guard(&mut self, guard: Option<u64>) {
         self.stall_guard = guard;
+    }
+
+    /// Enables or disables event-driven fast-forward (on by default;
+    /// bit-identical results either way, like [`crate::Engine`]'s).
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
     }
 
     /// The per-chip accelerator configuration.
@@ -303,7 +343,7 @@ impl<'g> ShardedEngine<'g> {
             ),
             staged: vec![vec![0u64; num_chips]; num_chips],
         };
-        let mut scheduler = Scheduler::new();
+        let mut scheduler = Scheduler::new().with_fast_forward(self.fast_forward);
         let fresh_metrics = || Metrics {
             frequency_ghz,
             vpe_starvation_per_channel: vec![0; m],
@@ -357,7 +397,23 @@ impl<'g> ShardedEngine<'g> {
             }));
             let mut chip_cycles = vec![0u64; num_chips];
             let spent = scheduler
-                .drain(&mut multi, |multi, cycle| {
+                .drain_with(&mut multi, |multi, step| {
+                    let cycle = match step {
+                        DrainStep::Cycle(cycle) => cycle,
+                        DrainStep::Skipped { cycles, .. } => {
+                            // Idle window: no chip stepped, no link
+                            // traffic moved; commit each undrained
+                            // chip's per-cycle accounting (drained chips
+                            // idle without accruing starvation, exactly
+                            // as in the per-cycle branch below).
+                            for (ci, chip) in multi.chips.iter_mut().enumerate() {
+                                if !chip.is_drained() {
+                                    chip.commit_idle(cycles, &mut chips[ci]);
+                                }
+                            }
+                            return;
+                        }
+                    };
                     for (ci, chip) in multi.chips.iter_mut().enumerate() {
                         // A drained chip idles (no starvation accrues)
                         // while slower chips and the link finish.
@@ -591,6 +647,29 @@ mod tests {
                 .sum::<u64>()
         );
         assert!(priced.metrics.scatter_cycles >= free.metrics.scatter_cycles);
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_across_chips_and_memory() {
+        use crate::config::MemoryConfig;
+        let g = power_law(300, 2700, 2.0, 31, 61);
+        let prog = PageRank::new(2);
+        for memory in [None, Some(MemoryConfig::hbm2().with_cache_kb(16))] {
+            let mut cfg = AcceleratorConfig::higraph();
+            cfg.memory = memory;
+            let run = |fast: bool| {
+                let mut engine = ShardedEngine::new(cfg.clone(), ShardConfig::new(4), &g);
+                engine.set_fast_forward(fast);
+                engine.run(&prog).expect("no stall")
+            };
+            let naive = run(false);
+            let fast = run(true);
+            assert_eq!(fast.properties, naive.properties);
+            assert_eq!(fast.metrics, naive.metrics);
+            assert_eq!(fast.chips, naive.chips);
+            assert_eq!(fast.link, naive.link);
+            assert_eq!(fast.cross_chip_packets, naive.cross_chip_packets);
+        }
     }
 
     #[test]

@@ -15,7 +15,9 @@ fn bench_opt_levels(c: &mut Criterion) {
         let cfg = AcceleratorConfig::higraph_with_opts(opts);
         group.bench_with_input(BenchmarkId::from_parameter(opts.label()), &cfg, |b, cfg| {
             b.iter(|| {
-                let m = Algo::Pr.run(black_box(cfg), black_box(&graph), scale.pr_iters);
+                let m = Algo::Pr
+                    .run(black_box(cfg), black_box(&graph), scale.pr_iters)
+                    .expect("well-sized bench configuration");
                 black_box((m.cycles, m.vpe_starvation_cycles))
             })
         });

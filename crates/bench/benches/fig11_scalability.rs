@@ -14,12 +14,26 @@ fn bench_channels(c: &mut Criterion) {
     for channels in [32usize, 64, 128, 256] {
         let cfg = AcceleratorConfig::higraph().scaled_to(channels);
         group.bench_with_input(BenchmarkId::new("HiGraph", channels), &cfg, |b, cfg| {
-            b.iter(|| black_box(Algo::Pr.run(cfg, &graph, scale.pr_iters).cycles))
+            b.iter(|| {
+                black_box(
+                    Algo::Pr
+                        .run(cfg, &graph, scale.pr_iters)
+                        .expect("well-sized bench configuration")
+                        .cycles,
+                )
+            })
         });
         if channels <= 64 {
             let gd = AcceleratorConfig::graphdyns().scaled_to(channels);
             group.bench_with_input(BenchmarkId::new("GraphDynS", channels), &gd, |b, cfg| {
-                b.iter(|| black_box(Algo::Pr.run(cfg, &graph, scale.pr_iters).cycles))
+                b.iter(|| {
+                    black_box(
+                        Algo::Pr
+                            .run(cfg, &graph, scale.pr_iters)
+                            .expect("well-sized bench configuration")
+                            .cycles,
+                    )
+                })
             });
         }
     }

@@ -20,7 +20,14 @@ fn bench_buffers(c: &mut Criterion) {
             cfg.dataflow_network = kind;
             cfg.dataflow_buffer_per_channel = buffer;
             group.bench_with_input(BenchmarkId::new(name, buffer), &cfg, |b, cfg| {
-                b.iter(|| black_box(Algo::Pr.run(cfg, &graph, scale.pr_iters).cycles))
+                b.iter(|| {
+                    black_box(
+                        Algo::Pr
+                            .run(cfg, &graph, scale.pr_iters)
+                            .expect("well-sized bench configuration")
+                            .cycles,
+                    )
+                })
             });
         }
     }

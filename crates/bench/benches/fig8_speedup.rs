@@ -21,7 +21,9 @@ fn bench_designs(c: &mut Criterion) {
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(&cfg.name), &cfg, |b, cfg| {
             b.iter(|| {
-                let m = Algo::Bfs.run(black_box(cfg), black_box(&graph), scale.pr_iters);
+                let m = Algo::Bfs
+                    .run(black_box(cfg), black_box(&graph), scale.pr_iters)
+                    .expect("well-sized bench configuration");
                 black_box(m.cycles)
             })
         });
@@ -37,7 +39,13 @@ fn bench_algorithms(c: &mut Criterion) {
     group.sample_size(10);
     for algo in Algo::ALL {
         group.bench_with_input(BenchmarkId::from_parameter(algo.label()), &algo, |b, a| {
-            b.iter(|| black_box(a.run(&cfg, black_box(&graph), scale.pr_iters).cycles))
+            b.iter(|| {
+                black_box(
+                    a.run(&cfg, black_box(&graph), scale.pr_iters)
+                        .expect("well-sized bench configuration")
+                        .cycles,
+                )
+            })
         });
     }
     group.finish();

@@ -7,20 +7,29 @@
 //! ```
 //!
 //! Targets: `table1 table2 fig4 fig5 fig7 fig8 fig9 fig10a fig10b fig11
-//! fig12 radix areapower ablation batch shard mem all`. Default scale divides
-//! Table 2 datasets by 4 (Figs. 5/10/11/12 and the radix sweep always run
-//! full-scale R14); `--full` uses the paper's exact sizes everywhere.
-//! Every sweep executes through the parallel batch runner, so wall time
-//! scales down with core count.
+//! fig12 radix areapower ablation batch shard shardfull mem simspeed
+//! all`. Default scale divides Table 2 datasets by 4 (Figs. 5/10/11/12
+//! and the radix sweep always run full-scale R14); `--full` uses the
+//! paper's exact sizes everywhere. Every sweep executes through the
+//! parallel batch runner, so wall time scales down with core count.
+//!
+//! `shardfull` runs the six-algorithm sharded sweep (nightly);
+//! `simspeed` measures the host-time speedup of the event-driven
+//! fast-forward scheduler on the memory sweep and, under `--check`,
+//! gates it against a generous 1.5x minimum (host time is noisy; the
+//! real win is larger). A design point that stalls fails its own row —
+//! printed as `STALL` and recorded as a `…stalled` metric — without
+//! aborting the sweep.
 //!
 //! Flags:
 //!
 //! * `--json` — additionally write the machine-readable metrics to
 //!   `bench-report.json` for CI artifacts and offline comparison.
 //!   Recording targets: `table1`, `fig4`, `fig8`/`fig9` (the shared
-//!   sweep records both), `fig11`, `batch`, `shard`, `mem` — per-figure
-//!   cycles, throughput, shard traffic, and memory-hierarchy rates. The
-//!   remaining targets print human-readable output only;
+//!   sweep records both), `fig11`, `batch`, `shard`, `shardfull`,
+//!   `mem`, `simspeed` — per-figure cycles, throughput, shard traffic,
+//!   memory-hierarchy rates, and simulator host speed. The remaining
+//!   targets print human-readable output only;
 //! * `--check <baseline.json>` — compare this run against a flat
 //!   `{"metric.key": number}` baseline and exit non-zero if any baseline
 //!   metric is missing or deviates more than 10%. Baseline keys owned by
@@ -28,6 +37,7 @@
 //!   runs gate only what they measured;
 //! * `--full` — paper-exact dataset sizes.
 
+use higraph::prelude::Metrics;
 use higraph_bench::report::{
     check_against_baseline, filter_baseline_to_targets, parse_flat_json, DEFAULT_TOLERANCE,
 };
@@ -39,7 +49,7 @@ use std::process::ExitCode;
 const REPORT_PATH: &str = "bench-report.json";
 
 /// Every runnable target, plus the `all` alias.
-const KNOWN_TARGETS: [&str; 17] = [
+const KNOWN_TARGETS: [&str; 19] = [
     "table1",
     "table2",
     "fig4",
@@ -56,8 +66,16 @@ const KNOWN_TARGETS: [&str; 17] = [
     "ablation",
     "batch",
     "shard",
+    "shardfull",
     "mem",
+    "simspeed",
 ];
+
+/// Minimum host-time speedup the fast-forward scheduler must deliver on
+/// the memory sweep for the `simspeed --check` gate — deliberately
+/// generous (the measured ratio is much larger) so host-load noise
+/// cannot flake CI.
+const MIN_SIMSPEED_RATIO: f64 = 1.5;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -201,9 +219,18 @@ fn main() -> ExitCode {
         report.ran("shard");
         shard(scale, &mut report);
     }
+    if targets.contains("shardfull") {
+        report.ran("shardfull");
+        shardfull(scale, &mut report);
+    }
     if targets.contains("mem") {
         report.ran("mem");
         mem(scale, &mut report);
+    }
+    let mut simspeed_ratio = None;
+    if targets.contains("simspeed") {
+        report.ran("simspeed");
+        simspeed_ratio = Some(simspeed(scale, &mut report));
     }
 
     if json {
@@ -214,6 +241,22 @@ fn main() -> ExitCode {
         println!("wrote {} metrics to {REPORT_PATH}", report.metrics.len());
     }
     if let Some((baseline_path, baseline)) = baseline {
+        // The simspeed gate is a fixed threshold, not a baseline value:
+        // host-time ratios vary with machine load, so the baseline file
+        // carries no simspeed entries and the gate only demands the
+        // generous minimum.
+        if let Some(ratio) = simspeed_ratio {
+            if ratio < MIN_SIMSPEED_RATIO {
+                eprintln!(
+                    "perf gate FAILED: fast-forward host speedup {ratio:.2}x \
+                     below the {MIN_SIMSPEED_RATIO:.1}x minimum"
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "perf gate: fast-forward host speedup {ratio:.2}x >= {MIN_SIMSPEED_RATIO:.1}x minimum"
+            );
+        }
         let gated = filter_baseline_to_targets(&baseline, &report.targets, &KNOWN_TARGETS);
         let violations = check_against_baseline(&report.metrics, &gated, DEFAULT_TOLERANCE);
         if violations.is_empty() {
@@ -260,41 +303,107 @@ fn batch(scale: Scale, out: &mut Report) {
     );
 }
 
+/// Prints one sharded sweep row and records it under `prefix`; a stalled
+/// cell prints its diagnostic and records a `…stalled` marker instead.
+fn shard_row(r: &figures::ShardSweepRow, prefix: &str, out: &mut Report) {
+    match &r.result {
+        Ok(p) => {
+            println!(
+                "{:<6} {:>5} {:>12} {:>8.1} {:>12.3} {:>13} {:>14} {:>13.1}%",
+                r.algo.label(),
+                r.chips,
+                p.cycles,
+                p.gteps,
+                p.cycles_per_edge,
+                p.max_chip_scatter_cycles,
+                p.cross_chip_packets,
+                100.0 * p.cross_chip_packets as f64 / p.edges.max(1) as f64
+            );
+            out.record(format!("{prefix}.cycles"), p.cycles as f64);
+            out.record(format!("{prefix}.gteps"), p.gteps);
+            out.record(format!("{prefix}.cycles_per_edge"), p.cycles_per_edge);
+            out.record(
+                format!("{prefix}.cross_chip_packets"),
+                p.cross_chip_packets as f64,
+            );
+            out.record(
+                format!("{prefix}.max_chip_scatter_cycles"),
+                p.max_chip_scatter_cycles as f64,
+            );
+        }
+        Err(stall) => {
+            println!("{:<6} {:>5} STALL: {stall}", r.algo.label(), r.chips);
+            out.record(format!("{prefix}.stalled"), 1.0);
+        }
+    }
+}
+
 fn shard(scale: Scale, out: &mut Report) {
     println!("-- Multi-chip sharding: PR on the Twitter stand-in, P = 1/2/4/8 chips --");
     println!(
-        "{:>6} {:>12} {:>8} {:>12} {:>13} {:>14} {:>14}",
-        "chips", "cycles", "GTEPS", "cycles/edge", "compute-max", "x-chip pkts", "pkts/edge"
+        "{:<6} {:>5} {:>12} {:>8} {:>12} {:>13} {:>14} {:>14}",
+        "algo",
+        "chips",
+        "cycles",
+        "GTEPS",
+        "cycles/edge",
+        "compute-max",
+        "x-chip pkts",
+        "pkts/edge"
     );
-    let rows = figures::shard_sweep(scale);
-    for r in &rows {
-        println!(
-            "{:>6} {:>12} {:>8.1} {:>12.3} {:>13} {:>14} {:>13.1}%",
-            r.chips,
-            r.cycles,
-            r.gteps,
-            r.cycles_per_edge,
-            r.max_chip_scatter_cycles,
-            r.cross_chip_packets,
-            100.0 * r.cross_chip_packets as f64 / r.edges.max(1) as f64
-        );
-        let p = format!("shard.p{}", r.chips);
-        out.record(format!("{p}.cycles"), r.cycles as f64);
-        out.record(format!("{p}.gteps"), r.gteps);
-        out.record(format!("{p}.cycles_per_edge"), r.cycles_per_edge);
-        out.record(
-            format!("{p}.cross_chip_packets"),
-            r.cross_chip_packets as f64,
-        );
-        out.record(
-            format!("{p}.max_chip_scatter_cycles"),
-            r.max_chip_scatter_cycles as f64,
-        );
+    for r in figures::shard_sweep(scale) {
+        // legacy key shape (no algo segment): the smoke sweep is PR-only
+        let prefix = format!("shard.p{}", r.chips);
+        shard_row(&r, &prefix, out);
     }
     println!(
         "(P=1 is bit-identical to the serial engine; cross-chip packets are modeled\n\
          through the latency/bandwidth link fabric — see docs/sharding.md)\n"
     );
+}
+
+fn shardfull(scale: Scale, out: &mut Report) {
+    println!("-- Multi-chip sharding, full workload suite: six algorithms, P = 1/4 chips --");
+    println!(
+        "{:<6} {:>5} {:>12} {:>8} {:>12} {:>13} {:>14} {:>14}",
+        "algo",
+        "chips",
+        "cycles",
+        "GTEPS",
+        "cycles/edge",
+        "compute-max",
+        "x-chip pkts",
+        "pkts/edge"
+    );
+    for r in figures::shard_sweep_full(scale) {
+        let prefix = format!("shardfull.{}.p{}", r.algo.label(), r.chips);
+        shard_row(&r, &prefix, out);
+    }
+    println!("(the nightly six-algorithm coverage of the sharded executor)\n");
+}
+
+fn simspeed(scale: Scale, out: &mut Report) -> f64 {
+    println!("-- Simulator speed: event-driven fast-forward vs per-cycle ticking (mem sweep) --");
+    let (rows, speedup) = figures::simspeed(scale);
+    for r in &rows {
+        println!(
+            "{:<13} {:>8.2}s host, {:>11} simulated cycles, {:>12.0} cycles/s",
+            r.mode, r.host_seconds, r.simulated_cycles, r.cycles_per_host_second
+        );
+        let p = format!("simspeed.{}", r.mode);
+        out.record(format!("{p}.host_seconds"), r.host_seconds);
+        out.record(
+            format!("{p}.cycles_per_host_second"),
+            r.cycles_per_host_second,
+        );
+        out.record(format!("{p}.simulated_cycles"), r.simulated_cycles as f64);
+    }
+    out.record("simspeed.speedup", speedup);
+    println!(
+        "fast-forward host speedup: {speedup:.2}x (cycle counts bit-identical; \
+         see docs/simulation.md)\n"
+    );
+    speedup
 }
 
 fn mem(scale: Scale, out: &mut Report) {
@@ -304,23 +413,31 @@ fn mem(scale: Scale, out: &mut Report) {
         "cache", "cycles", "GTEPS", "hit-rate", "misses", "row-hits", "stall-cycles"
     );
     for r in figures::mem_sweep(scale) {
-        println!(
-            "{:>5}KiB {:>12} {:>8.1} {:>9.1}% {:>12} {:>9.1}% {:>13}",
-            r.cache_kb,
-            r.cycles,
-            r.gteps,
-            100.0 * r.cache_hit_rate,
-            r.cache_misses,
-            100.0 * r.dram_row_hit_rate,
-            r.mem_stall_cycles
-        );
         let p = format!("mem.c{}", r.cache_kb);
-        out.record(format!("{p}.cycles"), r.cycles as f64);
-        out.record(format!("{p}.gteps"), r.gteps);
-        out.record(format!("{p}.cache_hit_rate"), r.cache_hit_rate);
-        out.record(format!("{p}.cache_misses"), r.cache_misses as f64);
-        out.record(format!("{p}.dram_row_hit_rate"), r.dram_row_hit_rate);
-        out.record(format!("{p}.mem_stall_cycles"), r.mem_stall_cycles as f64);
+        match &r.result {
+            Ok(m) => {
+                println!(
+                    "{:>5}KiB {:>12} {:>8.1} {:>9.1}% {:>12} {:>9.1}% {:>13}",
+                    r.cache_kb,
+                    m.cycles,
+                    m.gteps,
+                    100.0 * m.cache_hit_rate,
+                    m.cache_misses,
+                    100.0 * m.dram_row_hit_rate,
+                    m.mem_stall_cycles
+                );
+                out.record(format!("{p}.cycles"), m.cycles as f64);
+                out.record(format!("{p}.gteps"), m.gteps);
+                out.record(format!("{p}.cache_hit_rate"), m.cache_hit_rate);
+                out.record(format!("{p}.cache_misses"), m.cache_misses as f64);
+                out.record(format!("{p}.dram_row_hit_rate"), m.dram_row_hit_rate);
+                out.record(format!("{p}.mem_stall_cycles"), m.mem_stall_cycles as f64);
+            }
+            Err(stall) => {
+                println!("{:>5}KiB STALL: {stall}", r.cache_kb);
+                out.record(format!("{p}.stalled"), 1.0);
+            }
+        }
     }
     println!(
         "(default configs model no memory — this sweep enables MemoryConfig::hbm2();\n\
@@ -329,16 +446,28 @@ fn mem(scale: Scale, out: &mut Report) {
     );
 }
 
+/// Formats one sweep cell: the renderer for a successful run, a stall
+/// marker otherwise (the diagnostic was already the cell's result).
+fn cell<T>(r: &Result<T, higraph::prelude::StallDiagnostic>, f: impl Fn(&T) -> String) -> String {
+    match r {
+        Ok(v) => f(v),
+        Err(_) => "STALL".to_string(),
+    }
+}
+
 fn fig5(scale: Scale) {
     println!("-- Fig. 5 design theory: dataflow fabric candidates (PR, RMAT14) --");
     for r in figures::fig5_design_theory(scale) {
         println!(
-            "{:<12} buf {:>3}/ch: {:5.1} GTEPS  rejected {:>9}  HoL-blocked {:>9}",
+            "{:<12} buf {:>3}/ch: {}",
             r.fabric,
             r.buffer,
-            r.metrics.gteps(),
-            r.metrics.dataflow_net.rejected,
-            r.metrics.dataflow_net.hol_blocked
+            cell(&r.metrics, |m| format!(
+                "{:5.1} GTEPS  rejected {:>9}  HoL-blocked {:>9}",
+                m.gteps(),
+                m.dataflow_net.rejected,
+                m.dataflow_net.hol_blocked
+            ))
         );
     }
     println!(
@@ -354,10 +483,13 @@ fn ablation(scale: Scale) {
     println!("-- Ablation: dispatcher read ports (PR, Epinions; 2 = paper's 2W2R) --");
     for r in figures::dispatcher_ablation(scale) {
         println!(
-            "{}R dispatcher: {:5.1} GTEPS over {:>9} cycles",
+            "{}R dispatcher: {}",
             r.read_ports,
-            r.metrics.gteps(),
-            r.metrics.cycles
+            cell(&r.metrics, |m| format!(
+                "{:5.1} GTEPS over {:>9} cycles",
+                m.gteps(),
+                m.cycles
+            ))
         );
     }
     println!();
@@ -416,18 +548,24 @@ fn fig4(out: &mut Report) {
 fn record_overall(out: &mut Report, rows: &[figures::OverallRow]) {
     for r in rows {
         let p = format!("fig9.{}.{}", r.algo.label(), r.dataset.abbrev());
-        out.record(format!("{p}.graphdyns_gteps"), r.graphdyns.gteps());
-        out.record(format!("{p}.higraph_mini_gteps"), r.higraph_mini.gteps());
-        out.record(format!("{p}.higraph_gteps"), r.higraph.gteps());
-        out.record(format!("{p}.higraph_cycles"), r.higraph.cycles as f64);
-        out.record(
-            format!(
-                "fig8.{}.{}.higraph_speedup",
-                r.algo.label(),
-                r.dataset.abbrev()
-            ),
-            r.higraph_speedup(),
-        );
+        let mut design = |key: &str, m: &figures::CellResult, f: &dyn Fn(&Metrics) -> f64| match m {
+            Ok(m) => out.record(format!("{p}.{key}"), f(m)),
+            Err(_) => out.record(format!("{p}.{key}_stalled"), 1.0),
+        };
+        design("graphdyns_gteps", &r.graphdyns, &Metrics::gteps);
+        design("higraph_mini_gteps", &r.higraph_mini, &Metrics::gteps);
+        design("higraph_gteps", &r.higraph, &Metrics::gteps);
+        design("higraph_cycles", &r.higraph, &|m| m.cycles as f64);
+        if let Some(speedup) = r.higraph_speedup() {
+            out.record(
+                format!(
+                    "fig8.{}.{}.higraph_speedup",
+                    r.algo.label(),
+                    r.dataset.abbrev()
+                ),
+                speedup,
+            );
+        }
     }
 }
 
@@ -463,47 +601,62 @@ fn fig7() {
 fn fig8(rows: &[figures::OverallRow]) {
     println!("-- Fig. 8: speedup over GraphDynS --");
     println!(
-        "{:<5} {:<4} {:>14} {:>10}",
+        "{:<6} {:<4} {:>14} {:>10}",
         "algo", "data", "HiGraph-mini", "HiGraph"
     );
+    let fmt = |s: Option<f64>| match s {
+        Some(s) => format!("{s:.2}x"),
+        None => "STALL".to_string(),
+    };
     let (mut sum_mini, mut sum_hi, mut n) = (0.0, 0.0, 0);
     for r in rows {
         println!(
-            "{:<5} {:<4} {:>13.2}x {:>9.2}x",
+            "{:<6} {:<4} {:>14} {:>10}",
             r.algo.label(),
             r.dataset.abbrev(),
-            r.mini_speedup(),
-            r.higraph_speedup()
+            fmt(r.mini_speedup()),
+            fmt(r.higraph_speedup())
         );
-        sum_mini += r.mini_speedup();
-        sum_hi += r.higraph_speedup();
-        n += 1;
+        if let (Some(mini), Some(hi)) = (r.mini_speedup(), r.higraph_speedup()) {
+            sum_mini += mini;
+            sum_hi += hi;
+            n += 1;
+        }
     }
-    println!(
-        "avg: HiGraph-mini {:.2}x, HiGraph {:.2}x (paper: 1.46x / 1.54x; max {:.2}x, paper 2.23x)\n",
-        sum_mini / n as f64,
-        sum_hi / n as f64,
-        rows.iter().map(figures::OverallRow::higraph_speedup).fold(0.0, f64::max)
-    );
+    if n > 0 {
+        println!(
+            "avg: HiGraph-mini {:.2}x, HiGraph {:.2}x (paper, 4-algo suite: 1.46x / 1.54x; \
+             max {:.2}x, paper 2.23x)\n",
+            sum_mini / n as f64,
+            sum_hi / n as f64,
+            rows.iter()
+                .filter_map(figures::OverallRow::higraph_speedup)
+                .fold(0.0, f64::max)
+        );
+    }
 }
 
 fn fig9(rows: &[figures::OverallRow]) {
     println!("-- Fig. 9: throughput (GTEPS, ideal 32) --");
     println!(
-        "{:<5} {:<4} {:>10} {:>13} {:>8}",
+        "{:<6} {:<4} {:>10} {:>13} {:>8}",
         "algo", "data", "GraphDynS", "HiGraph-mini", "HiGraph"
     );
+    let gteps = |m: &figures::CellResult| cell(m, |m| format!("{:.1}", m.gteps()));
     for r in rows {
         println!(
-            "{:<5} {:<4} {:>10.1} {:>13.1} {:>8.1}",
+            "{:<6} {:<4} {:>10} {:>13} {:>8}",
             r.algo.label(),
             r.dataset.abbrev(),
-            r.graphdyns.gteps(),
-            r.higraph_mini.gteps(),
-            r.higraph.gteps()
+            gteps(&r.graphdyns),
+            gteps(&r.higraph_mini),
+            gteps(&r.higraph)
         );
     }
-    let best = rows.iter().map(|r| r.higraph.gteps()).fold(0.0, f64::max);
+    let best = rows
+        .iter()
+        .filter_map(|r| r.higraph.as_ref().ok().map(Metrics::gteps))
+        .fold(0.0, f64::max);
     println!(
         "peak HiGraph: {best:.1} GTEPS = {:.1}% of ideal (paper: 25.0 / 78.1%)\n",
         100.0 * best / 32.0
@@ -522,10 +675,7 @@ fn fig10b(rows: &[figures::AblationRow]) {
     });
 }
 
-fn print_ablation(
-    rows: &[figures::AblationRow],
-    cell: impl Fn(&higraph::prelude::Metrics) -> String,
-) {
+fn print_ablation(rows: &[figures::AblationRow], value: impl Fn(&Metrics) -> String) {
     print!("{:<22}", "");
     for a in Algo::ALL {
         print!(" {:>7}", a.label());
@@ -538,7 +688,7 @@ fn print_ablation(
                 .iter()
                 .find(|r| r.algo == a && r.opts == opts)
                 .expect("complete sweep");
-            print!(" {:>7}", cell(&r.metrics));
+            print!(" {:>7}", cell(&r.metrics, &value));
         }
         println!();
     }
@@ -556,10 +706,14 @@ fn fig11(scale: Scale, out: &mut Report) {
                 .iter()
                 .find(|r| r.design == design && r.channels == ch)
                 .expect("complete sweep");
-            match r.gteps {
-                Some(g) => {
-                    print!(" {g:>8.1}");
-                    out.record(format!("fig11.{design}.ch{ch}.gteps"), g);
+            match &r.result {
+                Some(Ok(m)) => {
+                    print!(" {:>8.1}", m.gteps());
+                    out.record(format!("fig11.{design}.ch{ch}.gteps"), m.gteps());
+                }
+                Some(Err(_)) => {
+                    print!(" {:>8}", "STALL");
+                    out.record(format!("fig11.{design}.ch{ch}.stalled"), 1.0);
                 }
                 None => print!(" {:>8}", "n/a"),
             }
@@ -583,7 +737,7 @@ fn fig12(scale: Scale) {
                 .iter()
                 .find(|r| r.design == design && r.buffer == buf)
                 .expect("complete sweep");
-            print!(" {:>6.1}", r.gteps);
+            print!(" {:>6}", cell(&r.gteps, |g| format!("{g:.1}")));
         }
         println!();
     }
@@ -594,10 +748,10 @@ fn radix(scale: Scale) {
     println!("-- Sec. 5.4: MDP-network radix sweep (PR, RMAT14, 64 channels) --");
     for r in figures::radix_sweep(scale) {
         println!(
-            "radix {:>2}: {:5.2} GHz  {:5.1} GTEPS  {}",
+            "radix {:>2}: {:5.2} GHz  {} GTEPS  {}",
             r.radix,
             r.frequency_ghz,
-            r.gteps,
+            cell(&r.gteps, |g| format!("{g:5.1}")),
             if r.radix == 2 {
                 "<- paper's choice"
             } else {

@@ -8,9 +8,15 @@
 //! figure mapping, and `EXPERIMENTS.md` for recorded paper-vs-measured
 //! results.
 
-use crate::workload::{Algo, Scale};
+use crate::workload::{Algo, Scale, ShardedSummary};
 use higraph::model;
 use higraph::prelude::*;
+use higraph::sim::DramTiming;
+use std::time::Instant;
+
+/// One sweep cell's outcome: metrics, or the stall diagnostic of the
+/// configuration that failed its own cell (the sweep itself continues).
+pub type CellResult = Result<Metrics, StallDiagnostic>;
 
 /// One row of Table 1 (design configurations).
 #[derive(Debug, Clone)]
@@ -124,23 +130,30 @@ pub struct OverallRow {
     pub algo: Algo,
     /// Dataset.
     pub dataset: Dataset,
-    /// GraphDynS metrics.
-    pub graphdyns: Metrics,
+    /// GraphDynS metrics (or its own stall diagnostic).
+    pub graphdyns: CellResult,
     /// HiGraph-mini metrics.
-    pub higraph_mini: Metrics,
+    pub higraph_mini: CellResult,
     /// HiGraph metrics.
-    pub higraph: Metrics,
+    pub higraph: CellResult,
 }
 
 impl OverallRow {
-    /// Fig. 8's HiGraph-mini bar: speedup over GraphDynS.
-    pub fn mini_speedup(&self) -> f64 {
-        self.higraph_mini.speedup_over(&self.graphdyns)
+    /// Fig. 8's HiGraph-mini bar: speedup over GraphDynS (`None` if
+    /// either design stalled on this workload).
+    pub fn mini_speedup(&self) -> Option<f64> {
+        match (&self.higraph_mini, &self.graphdyns) {
+            (Ok(mini), Ok(gd)) => Some(mini.speedup_over(gd)),
+            _ => None,
+        }
     }
 
     /// Fig. 8's HiGraph bar: speedup over GraphDynS.
-    pub fn higraph_speedup(&self) -> f64 {
-        self.higraph.speedup_over(&self.graphdyns)
+    pub fn higraph_speedup(&self) -> Option<f64> {
+        match (&self.higraph, &self.graphdyns) {
+            (Ok(hi), Ok(gd)) => Some(hi.speedup_over(gd)),
+            _ => None,
+        }
     }
 }
 
@@ -175,8 +188,8 @@ pub struct AblationRow {
     /// Optimization step.
     pub opts: OptLevel,
     /// Measured metrics (Fig. 10a reads `gteps()`, Fig. 10b reads
-    /// `vpe_starvation_cycles`).
-    pub metrics: Metrics,
+    /// `vpe_starvation_cycles`), or the cell's own stall diagnostic.
+    pub metrics: CellResult,
 }
 
 /// Fig. 10 (a & b): effect of Opt-O / Opt-E / Opt-D on RMAT14.
@@ -209,9 +222,9 @@ pub struct ScalabilityRow {
     pub design: &'static str,
     /// Channel count.
     pub channels: usize,
-    /// Throughput, `None` where the design is unsupported (GraphDynS
-    /// beyond 64 channels — Fig. 4's frequency wall).
-    pub gteps: Option<f64>,
+    /// The cell's outcome; `None` where the design is unsupported
+    /// (GraphDynS beyond 64 channels — Fig. 4's frequency wall).
+    pub result: Option<CellResult>,
 }
 
 /// Fig. 11: throughput versus number of back-end channels (PR, RMAT14).
@@ -225,29 +238,26 @@ pub fn fig11(scale: Scale) -> Vec<ScalabilityRow> {
     BatchRunner::parallel().execute(&points, |&(design, channels)| {
         // GraphDynS "does not support more than 64 channels due to
         // significant frequency decline" (Sec. 5.3).
-        let gteps = if design == "HiGraph" {
+        let result = if design == "HiGraph" {
             let hi = AcceleratorConfig::higraph().scaled_to(channels);
-            Some(Algo::Pr.run(&hi, &graph, scale.pr_iters).gteps())
+            Some(Algo::Pr.run(&hi, &graph, scale.pr_iters))
         } else if channels <= 64 {
             let gd = AcceleratorConfig::graphdyns().scaled_to(channels);
-            Some(Algo::Pr.run(&gd, &graph, scale.pr_iters).gteps())
+            Some(Algo::Pr.run(&gd, &graph, scale.pr_iters))
         } else {
             None
         };
         ScalabilityRow {
             design,
             channels,
-            gteps,
+            result,
         }
     })
 }
 
-/// One point of the multi-chip scalability sweep (the Fig. 11 harness
-/// extended past a single accelerator).
+/// The measured values of one multi-chip sweep cell.
 #[derive(Debug, Clone)]
-pub struct ShardSweepRow {
-    /// Chip count.
-    pub chips: usize,
+pub struct ShardPoint {
     /// Aggregate critical-path cycles (lock-step scatter + slowest apply).
     pub cycles: u64,
     /// Edge traversals across all chips.
@@ -264,39 +274,77 @@ pub struct ShardSweepRow {
     pub per_chip_cycles: Vec<u64>,
 }
 
-/// Multi-chip scalability: PageRank on the Twitter stand-in across
-/// P ∈ {1, 2, 4, 8} chips with the default board-level link model.
-/// P = 1 is bit-identical to the serial engine (the integration tests
-/// assert this), so the row doubles as the sweep's serial baseline.
-pub fn shard_sweep(scale: Scale) -> Vec<ShardSweepRow> {
-    let graph = scale.build(Dataset::Twitter);
-    BatchRunner::parallel().execute(&[1usize, 2, 4, 8], |&chips| {
-        let mut engine = ShardedEngine::new(
-            AcceleratorConfig::higraph(),
-            ShardConfig::new(chips),
-            &graph,
-        );
-        let r = engine
-            .run(&PageRank::new(scale.pr_iters))
-            .expect("no stall");
-        ShardSweepRow {
-            chips,
+impl From<ShardedSummary> for ShardPoint {
+    fn from(r: ShardedSummary) -> Self {
+        ShardPoint {
             cycles: r.metrics.cycles,
             edges: r.metrics.edges_processed,
             gteps: r.metrics.gteps(),
-            cycles_per_edge: r.cycles_per_edge(),
+            cycles_per_edge: r.cycles_per_edge,
             cross_chip_packets: r.cross_chip_packets,
-            max_chip_scatter_cycles: r.max_chip_scatter_cycles(),
+            max_chip_scatter_cycles: r.max_chip_scatter_cycles,
             per_chip_cycles: r.chips.iter().map(|c| c.cycles).collect(),
         }
+    }
+}
+
+/// One point of the multi-chip scalability sweep (the Fig. 11 harness
+/// extended past a single accelerator).
+#[derive(Debug, Clone)]
+pub struct ShardSweepRow {
+    /// Algorithm.
+    pub algo: Algo,
+    /// Chip count.
+    pub chips: usize,
+    /// The cell's measurements, or its own stall diagnostic.
+    pub result: Result<ShardPoint, StallDiagnostic>,
+}
+
+/// Multi-chip scalability over an arbitrary algorithm set: each
+/// algorithm runs on the Twitter stand-in across the given chip counts
+/// with the default board-level link model. P = 1 is bit-identical to
+/// the serial engine (the integration tests assert this), so that row
+/// doubles as each algorithm's serial baseline. A stalled cell fails
+/// alone — its row carries the diagnostic.
+pub fn shard_sweep_algos(
+    scale: Scale,
+    algos: &[Algo],
+    chip_counts: &[usize],
+) -> Vec<ShardSweepRow> {
+    let graph = scale.build(Dataset::Twitter);
+    let points: Vec<(Algo, usize)> = algos
+        .iter()
+        .flat_map(|&algo| chip_counts.iter().map(move |&chips| (algo, chips)))
+        .collect();
+    BatchRunner::parallel().execute(&points, |&(algo, chips)| ShardSweepRow {
+        algo,
+        chips,
+        result: algo
+            .run_sharded(
+                &AcceleratorConfig::higraph(),
+                ShardConfig::new(chips),
+                &graph,
+                scale.pr_iters,
+            )
+            .map(ShardPoint::from),
     })
 }
 
-/// One point of the off-chip memory sweep (`repro mem`).
+/// The smoke-test shard sweep: PageRank across P ∈ {1, 2, 4, 8}.
+pub fn shard_sweep(scale: Scale) -> Vec<ShardSweepRow> {
+    shard_sweep_algos(scale, &[Algo::Pr], &[1, 2, 4, 8])
+}
+
+/// The full six-algorithm sharded sweep (the nightly `shardfull`
+/// target): every [`Algo`] at the serial-equivalent P = 1 and a
+/// representative multi-chip P = 4.
+pub fn shard_sweep_full(scale: Scale) -> Vec<ShardSweepRow> {
+    shard_sweep_algos(scale, &Algo::ALL, &[1, 4])
+}
+
+/// The measured values of one off-chip memory sweep cell.
 #[derive(Debug, Clone)]
-pub struct MemSweepRow {
-    /// Edge/offset cache capacity in KiB.
-    pub cache_kb: usize,
+pub struct MemPoint {
     /// Total simulated cycles.
     pub cycles: u64,
     /// Modeled throughput.
@@ -309,6 +357,15 @@ pub struct MemSweepRow {
     pub dram_row_hit_rate: f64,
     /// Pipeline cycles stalled on off-chip data, summed over channels.
     pub mem_stall_cycles: u64,
+}
+
+/// One point of the off-chip memory sweep (`repro mem`).
+#[derive(Debug, Clone)]
+pub struct MemSweepRow {
+    /// Edge/offset cache capacity in KiB.
+    pub cache_kb: usize,
+    /// The cell's measurements, or its own stall diagnostic.
+    pub result: Result<MemPoint, StallDiagnostic>,
 }
 
 /// The cache-size axis of [`mem_sweep`], smallest to largest.
@@ -332,17 +389,107 @@ fn mem_sweep_on(graph: &Csr, pr_iters: u32) -> Vec<MemSweepRow> {
         let mut cfg = AcceleratorConfig::higraph();
         cfg.name = format!("HiGraph[mem,c{cache_kb}KB]");
         cfg.memory = Some(MemoryConfig::hbm2().with_cache_kb(cache_kb));
-        let m = Algo::Pr.run(&cfg, graph, pr_iters);
         MemSweepRow {
             cache_kb,
-            cycles: m.cycles,
-            gteps: m.gteps(),
-            cache_hit_rate: m.memory.cache_hit_rate(),
-            cache_misses: m.memory.cache_misses,
-            dram_row_hit_rate: m.memory.row_hit_rate(),
-            mem_stall_cycles: m.memory.stall_cycles,
+            result: Algo::Pr.run(&cfg, graph, pr_iters).map(|m| MemPoint {
+                cycles: m.cycles,
+                gteps: m.gteps(),
+                cache_hit_rate: m.memory.cache_hit_rate(),
+                cache_misses: m.memory.cache_misses,
+                dram_row_hit_rate: m.memory.row_hit_rate(),
+                mem_stall_cycles: m.memory.stall_cycles,
+            }),
         }
     })
+}
+
+/// One leg of the `simspeed` host-performance measurement.
+#[derive(Debug, Clone)]
+pub struct SimSpeedRow {
+    /// "naive" (per-cycle ticking) or "fast-forward".
+    pub mode: &'static str,
+    /// Host wall-clock seconds for the whole memory sweep.
+    pub host_seconds: f64,
+    /// Simulated cycles summed over the sweep (bit-identical across
+    /// modes — the harness asserts it).
+    pub simulated_cycles: u64,
+    /// Simulated cycles per host second — the simulator's speed figure.
+    pub cycles_per_host_second: f64,
+}
+
+/// The memory configuration `simspeed` measures: the `mem` sweep's
+/// cache axis over a single bandwidth-starved memory stack with
+/// DDR-class (10x slower than HBM2) timings. This is the
+/// stall-dominated regime the event-driven scheduler exists for — with
+/// the plentiful-bandwidth [`MemoryConfig::hbm2`] default the deep
+/// range-network buffering keeps some channel trickling almost every
+/// cycle, which cycle-exact fast-forward honestly cannot skip (and does
+/// not: it stays within a few percent of the naive loop there).
+pub fn simspeed_memory(cache_kb: usize) -> MemoryConfig {
+    MemoryConfig {
+        channels: 1,
+        banks_per_channel: 4,
+        queue_depth: 8,
+        timing: DramTiming {
+            t_cas: 140,
+            t_rcd: 140,
+            t_rp: 140,
+        },
+        ..MemoryConfig::hbm2().with_cache_kb(cache_kb)
+    }
+}
+
+/// Host-performance comparison of the event-driven fast-forward
+/// scheduler (`repro simspeed`): runs the `mem` cache-size sweep under
+/// [`simspeed_memory`] — once with per-cycle ticking and once with
+/// fast-forward — and reports simulated cycles per host second for both
+/// plus the host-time speedup. Like Fig. 10's fixed full-scale R14,
+/// the workload is pinned (PR x2 on the /32 Twitter stand-in)
+/// independent of `--full` so the naive leg stays CI-sized. The
+/// simulated cycle counts must be bit-identical; the harness panics
+/// otherwise (that would be a scheduler bug, not a measurement).
+pub fn simspeed(_scale: Scale) -> (Vec<SimSpeedRow>, f64) {
+    simspeed_on(&Dataset::Twitter.build_scaled(32), 2)
+}
+
+/// [`simspeed`] over an arbitrary graph (unit tests run the harness on a
+/// small one — see [`mem_sweep`]'s note on the Twitter stand-in).
+fn simspeed_on(graph: &Csr, pr_iters: u32) -> (Vec<SimSpeedRow>, f64) {
+    let sweep = |fast_forward: bool| {
+        let start = Instant::now();
+        let rows = BatchRunner::parallel().execute(&MEM_SWEEP_CACHE_KB, |&cache_kb| {
+            let mut cfg = AcceleratorConfig::higraph();
+            cfg.name = format!("HiGraph[simspeed,c{cache_kb}KB]");
+            cfg.memory = Some(simspeed_memory(cache_kb));
+            Algo::Pr.run_with(&cfg, graph, pr_iters, fast_forward)
+        });
+        let host_seconds = start.elapsed().as_secs_f64();
+        let simulated_cycles = rows
+            .iter()
+            .map(|r| r.as_ref().map_or(0, |m| m.cycles))
+            .sum::<u64>();
+        (host_seconds, simulated_cycles)
+    };
+    let (naive_s, naive_cycles) = sweep(false);
+    let (fast_s, fast_cycles) = sweep(true);
+    assert_eq!(
+        naive_cycles, fast_cycles,
+        "fast-forward must be cycle-exact"
+    );
+    let row = |mode, host_seconds: f64, simulated_cycles: u64| SimSpeedRow {
+        mode,
+        host_seconds,
+        simulated_cycles,
+        cycles_per_host_second: simulated_cycles as f64 / host_seconds.max(1e-9),
+    };
+    let speedup = naive_s / fast_s.max(1e-9);
+    (
+        vec![
+            row("naive", naive_s, naive_cycles),
+            row("fast-forward", fast_s, fast_cycles),
+        ],
+        speedup,
+    )
 }
 
 /// One point of Fig. 12: a dataflow fabric at a per-channel buffer size.
@@ -352,8 +499,10 @@ pub struct BufferSweepRow {
     pub design: &'static str,
     /// Buffer entries per channel.
     pub buffer: usize,
-    /// PR/RMAT14 throughput.
-    pub gteps: f64,
+    /// PR/RMAT14 throughput, or the cell's own stall diagnostic (tiny
+    /// buffers genuinely deadlock some fabrics — that is a result, not
+    /// a crash).
+    pub gteps: Result<f64, StallDiagnostic>,
 }
 
 /// Fig. 12: throughput versus per-channel FIFO buffer size, MDP-network
@@ -376,11 +525,12 @@ pub fn fig12(scale: Scale) -> Vec<BufferSweepRow> {
         cfg.name = format!("HiGraph[df={design},buf={buffer}]");
         cfg.dataflow_network = kind;
         cfg.dataflow_buffer_per_channel = buffer;
-        let m = Algo::Pr.run(&cfg, &graph, scale.pr_iters);
         BufferSweepRow {
             design,
             buffer,
-            gteps: m.gteps(),
+            gteps: Algo::Pr
+                .run(&cfg, &graph, scale.pr_iters)
+                .map(|m| m.gteps()),
         }
     })
 }
@@ -392,8 +542,8 @@ pub struct RadixRow {
     pub radix: usize,
     /// Achieved clock under the radix-centralization model.
     pub frequency_ghz: f64,
-    /// PR/RMAT14 throughput.
-    pub gteps: f64,
+    /// PR/RMAT14 throughput, or the cell's own stall diagnostic.
+    pub gteps: Result<f64, StallDiagnostic>,
 }
 
 /// Sec. 5.4 design option: MDP-network radix sweep (on a 64-channel
@@ -405,11 +555,13 @@ pub fn radix_sweep(scale: Scale) -> Vec<RadixRow> {
         let mut cfg = AcceleratorConfig::higraph().scaled_to(64);
         cfg.radix = radix;
         cfg.name = format!("HiGraph-64[r{radix}]");
-        let m = Algo::Pr.run(&cfg, &graph, scale.pr_iters);
+        let gteps = Algo::Pr
+            .run(&cfg, &graph, scale.pr_iters)
+            .map(|m| m.gteps());
         RadixRow {
             radix,
             frequency_ghz: cfg.effective_frequency_ghz(),
-            gteps: m.gteps(),
+            gteps,
         }
     })
 }
@@ -421,8 +573,8 @@ pub struct DesignTheoryRow {
     pub fabric: &'static str,
     /// Buffer entries per channel.
     pub buffer: usize,
-    /// PR/RMAT14 metrics.
-    pub metrics: Metrics,
+    /// PR/RMAT14 metrics, or the cell's own stall diagnostic.
+    pub metrics: CellResult,
 }
 
 /// Fig. 5 design theory: the three candidate solutions to the
@@ -466,8 +618,8 @@ pub struct DispatcherAblationRow {
     /// Dispatcher read ports.
     pub read_ports: usize,
     /// PR metrics on the Epinions stand-in (front-end/edge bound, where
-    /// dispatcher bandwidth matters).
-    pub metrics: Metrics,
+    /// dispatcher bandwidth matters), or the cell's stall diagnostic.
+    pub metrics: CellResult,
 }
 
 /// Ablation: dispatcher read ports 1 vs 2 vs 4 on an edge-bound workload.
@@ -631,15 +783,33 @@ mod tests {
             rows.iter().map(|r| r.chips).collect::<Vec<_>>(),
             [1, 2, 4, 8]
         );
+        let points: Vec<&ShardPoint> = rows
+            .iter()
+            .map(|r| r.result.as_ref().expect("well-sized config"))
+            .collect();
         // every chip count traverses the same edges
-        assert!(rows.iter().all(|r| r.edges == rows[0].edges));
+        assert!(points.iter().all(|p| p.edges == points[0].edges));
         // a single chip never crosses the link; partitions do
-        assert_eq!(rows[0].cross_chip_packets, 0);
-        assert!(rows[1..].iter().all(|r| r.cross_chip_packets > 0));
-        for r in &rows {
-            assert_eq!(r.per_chip_cycles.len(), r.chips);
-            assert!(r.cycles_per_edge > 0.0);
-            assert!(r.max_chip_scatter_cycles <= r.cycles);
+        assert_eq!(points[0].cross_chip_packets, 0);
+        assert!(points[1..].iter().all(|p| p.cross_chip_packets > 0));
+        for (r, p) in rows.iter().zip(&points) {
+            assert_eq!(p.per_chip_cycles.len(), r.chips);
+            assert!(p.cycles_per_edge > 0.0);
+            assert!(p.max_chip_scatter_cycles <= p.cycles);
+        }
+    }
+
+    #[test]
+    fn full_shard_sweep_covers_six_algorithms() {
+        let rows = shard_sweep_full(Scale::tiny());
+        assert_eq!(rows.len(), Algo::ALL.len() * 2);
+        for algo in Algo::ALL {
+            let mine: Vec<_> = rows.iter().filter(|r| r.algo == algo).collect();
+            assert_eq!(mine.len(), 2, "{}", algo.label());
+            for r in mine {
+                let p = r.result.as_ref().expect("well-sized config");
+                assert!(p.edges > 0, "{} x{}", algo.label(), r.chips);
+            }
         }
     }
 
@@ -648,27 +818,31 @@ mod tests {
         // the smallest Table 2 dataset: debug builds must finish fast
         let rows = mem_sweep_on(&Scale::tiny().build(Dataset::Vote), 2);
         assert_eq!(rows.len(), MEM_SWEEP_CACHE_KB.len());
-        for pair in rows.windows(2) {
+        let points: Vec<(usize, &MemPoint)> = rows
+            .iter()
+            .map(|r| (r.cache_kb, r.result.as_ref().expect("well-sized config")))
+            .collect();
+        for pair in points.windows(2) {
             assert!(
-                pair[0].cache_hit_rate <= pair[1].cache_hit_rate,
+                pair[0].1.cache_hit_rate <= pair[1].1.cache_hit_rate,
                 "{}KB {} vs {}KB {}",
-                pair[0].cache_kb,
-                pair[0].cache_hit_rate,
-                pair[1].cache_kb,
-                pair[1].cache_hit_rate
+                pair[0].0,
+                pair[0].1.cache_hit_rate,
+                pair[1].0,
+                pair[1].1.cache_hit_rate
             );
             assert!(
-                pair[0].mem_stall_cycles >= pair[1].mem_stall_cycles,
+                pair[0].1.mem_stall_cycles >= pair[1].1.mem_stall_cycles,
                 "{}KB {} vs {}KB {}",
-                pair[0].cache_kb,
-                pair[0].mem_stall_cycles,
-                pair[1].cache_kb,
-                pair[1].mem_stall_cycles
+                pair[0].0,
+                pair[0].1.mem_stall_cycles,
+                pair[1].0,
+                pair[1].1.mem_stall_cycles
             );
         }
-        for r in &rows {
-            assert!(r.cache_hit_rate.is_finite() && r.dram_row_hit_rate.is_finite());
-            assert!(r.cache_misses > 0, "{}KB must still miss cold", r.cache_kb);
+        for (cache_kb, p) in &points {
+            assert!(p.cache_hit_rate.is_finite() && p.dram_row_hit_rate.is_finite());
+            assert!(p.cache_misses > 0, "{cache_kb}KB must still miss cold");
         }
     }
 
@@ -680,5 +854,21 @@ mod tests {
         // small radices hold the 1 GHz target; radix 64 does not
         assert!(small.iter().all(|r| (r.frequency_ghz - 1.0).abs() < 1e-9));
         assert!(large.frequency_ghz < 1.0);
+    }
+
+    #[test]
+    fn simspeed_reports_identical_cycles_for_both_modes() {
+        // a small graph: this is the harness-shape test, not the perf
+        // gate (the repro binary gates the measured ratio in release)
+        let (rows, speedup) = simspeed_on(&Scale::tiny().build(Dataset::Vote), 2);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].mode, "naive");
+        assert_eq!(rows[1].mode, "fast-forward");
+        assert_eq!(rows[0].simulated_cycles, rows[1].simulated_cycles);
+        assert!(rows[0].simulated_cycles > 0);
+        assert!(speedup > 0.0 && speedup.is_finite());
+        for r in &rows {
+            assert!(r.cycles_per_host_second > 0.0);
+        }
     }
 }

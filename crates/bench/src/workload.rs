@@ -1,8 +1,12 @@
 //! Workload plumbing shared by all figure harnesses.
 
 use higraph::prelude::*;
+use higraph::sim::NetworkStats;
 
-/// The four evaluated algorithms (Sec. 5.1).
+/// The evaluated algorithms: the paper's four (Sec. 5.1) plus the two
+/// stress workloads the vertex-program library ships — WCC (full first
+/// frontier that then decays unevenly) and MS-BFS (64 simultaneous
+/// landmark traversals, the densest dataflow traffic in the suite).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algo {
     /// Breadth-First Search.
@@ -13,11 +17,22 @@ pub enum Algo {
     Sswp,
     /// PageRank.
     Pr,
+    /// Weakly Connected Components.
+    Wcc,
+    /// Multi-source BFS (64 landmarks).
+    Msbfs,
 }
 
 impl Algo {
-    /// Figure order used throughout the paper.
-    pub const ALL: [Algo; 4] = [Algo::Bfs, Algo::Sssp, Algo::Sswp, Algo::Pr];
+    /// Figure order: the paper's four first, then the extended workloads.
+    pub const ALL: [Algo; 6] = [
+        Algo::Bfs,
+        Algo::Sssp,
+        Algo::Sswp,
+        Algo::Pr,
+        Algo::Wcc,
+        Algo::Msbfs,
+    ];
 
     /// Figure label.
     pub fn label(self) -> &'static str {
@@ -26,44 +41,143 @@ impl Algo {
             Algo::Sssp => "SSSP",
             Algo::Sswp => "SSWP",
             Algo::Pr => "PR",
+            Algo::Wcc => "WCC",
+            Algo::Msbfs => "MSBFS",
         }
     }
 
-    /// Runs this algorithm on `graph` under `config` and returns metrics.
-    ///
-    /// Traversal sources follow Graph500 practice: the deterministic hub
-    /// vertex, guaranteed to lie in the reachable core. PageRank runs
-    /// `pr_iters` power iterations.
-    pub fn run(self, config: &AcceleratorConfig, graph: &Csr, pr_iters: u32) -> Metrics {
-        let source = higraph::graph::stats::hub_vertex(graph)
+    /// The traversal source for single-source programs: the deterministic
+    /// hub vertex (Graph500 practice), guaranteed to lie in the reachable
+    /// core. An empty graph has no hub; the out-of-range sentinel gives
+    /// those programs an empty initial frontier, so the run reports the
+    /// empty-frontier zero-cycle metrics (the conventions of
+    /// `tests/metrics_finiteness.rs`) instead of traversing from a
+    /// nonexistent vertex 0.
+    fn source(graph: &Csr) -> u32 {
+        higraph::graph::stats::hub_vertex(graph)
             .map(|v| v.0)
-            .unwrap_or(0);
+            .unwrap_or(u32::MAX)
+    }
+
+    /// Up to 64 evenly spaced landmark vertices for MS-BFS. On an empty
+    /// graph the single out-of-range landmark yields an empty frontier,
+    /// matching [`Algo::source`]'s convention.
+    fn msbfs_program(graph: &Csr) -> MultiSourceBfs {
+        let num_v = graph.num_vertices() as usize;
+        let sources: Vec<u32> = if num_v == 0 {
+            vec![u32::MAX]
+        } else {
+            let count = num_v.min(64);
+            let step = (num_v / count).max(1);
+            (0..count).map(|i| (i * step) as u32).collect()
+        };
+        MultiSourceBfs::new(sources).expect("1..=64 landmarks")
+    }
+
+    /// Runs this algorithm on `graph` under `config` and returns metrics.
+    /// PageRank runs `pr_iters` power iterations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`StallDiagnostic`] of a mis-sized configuration, so a
+    /// stalled design point fails its own sweep cell instead of aborting
+    /// the whole sweep.
+    pub fn run(
+        self,
+        config: &AcceleratorConfig,
+        graph: &Csr,
+        pr_iters: u32,
+    ) -> Result<Metrics, StallDiagnostic> {
+        self.run_with(config, graph, pr_iters, true)
+    }
+
+    /// [`Algo::run`] with explicit control over the engine's event-driven
+    /// fast-forward (results are bit-identical either way; the `simspeed`
+    /// repro target measures the host-time difference).
+    pub fn run_with(
+        self,
+        config: &AcceleratorConfig,
+        graph: &Csr,
+        pr_iters: u32,
+        fast_forward: bool,
+    ) -> Result<Metrics, StallDiagnostic> {
+        let source = Algo::source(graph);
         let mut engine = Engine::new(config.clone(), graph);
+        engine.set_fast_forward(fast_forward);
+        let metrics = match self {
+            Algo::Bfs => engine.run(&Bfs::from_source(source))?.metrics,
+            Algo::Sssp => engine.run(&Sssp::from_source(source))?.metrics,
+            Algo::Sswp => engine.run(&Sswp::from_source(source))?.metrics,
+            Algo::Pr => engine.run(&PageRank::new(pr_iters))?.metrics,
+            Algo::Wcc => engine.run(&Wcc::new())?.metrics,
+            Algo::Msbfs => engine.run(&Algo::msbfs_program(graph))?.metrics,
+        };
+        Ok(metrics)
+    }
+
+    /// Runs this algorithm across `shard.num_chips` chips and returns the
+    /// property-erased summary the multi-chip sweeps report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`StallDiagnostic`] of a stalled lock-step drain.
+    pub fn run_sharded(
+        self,
+        config: &AcceleratorConfig,
+        shard: ShardConfig,
+        graph: &Csr,
+        pr_iters: u32,
+    ) -> Result<ShardedSummary, StallDiagnostic> {
+        let mut engine = ShardedEngine::new(config.clone(), shard, graph);
         match self {
-            Algo::Bfs => {
-                engine
-                    .run(&Bfs::from_source(source))
-                    .expect("no stall")
-                    .metrics
-            }
-            Algo::Sssp => {
-                engine
-                    .run(&Sssp::from_source(source))
-                    .expect("no stall")
-                    .metrics
-            }
-            Algo::Sswp => {
-                engine
-                    .run(&Sswp::from_source(source))
-                    .expect("no stall")
-                    .metrics
-            }
-            Algo::Pr => {
-                engine
-                    .run(&PageRank::new(pr_iters))
-                    .expect("no stall")
-                    .metrics
-            }
+            Algo::Bfs => engine
+                .run(&Bfs::from_source(Algo::source(graph)))
+                .map(ShardedSummary::from),
+            Algo::Sssp => engine
+                .run(&Sssp::from_source(Algo::source(graph)))
+                .map(ShardedSummary::from),
+            Algo::Sswp => engine
+                .run(&Sswp::from_source(Algo::source(graph)))
+                .map(ShardedSummary::from),
+            Algo::Pr => engine
+                .run(&PageRank::new(pr_iters))
+                .map(ShardedSummary::from),
+            Algo::Wcc => engine.run(&Wcc::new()).map(ShardedSummary::from),
+            Algo::Msbfs => engine
+                .run(&Algo::msbfs_program(graph))
+                .map(ShardedSummary::from),
+        }
+    }
+}
+
+/// A [`ShardedRunResult`] with the property array erased — what the
+/// sweep harnesses keep per cell, independent of the program's property
+/// type.
+#[derive(Debug, Clone)]
+pub struct ShardedSummary {
+    /// Aggregate critical-path metrics (merged counters).
+    pub metrics: Metrics,
+    /// Per-chip metrics, indexed by chip number.
+    pub chips: Vec<Metrics>,
+    /// Update packets that crossed the inter-chip link.
+    pub cross_chip_packets: u64,
+    /// Link fabric counters.
+    pub link: NetworkStats,
+    /// Compute-only scatter cycles of the slowest chip.
+    pub max_chip_scatter_cycles: u64,
+    /// Aggregate cycles per processed edge.
+    pub cycles_per_edge: f64,
+}
+
+impl<P> From<ShardedRunResult<P>> for ShardedSummary {
+    fn from(r: ShardedRunResult<P>) -> Self {
+        ShardedSummary {
+            max_chip_scatter_cycles: r.max_chip_scatter_cycles(),
+            cycles_per_edge: r.cycles_per_edge(),
+            metrics: r.metrics,
+            chips: r.chips,
+            cross_chip_packets: r.cross_chip_packets,
+            link: r.link,
         }
     }
 }
@@ -115,15 +229,64 @@ mod tests {
     #[test]
     fn algo_labels() {
         let labels: Vec<_> = Algo::ALL.iter().map(|a| a.label()).collect();
-        assert_eq!(labels, ["BFS", "SSSP", "SSWP", "PR"]);
+        assert_eq!(labels, ["BFS", "SSSP", "SSWP", "PR", "WCC", "MSBFS"]);
     }
 
     #[test]
     fn runs_produce_metrics() {
         let s = Scale::tiny();
         let g = s.build(Dataset::Vote);
-        let m = Algo::Bfs.run(&AcceleratorConfig::higraph(), &g, s.pr_iters);
-        assert!(m.cycles > 0);
-        assert!(m.edges_processed > 0);
+        for algo in Algo::ALL {
+            let m = algo
+                .run(&AcceleratorConfig::higraph(), &g, s.pr_iters)
+                .expect("well-sized config");
+            assert!(m.cycles > 0, "{}", algo.label());
+            assert!(m.edges_processed > 0, "{}", algo.label());
+        }
+    }
+
+    #[test]
+    fn empty_graph_reports_empty_frontier_metrics() {
+        let g = EdgeList::new(0).into_csr();
+        for algo in Algo::ALL {
+            let m = algo
+                .run(&AcceleratorConfig::higraph(), &g, 3)
+                .expect("empty graph must not stall");
+            assert_eq!(m.cycles, 0, "{}", algo.label());
+            assert_eq!(m.iterations, 0, "{}", algo.label());
+            assert!(m.gteps().is_finite(), "{}", algo.label());
+        }
+    }
+
+    #[test]
+    fn stalled_configuration_fails_its_own_run() {
+        // Algo::run propagates the diagnostic instead of panicking; the
+        // stall-guard override is the deterministic way to force one.
+        let s = Scale::tiny();
+        let g = s.build(Dataset::Vote);
+        let source = higraph::graph::stats::hub_vertex(&g).expect("non-empty").0;
+        let mut engine = Engine::new(AcceleratorConfig::higraph(), &g);
+        engine.set_stall_guard(Some(1));
+        let err = engine.run(&Bfs::from_source(source)).expect_err("stalls");
+        assert_eq!(err.stall.limit, 1);
+    }
+
+    #[test]
+    fn sharded_summary_matches_serial_run() {
+        let s = Scale::tiny();
+        let g = s.build(Dataset::Vote);
+        let serial = Algo::Wcc
+            .run(&AcceleratorConfig::higraph(), &g, s.pr_iters)
+            .expect("well-sized config");
+        let sharded = Algo::Wcc
+            .run_sharded(
+                &AcceleratorConfig::higraph(),
+                ShardConfig::new(1),
+                &g,
+                s.pr_iters,
+            )
+            .expect("well-sized config");
+        assert_eq!(sharded.metrics, serial, "P=1 is bit-identical to serial");
+        assert_eq!(sharded.cross_chip_packets, 0);
     }
 }

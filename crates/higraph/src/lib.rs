@@ -49,8 +49,8 @@ pub mod prelude {
     };
     pub use higraph_graph::{Csr, Dataset, EdgeList, VertexId};
     pub use higraph_mdp::{MdpNetwork, Topology};
-    pub use higraph_sim::{ClockedComponent, Network, Scheduler};
-    pub use higraph_vcpm::programs::{Bfs, PageRank, Sssp, Sswp};
+    pub use higraph_sim::{ClockedComponent, DrainStep, Network, Scheduler};
+    pub use higraph_vcpm::programs::{Bfs, MultiSourceBfs, PageRank, Sssp, Sswp, Wcc};
     pub use higraph_vcpm::{VertexProgram, INF};
 }
 

@@ -46,6 +46,20 @@ impl<T: Packet> NaiveFifoNetwork<T> {
     pub fn capacity(&self) -> usize {
         self.fifos[0].capacity()
     }
+
+    /// The nW1R network never moves packets at a tick (delivery is the
+    /// same-cycle push), so it is always safely skippable from the
+    /// clock's perspective; acceptance changes only when a consumer pops
+    /// (the owner's concern).
+    pub fn is_wedged(&self) -> bool {
+        true
+    }
+
+    /// Bulk-commits `count` deterministic input rejections (a producer
+    /// retrying a push the capacity rule keeps refusing).
+    pub fn commit_rejected(&mut self, count: u64) {
+        self.stats.rejected += count;
+    }
 }
 
 impl<T: Packet> Network<T> for NaiveFifoNetwork<T> {
@@ -111,6 +125,17 @@ impl<T: Packet> ClockedComponent for NaiveFifoNetwork<T> {
 
     fn network_stats(&self) -> Option<NetworkStats> {
         Some(self.stats)
+    }
+
+    /// Idle ticks only advance the cycle counter and refresh the
+    /// free-space snapshot (a fixpoint when no pushes or pops happen).
+    fn skip(&mut self, cycles: u64) {
+        self.stats.cycles += cycles;
+        if cycles > 0 {
+            for (snap, f) in self.free_snapshot.iter_mut().zip(&self.fifos) {
+                *snap = f.free();
+            }
+        }
     }
 }
 

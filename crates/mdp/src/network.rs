@@ -68,6 +68,40 @@ impl<T: Packet> MdpNetwork<T> {
             .map(|stage| stage.iter().map(Fifo::capacity).sum::<usize>())
             .sum()
     }
+
+    /// Whether the next tick can move nothing: every non-final-stage
+    /// head's target FIFO is full (final-stage packets only leave via
+    /// [`Network::pop`], the owner's concern). A wedged tick is pure
+    /// bookkeeping — the per-head HoL counts it accrues are committed in
+    /// bulk by [`ClockedComponent::skip`]. Vacuously true when empty.
+    pub fn is_wedged(&self) -> bool {
+        let stages = self.topology.num_stages();
+        for s in 0..stages.saturating_sub(1) {
+            for c in 0..self.topology.num_channels() {
+                if let Some(head) = self.fifos[s][c].peek() {
+                    let target = self.topology.next_channel(s + 1, c, head.dest());
+                    if !self.fifos[s + 1][target].is_full() {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Heads a wedged tick counts as HoL-blocked (non-final-stage heads).
+    fn blocked_heads(&self) -> u64 {
+        let stages = self.topology.num_stages();
+        (0..stages.saturating_sub(1))
+            .map(|s| self.fifos[s].iter().filter(|f| !f.is_empty()).count() as u64)
+            .sum()
+    }
+
+    /// Bulk-commits `count` deterministic input rejections (a producer
+    /// retrying a push against a full stage-0 FIFO every cycle).
+    pub fn commit_rejected(&mut self, count: u64) {
+        self.stats.rejected += count;
+    }
 }
 
 impl<T: Packet> Network<T> for MdpNetwork<T> {
@@ -151,6 +185,21 @@ impl<T: Packet> ClockedComponent for MdpNetwork<T> {
 
     fn network_stats(&self) -> Option<NetworkStats> {
         Some(self.stats)
+    }
+
+    // `next_activity` keeps the default: only the owner (who knows the
+    // consumer side) can prove a non-empty fabric inert, via
+    // `MdpNetwork::is_wedged`.
+
+    /// An idle tick over an empty *or wedged* fabric only advances the
+    /// cycle counter and, when wedged, the per-head HoL counts.
+    fn skip(&mut self, cycles: u64) {
+        debug_assert!(
+            cycles == 0 || self.is_wedged(),
+            "skip() on an MDP-network that can still move packets"
+        );
+        self.stats.cycles += cycles;
+        self.stats.hol_blocked += cycles * self.blocked_heads();
     }
 }
 

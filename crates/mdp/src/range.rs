@@ -442,6 +442,16 @@ impl<P: Copy> ClockedComponent for RangeMdpNetwork<P> {
     fn network_stats(&self) -> Option<NetworkStats> {
         Some(*self.stats())
     }
+
+    /// An idle tick over empty stage FIFOs only advances the cycle
+    /// counter.
+    fn skip(&mut self, cycles: u64) {
+        debug_assert!(
+            cycles == 0 || RangeMdpNetwork::in_flight(self) == 0,
+            "skip() on a range network holding ranges"
+        );
+        self.stats.cycles += cycles;
+    }
 }
 
 #[cfg(test)]

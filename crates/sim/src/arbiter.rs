@@ -95,6 +95,15 @@ impl OddEvenArbiter {
     pub fn tick(&mut self) {
         self.odd_has_priority = !self.odd_has_priority;
     }
+
+    /// Advances `cycles` cycles at once (fast-forward): parity flips once
+    /// per cycle, so only its oddness matters.
+    #[inline]
+    pub fn advance(&mut self, cycles: u64) {
+        if cycles % 2 == 1 {
+            self.odd_has_priority = !self.odd_has_priority;
+        }
+    }
 }
 
 #[cfg(test)]

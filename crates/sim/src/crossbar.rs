@@ -70,6 +70,25 @@ impl<T: Packet> CrossbarNetwork<T> {
     pub fn queue_capacity(&self) -> usize {
         self.input_queues[0].capacity()
     }
+
+    /// Whether the next tick can grant nothing: every queue head's
+    /// output register is still occupied (output draining is the
+    /// owner's concern via [`Network::pop`]). The winner's identity
+    /// depends on the rotating priority, but *whether* any grant happens
+    /// does not, so a wedged tick is pure bookkeeping — committed in
+    /// bulk by [`ClockedComponent::skip`]. Vacuously true when empty.
+    pub fn is_wedged(&self) -> bool {
+        self.input_queues
+            .iter()
+            .filter_map(Fifo::peek)
+            .all(|head| self.outputs[head.dest()].is_some())
+    }
+
+    /// Bulk-commits `count` deterministic input rejections (a producer
+    /// retrying a push against a full input queue every cycle).
+    pub fn commit_rejected(&mut self, count: u64) {
+        self.stats.rejected += count;
+    }
 }
 
 impl<T: Packet> Network<T> for CrossbarNetwork<T> {
@@ -162,6 +181,25 @@ impl<T: Packet> ClockedComponent for CrossbarNetwork<T> {
 
     fn network_stats(&self) -> Option<NetworkStats> {
         Some(self.stats)
+    }
+
+    // `next_activity` keeps the default: only the owner (who knows the
+    // consumer side) can prove a non-empty crossbar inert, via
+    // `CrossbarNetwork::is_wedged`.
+
+    /// An idle tick over an empty *or wedged* crossbar only advances the
+    /// cycle counter, the rotating priority, and (when wedged) the
+    /// per-queue HoL counts; commit all three in O(1).
+    fn skip(&mut self, cycles: u64) {
+        debug_assert!(
+            cycles == 0 || self.is_wedged(),
+            "skip() on a crossbar that can still grant"
+        );
+        self.stats.cycles += cycles;
+        let blocked_queues = self.input_queues.iter().filter(|q| !q.is_empty()).count() as u64;
+        self.stats.hol_blocked += cycles * blocked_queues;
+        let n_in = self.input_queues.len();
+        self.priority = (self.priority + (cycles % n_in as u64) as usize) % n_in;
     }
 }
 

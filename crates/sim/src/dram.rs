@@ -221,6 +221,28 @@ impl MemoryChannel {
         self.ready.pop_front()
     }
 
+    /// Whether a rejected request would keep being rejected, identically,
+    /// every cycle: the queue is full and no queued request targets an
+    /// idle bank (so no queue slot frees by issue) until the channel's
+    /// next service completion — which bounds every fast-forward window.
+    /// Producers that retry a rejected fetch each cycle can then
+    /// bulk-commit their per-cycle rejections
+    /// ([`MemoryChannel::commit_rejected`]) instead of being stepped.
+    pub fn retry_stable(&self) -> bool {
+        !self.can_accept()
+            && self
+                .queue
+                .iter()
+                .all(|req| self.banks[req.bank].service.is_some())
+    }
+
+    /// Commits `count` deterministic retry rejections at once (the
+    /// fast-forward twin of `count` failed [`MemoryChannel::try_request`]
+    /// calls under [`MemoryChannel::retry_stable`] conditions).
+    pub fn commit_rejected(&mut self, count: u64) {
+        self.stats.rejected += count;
+    }
+
     /// Cumulative channel statistics.
     pub fn stats(&self) -> &MemoryStats {
         &self.stats
@@ -282,6 +304,49 @@ impl ClockedComponent for MemoryChannel {
             + self.banks.iter().filter(|b| b.service.is_some()).count()
             + self.ready.len()
     }
+
+    /// Cycles until a line can next land in `ready` — the only externally
+    /// observable event a channel produces. Request *issue* is internal
+    /// (it changes no consumer-visible state), so a loaded channel still
+    /// reports a positive window: in-service accesses complete at their
+    /// known `done_at`, and a queued request cannot complete sooner than
+    /// an issue next tick plus the fastest (row-hit) service.
+    fn next_activity(&self) -> Option<u64> {
+        if !self.ready.is_empty() {
+            return Some(0);
+        }
+        let service = self
+            .banks
+            .iter()
+            .filter_map(|b| b.service.map(|s| s.done_at.saturating_sub(self.now + 1)))
+            .min();
+        let queued = if self.queue.is_empty() {
+            None
+        } else {
+            Some(self.timing.hit_cycles())
+        };
+        crate::clock::min_activity(service, queued)
+    }
+
+    /// With work in motion the window's ticks still issue and serve
+    /// accesses, so they run for real (each is O(banks + queue), far
+    /// cheaper than a pipeline step); an empty channel's ticks are pure
+    /// time-keeping, committed in O(1).
+    fn skip(&mut self, cycles: u64) {
+        debug_assert!(
+            self.next_activity().is_none_or(|w| cycles <= w),
+            "skip() overran the channel's activity window"
+        );
+        if self.queue.is_empty() && self.banks.iter().all(|b| b.service.is_none()) {
+            debug_assert!(self.ready.is_empty() || cycles == 0);
+            self.now += cycles;
+            self.stats.cycles += cycles;
+        } else {
+            for _ in 0..cycles {
+                self.tick();
+            }
+        }
+    }
 }
 
 /// A `C`-channel memory system over a flat line address space.
@@ -341,6 +406,21 @@ impl DramSystem {
         self.channels[channel].try_request(line, bank, row)
     }
 
+    /// Whether a rejected fetch of `line` stays rejected every cycle
+    /// until its channel's next completion (see
+    /// [`MemoryChannel::retry_stable`]).
+    pub fn line_retry_stable(&self, line: u64) -> bool {
+        let (channel, _, _) = self.map(line);
+        self.channels[channel].retry_stable()
+    }
+
+    /// Bulk-commits `count` deterministic retry rejections of `line`
+    /// against its owning channel.
+    pub fn commit_rejected(&mut self, line: u64, count: u64) {
+        let (channel, _, _) = self.map(line);
+        self.channels[channel].commit_rejected(count);
+    }
+
     /// Pops one completed line from any channel (round-robin-free:
     /// channels are scanned in index order each call).
     pub fn pop_ready(&mut self) -> Option<u64> {
@@ -366,6 +446,22 @@ impl ClockedComponent for DramSystem {
 
     fn in_flight(&self) -> usize {
         self.channels.iter().map(ClockedComponent::in_flight).sum()
+    }
+
+    fn next_activity(&self) -> Option<u64> {
+        self.channels
+            .iter()
+            .map(ClockedComponent::next_activity)
+            .fold(None, crate::clock::min_activity)
+    }
+
+    /// Every channel's clock advances each cycle, busy or not, so the
+    /// skip is committed to all of them (empty channels have no window
+    /// to overrun).
+    fn skip(&mut self, cycles: u64) {
+        for ch in &mut self.channels {
+            ch.skip(cycles);
+        }
     }
 }
 
@@ -491,6 +587,87 @@ mod tests {
         assert_eq!(stats.row_misses + stats.row_conflicts, 2);
         assert_eq!(stats.row_hits, 30);
         assert!(stats.row_hit_rate() > 0.9);
+    }
+
+    #[test]
+    fn activity_hint_tracks_service_completion() {
+        let t = DramTiming::default();
+        let mut ch = channel(2, 8);
+        assert_eq!(ch.next_activity(), None, "empty channel is quiescent");
+        assert!(ch.try_request(0, 0, 0));
+        // a queued request is internal motion: the earliest observable
+        // completion is an issue next tick plus a row-hit service
+        assert_eq!(ch.next_activity(), Some(t.hit_cycles()));
+        ch.tick(); // issue: service ends after miss_cycles
+        let window = ch.next_activity().expect("service in flight");
+        assert_eq!(window, t.miss_cycles() - 1);
+        // skipping the window and ticking once must land the line —
+        // bit-identical to ticking the whole way
+        ClockedComponent::skip(&mut ch, window);
+        assert_eq!(ch.next_activity(), Some(0));
+        ch.tick();
+        assert_eq!(ch.pop_ready(), Some(0));
+        assert_eq!(ch.stats().cycles, t.miss_cycles() + 1);
+        assert_eq!(ch.stats().completed, 1);
+    }
+
+    #[test]
+    fn loaded_channel_skip_runs_real_ticks() {
+        // skip over a window with queued + in-service work must be
+        // bit-identical to ticking: issues happen inside the window
+        let t = DramTiming::default();
+        let mut a = channel(2, 8);
+        let mut b = channel(2, 8);
+        for ch in [&mut a, &mut b] {
+            ch.try_request(0, 0, 0);
+            ch.try_request(1, 1, 0);
+            ch.tick(); // both issue
+            ch.try_request(2, 0, 0); // queued behind bank 0
+        }
+        let window = a.next_activity().expect("loaded");
+        assert!(window > 0 && window <= t.hit_cycles());
+        ClockedComponent::skip(&mut a, window);
+        for _ in 0..window {
+            b.tick();
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.in_flight(), b.in_flight());
+    }
+
+    #[test]
+    fn fast_forward_drain_is_bit_identical() {
+        let run = |fast: bool| {
+            let mut sys = DramSystem::new(2, 2, 8, 8, DramTiming::default());
+            for line in 0..6u64 {
+                assert!(sys.try_request(line));
+            }
+            let mut got = Vec::new();
+            let mut s = Scheduler::new()
+                .with_stall_guard(10_000)
+                .with_fast_forward(fast);
+            let spent = s
+                .drain(&mut sys, |sys, _| {
+                    while let Some(l) = sys.pop_ready() {
+                        got.push(l);
+                    }
+                })
+                .expect("drains");
+            got.sort_unstable();
+            (spent, got, sys.stats())
+        };
+        let naive = run(false);
+        let fast = run(true);
+        assert_eq!(naive, fast);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "overran the channel's activity window")]
+    fn over_optimistic_skip_is_caught() {
+        let mut ch = channel(1, 4);
+        ch.try_request(0, 0, 0);
+        ch.tick(); // service in flight, window = miss_cycles - 1
+        ClockedComponent::skip(&mut ch, 10_000);
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod probe;
 pub mod stats;
 
 pub use arbiter::{OddEvenArbiter, RoundRobinArbiter};
-pub use clock::{ClockedComponent, Scheduler, StallError};
+pub use clock::{min_activity, ClockedComponent, DrainStep, Scheduler, StallError};
 pub use crossbar::CrossbarNetwork;
 pub use dram::{DramSystem, DramTiming, MemoryChannel, MemoryStats};
 pub use fifo::Fifo;

@@ -114,6 +114,30 @@ impl<T: Packet> ClockedComponent for InterChipLink<T> {
     fn network_stats(&self) -> Option<NetworkStats> {
         Some(self.stats)
     }
+
+    /// Arrived packets are poppable now and queued egress serializes at
+    /// the next tick; otherwise the earliest on-the-wire delivery bounds
+    /// the idle window (`flight` is ordered by delivery time).
+    fn next_activity(&self) -> Option<u64> {
+        if self.ingress.iter().any(|q| !q.is_empty()) {
+            return Some(0);
+        }
+        if self.egress.iter().any(|q| !q.is_empty()) {
+            return Some(0);
+        }
+        self.flight
+            .front()
+            .map(|&(deliver_at, _)| deliver_at.saturating_sub(self.now + 1))
+    }
+
+    fn skip(&mut self, cycles: u64) {
+        debug_assert!(
+            self.next_activity().is_none_or(|w| cycles <= w),
+            "skip() overran the link's activity window"
+        );
+        self.now += cycles;
+        self.stats.cycles += cycles;
+    }
 }
 
 impl<T: Packet> Network<T> for InterChipLink<T> {
@@ -245,6 +269,49 @@ mod tests {
         assert!(spent >= 9, "spent {spent}");
         assert_eq!(link.stats().delivered, 32);
         assert_eq!(link.stats().accepted, 32);
+    }
+
+    #[test]
+    fn activity_hint_tracks_flight_time() {
+        let mut link: InterChipLink<TestPacket> = InterChipLink::new(2, 5, 1, 4);
+        assert_eq!(link.next_activity(), None, "empty link is quiescent");
+        link.push(0, pkt(1, 3)).unwrap();
+        assert_eq!(link.next_activity(), Some(0), "egress serializes next tick");
+        link.tick(); // on the wire: lands 5 cycles later
+        let window = link.next_activity().expect("packet in flight");
+        assert_eq!(window, 4);
+        ClockedComponent::skip(&mut link, window);
+        link.tick();
+        assert_eq!(link.next_activity(), Some(0), "arrived packet is poppable");
+        assert_eq!(link.pop(1), Some(pkt(1, 3)));
+        assert_eq!(link.stats().cycles, 6);
+    }
+
+    #[test]
+    fn fast_forward_drain_is_bit_identical() {
+        let run = |fast: bool| {
+            let mut link: InterChipLink<TestPacket> = InterChipLink::new(3, 9, 1, 8);
+            for src in 0..3usize {
+                for tag in 0..5 {
+                    link.push(src, pkt((src + 1) % 3, tag)).unwrap();
+                }
+            }
+            let mut got = 0usize;
+            let mut s = Scheduler::new()
+                .with_stall_guard(1_000)
+                .with_fast_forward(fast);
+            let spent = s
+                .drain(&mut link, |link, _| {
+                    for out in 0..3 {
+                        while link.pop(out).is_some() {
+                            got += 1;
+                        }
+                    }
+                })
+                .expect("drains");
+            (spent, got, *link.stats())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -10,8 +10,12 @@ fn higraph_outperforms_graphdyns_on_conflict_heavy_workloads() {
     // dataflow conflicts), HiGraph must beat GraphDynS clearly.
     let g = Dataset::Epinions.build_scaled(16);
     for algo in [Algo::Bfs, Algo::Pr] {
-        let hi = algo.run(&AcceleratorConfig::higraph(), &g, 4);
-        let gd = algo.run(&AcceleratorConfig::graphdyns(), &g, 4);
+        let hi = algo
+            .run(&AcceleratorConfig::higraph(), &g, 4)
+            .expect("well-sized config");
+        let gd = algo
+            .run(&AcceleratorConfig::graphdyns(), &g, 4)
+            .expect("well-sized config");
         let speedup = hi.speedup_over(&gd);
         assert!(
             speedup > 1.1,
@@ -24,9 +28,15 @@ fn higraph_outperforms_graphdyns_on_conflict_heavy_workloads() {
 #[test]
 fn higraph_mini_sits_between_baseline_and_full() {
     let g = Dataset::Vote.build_scaled(4);
-    let gd = Algo::Pr.run(&AcceleratorConfig::graphdyns(), &g, 5);
-    let mini = Algo::Pr.run(&AcceleratorConfig::higraph_mini(), &g, 5);
-    let hi = Algo::Pr.run(&AcceleratorConfig::higraph(), &g, 5);
+    let gd = Algo::Pr
+        .run(&AcceleratorConfig::graphdyns(), &g, 5)
+        .expect("well-sized config");
+    let mini = Algo::Pr
+        .run(&AcceleratorConfig::higraph_mini(), &g, 5)
+        .expect("well-sized config");
+    let hi = Algo::Pr
+        .run(&AcceleratorConfig::higraph(), &g, 5)
+        .expect("well-sized config");
     assert!(
         mini.speedup_over(&gd) > 1.05,
         "mini {:.2}",
@@ -43,12 +53,16 @@ fn full_opts_reduce_vpe_starvation() {
     // power-law workload shows the effect clearly (scaled-down RMAT is
     // hot-vertex-capped — see EXPERIMENTS.md's scale notes).
     let g = Dataset::Epinions.build_scaled(8);
-    let base = Algo::Pr.run(
-        &AcceleratorConfig::higraph_with_opts(OptLevel::BASELINE),
-        &g,
-        3,
-    );
-    let full = Algo::Pr.run(&AcceleratorConfig::higraph_with_opts(OptLevel::OED), &g, 3);
+    let base = Algo::Pr
+        .run(
+            &AcceleratorConfig::higraph_with_opts(OptLevel::BASELINE),
+            &g,
+            3,
+        )
+        .expect("well-sized config");
+    let full = Algo::Pr
+        .run(&AcceleratorConfig::higraph_with_opts(OptLevel::OED), &g, 3)
+        .expect("well-sized config");
     let reduction =
         1.0 - full.vpe_starvation_cycles as f64 / base.vpe_starvation_cycles.max(1) as f64;
     assert!(
@@ -66,7 +80,11 @@ fn frontend_opts_do_nothing_for_in_order_pr() {
     let g = Dataset::Rmat14.build_scaled(8);
     let runs: Vec<Metrics> = OptLevel::ALL
         .iter()
-        .map(|&o| Algo::Pr.run(&AcceleratorConfig::higraph_with_opts(o), &g, 3))
+        .map(|&o| {
+            Algo::Pr
+                .run(&AcceleratorConfig::higraph_with_opts(o), &g, 3)
+                .expect("well-sized config")
+        })
         .collect();
     let gteps: Vec<f64> = runs.iter().map(Metrics::gteps).collect();
     assert!((gteps[1] - gteps[0]).abs() / gteps[0] < 0.05, "{gteps:?}");
@@ -83,8 +101,12 @@ fn opt_d_gains_most_on_conflict_heavy_traffic() {
     // low-degree Epinions stand-in is front-end-bound and shows only a
     // marginal Opt-D effect.
     let g = Dataset::Twitter.build_scaled(8);
-    let oe = Algo::Pr.run(&AcceleratorConfig::higraph_with_opts(OptLevel::OE), &g, 3);
-    let oed = Algo::Pr.run(&AcceleratorConfig::higraph_with_opts(OptLevel::OED), &g, 3);
+    let oe = Algo::Pr
+        .run(&AcceleratorConfig::higraph_with_opts(OptLevel::OE), &g, 3)
+        .expect("well-sized config");
+    let oed = Algo::Pr
+        .run(&AcceleratorConfig::higraph_with_opts(OptLevel::OED), &g, 3)
+        .expect("well-sized config");
     assert!(
         oed.gteps() > oe.gteps() * 1.05,
         "Opt-D gain too small: {:.2} -> {:.2}",
@@ -98,8 +120,12 @@ fn scalability_follows_fig11() {
     // HiGraph holds 1 GHz out to 256 channels and throughput grows with
     // channel count; GraphDynS loses its clock past 32 channels.
     let g = Dataset::Rmat14.build_scaled(16);
-    let hi32 = Algo::Pr.run(&AcceleratorConfig::higraph().scaled_to(32), &g, 3);
-    let hi128 = Algo::Pr.run(&AcceleratorConfig::higraph().scaled_to(128), &g, 3);
+    let hi32 = Algo::Pr
+        .run(&AcceleratorConfig::higraph().scaled_to(32), &g, 3)
+        .expect("well-sized config");
+    let hi128 = Algo::Pr
+        .run(&AcceleratorConfig::higraph().scaled_to(128), &g, 3)
+        .expect("well-sized config");
     assert_eq!(hi32.frequency_ghz, 1.0);
     assert_eq!(hi128.frequency_ghz, 1.0);
     assert!(
@@ -122,8 +148,8 @@ fn mdp_beats_fifo_plus_crossbar_at_every_buffer_size() {
         mdp.dataflow_buffer_per_channel = buffer;
         let mut xbar = mdp.clone();
         xbar.dataflow_network = NetworkKind::Crossbar;
-        let m = Algo::Pr.run(&mdp, &g, 4);
-        let x = Algo::Pr.run(&xbar, &g, 4);
+        let m = Algo::Pr.run(&mdp, &g, 4).expect("well-sized config");
+        let x = Algo::Pr.run(&xbar, &g, 4).expect("well-sized config");
         assert!(
             m.gteps() >= x.gteps() * 0.98,
             "buffer {buffer}: MDP {:.2} vs crossbar {:.2}",
@@ -138,8 +164,12 @@ fn pagerank_frontend_in_order_has_few_offset_conflicts() {
     // "the Offset Array and Edge Array are read in order on the PR
     // algorithm, so that no datapath conflict arises in front-end"
     let g = Dataset::Rmat14.build_scaled(16);
-    let pr = Algo::Pr.run(&AcceleratorConfig::higraph(), &g, 3);
-    let bfs = Algo::Bfs.run(&AcceleratorConfig::higraph(), &g, 3);
+    let pr = Algo::Pr
+        .run(&AcceleratorConfig::higraph(), &g, 3)
+        .expect("well-sized config");
+    let bfs = Algo::Bfs
+        .run(&AcceleratorConfig::higraph(), &g, 3)
+        .expect("well-sized config");
     let pr_rate = pr.offset_conflicts as f64 / pr.scatter_cycles.max(1) as f64;
     let bfs_rate = bfs.offset_conflicts as f64 / bfs.scatter_cycles.max(1) as f64;
     assert!(
@@ -158,7 +188,9 @@ fn throughput_never_exceeds_ideal() {
     for ds in [Dataset::Vote, Dataset::Rmat14] {
         let g = scale.build(ds);
         for algo in Algo::ALL {
-            let m = algo.run(&AcceleratorConfig::higraph(), &g, scale.pr_iters);
+            let m = algo
+                .run(&AcceleratorConfig::higraph(), &g, scale.pr_iters)
+                .expect("well-sized config");
             assert!(
                 m.gteps() <= 32.0,
                 "{} {}: {:.1} GTEPS exceeds the 32 GTEPS ideal",
@@ -173,7 +205,9 @@ fn throughput_never_exceeds_ideal() {
 #[test]
 fn metrics_accounting_is_consistent() {
     let g = Dataset::Vote.build_scaled(8);
-    let m = Algo::Sssp.run(&AcceleratorConfig::higraph_mini(), &g, 3);
+    let m = Algo::Sssp
+        .run(&AcceleratorConfig::higraph_mini(), &g, 3)
+        .expect("well-sized config");
     assert_eq!(m.cycles, m.scatter_cycles + m.apply_cycles);
     assert_eq!(m.dataflow_net.delivered, m.edges_processed);
     assert!(m.offset_net.accepted >= 1);
@@ -218,8 +252,8 @@ fn dispatcher_read_ports_never_hurt() {
     one.dispatcher_read_ports = 1;
     let mut two = AcceleratorConfig::higraph_mini();
     two.dispatcher_read_ports = 2;
-    let m1 = Algo::Pr.run(&one, &g, 3);
-    let m2 = Algo::Pr.run(&two, &g, 3);
+    let m1 = Algo::Pr.run(&one, &g, 3).expect("well-sized config");
+    let m2 = Algo::Pr.run(&two, &g, 3).expect("well-sized config");
     assert!(
         m2.cycles <= m1.cycles + m1.cycles / 50,
         "2R {} vs 1R {}",

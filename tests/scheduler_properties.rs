@@ -15,9 +15,19 @@
 //! The tests compose a packet source with the fabric into one
 //! [`ClockedComponent`] — the same pattern the accelerator engine uses
 //! for its scatter pipeline — so `Scheduler::drain` owns the whole loop.
+//!
+//! The second half covers the event-driven fast-forward path
+//! (`docs/simulation.md`): on random graphs, across serial / sliced /
+//! sharded execution with the memory model on and off, the
+//! fast-forward scheduler must drain in exactly the same cycle count
+//! and produce bit-identical [`Metrics`] as the naive per-cycle loop —
+//! and a component advertising an over-optimistic `next_activity`
+//! window must be caught by a debug assertion, not silently corrupt
+//! timing.
 
 use higraph::mdp::{MdpNetwork, Topology};
-use higraph::sim::{ClockedComponent, Network, Packet, Scheduler};
+use higraph::prelude::*;
+use higraph::sim::{ClockedComponent, DramTiming, MemoryChannel, Network, Packet, Scheduler};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -164,6 +174,125 @@ proptest! {
             count as u64
         );
     }
+}
+
+/// The memory configurations the equivalence properties sweep: off
+/// (infinite bandwidth) and a deliberately small, slow model so DRAM
+/// waits, retries, and rejections all occur on tiny graphs.
+fn memory_variants() -> [Option<MemoryConfig>; 2] {
+    [
+        None,
+        Some(MemoryConfig {
+            channels: 2,
+            banks_per_channel: 2,
+            queue_depth: 4,
+            ..MemoryConfig::hbm2().with_cache_kb(4)
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn fast_forward_is_bit_identical_serial_and_sliced(
+        num_v in 48u32..160,
+        edge_factor in 4u32..10,
+        seed in 0u64..1_000,
+        mem_idx in 0usize..2,
+    ) {
+        let g = higraph::graph::gen::erdos_renyi(num_v, u64::from(num_v * edge_factor), 31, seed);
+        let src = higraph::graph::stats::hub_vertex(&g).expect("non-empty").0;
+        let prog = Sssp::from_source(src);
+        let mut cfg = AcceleratorConfig::higraph_mini();
+        cfg.memory = memory_variants()[mem_idx];
+        // serial
+        let run = |fast: bool| {
+            let mut engine = Engine::new(cfg.clone(), &g);
+            engine.set_fast_forward(fast);
+            engine.run(&prog).expect("no stall")
+        };
+        let naive = run(false);
+        let fast = run(true);
+        prop_assert_eq!(&fast.properties, &naive.properties);
+        prop_assert_eq!(&fast.metrics, &naive.metrics);
+        // sliced (the Sec. 5.3 large-graph schedule shares the drains)
+        let run_sliced = |fast: bool| {
+            let mut engine = Engine::new(cfg.clone(), &g);
+            engine.set_fast_forward(fast);
+            engine.run_sliced(&prog, 3, 32).expect("no stall")
+        };
+        let naive = run_sliced(false);
+        let fast = run_sliced(true);
+        prop_assert_eq!(&fast.properties, &naive.properties);
+        prop_assert_eq!(&fast.metrics, &naive.metrics);
+        prop_assert_eq!(fast.swap_cycles_sequential, naive.swap_cycles_sequential);
+        prop_assert_eq!(fast.swap_cycles_overlapped, naive.swap_cycles_overlapped);
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_sharded(
+        num_v in 48u32..140,
+        edge_factor in 4u32..9,
+        seed in 0u64..1_000,
+        chips in 2usize..5,
+        mem_idx in 0usize..2,
+    ) {
+        let g = higraph::graph::gen::erdos_renyi(num_v, u64::from(num_v * edge_factor), 31, seed);
+        let src = higraph::graph::stats::hub_vertex(&g).expect("non-empty").0;
+        let prog = Bfs::from_source(src);
+        let mut cfg = AcceleratorConfig::higraph_mini();
+        cfg.memory = memory_variants()[mem_idx];
+        let run = |fast: bool| {
+            let mut engine = ShardedEngine::new(cfg.clone(), ShardConfig::new(chips), &g);
+            engine.set_fast_forward(fast);
+            engine.run(&prog).expect("no stall")
+        };
+        let naive = run(false);
+        let fast = run(true);
+        prop_assert_eq!(&fast.properties, &naive.properties);
+        prop_assert_eq!(&fast.metrics, &naive.metrics);
+        prop_assert_eq!(&fast.chips, &naive.chips);
+        prop_assert_eq!(&fast.link, &naive.link);
+        prop_assert_eq!(fast.cross_chip_packets, naive.cross_chip_packets);
+    }
+}
+
+/// A wrapper that lies about its activity window: it claims more idle
+/// cycles than the wrapped DRAM channel really has. The channel's own
+/// `skip` debug-asserts the window, so the corruption is caught instead
+/// of silently shifting timing.
+struct OverOptimistic(MemoryChannel);
+
+impl ClockedComponent for OverOptimistic {
+    fn tick(&mut self) {
+        self.0.tick();
+    }
+
+    fn in_flight(&self) -> usize {
+        self.0.in_flight()
+    }
+
+    fn next_activity(&self) -> Option<u64> {
+        self.0.next_activity().map(|w| w + 50)
+    }
+
+    fn skip(&mut self, cycles: u64) {
+        self.0.skip(cycles);
+    }
+}
+
+#[test]
+#[cfg(debug_assertions)]
+#[should_panic(expected = "overran the channel's activity window")]
+fn over_optimistic_next_activity_is_caught_in_debug_builds() {
+    let mut lying = OverOptimistic(MemoryChannel::new(2, 4, DramTiming::default()));
+    lying.0.try_request(0, 0, 0);
+    lying.tick(); // service in flight: the true window is miss_cycles - 1
+    let mut scheduler = Scheduler::new()
+        .with_stall_guard(10_000)
+        .with_fast_forward(true);
+    let _ = scheduler.drain(&mut lying, |ch, _| while ch.0.pop_ready().is_some() {});
 }
 
 #[test]
