@@ -7,7 +7,7 @@
 //! the clock edge comes from its [`ClockedComponent`] implementation,
 //! driven by the shared `higraph_sim::Scheduler`.
 
-use crate::edge_access::EdgeAccess;
+use crate::edge_access::{BankRead, EdgeAccess};
 use crate::metrics::Metrics;
 use crate::netfactory::{AnyNetwork, NetworkFactory};
 use crate::packets::{ImmPacket, PendingEdge};
@@ -26,6 +26,10 @@ pub(crate) struct BackEnd<P> {
     epe_q: Vec<Fifo<PendingEdge<P>>>,
     /// The ePE → vPE dataflow propagation fabric.
     dataflow: AnyNetwork<ImmPacket<P>>,
+    /// Per-bank free-slot scratch for stage 3, reused every cycle.
+    epe_space: Vec<bool>,
+    /// Bank-read staging scratch for stage 3, reused every cycle.
+    bank_reads: Vec<BankRead<P>>,
 }
 
 impl<P: Copy + 'static> BackEnd<P> {
@@ -37,16 +41,25 @@ impl<P: Copy + 'static> BackEnd<P> {
             edge_access: factory.edge_access(),
             epe_q: (0..m).map(|_| Fifo::new(config.staging_capacity)).collect(),
             dataflow: factory.dataflow_fabric(),
+            epe_space: vec![false; m],
+            bank_reads: Vec::new(),
         }
     }
 
     /// The back-end's combinational phase: vPE reduce, ePE process-edge,
     /// and edge-bank reads (stages 1–3, evaluated consumer-first).
+    ///
+    /// `t_props` is the tProperty window this back-end may write —
+    /// global vertex `v` lives at `t_props[v - t_base]`. The serial
+    /// engine passes the whole array with `t_base == 0`; the sharded
+    /// executor passes each chip its owned destination interval, which
+    /// is what lets the chips step concurrently on disjoint storage.
     pub(crate) fn step<Prog: VertexProgram<Prop = P>>(
         &mut self,
         program: &Prog,
         graph: &Csr,
         t_props: &mut [P],
+        t_base: u32,
         metrics: &mut Metrics,
     ) {
         let m = self.epe_q.len();
@@ -56,7 +69,7 @@ impl<P: Copy + 'static> BackEnd<P> {
             match self.dataflow.pop(c) {
                 Some(pkt) => {
                     debug_assert_eq!(pkt.dest, c);
-                    let t = &mut t_props[pkt.v as usize];
+                    let t = &mut t_props[(pkt.v - t_base) as usize];
                     *t = program.reduce(*t, pkt.imm);
                 }
                 None => {
@@ -87,8 +100,12 @@ impl<P: Copy + 'static> BackEnd<P> {
         }
 
         // (3) Edge banks: one read per bank into the ePE queues.
-        let epe_space: Vec<bool> = self.epe_q.iter().map(|q| !q.is_full()).collect();
-        for read in self.edge_access.issue_reads(&epe_space) {
+        for (space, q) in self.epe_space.iter_mut().zip(&self.epe_q) {
+            *space = !q.is_full();
+        }
+        self.edge_access
+            .issue_reads_into(&self.epe_space, &mut self.bank_reads);
+        for read in &self.bank_reads {
             let e = graph.edge(EdgeId(read.edge_index));
             let pushed = self.epe_q[read.bank].push(PendingEdge {
                 dst: e.dst.0,
@@ -138,6 +155,13 @@ impl<P: Copy + 'static> ClockedComponent for BackEnd<P> {
             + self.dataflow.in_flight()
     }
 
+    /// Short-circuiting drain check — evaluated every cycle by the
+    /// scheduler, so it must not pay the full `in_flight` sum while any
+    /// early part still holds work.
+    fn is_drained(&self) -> bool {
+        self.edge_access.is_empty() && self.epe_q.is_drained() && self.dataflow.is_drained()
+    }
+
     // `next_activity` keeps the default: a non-drained back-end always
     // does something at its next step (reads issue, ePEs fire, the
     // fabric moves or counts blocking), so only the drained state skips.
@@ -182,7 +206,7 @@ mod tests {
         let mut scheduler = higraph_sim::Scheduler::new().with_stall_guard(10_000);
         scheduler
             .drain(&mut be, |be, _| {
-                be.step(&prog, &graph, &mut t_props, &mut metrics);
+                be.step(&prog, &graph, &mut t_props, 0, &mut metrics);
             })
             .expect("back-end drains");
         assert_eq!(metrics.edges_processed, u64::from(len));

@@ -185,20 +185,16 @@ impl Modeled {
             Port::Edge => &mut self.edge_q[ch],
             Port::Offset => &mut self.offset_q[ch],
         };
-        let mut q = match slot.take() {
-            Some(q) if q.key == key => {
-                if q.next > q.last {
-                    // already streamed in: the consumer is waiting on
-                    // something else (arbitration, queue space), not us
-                    let slot = match port {
-                        Port::Edge => &mut self.edge_q[ch],
-                        Port::Offset => &mut self.offset_q[ch],
-                    };
-                    *slot = Some(q);
-                    return true;
-                }
-                q
+        if let Some(q) = slot.as_ref() {
+            if q.key == key && q.next > q.last {
+                // already streamed in: the consumer is waiting on
+                // something else (arbitration, queue space), not us —
+                // the hottest re-ask, answered without moving the query
+                return true;
             }
+        }
+        let mut q = match slot.take() {
+            Some(q) if q.key == key => q,
             _ => LineQuery {
                 key,
                 last,

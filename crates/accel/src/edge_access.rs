@@ -39,6 +39,9 @@ pub enum EdgeAccess<P> {
         /// Ranges each dispatcher may pop per cycle (final-stage read
         /// ports; 2 for the paper's 2W2R modules).
         read_ports: usize,
+        /// Per-bank used-this-output scratch, reused every issue call
+        /// (hot path: no per-cycle allocation).
+        used: Vec<bool>,
     },
     /// Direct bank arbitration (baseline).
     Direct {
@@ -50,6 +53,8 @@ pub enum EdgeAccess<P> {
         next: usize,
         /// Aggregate statistics.
         stats: NetworkStats,
+        /// Per-cycle bank-port scratch, reset every issue call.
+        ports: BankPorts,
     },
 }
 
@@ -75,6 +80,7 @@ impl<P: Copy> EdgeAccess<P> {
                 .expect("validated config guarantees bank/channel divisibility"),
             dispatcher: Dispatcher::new(num_banks),
             read_ports: read_ports.max(1),
+            used: vec![false; num_banks],
         }
     }
 
@@ -85,6 +91,7 @@ impl<P: Copy> EdgeAccess<P> {
             num_banks,
             next: 0,
             stats: NetworkStats::new(),
+            ports: BankPorts::new(num_banks),
         }
     }
 
@@ -120,22 +127,34 @@ impl<P: Copy> EdgeAccess<P> {
     /// Issues this cycle's bank reads. `epe_has_space[b]` reports whether
     /// the ePE queue behind bank `b` can take one more edge; every bank
     /// issues at most one read per cycle.
+    ///
+    /// Convenience wrapper over [`EdgeAccess::issue_reads_into`] that
+    /// allocates the result vector; the per-cycle hot path hands in a
+    /// reusable buffer instead.
     pub fn issue_reads(&mut self, epe_has_space: &[bool]) -> Vec<BankRead<P>> {
+        let mut reads = Vec::new();
+        self.issue_reads_into(epe_has_space, &mut reads);
+        reads
+    }
+
+    /// Issues this cycle's bank reads into `reads` (cleared first) —
+    /// the allocation-free twin of [`EdgeAccess::issue_reads`].
+    pub fn issue_reads_into(&mut self, epe_has_space: &[bool], reads: &mut Vec<BankRead<P>>) {
+        reads.clear();
         match self {
             EdgeAccess::Mdp {
                 net,
                 dispatcher,
                 read_ports,
+                used,
             } => {
-                let mut reads = Vec::new();
-                let num_banks = net.num_banks();
                 for o in 0..net.num_channels() {
                     // A dispatcher's banks are private to it, so only the
                     // ePE queues (and intra-group bank ports) gate the
                     // issue. The final stage is a 2W2R module, so up to
                     // `read_ports` ranges per output can issue per cycle
                     // when their bank sets are disjoint.
-                    let mut used = vec![false; num_banks];
+                    used.iter_mut().for_each(|u| *u = false);
                     for _read_port in 0..*read_ports {
                         let Some(range) = net.peek(o) else { break };
                         let ok = dispatcher
@@ -155,16 +174,15 @@ impl<P: Copy> EdgeAccess<P> {
                         }));
                     }
                 }
-                reads
             }
             EdgeAccess::Direct {
                 queues,
                 num_banks,
                 next,
                 stats,
+                ports,
             } => {
-                let mut ports = BankPorts::new(*num_banks);
-                let mut reads = Vec::new();
+                ports.reset();
                 let n = queues.len();
                 for off in 0..n {
                     let ch = (*next + off) % n;
@@ -202,7 +220,6 @@ impl<P: Copy> EdgeAccess<P> {
                     }
                 }
                 *next = (*next + 1) % n;
-                reads
             }
         }
     }

@@ -163,6 +163,12 @@ impl<P: Copy + 'static> ClockedComponent for ScatterPipeline<P> {
         self.front.in_flight() + self.back.in_flight() + self.mem.in_flight()
     }
 
+    /// Short-circuiting drain check — evaluated every cycle by the
+    /// scheduler (and per chip by the sharded drains).
+    fn is_drained(&self) -> bool {
+        self.back.is_drained() && self.front.is_drained() && self.mem.is_drained()
+    }
+
     /// The pipeline is busy while the back-end holds anything (its next
     /// step always acts) or the front-end can move without memory; when
     /// everything held is waiting on DRAM, the memory subsystem's next
@@ -449,7 +455,7 @@ impl<'g> Engine<'g> {
                     // Stages evaluate consumer-first: back-end (1–3),
                     // then front-end (4–6) feeding the back-end's edge
                     // unit.
-                    pipeline.back.step(program, graph, t_props, metrics);
+                    pipeline.back.step(program, graph, t_props, 0, metrics);
                     pipeline.front.step(
                         graph,
                         &mut pipeline.back.edge_access,

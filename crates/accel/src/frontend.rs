@@ -41,6 +41,11 @@ pub(crate) struct FrontEnd<P> {
     /// Whether the offset point uses the MDP-network (odd-even issue) or
     /// the centralized chain.
     mdp_offset: bool,
+    /// Stage-5 issue-order scratch, reused every cycle (hot path: no
+    /// per-cycle allocation).
+    issue_order: Vec<usize>,
+    /// Stage-5 Offset Array bank-port scratch, reset every cycle.
+    offset_banks: BankPorts,
 }
 
 impl<P: Copy + 'static> FrontEnd<P> {
@@ -58,6 +63,8 @@ impl<P: Copy + 'static> FrontEnd<P> {
             odd_even: OddEvenArbiter::new(),
             offset_rr: 0,
             mdp_offset: config.offset_network == crate::config::NetworkKind::Mdp,
+            issue_order: Vec::with_capacity(n),
+            offset_banks: BankPorts::new(n),
         }
     }
 
@@ -109,8 +116,10 @@ impl<P: Copy + 'static> FrontEnd<P> {
             }
         }
 
-        // (5) Offset Array access: claim (u, u+1) bank pairs.
-        let mut offset_banks = BankPorts::new(n);
+        // (5) Offset Array access: claim (u, u+1) bank pairs. Both the
+        // issue order and the bank-port tracker are per-cycle state kept
+        // in reusable scratch buffers owned by the front-end.
+        self.offset_banks.reset();
         let claim = |u: u32, ports: &mut BankPorts| -> bool {
             let b0 = (u as usize) % n;
             let b1 = (u as usize + 1) % n;
@@ -118,13 +127,15 @@ impl<P: Copy + 'static> FrontEnd<P> {
             let r1 = (u64::from(u) + 1) / n as u64;
             ports.try_claim_pair((b0, r0), (b1, r1))
         };
-        let mut issue_order: Vec<usize> = Vec::with_capacity(n);
+        self.issue_order.clear();
         if self.mdp_offset {
             // HiGraph: odd-even alternating priority (Sec. 4.1). Every
             // channel's conflict check is local (its own and its
             // neighbour's banks), so channels issue independently.
-            issue_order.extend((0..n).filter(|&c| self.odd_even.has_priority(c)));
-            issue_order.extend((0..n).filter(|&c| !self.odd_even.has_priority(c)));
+            self.issue_order
+                .extend((0..n).filter(|&c| self.odd_even.has_priority(c)));
+            self.issue_order
+                .extend((0..n).filter(|&c| !self.odd_even.has_priority(c)));
         } else {
             // GraphDynS: the "delicate" centralized arbitration — a
             // rotating priority *chain*. Grants propagate down the chain
@@ -132,10 +143,12 @@ impl<P: Copy + 'static> FrontEnd<P> {
             // granted past a blocked one (skip-over would require full
             // per-bank parallel arbitration, exactly the centralization
             // the paper says caps this design at 4 channels).
-            issue_order.extend((0..n).map(|off| (self.offset_rr + off) % n));
+            self.issue_order
+                .extend((0..n).map(|off| (self.offset_rr + off) % n));
             self.offset_rr = (self.offset_rr + 1) % n;
         }
-        for c in issue_order {
+        for i in 0..n {
+            let c = self.issue_order[i];
             let Some(head) = self.offset_q[c].peek() else {
                 continue;
             };
@@ -150,7 +163,7 @@ impl<P: Copy + 'static> FrontEnd<P> {
                 metrics.memory.stall_cycles += 1;
                 continue;
             }
-            if claim(u, &mut offset_banks) {
+            if claim(u, &mut self.offset_banks) {
                 let pkt = self.offset_q[c].pop().expect("peeked head");
                 let (off, n_off) = graph.offset_pair(VertexId(pkt.u));
                 let loaded = self.replay[c].load(off, n_off, pkt.prop);
@@ -304,6 +317,17 @@ impl<P: Copy + 'static> ClockedComponent for FrontEnd<P> {
             + self.offset_q.in_flight()
             + self.replay.iter().filter(|r| !r.is_idle()).count()
             + self.replay_out.iter().filter(|o| o.is_some()).count()
+    }
+
+    /// Short-circuiting drain check — evaluated every cycle by the
+    /// scheduler, so it must not pay the full `in_flight` sum while any
+    /// early part still holds work.
+    fn is_drained(&self) -> bool {
+        self.av_parts.is_drained()
+            && self.offset_net.is_drained()
+            && self.offset_q.is_drained()
+            && self.replay.iter().all(ReplayEngine::is_idle)
+            && self.replay_out.iter().all(Option::is_none)
     }
 
     // `next_activity` keeps the conservative default; the memory-aware

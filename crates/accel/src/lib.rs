@@ -52,6 +52,7 @@
 mod apply;
 mod backend;
 mod frontend;
+mod parallel;
 
 pub mod cache;
 pub mod config;
@@ -68,5 +69,7 @@ pub use config::{AcceleratorConfig, MemoryConfig, NetworkKind, OptLevel};
 pub use engine::{Engine, RunResult, SlicedRunResult, StallDiagnostic};
 pub use metrics::{MemoryMetrics, Metrics};
 pub use netfactory::{AnyNetwork, NetworkFactory};
-pub use runner::{BatchJob, BatchReport, BatchResult, BatchRunner, RunMode, ShardedTiming};
+pub use runner::{
+    BatchError, BatchJob, BatchReport, BatchResult, BatchRunner, RunMode, ShardedTiming,
+};
 pub use sharded::{ShardConfig, ShardedEngine, ShardedRunResult};

@@ -42,7 +42,57 @@ use crate::sharded::{ShardConfig, ShardedEngine};
 use higraph_graph::Csr;
 use higraph_vcpm::VertexProgram;
 use rayon::prelude::*;
+use std::fmt;
 use std::time::Instant;
+
+/// Why one batch entry failed while the rest of the batch ran on.
+///
+/// Construction-time validation failures (a zero buffer capacity, a
+/// non-power-of-two channel count, a bad memory geometry…) fail the
+/// entry exactly like a runtime stall does, instead of panicking and
+/// aborting the whole sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchError {
+    /// The accelerator or shard configuration failed validation; the
+    /// entry never simulated.
+    Config(String),
+    /// The simulation stalled (deadlock/livelock under backpressure).
+    Stall(StallDiagnostic),
+}
+
+impl BatchError {
+    /// The stall diagnostic, when the entry failed at runtime.
+    pub fn stall(&self) -> Option<&StallDiagnostic> {
+        match self {
+            BatchError::Stall(diagnostic) => Some(diagnostic),
+            BatchError::Config(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::Config(message) => write!(f, "invalid configuration: {message}"),
+            BatchError::Stall(diagnostic) => diagnostic.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BatchError::Config(_) => None,
+            BatchError::Stall(diagnostic) => Some(diagnostic),
+        }
+    }
+}
+
+impl From<StallDiagnostic> for BatchError {
+    fn from(diagnostic: StallDiagnostic) -> Self {
+        BatchError::Stall(diagnostic)
+    }
+}
 
 /// How one batched simulation executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -157,10 +207,10 @@ pub struct BatchResult<P> {
     pub sliced: Option<SlicedTiming>,
     /// Multi-chip detail for [`RunMode::Sharded`] jobs.
     pub sharded: Option<ShardedTiming>,
-    /// The stall diagnostic if this entry's simulation failed. A stalled
-    /// design point fails its own entry; the rest of the batch runs to
-    /// completion.
-    pub error: Option<StallDiagnostic>,
+    /// Why this entry failed, if it did: an invalid configuration or a
+    /// runtime stall. A bad design point fails its own entry; the rest
+    /// of the batch runs to completion.
+    pub error: Option<BatchError>,
 }
 
 impl<P> BatchResult<P> {
@@ -251,11 +301,15 @@ impl BatchRunner {
     /// Executes a typed batch and returns per-job results (in job order)
     /// plus the aggregate report.
     ///
+    /// A job with an invalid configuration fails its own entry with
+    /// [`BatchError::Config`] — sweeps over generated design points
+    /// (buffer sizes down to zero, arbitrary channel geometries) lose
+    /// one cell, not the whole batch.
+    ///
     /// # Panics
     ///
-    /// Panics if a job's configuration is invalid or a sliced job has
-    /// zero slices — batch construction is programmer-controlled, exactly
-    /// like direct [`Engine::new`] use.
+    /// Panics if a sliced job has zero slices — the slice count is
+    /// harness-controlled, not part of the swept design space.
     pub fn run<Prog>(
         &self,
         jobs: Vec<BatchJob<'_, Prog>>,
@@ -322,13 +376,16 @@ impl BatchRunner {
 
 fn run_one<Prog>(job: &BatchJob<'_, Prog>) -> BatchResult<Prog::Prop>
 where
-    Prog: VertexProgram,
+    Prog: VertexProgram + Sync,
+    Prog::Prop: Send,
 {
-    let outcome = match job.mode {
+    let outcome = (|| match job.mode {
         RunMode::Whole => {
-            let mut engine = Engine::new(job.config.clone(), job.graph);
+            let mut engine =
+                Engine::try_new(job.config.clone(), job.graph).map_err(BatchError::Config)?;
             engine.set_stall_guard(job.stall_guard);
-            engine.run(&job.program).map(|r| BatchResult {
+            let r = engine.run(&job.program)?;
+            Ok(BatchResult {
                 label: job.label.clone(),
                 properties: r.properties,
                 metrics: r.metrics,
@@ -341,27 +398,33 @@ where
             num_slices,
             memory_bytes_per_cycle,
         } => {
-            let mut engine = Engine::new(job.config.clone(), job.graph);
+            let mut engine =
+                Engine::try_new(job.config.clone(), job.graph).map_err(BatchError::Config)?;
             engine.set_stall_guard(job.stall_guard);
-            engine
-                .run_sliced(&job.program, num_slices, memory_bytes_per_cycle)
-                .map(|r| BatchResult {
-                    label: job.label.clone(),
-                    properties: r.properties,
-                    metrics: r.metrics,
-                    sliced: Some(SlicedTiming {
-                        num_slices: r.num_slices,
-                        swap_cycles_sequential: r.swap_cycles_sequential,
-                        swap_cycles_overlapped: r.swap_cycles_overlapped,
-                    }),
-                    sharded: None,
-                    error: None,
-                })
+            let r = engine.run_sliced(&job.program, num_slices, memory_bytes_per_cycle)?;
+            Ok(BatchResult {
+                label: job.label.clone(),
+                properties: r.properties,
+                metrics: r.metrics,
+                sliced: Some(SlicedTiming {
+                    num_slices: r.num_slices,
+                    swap_cycles_sequential: r.swap_cycles_sequential,
+                    swap_cycles_overlapped: r.swap_cycles_overlapped,
+                }),
+                sharded: None,
+                error: None,
+            })
         }
         RunMode::Sharded { shard } => {
-            let mut engine = ShardedEngine::new(job.config.clone(), shard, job.graph);
+            let mut engine = ShardedEngine::try_new(job.config.clone(), shard, job.graph)
+                .map_err(BatchError::Config)?;
             engine.set_stall_guard(job.stall_guard);
-            engine.run(&job.program).map(|r| BatchResult {
+            // The batch is already parallel across jobs; intra-run
+            // chip parallelism on top would oversubscribe the host.
+            // Results are bit-identical either way.
+            engine.set_threads(Some(1));
+            let r = engine.run(&job.program)?;
+            Ok(BatchResult {
                 label: job.label.clone(),
                 properties: r.properties,
                 sliced: None,
@@ -374,8 +437,8 @@ where
                 error: None,
             })
         }
-    };
-    outcome.unwrap_or_else(|e| BatchResult {
+    })();
+    outcome.unwrap_or_else(|e: BatchError| BatchResult {
         label: job.label.clone(),
         properties: Vec::new(),
         metrics: Metrics::default(),

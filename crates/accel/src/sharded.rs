@@ -37,11 +37,12 @@ use crate::config::AcceleratorConfig;
 use crate::engine::{derived_stall_guard, finalize_metrics, ScatterPipeline, StallDiagnostic};
 use crate::metrics::Metrics;
 use crate::netfactory::NetworkFactory;
+use crate::parallel::{drain_chips_parallel, exchange_link, ChipLane};
 use higraph_graph::slicing::{partition, total_cut_edges, Slice};
 use higraph_graph::{Csr, VertexId};
 use higraph_sim::{
-    min_activity, ClockedComponent, DrainStep, InterChipLink, Network, NetworkStats, Packet,
-    Scheduler,
+    min_activity, ClockedComponent, DrainStep, InterChipLink, NetworkStats, Packet, Scheduler,
+    StallError,
 };
 use higraph_vcpm::VertexProgram;
 
@@ -230,6 +231,10 @@ pub struct ShardedEngine<'g> {
     /// Event-driven fast-forward of idle lock-step cycles (on by
     /// default; bit-identical — see `docs/simulation.md`).
     fast_forward: bool,
+    /// Host worker threads for the lock-step drain (`None` = one per
+    /// chip up to the host's available parallelism). Results are
+    /// bit-identical for every setting — see `docs/performance.md`.
+    threads: Option<usize>,
 }
 
 impl<'g> ShardedEngine<'g> {
@@ -272,6 +277,7 @@ impl<'g> ShardedEngine<'g> {
             owner,
             stall_guard: None,
             fast_forward: true,
+            threads: None,
         })
     }
 
@@ -285,6 +291,23 @@ impl<'g> ShardedEngine<'g> {
     /// bit-identical results either way, like [`crate::Engine`]'s).
     pub fn set_fast_forward(&mut self, on: bool) {
         self.fast_forward = on;
+    }
+
+    /// Sets the host worker threads that tick the chips during the
+    /// lock-step drain. `None` (the default) uses one worker per chip up
+    /// to the host's available parallelism; `Some(1)` forces the serial
+    /// drain (what batch sweeps use — they already parallelize across
+    /// runs). Cycle counts and every metric are **bit-identical** for
+    /// every setting; only host time changes. See `docs/performance.md`.
+    pub fn set_threads(&mut self, threads: Option<usize>) {
+        self.threads = threads;
+    }
+
+    /// Worker threads the next [`ShardedEngine::run`] will use.
+    pub fn worker_threads(&self) -> usize {
+        self.threads
+            .unwrap_or_else(auto_worker_threads)
+            .clamp(1, self.shard.num_chips)
     }
 
     /// The per-chip accelerator configuration.
@@ -310,19 +333,31 @@ impl<'g> ShardedEngine<'g> {
 
     /// Executes `program` across all chips to completion.
     ///
+    /// With more than one worker thread (see
+    /// [`ShardedEngine::set_threads`]) the chips of each lock-step cycle
+    /// tick concurrently — their slice graphs, metrics, and owned
+    /// tProperty intervals are disjoint — with a barrier before the
+    /// inter-chip exchange, so results stay bit-identical to the serial
+    /// drain.
+    ///
     /// # Errors
     ///
     /// Returns a [`StallDiagnostic`] if the lock-step drain of an
     /// iteration fails to finish within its stall guard (a mis-sized
     /// fabric, link, or memory configuration).
-    pub fn run<Prog: VertexProgram>(
+    pub fn run<Prog>(
         &mut self,
         program: &Prog,
-    ) -> Result<ShardedRunResult<Prog::Prop>, StallDiagnostic> {
+    ) -> Result<ShardedRunResult<Prog::Prop>, StallDiagnostic>
+    where
+        Prog: VertexProgram + Sync,
+        Prog::Prop: Send,
+    {
         let config = self.factory.config();
         let m = config.back_channels;
         let frequency_ghz = config.effective_frequency_ghz();
         let num_chips = self.shard.num_chips;
+        let workers = self.worker_threads();
         let graph = self.graph;
         let num_v = graph.num_vertices();
 
@@ -349,7 +384,7 @@ impl<'g> ShardedEngine<'g> {
             vpe_starvation_per_channel: vec![0; m],
             ..Metrics::default()
         };
-        let mut chips: Vec<Metrics> = (0..num_chips).map(|_| fresh_metrics()).collect();
+        let mut chip_metrics: Vec<Metrics> = (0..num_chips).map(|_| fresh_metrics()).collect();
         let mut agg = fresh_metrics();
         let mut cross_chip_packets = 0u64;
 
@@ -386,7 +421,7 @@ impl<'g> ShardedEngine<'g> {
 
             // One lock-step drain: all chips plus the link, per cycle.
             let iteration_edges: u64 = frontier.iter().map(|&v| graph.out_degree(v)).sum();
-            scheduler.set_stall_guard(self.stall_guard.unwrap_or_else(|| {
+            let guard = self.stall_guard.unwrap_or_else(|| {
                 derived_stall_guard(
                     self.factory.config(),
                     iteration_edges,
@@ -394,74 +429,40 @@ impl<'g> ShardedEngine<'g> {
                     num_chips as u64,
                     staged,
                 ) + self.shard.link_latency
-            }));
+            });
             let mut chip_cycles = vec![0u64; num_chips];
-            let spent = scheduler
-                .drain_with(&mut multi, |multi, step| {
-                    let cycle = match step {
-                        DrainStep::Cycle(cycle) => cycle,
-                        DrainStep::Skipped { cycles, .. } => {
-                            // Idle window: no chip stepped, no link
-                            // traffic moved; commit each undrained
-                            // chip's per-cycle accounting (drained chips
-                            // idle without accruing starvation, exactly
-                            // as in the per-cycle branch below).
-                            for (ci, chip) in multi.chips.iter_mut().enumerate() {
-                                if !chip.is_drained() {
-                                    chip.commit_idle(cycles, &mut chips[ci]);
-                                }
-                            }
-                            return;
-                        }
-                    };
-                    for (ci, chip) in multi.chips.iter_mut().enumerate() {
-                        // A drained chip idles (no starvation accrues)
-                        // while slower chips and the link finish.
-                        if chip.is_drained() {
-                            continue;
-                        }
-                        chip_cycles[ci] = cycle + 1;
-                        let slice_graph = &self.slices[ci].graph;
-                        chip.back
-                            .step(program, slice_graph, &mut t_props, &mut chips[ci]);
-                        chip.front.step(
-                            slice_graph,
-                            &mut chip.back.edge_access,
-                            &mut chip.mem,
-                            &mut chips[ci],
-                        );
-                    }
-                    // Chips sink whatever updates arrived this cycle…
-                    for ci in 0..multi.staged.len() {
-                        while multi.link.pop(ci).is_some() {}
-                    }
-                    // …and offer staged updates (synthesized from the
-                    // counts) until the link back-pressures.
-                    for src_chip in 0..multi.staged.len() {
-                        // a full egress queue blocks every destination of
-                        // this source chip alike — move to the next chip
-                        'dsts: for dst_chip in 0..multi.staged[src_chip].len() {
-                            while multi.staged[src_chip][dst_chip] > 0 {
-                                let pkt = ShardPacket { src_chip, dst_chip };
-                                match multi.link.push(src_chip, pkt) {
-                                    Ok(()) => multi.staged[src_chip][dst_chip] -= 1,
-                                    Err(_) => break 'dsts,
-                                }
-                            }
-                        }
-                    }
-                })
-                .map_err(|stall| StallDiagnostic {
-                    config: self.factory.config().name.clone(),
-                    num_chips,
-                    iteration: agg.iterations,
-                    iteration_edges,
-                    staged_packets: staged,
-                    stall,
-                })?;
+            let drained = if workers > 1 {
+                self.drain_parallel(
+                    program,
+                    &mut multi,
+                    &mut t_props,
+                    &mut chip_metrics,
+                    &mut chip_cycles,
+                    workers,
+                    guard,
+                )
+            } else {
+                scheduler.set_stall_guard(guard);
+                self.drain_serial(
+                    program,
+                    &mut multi,
+                    &mut t_props,
+                    &mut chip_metrics,
+                    &mut chip_cycles,
+                    &mut scheduler,
+                )
+            };
+            let spent = drained.map_err(|stall| StallDiagnostic {
+                config: self.factory.config().name.clone(),
+                num_chips,
+                iteration: agg.iterations,
+                iteration_edges,
+                staged_packets: staged,
+                stall,
+            })?;
             agg.scatter_cycles += spent;
             for (ci, cycles) in chip_cycles.iter().enumerate() {
-                chips[ci].scatter_cycles += *cycles;
+                chip_metrics[ci].scatter_cycles += *cycles;
             }
 
             // Apply: functionally global (bit-identity), cycle-wise each
@@ -471,8 +472,8 @@ impl<'g> ShardedEngine<'g> {
             let mut max_apply = 0u64;
             for (ci, slice) in self.slices.iter().enumerate() {
                 let a = apply_cycles(slice.num_owned(), m);
-                chips[ci].apply_cycles += a;
-                chips[ci].iterations += 1;
+                chip_metrics[ci].apply_cycles += a;
+                chip_metrics[ci].iterations += 1;
                 max_apply = max_apply.max(a);
             }
             agg.apply_cycles += max_apply;
@@ -480,9 +481,9 @@ impl<'g> ShardedEngine<'g> {
         }
 
         for (ci, chip) in multi.chips.iter().enumerate() {
-            finalize_metrics(&mut chips[ci], chip);
+            finalize_metrics(&mut chip_metrics[ci], chip);
         }
-        for chip in &chips {
+        for chip in &chip_metrics {
             agg.edges_processed += chip.edges_processed;
             agg.vpe_starvation_cycles += chip.vpe_starvation_cycles;
             for (c, s) in chip.vpe_starvation_per_channel.iter().enumerate() {
@@ -499,11 +500,169 @@ impl<'g> ShardedEngine<'g> {
         Ok(ShardedRunResult {
             properties,
             metrics: agg,
-            chips,
+            chips: chip_metrics,
             cross_chip_packets,
             link,
         })
     }
+
+    /// The serial lock-step drain: the whole [`MultiChip`] composite is
+    /// driven by the shared [`Scheduler`] on this thread.
+    ///
+    /// # Errors
+    ///
+    /// The scheduler's [`StallError`] when the composite fails to drain
+    /// within the guard.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_serial<Prog: VertexProgram>(
+        &self,
+        program: &Prog,
+        multi: &mut MultiChip<Prog::Prop>,
+        t_props: &mut [Prog::Prop],
+        chip_metrics: &mut [Metrics],
+        chip_cycles: &mut [u64],
+        scheduler: &mut Scheduler,
+    ) -> Result<u64, StallError> {
+        let mut t_slices = split_owned_intervals(t_props, &self.slices);
+        scheduler.drain_with(multi, |multi, step| {
+            let cycle = match step {
+                DrainStep::Cycle(cycle) => cycle,
+                DrainStep::Skipped { cycles, .. } => {
+                    // Idle window: no chip stepped, no link
+                    // traffic moved; commit each undrained
+                    // chip's per-cycle accounting (drained chips
+                    // idle without accruing starvation, exactly
+                    // as in the per-cycle branch below).
+                    for (ci, chip) in multi.chips.iter_mut().enumerate() {
+                        if !chip.is_drained() {
+                            chip.commit_idle(cycles, &mut chip_metrics[ci]);
+                        }
+                    }
+                    return;
+                }
+            };
+            for (ci, chip) in multi.chips.iter_mut().enumerate() {
+                // A drained chip idles (no starvation accrues)
+                // while slower chips and the link finish.
+                if chip.is_drained() {
+                    continue;
+                }
+                chip_cycles[ci] = cycle + 1;
+                let slice_graph = &self.slices[ci].graph;
+                let (t_slice, t_base) = &mut t_slices[ci];
+                chip.back.step(
+                    program,
+                    slice_graph,
+                    t_slice,
+                    *t_base,
+                    &mut chip_metrics[ci],
+                );
+                chip.front.step(
+                    slice_graph,
+                    &mut chip.back.edge_access,
+                    &mut chip.mem,
+                    &mut chip_metrics[ci],
+                );
+            }
+            // The inter-chip exchange — one definition shared with the
+            // parallel drain, so the two paths cannot diverge.
+            exchange_link(&mut multi.link, &mut multi.staged);
+        })
+    }
+
+    /// The parallel lock-step drain: chips tick on worker threads, the
+    /// link exchange and fast-forward control stay here, with a barrier
+    /// either side of each cycle ([`crate::parallel`]). Bit-identical to
+    /// [`ShardedEngine::drain_serial`].
+    ///
+    /// # Errors
+    ///
+    /// [`StallError`] when the composite fails to drain within the
+    /// guard, exactly as the serial drain reports it.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_parallel<Prog>(
+        &self,
+        program: &Prog,
+        multi: &mut MultiChip<Prog::Prop>,
+        t_props: &mut [Prog::Prop],
+        chip_metrics: &mut [Metrics],
+        chip_cycles: &mut [u64],
+        workers: usize,
+        guard: u64,
+    ) -> Result<u64, StallError>
+    where
+        Prog: VertexProgram + Sync,
+        Prog::Prop: Send,
+    {
+        let MultiChip {
+            chips,
+            link,
+            staged,
+        } = multi;
+        let t_slices = split_owned_intervals(t_props, &self.slices);
+        let lanes: Vec<ChipLane<'_, Prog::Prop>> = self
+            .slices
+            .iter()
+            .zip(chips.iter_mut())
+            .zip(chip_metrics.iter_mut())
+            .zip(t_slices)
+            .map(|(((slice, chip), metrics), (t_slice, t_base))| ChipLane {
+                index: slice.index,
+                chip,
+                metrics,
+                t_props: t_slice,
+                t_base,
+                graph: &slice.graph,
+            })
+            .collect();
+        let outcome = drain_chips_parallel(
+            lanes,
+            link,
+            staged,
+            workers,
+            self.fast_forward,
+            guard,
+            program,
+        )?;
+        chip_cycles.copy_from_slice(&outcome.chip_cycles);
+        Ok(outcome.spent)
+    }
+}
+
+/// The automatic worker-thread policy behind
+/// [`ShardedEngine::set_threads`]`(None)`: the host's available
+/// parallelism (callers cap it at the chip count). One definition so
+/// harnesses reporting a worker count cannot diverge from what a run
+/// actually used.
+pub fn auto_worker_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Splits the global tProperty array into the per-chip owned intervals
+/// of `slices` (destination-interval partitions are contiguous, in
+/// order, and covering), returning each chip's window plus its base
+/// vertex id. Disjointness is what lets chips step concurrently.
+fn split_owned_intervals<'t, P>(t_props: &'t mut [P], slices: &[Slice]) -> Vec<(&'t mut [P], u32)> {
+    let mut out = Vec::with_capacity(slices.len());
+    let mut remaining = t_props;
+    let mut consumed = 0u32;
+    for slice in slices {
+        debug_assert_eq!(
+            slice.dst_start, consumed,
+            "slices must be contiguous and in order"
+        );
+        let (mine, rest) = remaining.split_at_mut((slice.dst_end - slice.dst_start) as usize);
+        out.push((mine, slice.dst_start));
+        remaining = rest;
+        consumed = slice.dst_end;
+    }
+    debug_assert!(
+        remaining.is_empty(),
+        "slices must cover the whole vertex range"
+    );
+    out
 }
 
 #[cfg(test)]

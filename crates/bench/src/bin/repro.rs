@@ -8,18 +8,23 @@
 //!
 //! Targets: `table1 table2 fig4 fig5 fig7 fig8 fig9 fig10a fig10b fig11
 //! fig12 radix areapower ablation batch shard shardfull mem simspeed
-//! all`. Default scale divides Table 2 datasets by 4 (Figs. 5/10/11/12
-//! and the radix sweep always run full-scale R14); `--full` uses the
-//! paper's exact sizes everywhere. Every sweep executes through the
-//! parallel batch runner, so wall time scales down with core count.
+//! hostperf all`. Default scale divides Table 2 datasets by 4
+//! (Figs. 5/10/11/12 and the radix sweep always run full-scale R14);
+//! `--full` uses the paper's exact sizes everywhere. Every sweep
+//! executes through the parallel batch runner, so wall time scales down
+//! with core count.
 //!
 //! `shardfull` runs the six-algorithm sharded sweep (nightly);
 //! `simspeed` measures the host-time speedup of the event-driven
 //! fast-forward scheduler on the memory sweep and, under `--check`,
 //! gates it against a generous 1.5x minimum (host time is noisy; the
-//! real win is larger). A design point that stalls fails its own row —
-//! printed as `STALL` and recorded as a `…stalled` metric — without
-//! aborting the sweep.
+//! real win is larger); `hostperf` records absolute simulated cycles
+//! per host second on two fixed workloads (the P=4 `shardfull` suite
+//! with intra-run chip parallelism, and the bandwidth-starved memory
+//! sweep) — informational only, never gated, so future PRs have a
+//! host-performance trajectory. A design point that stalls fails its
+//! own row — printed as `STALL` and recorded as a `…stalled` metric —
+//! without aborting the sweep.
 //!
 //! Flags:
 //!
@@ -49,7 +54,7 @@ use std::process::ExitCode;
 const REPORT_PATH: &str = "bench-report.json";
 
 /// Every runnable target, plus the `all` alias.
-const KNOWN_TARGETS: [&str; 19] = [
+const KNOWN_TARGETS: [&str; 20] = [
     "table1",
     "table2",
     "fig4",
@@ -69,6 +74,7 @@ const KNOWN_TARGETS: [&str; 19] = [
     "shardfull",
     "mem",
     "simspeed",
+    "hostperf",
 ];
 
 /// Minimum host-time speedup the fast-forward scheduler must deliver on
@@ -231,6 +237,10 @@ fn main() -> ExitCode {
     if targets.contains("simspeed") {
         report.ran("simspeed");
         simspeed_ratio = Some(simspeed(scale, &mut report));
+    }
+    if targets.contains("hostperf") {
+        report.ran("hostperf");
+        hostperf(scale, &mut report);
     }
 
     if json {
@@ -404,6 +414,40 @@ fn simspeed(scale: Scale, out: &mut Report) -> f64 {
          see docs/simulation.md)\n"
     );
     speedup
+}
+
+fn hostperf(scale: Scale, out: &mut Report) {
+    println!("-- Host performance: simulated cycles per host second (informational) --");
+    for r in figures::hostperf(scale) {
+        println!(
+            "{:<13} {:>8.2}s host, {:>13} simulated cycles, {:>12.0} cycles/s, {} worker(s){}",
+            r.name,
+            r.host_seconds,
+            r.simulated_cycles,
+            r.cycles_per_host_second,
+            r.workers,
+            if r.stalled > 0 {
+                format!(", {} STALLED", r.stalled)
+            } else {
+                String::new()
+            }
+        );
+        let p = format!("hostperf.{}", r.name);
+        out.record(format!("{p}.host_seconds"), r.host_seconds);
+        out.record(
+            format!("{p}.cycles_per_host_second"),
+            r.cycles_per_host_second,
+        );
+        out.record(format!("{p}.simulated_cycles"), r.simulated_cycles as f64);
+        out.record(format!("{p}.workers"), r.workers as f64);
+        if r.stalled > 0 {
+            out.record(format!("{p}.stalled"), r.stalled as f64);
+        }
+    }
+    println!(
+        "(absolute host speed is machine-dependent — recorded for the trajectory,\n\
+         never gated; cycle counts are deterministic. See docs/performance.md)\n"
+    );
 }
 
 fn mem(scale: Scale, out: &mut Report) {

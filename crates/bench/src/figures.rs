@@ -492,6 +492,113 @@ fn simspeed_on(graph: &Csr, pr_iters: u32) -> (Vec<SimSpeedRow>, f64) {
     )
 }
 
+/// One leg of the `repro hostperf` host-throughput measurement.
+#[derive(Debug, Clone)]
+pub struct HostPerfRow {
+    /// Which leg: `shardfull_p4` (intra-run-parallel multi-chip suite)
+    /// or `memstarved` (bandwidth-starved single-chip sweep).
+    pub name: &'static str,
+    /// Host wall-clock seconds for the leg.
+    pub host_seconds: f64,
+    /// Simulated cycles the leg produced (deterministic; only the host
+    /// time varies run to run).
+    pub simulated_cycles: u64,
+    /// Simulated cycles per host second — the simulator's speed figure.
+    pub cycles_per_host_second: f64,
+    /// Intra-run worker threads the leg used per simulation.
+    pub workers: usize,
+    /// Runs in this leg that stalled (their cycles are missing from the
+    /// total while their host time still accrued — recorded so a
+    /// regression cannot silently corrupt the trajectory).
+    pub stalled: usize,
+}
+
+/// Host-performance trajectory (`repro hostperf`): absolute simulated
+/// cycles per host second on two fixed workloads, recorded so future
+/// PRs can see the trend. Informational — never gated (host speed is
+/// machine-dependent), unlike `simspeed`'s fast-forward ratio.
+///
+/// * `shardfull_p4` — the six-algorithm sharded suite at P = 4, one run
+///   at a time with intra-run chip parallelism enabled
+///   ([`crate::Algo::run_sharded_threads`] with `threads = None`): the
+///   single-run-latency view of the multi-chip executor.
+/// * `memstarved` — the `simspeed` cache sweep (bandwidth-starved
+///   single stack, fast-forward on, pinned at TW/32 × 2 PR iterations):
+///   the per-cycle hot path under memory stalls.
+pub fn hostperf(scale: Scale) -> Vec<HostPerfRow> {
+    hostperf_on(
+        &scale.build(Dataset::Twitter),
+        &Dataset::Twitter.build_scaled(32),
+        scale.pr_iters,
+    )
+}
+
+/// [`hostperf`] over explicit graphs (unit tests run it on small ones).
+fn hostperf_on(shard_graph: &Csr, mem_graph: &Csr, pr_iters: u32) -> Vec<HostPerfRow> {
+    let row = |name, host_seconds: f64, simulated_cycles: u64, workers, stalled| HostPerfRow {
+        name,
+        host_seconds,
+        simulated_cycles,
+        cycles_per_host_second: simulated_cycles as f64 / host_seconds.max(1e-9),
+        workers,
+        stalled,
+    };
+
+    let chips = 4;
+    let shard_workers = higraph::accel::sharded::auto_worker_threads().min(chips);
+    let start = Instant::now();
+    let mut shard_cycles = 0u64;
+    let mut shard_stalled = 0usize;
+    for algo in Algo::ALL {
+        match algo.run_sharded_threads(
+            &AcceleratorConfig::higraph(),
+            ShardConfig::new(chips),
+            shard_graph,
+            pr_iters,
+            None,
+        ) {
+            // total simulated work: every chip's cycles, not just the
+            // critical path — that is what the host actually computes
+            Ok(summary) => {
+                shard_cycles += summary.chips.iter().map(|c| c.cycles).sum::<u64>();
+            }
+            Err(stall) => {
+                eprintln!("hostperf shardfull_p4 {} STALL: {stall}", algo.label());
+                shard_stalled += 1;
+            }
+        }
+    }
+    let shard_seconds = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let mut mem_cycles = 0u64;
+    let mut mem_stalled = 0usize;
+    for &cache_kb in &MEM_SWEEP_CACHE_KB {
+        let mut cfg = AcceleratorConfig::higraph();
+        cfg.name = format!("HiGraph[hostperf,c{cache_kb}KB]");
+        cfg.memory = Some(simspeed_memory(cache_kb));
+        match Algo::Pr.run(&cfg, mem_graph, pr_iters.min(2)) {
+            Ok(m) => mem_cycles += m.cycles,
+            Err(stall) => {
+                eprintln!("hostperf memstarved c{cache_kb}KB STALL: {stall}");
+                mem_stalled += 1;
+            }
+        }
+    }
+    let mem_seconds = start.elapsed().as_secs_f64();
+
+    vec![
+        row(
+            "shardfull_p4",
+            shard_seconds,
+            shard_cycles,
+            shard_workers,
+            shard_stalled,
+        ),
+        row("memstarved", mem_seconds, mem_cycles, 1, mem_stalled),
+    ]
+}
+
 /// One point of Fig. 12: a dataflow fabric at a per-channel buffer size.
 #[derive(Debug, Clone)]
 pub struct BufferSweepRow {
@@ -854,6 +961,23 @@ mod tests {
         // small radices hold the 1 GHz target; radix 64 does not
         assert!(small.iter().all(|r| (r.frequency_ghz - 1.0).abs() < 1e-9));
         assert!(large.frequency_ghz < 1.0);
+    }
+
+    #[test]
+    fn hostperf_reports_both_legs() {
+        let g = Scale::tiny().build(Dataset::Vote);
+        let rows = hostperf_on(&g, &g, 2);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "shardfull_p4");
+        assert_eq!(rows[1].name, "memstarved");
+        for r in &rows {
+            assert!(r.simulated_cycles > 0, "{}", r.name);
+            assert!(r.cycles_per_host_second > 0.0, "{}", r.name);
+            assert!(r.cycles_per_host_second.is_finite(), "{}", r.name);
+            assert!(r.workers >= 1, "{}", r.name);
+            assert_eq!(r.stalled, 0, "{}: well-sized presets never stall", r.name);
+        }
+        assert!(rows[0].workers <= 4, "capped at the chip count");
     }
 
     #[test]

@@ -118,6 +118,12 @@ impl Algo {
     /// Runs this algorithm across `shard.num_chips` chips and returns the
     /// property-erased summary the multi-chip sweeps report.
     ///
+    /// Uses the serial intra-run drain (`threads = Some(1)`): the sweep
+    /// harnesses already parallelize across batch entries, so chip-level
+    /// parallelism on top would oversubscribe the host. Results are
+    /// bit-identical either way; [`Algo::run_sharded_threads`] exposes
+    /// the knob for latency-oriented callers (`repro hostperf`).
+    ///
     /// # Errors
     ///
     /// Returns the [`StallDiagnostic`] of a stalled lock-step drain.
@@ -128,7 +134,27 @@ impl Algo {
         graph: &Csr,
         pr_iters: u32,
     ) -> Result<ShardedSummary, StallDiagnostic> {
+        self.run_sharded_threads(config, shard, graph, pr_iters, Some(1))
+    }
+
+    /// [`Algo::run_sharded`] with explicit control over the engine's
+    /// intra-run worker threads (`None` = one per chip up to the host's
+    /// cores). Results are bit-identical for every setting —
+    /// `tests/thread_determinism.rs` asserts it; only host time changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`StallDiagnostic`] of a stalled lock-step drain.
+    pub fn run_sharded_threads(
+        self,
+        config: &AcceleratorConfig,
+        shard: ShardConfig,
+        graph: &Csr,
+        pr_iters: u32,
+        threads: Option<usize>,
+    ) -> Result<ShardedSummary, StallDiagnostic> {
         let mut engine = ShardedEngine::new(config.clone(), shard, graph);
+        engine.set_threads(threads);
         match self {
             Algo::Bfs => engine
                 .run(&Bfs::from_source(Algo::source(graph)))

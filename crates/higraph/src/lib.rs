@@ -43,9 +43,9 @@ pub use higraph_vcpm as vcpm;
 /// The most common imports, in one place.
 pub mod prelude {
     pub use higraph_accel::{
-        AcceleratorConfig, BatchJob, BatchReport, BatchResult, BatchRunner, Engine, MemoryConfig,
-        MemoryMetrics, Metrics, NetworkKind, OptLevel, RunMode, ShardConfig, ShardedEngine,
-        ShardedRunResult, StallDiagnostic,
+        AcceleratorConfig, BatchError, BatchJob, BatchReport, BatchResult, BatchRunner, Engine,
+        MemoryConfig, MemoryMetrics, Metrics, NetworkKind, OptLevel, RunMode, ShardConfig,
+        ShardedEngine, ShardedRunResult, StallDiagnostic,
     };
     pub use higraph_graph::{Csr, Dataset, EdgeList, VertexId};
     pub use higraph_mdp::{MdpNetwork, Topology};

@@ -48,6 +48,7 @@
 //! assert_eq!(net.pop(2).map(|p| p.0), Some(2));
 //! ```
 
+pub(crate) mod maskbits;
 pub mod naive;
 pub mod network;
 pub mod range;

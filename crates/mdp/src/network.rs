@@ -7,6 +7,7 @@
 //! FIFO. Packets advance one stage per cycle toward their destination —
 //! deterministic propagation, no arbitration anywhere.
 
+use crate::maskbits::{mask_clear, mask_set, mask_words};
 use crate::topology::Topology;
 use higraph_sim::{ClockedComponent, Fifo, Network, NetworkStats, Packet};
 
@@ -19,6 +20,15 @@ pub struct MdpNetwork<T> {
     /// `fifos[stage][channel]`; the last stage's FIFOs are the outputs.
     fifos: Vec<Vec<Fifo<T>>>,
     stats: NetworkStats,
+    /// Cached packet count across all stage FIFOs: `in_flight` is O(1)
+    /// and an empty fabric's tick early-outs — both on the per-cycle hot
+    /// path. A tick conserves the count (packets only move between
+    /// stages); push/pop maintain it.
+    occupancy: usize,
+    /// Per-stage occupancy bitmask ([`crate::maskbits`]): a tick visits
+    /// only occupied channels instead of scanning the full width
+    /// (sparsely-occupied fabrics dominate ramp-up and drain tails).
+    stage_mask: Vec<Vec<u64>>,
 }
 
 impl<T: Packet> MdpNetwork<T> {
@@ -41,10 +51,13 @@ impl<T: Packet> MdpNetwork<T> {
                     .collect()
             })
             .collect();
+        let words = mask_words(topology.num_channels());
         MdpNetwork {
+            stage_mask: vec![vec![0u64; words]; topology.num_stages()],
             topology,
             fifos,
             stats: NetworkStats::new(),
+            occupancy: 0,
         }
     }
 
@@ -124,6 +137,8 @@ impl<T: Packet> Network<T> for MdpNetwork<T> {
         match self.fifos[0][target].push(packet) {
             Ok(()) => {
                 self.stats.accepted += 1;
+                self.occupancy += 1;
+                mask_set(&mut self.stage_mask[0], target);
                 Ok(())
             }
             Err(p) => {
@@ -141,6 +156,11 @@ impl<T: Packet> Network<T> for MdpNetwork<T> {
         let p = self.fifos[self.topology.num_stages() - 1][output].pop();
         if p.is_some() {
             self.stats.delivered += 1;
+            self.occupancy -= 1;
+            let last = self.topology.num_stages() - 1;
+            if self.fifos[last][output].is_empty() {
+                mask_clear(&mut self.stage_mask[last], output);
+            }
         }
         p
     }
@@ -153,34 +173,52 @@ impl<T: Packet> Network<T> for MdpNetwork<T> {
 impl<T: Packet> ClockedComponent for MdpNetwork<T> {
     fn tick(&mut self) {
         self.stats.cycles += 1;
+        if self.occupancy == 0 {
+            // An empty fabric's tick is pure time-keeping.
+            return;
+        }
         let stages = self.topology.num_stages();
         // Move heads from stage s into stage s+1, processing the deepest
         // stage first so freshly freed slots are usable by the stage above
         // (standard pipeline register behaviour), and a packet advances at
         // most one stage per tick.
         for s in (0..stages.saturating_sub(1)).rev() {
-            for c in 0..self.topology.num_channels() {
-                let Some(head) = self.fifos[s][c].peek() else {
-                    continue;
-                };
-                let target = self.topology.next_channel(s + 1, c, head.dest());
-                if self.fifos[s + 1][target].is_full() {
-                    self.stats.hol_blocked += 1;
-                    continue;
+            for w in 0..self.stage_mask[s].len() {
+                // Snapshot the word: pops this stage only clear bits we
+                // already visited, pushes land in stage s+1.
+                let mut bits = self.stage_mask[s][w];
+                while bits != 0 {
+                    let c = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let head = self.fifos[s][c].peek().expect("masked channel has a head");
+                    let target = self.topology.next_channel(s + 1, c, head.dest());
+                    if self.fifos[s + 1][target].is_full() {
+                        self.stats.hol_blocked += 1;
+                        continue;
+                    }
+                    let pkt = self.fifos[s][c].pop().expect("peeked head exists");
+                    self.fifos[s + 1][target]
+                        .push(pkt)
+                        .unwrap_or_else(|_| unreachable!("target checked for space"));
+                    if self.fifos[s][c].is_empty() {
+                        mask_clear(&mut self.stage_mask[s], c);
+                    }
+                    mask_set(&mut self.stage_mask[s + 1], target);
                 }
-                let pkt = self.fifos[s][c].pop().expect("peeked head exists");
-                self.fifos[s + 1][target]
-                    .push(pkt)
-                    .unwrap_or_else(|_| unreachable!("target checked for space"));
             }
         }
     }
 
     fn in_flight(&self) -> usize {
-        self.fifos
-            .iter()
-            .map(|stage| stage.iter().map(Fifo::len).sum::<usize>())
-            .sum()
+        debug_assert_eq!(
+            self.occupancy,
+            self.fifos
+                .iter()
+                .map(|stage| stage.iter().map(Fifo::len).sum::<usize>())
+                .sum::<usize>(),
+            "cached occupancy out of sync"
+        );
+        self.occupancy
     }
 
     fn network_stats(&self) -> Option<NetworkStats> {

@@ -15,6 +15,7 @@
 //! 3. **Dispatcher** — a small terminal unit per output channel that fans a
 //!    final (narrow) range onto its group of consecutive banks.
 
+use crate::maskbits::{mask_clear, mask_set, mask_words};
 use crate::topology::Topology;
 use higraph_sim::{ClockedComponent, Fifo, NetworkStats};
 use std::fmt;
@@ -193,6 +194,14 @@ pub struct RangeMdpNetwork<P> {
     fifos: Vec<Vec<Fifo<EdgeRange<P>>>>,
     stats: NetworkStats,
     splits: u64,
+    /// Cached range count across all stage FIFOs: `in_flight` is O(1)
+    /// and an empty fabric's tick early-outs — both on the per-cycle hot
+    /// path. Unlike the packet network, a tick can *change* the count
+    /// (a moved head splits into pieces); every split site maintains it.
+    occupancy: usize,
+    /// Per-stage occupancy bitmask ([`crate::maskbits`]): a tick visits
+    /// only occupied channels instead of scanning the full width.
+    stage_mask: Vec<Vec<u64>>,
 }
 
 impl<P: Copy> RangeMdpNetwork<P> {
@@ -218,13 +227,16 @@ impl<P: Copy> RangeMdpNetwork<P> {
         let fifos = (0..topology.num_stages())
             .map(|_| (0..n).map(|_| Fifo::new(fifo_capacity)).collect())
             .collect();
+        let words = mask_words(n);
         Ok(RangeMdpNetwork {
             width: num_banks / n,
+            stage_mask: vec![vec![0u64; words]; topology.num_stages()],
             topology,
             num_banks,
             fifos,
             stats: NetworkStats::new(),
             splits: 0,
+            occupancy: 0,
         })
     }
 
@@ -258,48 +270,80 @@ impl<P: Copy> RangeMdpNetwork<P> {
         (range.off % self.num_banks as u64) as usize
     }
 
-    /// Dispatcher group of `range`'s first bank.
-    fn group_of(&self, range: &EdgeRange<P>) -> usize {
-        self.first_bank(range) / self.width
-    }
-
-    /// Splits `range` at the target-range boundaries of `stage` (regions
-    /// of `num_banks / radix^(stage+1)` banks), returning one piece per
-    /// touched region, in ascending bank order. Radix 2 yields at most two
-    /// pieces — the paper's `Off 4, Len 9 → (4,4)+(8,5)` example.
-    fn split_at_stage(&self, stage: usize, range: EdgeRange<P>) -> Vec<EdgeRange<P>> {
-        // After routing by `stage`, a piece may still reach
-        // `target_range(stage)` channels, i.e. a region of that many
-        // dispatcher groups (`width` banks each). Shift-based so
-        // mixed-radix topologies work too.
+    /// The bank-region size a piece may still reach after routing by
+    /// `stage` (`target_range(stage)` dispatcher groups of `width` banks
+    /// each). Shift-based so mixed-radix topologies work too.
+    #[inline]
+    fn region_at(&self, stage: usize) -> u64 {
         let region = self.width << self.topology.stage(stage).shift;
         debug_assert!(region >= self.width);
-        let b0 = self.first_bank(&range) as u64;
+        region as u64
+    }
+
+    /// Visits the pieces of `range` split at `region`-sized bank
+    /// boundaries, in ascending bank order, without materializing them
+    /// (the per-cycle hot path splits every non-final-stage head).
+    /// Radix 2 yields at most two pieces — the paper's
+    /// `Off 4, Len 9 → (4,4)+(8,5)` example. Stops early when `f`
+    /// returns `false`.
+    #[inline]
+    fn for_each_piece(
+        region: u64,
+        num_banks: u64,
+        range: EdgeRange<P>,
+        mut f: impl FnMut(EdgeRange<P>) -> bool,
+    ) {
+        let b0 = range.off % num_banks;
         let b_end = b0 + u64::from(range.len); // exclusive, non-wrapping
-        let mut pieces = Vec::with_capacity(2);
         let mut cur = range.off;
         let mut cur_bank = b0;
         while cur_bank < b_end {
-            let boundary = (cur_bank / region as u64 + 1) * (region as u64);
+            let boundary = (cur_bank / region + 1) * region;
             let piece_end_bank = boundary.min(b_end);
             let len = (piece_end_bank - cur_bank) as u32;
-            pieces.push(EdgeRange {
+            let piece = EdgeRange {
                 off: cur,
                 len,
                 payload: range.payload,
-            });
+            };
+            if !f(piece) {
+                return;
+            }
             cur += u64::from(len);
             cur_bank = piece_end_bank;
         }
+    }
+
+    /// Splits `range` at the target-range boundaries of `stage`,
+    /// materialized ([`RangeMdpNetwork::for_each_piece`] is the
+    /// allocation-free hot-path form; this is for tests/diagnostics).
+    #[cfg(test)]
+    fn split_at_stage(&self, stage: usize, range: EdgeRange<P>) -> Vec<EdgeRange<P>> {
+        let mut pieces = Vec::with_capacity(2);
+        Self::for_each_piece(
+            self.region_at(stage),
+            self.num_banks as u64,
+            range,
+            |piece| {
+                pieces.push(piece);
+                true
+            },
+        );
         pieces
     }
 
     /// Whether input `input` can accept `range` this cycle.
     pub fn can_accept(&self, input: usize, range: &EdgeRange<P>) -> bool {
-        self.split_at_stage(0, *range).iter().all(|piece| {
-            let t = self.topology.next_channel(0, input, self.group_of(piece));
-            !self.fifos[0][t].is_full()
-        })
+        let num_banks = self.num_banks as u64;
+        let width = self.width as u64;
+        let mut ok = true;
+        Self::for_each_piece(self.region_at(0), num_banks, *range, |piece| {
+            let group = ((piece.off % num_banks) / width) as usize;
+            let t = self.topology.next_channel(0, input, group);
+            ok = !self.fifos[0][t].is_full();
+            ok
+        });
+        ok
     }
 
     /// Offers `range` at input `input`, splitting it if it spans first
@@ -324,14 +368,25 @@ impl<P: Copy> RangeMdpNetwork<P> {
             self.stats.rejected += 1;
             return Err(range);
         }
-        let pieces = self.split_at_stage(0, range);
-        self.splits += pieces.len() as u64 - 1;
-        for piece in pieces {
-            let t = self.topology.next_channel(0, input, self.group_of(&piece));
-            self.fifos[0][t]
+        let num_banks = self.num_banks as u64;
+        let width = self.width as u64;
+        let region = self.region_at(0);
+        let topology = &self.topology;
+        let fifos = &mut self.fifos;
+        let stage0_mask = &mut self.stage_mask[0];
+        let mut pieces = 0u64;
+        Self::for_each_piece(region, num_banks, range, |piece| {
+            let group = ((piece.off % num_banks) / width) as usize;
+            let t = topology.next_channel(0, input, group);
+            fifos[0][t]
                 .push(piece)
                 .unwrap_or_else(|_| unreachable!("space checked by can_accept"));
-        }
+            mask_set(stage0_mask, t);
+            pieces += 1;
+            true
+        });
+        self.splits += pieces - 1;
+        self.occupancy += pieces as usize;
         self.stats.accepted += 1;
         Ok(())
     }
@@ -347,6 +402,11 @@ impl<P: Copy> RangeMdpNetwork<P> {
         let r = self.fifos[self.topology.num_stages() - 1][output].pop();
         if r.is_some() {
             self.stats.delivered += 1;
+            self.occupancy -= 1;
+            let last = self.topology.num_stages() - 1;
+            if self.fifos[last][output].is_empty() {
+                mask_clear(&mut self.stage_mask[last], output);
+            }
         }
         r
     }
@@ -361,45 +421,74 @@ impl<P: Copy> RangeMdpNetwork<P> {
     /// stages starve while the fabric is congested.
     pub fn tick(&mut self) {
         self.stats.cycles += 1;
+        if self.occupancy == 0 {
+            // An empty fabric's tick is pure time-keeping.
+            return;
+        }
         let stages = self.topology.num_stages();
+        let num_banks = self.num_banks as u64;
+        let width = self.width as u64;
         for s in (0..stages.saturating_sub(1)).rev() {
-            for c in 0..self.topology.num_channels() {
-                let Some(&head) = self.fifos[s][c].peek() else {
-                    continue;
-                };
-                let pieces = self.split_at_stage(s + 1, head);
-                // Move a prefix of pieces (ascending bank order) while
-                // their target FIFOs have space; the head shrinks in place
-                // to the contiguous remainder (skid-buffer behaviour of
-                // the 2W2R module). Without independent piece movement,
-                // sibling-FIFO coupling would let output stages starve
-                // while the fabric is congested.
-                let mut moved = 0usize;
-                for piece in &pieces {
-                    let t = self.topology.next_channel(s + 1, c, self.group_of(piece));
-                    if self.fifos[s + 1][t].is_full() {
-                        break;
-                    }
-                    self.fifos[s + 1][t]
-                        .push(*piece)
-                        .unwrap_or_else(|_| unreachable!("space checked"));
-                    moved += 1;
-                }
-                if moved == pieces.len() {
-                    self.fifos[s][c].pop();
-                    self.splits += pieces.len() as u64 - 1;
-                } else {
-                    self.stats.hol_blocked += 1;
-                    if moved > 0 {
-                        let first_kept = &pieces[moved];
-                        let consumed = (first_kept.off - head.off) as u32;
-                        let rest = EdgeRange {
-                            off: first_kept.off,
-                            len: head.len - consumed,
-                            payload: head.payload,
-                        };
-                        *self.fifos[s][c].peek_mut().expect("head exists") = rest;
-                        self.splits += moved as u64;
+            let region = self.region_at(s + 1);
+            for w in 0..self.stage_mask[s].len() {
+                // Snapshot the word: pops this stage only clear bits we
+                // already visited, pushes land in stage s+1.
+                let mut bits = self.stage_mask[s][w];
+                while bits != 0 {
+                    let c = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let head = *self.fifos[s][c].peek().expect("masked channel has a head");
+                    // Move a prefix of pieces (ascending bank order) while
+                    // their target FIFOs have space; the head shrinks in
+                    // place to the contiguous remainder (skid-buffer
+                    // behaviour of the 2W2R module). Without independent
+                    // piece movement, sibling-FIFO coupling would let
+                    // output stages starve while the fabric is congested.
+                    // Pieces are visited without materializing them (no
+                    // per-head allocation).
+                    let topology = &self.topology;
+                    let fifos = &mut self.fifos;
+                    let next_mask = &mut self.stage_mask[s + 1];
+                    let mut moved = 0usize;
+                    let mut blocked_at: Option<EdgeRange<P>> = None;
+                    Self::for_each_piece(region, num_banks, head, |piece| {
+                        let group = ((piece.off % num_banks) / width) as usize;
+                        let t = topology.next_channel(s + 1, c, group);
+                        if fifos[s + 1][t].is_full() {
+                            blocked_at = Some(piece);
+                            return false;
+                        }
+                        fifos[s + 1][t]
+                            .push(piece)
+                            .unwrap_or_else(|_| unreachable!("space checked"));
+                        mask_set(next_mask, t);
+                        moved += 1;
+                        true
+                    });
+                    match blocked_at {
+                        None => {
+                            self.fifos[s][c].pop();
+                            if self.fifos[s][c].is_empty() {
+                                mask_clear(&mut self.stage_mask[s], c);
+                            }
+                            // popped one, pushed `moved` pieces
+                            self.occupancy += moved - 1;
+                            self.splits += moved as u64 - 1;
+                        }
+                        Some(first_kept) => {
+                            self.stats.hol_blocked += 1;
+                            if moved > 0 {
+                                let consumed = (first_kept.off - head.off) as u32;
+                                let rest = EdgeRange {
+                                    off: first_kept.off,
+                                    len: head.len - consumed,
+                                    payload: head.payload,
+                                };
+                                *self.fifos[s][c].peek_mut().expect("head exists") = rest;
+                                self.occupancy += moved;
+                                self.splits += moved as u64;
+                            }
+                        }
                     }
                 }
             }
@@ -408,10 +497,15 @@ impl<P: Copy> RangeMdpNetwork<P> {
 
     /// Number of ranges currently inside the network.
     pub fn in_flight(&self) -> usize {
-        self.fifos
-            .iter()
-            .map(|st| st.iter().map(Fifo::len).sum::<usize>())
-            .sum()
+        debug_assert_eq!(
+            self.occupancy,
+            self.fifos
+                .iter()
+                .map(|st| st.iter().map(Fifo::len).sum::<usize>())
+                .sum::<usize>(),
+            "cached occupancy out of sync"
+        );
+        self.occupancy
     }
 
     /// Total edges covered by in-flight ranges.

@@ -44,6 +44,13 @@ pub struct CrossbarNetwork<T> {
     outputs: Vec<Option<T>>,
     priority: usize,
     stats: NetworkStats,
+    /// Per-output grant scratch, reused every tick (hot path: no
+    /// per-cycle allocation).
+    granted: Vec<Option<usize>>,
+    /// Cached packet count (queues + output registers): `in_flight` is
+    /// O(1) and an empty crossbar's tick early-outs. A tick conserves
+    /// the count; push/pop maintain it.
+    occupancy: usize,
 }
 
 impl<T: Packet> CrossbarNetwork<T> {
@@ -63,6 +70,8 @@ impl<T: Packet> CrossbarNetwork<T> {
             outputs: (0..n_out).map(|_| None).collect(),
             priority: 0,
             stats: NetworkStats::new(),
+            granted: vec![None; n_out],
+            occupancy: 0,
         }
     }
 
@@ -109,6 +118,7 @@ impl<T: Packet> Network<T> for CrossbarNetwork<T> {
         match self.input_queues[input].push(packet) {
             Ok(()) => {
                 self.stats.accepted += 1;
+                self.occupancy += 1;
                 Ok(())
             }
             Err(p) => {
@@ -126,6 +136,7 @@ impl<T: Packet> Network<T> for CrossbarNetwork<T> {
         let p = self.outputs[output].take();
         if p.is_some() {
             self.stats.delivered += 1;
+            self.occupancy -= 1;
         }
         p
     }
@@ -139,17 +150,22 @@ impl<T: Packet> ClockedComponent for CrossbarNetwork<T> {
     fn tick(&mut self) {
         self.stats.cycles += 1;
         let n_in = self.input_queues.len();
+        if self.occupancy == 0 {
+            // An empty crossbar's tick only rotates the priority.
+            self.priority = (self.priority + 1) % n_in;
+            return;
+        }
 
         // Per-output round-robin arbitration over the input queue heads.
         // A single rotating priority pointer is shared across outputs,
         // matching a matrix arbiter with global rotation.
-        let mut granted: Vec<Option<usize>> = vec![None; self.outputs.len()];
+        self.granted.iter_mut().for_each(|g| *g = None);
         for off in 0..n_in {
             let i = (self.priority + off) % n_in;
             if let Some(head) = self.input_queues[i].peek() {
                 let d = head.dest();
-                if self.outputs[d].is_none() && granted[d].is_none() {
-                    granted[d] = Some(i);
+                if self.outputs[d].is_none() && self.granted[d].is_none() {
+                    self.granted[d] = Some(i);
                 }
             }
         }
@@ -158,12 +174,12 @@ impl<T: Packet> ClockedComponent for CrossbarNetwork<T> {
         // Count head-of-line blocking: a non-empty queue that was not
         // granted this cycle has its head (and everything behind it) stalled.
         for (i, q) in self.input_queues.iter().enumerate() {
-            if !q.is_empty() && !granted.contains(&Some(i)) {
+            if !q.is_empty() && !self.granted.contains(&Some(i)) {
                 self.stats.hol_blocked += 1;
             }
         }
 
-        for (d, g) in granted.iter().enumerate() {
+        for (d, g) in self.granted.iter().enumerate() {
             if let Some(i) = g {
                 let pkt = self.input_queues[*i]
                     .pop()
@@ -175,8 +191,13 @@ impl<T: Packet> ClockedComponent for CrossbarNetwork<T> {
     }
 
     fn in_flight(&self) -> usize {
-        self.input_queues.iter().map(Fifo::len).sum::<usize>()
-            + self.outputs.iter().filter(|o| o.is_some()).count()
+        debug_assert_eq!(
+            self.occupancy,
+            self.input_queues.iter().map(Fifo::len).sum::<usize>()
+                + self.outputs.iter().filter(|o| o.is_some()).count(),
+            "cached occupancy out of sync"
+        );
+        self.occupancy
     }
 
     fn network_stats(&self) -> Option<NetworkStats> {

@@ -163,6 +163,20 @@ pub struct MemoryChannel {
     now: u64,
     timing: DramTiming,
     stats: MemoryStats,
+    /// Per-bank issued-this-cycle scratch, reused every tick (hot path:
+    /// no per-cycle allocation).
+    issued: Vec<bool>,
+    /// Earliest `done_at` across in-service banks (`u64::MAX` when all
+    /// banks are idle): ticks before it cannot land anything.
+    min_done_at: u64,
+    /// Whether the issue scan is provably a no-op: after any full tick
+    /// every still-queued request targets a busy bank (the scan is
+    /// greedy), so nothing can issue until a completion frees a bank or
+    /// a new request is accepted — both clear this flag. Together with
+    /// `min_done_at` this makes between-event ticks O(1), which is what
+    /// keeps loaded-channel idle windows cheap (`skip` ticks them for
+    /// real).
+    issue_quiet: bool,
 }
 
 impl MemoryChannel {
@@ -183,6 +197,9 @@ impl MemoryChannel {
             now: 0,
             timing,
             stats: MemoryStats::new(),
+            issued: vec![false; num_banks],
+            min_done_at: u64::MAX,
+            issue_quiet: true,
         }
     }
 
@@ -213,6 +230,7 @@ impl MemoryChannel {
         }
         self.queue.push_back(Request { line, bank, row });
         self.stats.accepted += 1;
+        self.issue_quiet = false;
         true
     }
 
@@ -253,6 +271,12 @@ impl ClockedComponent for MemoryChannel {
     fn tick(&mut self) {
         self.now += 1;
         self.stats.cycles += 1;
+        // Between events a tick is pure time-keeping: nothing lands
+        // before `min_done_at`, and a provably-no-op issue scan stays a
+        // no-op until a completion or a new accept clears the flag.
+        if self.issue_quiet && self.min_done_at > self.now {
+            return;
+        }
         // Land accesses whose service time elapsed.
         for bank in &mut self.banks {
             if let Some(s) = bank.service {
@@ -266,12 +290,12 @@ impl ClockedComponent for MemoryChannel {
         // Issue: scan the queue in arrival order; each idle bank begins
         // at most one access per cycle. A request only waits behind
         // older requests to the *same* bank.
-        let mut issued = vec![false; self.banks.len()];
+        self.issued.iter_mut().for_each(|b| *b = false);
         let mut i = 0;
         while i < self.queue.len() {
             let req = self.queue[i];
             let bank = &mut self.banks[req.bank];
-            if bank.service.is_some() || issued[req.bank] {
+            if bank.service.is_some() || self.issued[req.bank] {
                 i += 1;
                 continue;
             }
@@ -294,9 +318,19 @@ impl ClockedComponent for MemoryChannel {
                 line: req.line,
                 done_at: self.now + latency,
             });
-            issued[req.bank] = true;
+            self.issued[req.bank] = true;
             self.queue.remove(i);
         }
+        // Cache the next-event state: everything still queued targets a
+        // busy bank (the scan above was greedy), so the next tick that
+        // can do anything is the next completion — or a new accept.
+        self.min_done_at = self
+            .banks
+            .iter()
+            .filter_map(|b| b.service.map(|s| s.done_at))
+            .min()
+            .unwrap_or(u64::MAX);
+        self.issue_quiet = true;
     }
 
     fn in_flight(&self) -> usize {

@@ -4,10 +4,21 @@
 //! reproduction: the 2W1R FIFOs inside MDP-network stages, crossbar input
 //! queues, and processing-element input buffers are all [`Fifo`]s whose
 //! per-cycle port discipline is enforced by the owning component.
+//!
+//! # Representation
+//!
+//! Storage is a fixed, power-of-two ring buffer allocated once at
+//! construction: `push`/`pop` are an index mask and a length update, with
+//! no reallocation, no branch on wrap-around arithmetic, and no pointer
+//! indirection beyond the single backing slice. The queue's contents are
+//! observable as at most two contiguous slices ([`Fifo::as_slices`]),
+//! oldest first — the layout the per-cycle hot paths iterate. See
+//! `docs/performance.md` for the conventions this supports.
 
-use std::collections::VecDeque;
+use std::fmt;
+use std::mem::MaybeUninit;
 
-/// A bounded first-in-first-out queue.
+/// A bounded first-in-first-out queue over a fixed ring buffer.
 ///
 /// # Example
 ///
@@ -20,9 +31,17 @@ use std::collections::VecDeque;
 /// assert_eq!(f.push(3), Err(3)); // full
 /// assert_eq!(f.pop(), Some(1));
 /// ```
-#[derive(Debug, Clone)]
 pub struct Fifo<T> {
-    items: VecDeque<T>,
+    /// Ring storage; `buf.len()` is `capacity.next_power_of_two()`.
+    /// Slots `(head + i) & mask` for `i < len` are initialized.
+    buf: Box<[MaybeUninit<T>]>,
+    /// `buf.len() - 1`: index arithmetic is a single AND.
+    mask: usize,
+    /// Physical index of the oldest item.
+    head: usize,
+    /// Number of queued items.
+    len: usize,
+    /// Logical capacity (what the caller asked for; `<= buf.len()`).
     capacity: usize,
 }
 
@@ -32,12 +51,32 @@ impl<T> Fifo<T> {
     /// # Panics
     ///
     /// Panics if `capacity` is zero — a zero-entry FIFO cannot pass data.
+    /// Configuration-derived capacities are validated before any FIFO is
+    /// built (see `AcceleratorConfig::validate` in `higraph-accel`);
+    /// [`Fifo::try_new`] is the fallible constructor for dynamic sizes.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "FIFO capacity must be positive");
-        Fifo {
-            items: VecDeque::with_capacity(capacity),
-            capacity,
+        Fifo::try_new(capacity).expect("FIFO capacity must be positive")
+    }
+
+    /// Fallible constructor: creates an empty FIFO holding at most
+    /// `capacity` items.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `capacity` is zero.
+    pub fn try_new(capacity: usize) -> Result<Self, String> {
+        if capacity == 0 {
+            return Err("FIFO capacity must be positive".to_string());
         }
+        let physical = capacity.next_power_of_two();
+        let buf: Box<[MaybeUninit<T>]> = (0..physical).map(|_| MaybeUninit::uninit()).collect();
+        Ok(Fifo {
+            mask: physical - 1,
+            buf,
+            head: 0,
+            len: 0,
+            capacity,
+        })
     }
 
     /// Maximum number of items the FIFO can hold.
@@ -49,25 +88,25 @@ impl<T> Fifo<T> {
     /// Current number of queued items.
     #[inline]
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.len
     }
 
     /// Whether the FIFO holds no items.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.len == 0
     }
 
     /// Whether the FIFO is at capacity.
     #[inline]
     pub fn is_full(&self) -> bool {
-        self.items.len() == self.capacity
+        self.len == self.capacity
     }
 
     /// Number of free slots.
     #[inline]
     pub fn free(&self) -> usize {
-        self.capacity - self.items.len()
+        self.capacity - self.len
     }
 
     /// Enqueues `item`.
@@ -80,7 +119,8 @@ impl<T> Fifo<T> {
         if self.is_full() {
             Err(item)
         } else {
-            self.items.push_back(item);
+            self.buf[(self.head + self.len) & self.mask].write(item);
+            self.len += 1;
             Ok(())
         }
     }
@@ -88,30 +128,105 @@ impl<T> Fifo<T> {
     /// Dequeues the oldest item, if any.
     #[inline]
     pub fn pop(&mut self) -> Option<T> {
-        self.items.pop_front()
+        if self.len == 0 {
+            return None;
+        }
+        // SAFETY: `len > 0`, so the slot at `head` holds an initialized
+        // item; the read un-initializes it and the index update takes it
+        // out of the live window, so it is never read or dropped again.
+        let item = unsafe { self.buf[self.head].assume_init_read() };
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
+        Some(item)
     }
 
     /// The oldest item without dequeuing it.
     #[inline]
     pub fn peek(&self) -> Option<&T> {
-        self.items.front()
+        if self.len == 0 {
+            None
+        } else {
+            // SAFETY: `len > 0` ⇒ the head slot is initialized.
+            Some(unsafe { self.buf[self.head].assume_init_ref() })
+        }
     }
 
     /// Mutable access to the oldest item (e.g. to shrink a partially
     /// forwarded range in place, as a skid buffer does).
     #[inline]
     pub fn peek_mut(&mut self) -> Option<&mut T> {
-        self.items.front_mut()
+        if self.len == 0 {
+            None
+        } else {
+            // SAFETY: `len > 0` ⇒ the head slot is initialized.
+            Some(unsafe { self.buf[self.head].assume_init_mut() })
+        }
     }
 
-    /// Removes all items.
+    /// Removes (and drops) all items.
     pub fn clear(&mut self) {
-        self.items.clear();
+        while self.pop().is_some() {}
+    }
+
+    /// The queued items as two contiguous slices, `(older, newer)`: the
+    /// run from the head to the physical end of the ring, then the
+    /// wrapped-around run from the start. Either may be empty; chained
+    /// they are the queue oldest-first.
+    pub fn as_slices(&self) -> (&[T], &[T]) {
+        let first_len = self.len.min(self.buf.len() - self.head);
+        // SAFETY: the live window `(head + i) & mask, i < len` holds
+        // initialized items; `first_len` does not run past the physical
+        // end, and the wrapped part starts at physical index 0.
+        // `MaybeUninit<T>` is layout-compatible with `T`.
+        unsafe {
+            let base = self.buf.as_ptr();
+            let first = std::slice::from_raw_parts(base.add(self.head).cast::<T>(), first_len);
+            let second = std::slice::from_raw_parts(base.cast::<T>(), self.len - first_len);
+            (first, second)
+        }
     }
 
     /// Iterates from oldest to newest without consuming.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
-        self.items.iter()
+        let (a, b) = self.as_slices();
+        a.iter().chain(b.iter())
+    }
+}
+
+impl<T> Drop for Fifo<T> {
+    fn drop(&mut self) {
+        if std::mem::needs_drop::<T>() {
+            self.clear();
+        }
+    }
+}
+
+impl<T: Clone> Clone for Fifo<T> {
+    fn clone(&self) -> Self {
+        let mut cloned = Fifo::try_new(self.capacity).expect("capacity validated at construction");
+        for item in self.iter() {
+            let pushed = cloned.push(item.clone());
+            debug_assert!(pushed.is_ok());
+        }
+        cloned
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Fifo<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Fifo")
+            .field("capacity", &self.capacity)
+            .field("items", &DebugItems(self))
+            .finish()
+    }
+}
+
+/// Renders a FIFO's queue oldest-first for [`fmt::Debug`].
+struct DebugItems<'a, T>(&'a Fifo<T>);
+
+impl<T: fmt::Debug> fmt::Debug for DebugItems<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.0.iter()).finish()
     }
 }
 
@@ -166,11 +281,104 @@ mod tests {
     }
 
     #[test]
+    fn try_new_reports_zero_capacity() {
+        assert!(Fifo::<u8>::try_new(0).is_err());
+        assert!(Fifo::<u8>::try_new(1).is_ok());
+    }
+
+    #[test]
     fn iter_is_oldest_first() {
         let mut f = Fifo::new(3);
         f.push(1).unwrap();
         f.push(2).unwrap();
         let v: Vec<_> = f.iter().copied().collect();
         assert_eq!(v, vec![1, 2]);
+    }
+
+    #[test]
+    fn wrap_around_preserves_order_at_non_power_of_two_capacity() {
+        // capacity 3 rides in a 4-slot ring: exercise many wrap-arounds
+        let mut f = Fifo::new(3);
+        let mut next_in = 0u32;
+        let mut next_out = 0u32;
+        for round in 0..50 {
+            while f.push(next_in).is_ok() {
+                next_in += 1;
+            }
+            assert!(f.is_full());
+            let drain = if round % 2 == 0 { 1 } else { 2 };
+            for _ in 0..drain {
+                assert_eq!(f.pop(), Some(next_out));
+                next_out += 1;
+            }
+        }
+        while let Some(got) = f.pop() {
+            assert_eq!(got, next_out);
+            next_out += 1;
+        }
+        assert_eq!(next_in, next_out);
+    }
+
+    #[test]
+    fn as_slices_covers_the_wrapped_queue() {
+        let mut f = Fifo::new(4);
+        for i in 0..4 {
+            f.push(i).unwrap();
+        }
+        f.pop();
+        f.pop();
+        f.push(4).unwrap();
+        f.push(5).unwrap(); // head = 2, wrapped
+        let (a, b) = f.as_slices();
+        assert_eq!(a, &[2, 3]);
+        assert_eq!(b, &[4, 5]);
+        let all: Vec<_> = f.iter().copied().collect();
+        assert_eq!(all, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn peek_mut_edits_head_in_place() {
+        let mut f = Fifo::new(2);
+        f.push(10).unwrap();
+        *f.peek_mut().unwrap() = 11;
+        assert_eq!(f.pop(), Some(11));
+    }
+
+    #[test]
+    fn clone_preserves_contents_and_capacity() {
+        let mut f = Fifo::new(3);
+        f.push("x".to_string()).unwrap();
+        f.pop();
+        f.push("y".to_string()).unwrap();
+        f.push("z".to_string()).unwrap();
+        let c = f.clone();
+        assert_eq!(c.capacity(), 3);
+        assert_eq!(c.iter().cloned().collect::<Vec<_>>(), ["y", "z"]);
+    }
+
+    #[test]
+    fn drop_releases_owned_items() {
+        use std::rc::Rc;
+        let tracker = Rc::new(());
+        {
+            let mut f = Fifo::new(4);
+            for _ in 0..3 {
+                f.push(Rc::clone(&tracker)).unwrap();
+            }
+            f.pop();
+            assert_eq!(Rc::strong_count(&tracker), 3);
+        }
+        assert_eq!(Rc::strong_count(&tracker), 1);
+    }
+
+    #[test]
+    fn debug_formats_without_exposing_uninit_slots() {
+        let mut f = Fifo::new(3);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.pop();
+        let text = format!("{f:?}");
+        assert!(text.contains('2'), "{text}");
+        assert!(!text.contains('1'), "{text}");
     }
 }

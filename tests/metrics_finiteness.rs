@@ -142,12 +142,58 @@ fn stalled_entry_fails_alone_not_the_sweep() {
     assert!(results[0].is_ok());
     assert!(results[2].is_ok());
     let err = results[1].error.as_ref().expect("doomed entry fails");
-    assert_eq!(err.stall.limit, 1);
+    let diagnostic = err.stall().expect("runtime stall, not a config error");
+    assert_eq!(diagnostic.stall.limit, 1);
     assert!(err.to_string().contains("stalled"));
     // failed entries contribute nothing to the aggregate totals
     assert_eq!(
         report.total_edges_processed,
         results[0].metrics.edges_processed + results[2].metrics.edges_processed
+    );
+}
+
+#[test]
+fn invalid_config_fails_its_entry_not_the_sweep() {
+    // A zero staging capacity would build a zero-entry FIFO; validation
+    // catches it at engine construction, so the batch entry fails with a
+    // config error instead of the whole sweep aborting on a panic.
+    let g = higraph::graph::gen::erdos_renyi(64, 512, 31, 11);
+    let mut zero_staging = AcceleratorConfig::higraph();
+    zero_staging.staging_capacity = 0;
+    let mut bad_channels = AcceleratorConfig::higraph();
+    bad_channels.front_channels = 12;
+    let jobs = vec![
+        BatchJob::new("ok", &g, Bfs::from_source(0), AcceleratorConfig::higraph()),
+        BatchJob::new("zero-staging", &g, Bfs::from_source(0), zero_staging),
+        BatchJob::new(
+            "bad-channels",
+            &g,
+            Bfs::from_source(0),
+            bad_channels.clone(),
+        ),
+        BatchJob::new("bad-sharded", &g, Bfs::from_source(0), bad_channels)
+            .sharded(ShardConfig::new(2)),
+    ];
+    let (results, report) = BatchRunner::serial().run(jobs);
+    assert_eq!(report.jobs, 4);
+    assert_eq!(report.failed_jobs, 3);
+    assert!(results[0].is_ok());
+    for r in &results[1..] {
+        let err = r
+            .error
+            .as_ref()
+            .unwrap_or_else(|| panic!("{} must fail", r.label));
+        assert!(err.stall().is_none(), "{}: {err}", r.label);
+        assert!(
+            err.to_string().contains("invalid configuration"),
+            "{}: {err}",
+            r.label
+        );
+        assert!(r.properties.is_empty(), "{}", r.label);
+    }
+    assert_eq!(
+        report.total_edges_processed,
+        results[0].metrics.edges_processed
     );
 }
 

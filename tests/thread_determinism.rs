@@ -1,0 +1,117 @@
+//! Intra-run parallelism determinism: a sharded run's cycles, metrics,
+//! properties, and link counters are bit-identical whether the chips are
+//! ticked by the serial drain or by 2 or 8 worker threads, with
+//! fast-forward on or off. The worker count is a host-performance knob,
+//! never a results knob — see `docs/performance.md`.
+
+use higraph::prelude::*;
+use higraph::sim::NetworkStats;
+
+/// A P=4 sharded run of `prog` with an explicit worker-thread setting.
+fn run_with_threads<Prog>(
+    cfg: &AcceleratorConfig,
+    graph: &Csr,
+    prog: &Prog,
+    threads: usize,
+    fast_forward: bool,
+) -> (Vec<Prog::Prop>, Metrics, Vec<Metrics>, u64, NetworkStats)
+where
+    Prog: VertexProgram + Sync,
+    Prog::Prop: Send,
+{
+    let mut engine = ShardedEngine::new(cfg.clone(), ShardConfig::new(4), graph);
+    engine.set_threads(Some(threads));
+    engine.set_fast_forward(fast_forward);
+    let r = engine.run(prog).expect("well-sized config");
+    (
+        r.properties,
+        r.metrics,
+        r.chips,
+        r.cross_chip_packets,
+        r.link,
+    )
+}
+
+fn assert_identical_across_thread_counts<Prog>(cfg: &AcceleratorConfig, graph: &Csr, prog: &Prog)
+where
+    Prog: VertexProgram + Sync,
+    Prog::Prop: Send + std::fmt::Debug + PartialEq,
+{
+    for fast_forward in [true, false] {
+        let serial = run_with_threads(cfg, graph, prog, 1, fast_forward);
+        for threads in [2usize, 8] {
+            let parallel = run_with_threads(cfg, graph, prog, threads, fast_forward);
+            let label = format!("{} threads, fast_forward={fast_forward}", threads);
+            assert_eq!(parallel.0, serial.0, "properties differ ({label})");
+            assert_eq!(parallel.1, serial.1, "aggregate metrics differ ({label})");
+            assert_eq!(parallel.2, serial.2, "per-chip metrics differ ({label})");
+            assert_eq!(parallel.3, serial.3, "cross-chip packets differ ({label})");
+            assert_eq!(parallel.4, serial.4, "link stats differ ({label})");
+        }
+    }
+}
+
+#[test]
+fn sharded_run_is_bit_identical_across_worker_threads() {
+    let g = higraph::graph::gen::power_law(300, 2700, 2.0, 31, 91);
+    let src = higraph::graph::stats::hub_vertex(&g).expect("non-empty").0;
+    assert_identical_across_thread_counts(
+        &AcceleratorConfig::higraph(),
+        &g,
+        &Sssp::from_source(src),
+    );
+}
+
+#[test]
+fn parallel_drain_is_bit_identical_under_modeled_memory() {
+    // Memory-stalled drains exercise the fast-forward window path (bulk
+    // skip + commit_idle) on the worker side.
+    let g = higraph::graph::gen::power_law(300, 2400, 2.0, 31, 93);
+    let mut cfg = AcceleratorConfig::higraph();
+    cfg.memory = Some(MemoryConfig::hbm2().with_cache_kb(16));
+    assert_identical_across_thread_counts(&cfg, &g, &PageRank::new(2));
+}
+
+#[test]
+fn parallel_drain_matches_reference_results() {
+    let g = higraph::graph::gen::erdos_renyi(256, 2048, 31, 95);
+    let prog = Bfs::from_source(0);
+    let expect = higraph::vcpm::reference::execute(&prog, &g);
+    for threads in [2usize, 4, 8] {
+        let (properties, metrics, ..) =
+            run_with_threads(&AcceleratorConfig::higraph(), &g, &prog, threads, true);
+        assert_eq!(properties, expect.properties, "{threads} threads");
+        assert_eq!(
+            metrics.edges_processed, expect.edges_processed,
+            "{threads} threads"
+        );
+    }
+}
+
+#[test]
+fn parallel_drain_reports_stalls_like_serial() {
+    let g = higraph::graph::gen::erdos_renyi(128, 1024, 31, 97);
+    let run = |threads: usize| {
+        let mut engine = ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(4), &g);
+        engine.set_threads(Some(threads));
+        engine.set_stall_guard(Some(2));
+        engine.run(&Bfs::from_source(0)).expect_err("must stall")
+    };
+    let serial = run(1);
+    for threads in [2usize, 8] {
+        let parallel = run(threads);
+        assert_eq!(parallel, serial, "{threads} threads");
+    }
+}
+
+#[test]
+fn auto_thread_count_is_capped_by_chips() {
+    let g = higraph::graph::gen::erdos_renyi(64, 256, 15, 99);
+    let mut engine = ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(2), &g);
+    assert!(engine.worker_threads() >= 1);
+    assert!(engine.worker_threads() <= 2, "capped at the chip count");
+    engine.set_threads(Some(64));
+    assert_eq!(engine.worker_threads(), 2);
+    engine.set_threads(Some(1));
+    assert_eq!(engine.worker_threads(), 1);
+}
