@@ -7,10 +7,11 @@
 //! the clock edge comes from its [`ClockedComponent`] implementation,
 //! driven by the shared `higraph_sim::Scheduler`.
 
+use crate::arena::{EdgeArena, PairArena};
 use crate::edge_access::{BankRead, EdgeAccess};
 use crate::metrics::Metrics;
 use crate::netfactory::{AnyNetwork, NetworkFactory};
-use crate::packets::{ImmPacket, PendingEdge};
+use crate::packets::{EdgeRef, ImmRef};
 use higraph_graph::{Csr, EdgeId};
 use higraph_sim::{ClockedComponent, Fifo, Network, NetworkStats};
 use higraph_vcpm::VertexProgram;
@@ -22,10 +23,17 @@ pub(crate) struct BackEnd<P> {
     /// Engines push `{Off, Len}` chunks into (hence `pub(crate)`: the
     /// engine hands it to `FrontEnd::step` each cycle).
     pub(crate) edge_access: EdgeAccess<P>,
-    /// Per-channel pending-edge queues in front of the ePEs.
-    epe_q: Vec<Fifo<PendingEdge<P>>>,
-    /// The ePE → vPE dataflow propagation fabric.
-    dataflow: AnyNetwork<ImmPacket<P>>,
+    /// Per-channel pending-edge queues in front of the ePEs. Hold
+    /// 4-byte [`EdgeRef`] handles; the `(dst, weight, u_prop)` payloads
+    /// stay put in `edges`.
+    epe_q: Vec<Fifo<EdgeRef>>,
+    /// The ePE → vPE dataflow propagation fabric. Moves 8-byte
+    /// [`ImmRef`] handles into the `imms` arena.
+    dataflow: AnyNetwork<ImmRef>,
+    /// SoA store for pending-edge payloads (see `crate::arena`).
+    edges: EdgeArena<P>,
+    /// SoA store for `(v, imm)` update payloads.
+    imms: PairArena<P>,
     /// Per-bank free-slot scratch for stage 3, reused every cycle.
     epe_space: Vec<bool>,
     /// Bank-read staging scratch for stage 3, reused every cycle.
@@ -41,6 +49,8 @@ impl<P: Copy + 'static> BackEnd<P> {
             edge_access: factory.edge_access(),
             epe_q: (0..m).map(|_| Fifo::new(config.staging_capacity)).collect(),
             dataflow: factory.dataflow_fabric(),
+            edges: EdgeArena::with_capacity(config.arena_capacity),
+            imms: PairArena::with_capacity(config.arena_capacity),
             epe_space: vec![false; m],
             bank_reads: Vec::new(),
         }
@@ -68,9 +78,12 @@ impl<P: Copy + 'static> BackEnd<P> {
         for c in 0..m {
             match self.dataflow.pop(c) {
                 Some(pkt) => {
-                    debug_assert_eq!(pkt.dest, c);
-                    let t = &mut t_props[(pkt.v - t_base) as usize];
-                    *t = program.reduce(*t, pkt.imm);
+                    debug_assert_eq!(pkt.dest as usize, c);
+                    let v = self.imms.key(pkt.handle);
+                    let imm = self.imms.payload(pkt.handle);
+                    self.imms.free(pkt.handle);
+                    let t = &mut t_props[(v - t_base) as usize];
+                    *t = program.reduce(*t, imm);
                 }
                 None => {
                     metrics.vpe_starvation_cycles += 1;
@@ -79,23 +92,24 @@ impl<P: Copy + 'static> BackEnd<P> {
             }
         }
 
-        // (2) ePEs: Process_Edge and inject into the dataflow fabric.
+        // (2) ePEs: Process_Edge and inject into the dataflow fabric
+        // (alloc-then-free-on-reject, see `crate::arena`).
         for c in 0..m {
-            let Some(&PendingEdge {
-                dst,
-                weight,
-                u_prop,
-            }) = self.epe_q[c].peek()
-            else {
+            let Some(&EdgeRef(edge)) = self.epe_q[c].peek() else {
                 continue;
             };
-            let pkt = ImmPacket {
-                v: dst,
-                imm: program.process_edge(u_prop, weight),
-                dest: (dst as usize) % m,
+            let dst = self.edges.dst(edge);
+            let imm = program.process_edge(self.edges.u_prop(edge), self.edges.weight(edge));
+            let handle = self.imms.alloc(dst, imm);
+            let pkt = ImmRef {
+                handle,
+                dest: dst % m as u32,
             };
             if self.dataflow.push(c, pkt).is_ok() {
                 self.epe_q[c].pop();
+                self.edges.free(edge);
+            } else {
+                self.imms.free(handle);
             }
         }
 
@@ -107,12 +121,11 @@ impl<P: Copy + 'static> BackEnd<P> {
             .issue_reads_into(&self.epe_space, &mut self.bank_reads);
         for read in &self.bank_reads {
             let e = graph.edge(EdgeId(read.edge_index));
-            let pushed = self.epe_q[read.bank].push(PendingEdge {
-                dst: e.dst.0,
-                weight: e.weight,
-                u_prop: read.payload,
-            });
-            debug_assert!(pushed.is_ok(), "edge unit overran an ePE queue");
+            let handle = self.edges.alloc(e.dst.0, e.weight, read.payload);
+            if let Err(rejected) = self.epe_q[read.bank].push(EdgeRef(handle)) {
+                debug_assert!(false, "edge unit overran an ePE queue");
+                self.edges.free(rejected.0);
+            }
             metrics.edges_processed += 1;
         }
     }

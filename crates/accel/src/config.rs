@@ -215,6 +215,19 @@ pub struct AcceleratorConfig {
     /// pre-memory-model behaviour. `Some(_)` routes them through the
     /// edge/offset cache and the HBM channel model (`docs/memory.md`).
     pub memory: Option<MemoryConfig>,
+    /// Initial capacity (in packets) of each per-chip payload arena —
+    /// the SoA stores behind the handle-based packet types
+    /// (`crate::arena`). A host-simulation sizing hint only: arenas grow
+    /// on demand, and the modeled hardware is unaffected.
+    pub arena_capacity: usize,
+    /// Event-wheel horizon in cycles for the scheduler's indexed window
+    /// selection (DRAM channels, multi-chip drains). Must be a power of
+    /// two in `[higraph_sim::wheel::MIN_WHEEL_HORIZON,
+    /// higraph_sim::wheel::MAX_WHEEL_HORIZON]`; wakes beyond it spill to
+    /// an overflow list, so this trades wheel memory against overflow
+    /// scans. Purely a host-simulation knob: cycle counts and `Metrics`
+    /// are bit-identical for any valid value.
+    pub wheel_horizon: usize,
 }
 
 impl AcceleratorConfig {
@@ -233,6 +246,8 @@ impl AcceleratorConfig {
             radix: 2,
             dispatcher_read_ports: 2,
             memory: None,
+            arena_capacity: 1024,
+            wheel_horizon: higraph_sim::wheel::DEFAULT_WHEEL_HORIZON,
         }
     }
 
@@ -262,6 +277,8 @@ impl AcceleratorConfig {
             radix: 2,
             dispatcher_read_ports: 2,
             memory: None,
+            arena_capacity: 1024,
+            wheel_horizon: higraph_sim::wheel::DEFAULT_WHEEL_HORIZON,
         }
     }
 
@@ -352,6 +369,20 @@ impl AcceleratorConfig {
         }
         if self.dispatcher_read_ports == 0 {
             return Err("dispatchers need at least one read port".to_string());
+        }
+        if self.arena_capacity == 0 {
+            return Err(format!(
+                "arena capacity 0 is invalid for '{}': packet arenas need room for at least \
+                 one in-flight packet; valid capacities: 1 ..= usize::MAX (the default is 1024, \
+                 and arenas grow on demand, so the capacity only sets the initial allocation)",
+                self.name
+            ));
+        }
+        if let Err(reason) = higraph_sim::EventWheel::try_new(1, self.wheel_horizon) {
+            return Err(format!(
+                "wheel horizon rejected for '{}': {reason}",
+                self.name
+            ));
         }
         if let Some(memory) = &self.memory {
             memory.validate()?;

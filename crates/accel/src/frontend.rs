@@ -8,11 +8,12 @@
 //! [`ClockedComponent`] implementation, driven by the shared
 //! `higraph_sim::Scheduler`.
 
+use crate::arena::PairArena;
 use crate::cache::{MemorySubsystem, QueryState};
 use crate::edge_access::EdgeAccess;
 use crate::metrics::Metrics;
 use crate::netfactory::{AnyNetwork, NetworkFactory};
-use crate::packets::VertexPacket;
+use crate::packets::VertexRef;
 use higraph_graph::{Csr, VertexId};
 use higraph_mdp::{EdgeRange, ReplayEngine};
 use higraph_sim::{BankPorts, ClockedComponent, Fifo, Network, NetworkStats, OddEvenArbiter};
@@ -26,10 +27,15 @@ pub(crate) struct FrontEnd<P> {
     /// Per-part ActiveVertex queues, filled round-robin in activation
     /// order at the start of each scatter phase.
     av_parts: Vec<VecDeque<(u32, P)>>,
-    /// The vertex-routing fabric in front of the Offset Array.
-    offset_net: AnyNetwork<VertexPacket<P>>,
+    /// The vertex-routing fabric in front of the Offset Array. Moves
+    /// 8-byte [`VertexRef`] handles; the `(u, prop)` payloads stay put
+    /// in `vertices` until the Offset Array stage consumes them.
+    offset_net: AnyNetwork<VertexRef>,
     /// Per-channel staging queues between the fabric and the Offset banks.
-    offset_q: Vec<Fifo<VertexPacket<P>>>,
+    offset_q: Vec<Fifo<VertexRef>>,
+    /// SoA store for the `(u, prop)` payloads of in-flight vertex
+    /// packets (see `crate::arena` for the lifetime conventions).
+    vertices: PairArena<P>,
     /// Per-channel Replay Engines turning `{Off, nOff}` into chunks.
     replay: Vec<ReplayEngine<P>>,
     /// One-entry skid buffer per channel between replay and edge access.
@@ -60,6 +66,7 @@ impl<P: Copy + 'static> FrontEnd<P> {
             offset_q: (0..n).map(|_| Fifo::new(config.staging_capacity)).collect(),
             replay: (0..n).map(|_| ReplayEngine::new(m)).collect(),
             replay_out: vec![None; n],
+            vertices: PairArena::with_capacity(config.arena_capacity),
             odd_even: OddEvenArbiter::new(),
             offset_rr: 0,
             mdp_offset: config.offset_network == crate::config::NetworkKind::Mdp,
@@ -155,7 +162,7 @@ impl<P: Copy + 'static> FrontEnd<P> {
             if !self.replay[c].is_idle() {
                 continue;
             }
-            let u = head.u;
+            let u = self.vertices.key(head.handle);
             // The offset pair must be on chip before the bank claim is
             // even attempted (a memory stall, not an arbitration
             // conflict — the grant chain is unaffected).
@@ -165,8 +172,10 @@ impl<P: Copy + 'static> FrontEnd<P> {
             }
             if claim(u, &mut self.offset_banks) {
                 let pkt = self.offset_q[c].pop().expect("peeked head");
-                let (off, n_off) = graph.offset_pair(VertexId(pkt.u));
-                let loaded = self.replay[c].load(off, n_off, pkt.prop);
+                let prop = self.vertices.payload(pkt.handle);
+                self.vertices.free(pkt.handle);
+                let (off, n_off) = graph.offset_pair(VertexId(u));
+                let loaded = self.replay[c].load(off, n_off, prop);
                 debug_assert!(loaded, "replay engine checked idle");
             } else {
                 metrics.offset_conflicts += 1;
@@ -180,7 +189,7 @@ impl<P: Copy + 'static> FrontEnd<P> {
         for c in 0..n {
             if !self.offset_q[c].is_full() {
                 if let Some(pkt) = self.offset_net.pop(c) {
-                    debug_assert_eq!(pkt.dest, c);
+                    debug_assert_eq!(pkt.dest as usize, c);
                     self.offset_q[c]
                         .push(pkt)
                         .unwrap_or_else(|_| unreachable!("space checked"));
@@ -188,18 +197,22 @@ impl<P: Copy + 'static> FrontEnd<P> {
             }
         }
 
-        // (6) ActiveVertex fetch: one vertex per part per cycle.
+        // (6) ActiveVertex fetch: one vertex per part per cycle. The
+        // payload enters the arena only if the fabric takes the ref
+        // (alloc-then-free-on-reject, see `crate::arena`).
         for c in 0..n {
             let Some(&(u, prop)) = self.av_parts[c].front() else {
                 continue;
             };
-            let pkt = VertexPacket {
-                u,
-                prop,
-                dest: (u as usize) % n,
+            let handle = self.vertices.alloc(u, prop);
+            let pkt = VertexRef {
+                handle,
+                dest: (u % n as u32),
             };
             if self.offset_net.push(c, pkt).is_ok() {
                 self.av_parts[c].pop_front();
+            } else {
+                self.vertices.free(handle);
             }
         }
     }
@@ -222,13 +235,14 @@ impl<P: Copy + 'static> FrontEnd<P> {
         // one the fabric keeps rejecting is deterministic bookkeeping
         // (committed in bulk by `commit_idle`).
         for c in 0..n {
-            if let Some(&(u, prop)) = self.av_parts[c].front() {
-                let pkt = VertexPacket {
-                    u,
-                    prop,
-                    dest: (u as usize) % n,
+            if let Some(&(u, _)) = self.av_parts[c].front() {
+                // Capacity probe only — nothing is allocated; the
+                // fabrics never dereference a handle.
+                let probe = VertexRef {
+                    handle: u32::MAX,
+                    dest: (u % n as u32),
                 };
-                if self.offset_net.can_accept(c, &pkt) {
+                if self.offset_net.can_accept(c, &probe) {
                     return true;
                 }
             }
@@ -265,7 +279,8 @@ impl<P: Copy + 'static> FrontEnd<P> {
             // engine is free and its offset pair is on chip.
             if let Some(head) = self.offset_q[c].peek() {
                 if self.replay[c].is_idle()
-                    && mem.offset_query_state(c, head.u) != QueryState::Blocked
+                    && mem.offset_query_state(c, self.vertices.key(head.handle))
+                        != QueryState::Blocked
                 {
                     return true;
                 }

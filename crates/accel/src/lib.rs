@@ -54,6 +54,7 @@ mod backend;
 mod frontend;
 mod parallel;
 
+pub mod arena;
 pub mod cache;
 pub mod config;
 pub mod edge_access;

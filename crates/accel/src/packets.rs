@@ -1,6 +1,54 @@
 //! Packet types flowing through the accelerator's fabrics.
+//!
+//! The hot path moves the *ref* types ([`VertexRef`], [`ImmRef`],
+//! [`EdgeRef`]): 8-byte handles into the per-chip SoA arenas of
+//! [`crate::arena`], carrying only what the fabrics inspect in flight
+//! (the destination). The materialized structs ([`VertexPacket`],
+//! [`ImmPacket`], [`PendingEdge`]) document the modeled payload each
+//! handle stands for and serve as the struct-copy baseline in the
+//! host-performance microbenchmarks.
 
 use higraph_sim::Packet;
+
+/// Handle to a vertex packet whose `(u, prop)` payload lives in the
+/// front-end's [`crate::arena::PairArena`]. This is what the
+/// offset-routing fabric and staging FIFOs move per hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VertexRef {
+    /// Arena handle of the `(u, prop)` pair.
+    pub handle: u32,
+    /// `u % n` — the only field inspected in flight.
+    pub dest: u32,
+}
+
+impl Packet for VertexRef {
+    fn dest(&self) -> usize {
+        self.dest as usize
+    }
+}
+
+/// Handle to an update packet whose `(v, imm)` payload lives in the
+/// back-end's [`crate::arena::PairArena`]. This is what the dataflow
+/// propagation fabric moves per hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImmRef {
+    /// Arena handle of the `(v, imm)` pair.
+    pub handle: u32,
+    /// `v % m` — the only field inspected in flight.
+    pub dest: u32,
+}
+
+impl Packet for ImmRef {
+    fn dest(&self) -> usize {
+        self.dest as usize
+    }
+}
+
+/// Handle to a pending edge whose `(dst, weight, u_prop)` payload lives
+/// in the back-end's [`crate::arena::EdgeArena`]. This is what the ePE
+/// queues hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRef(pub u32);
 
 /// A source vertex travelling from the ActiveVertex Array to its Offset
 /// Array channel (front-end routing; Fig. 6 "MDP-network for Offset Array

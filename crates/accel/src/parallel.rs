@@ -177,7 +177,7 @@ impl DrainShared {
 
 /// Publishes one chip's composite-relevant state. Ordering is Relaxed:
 /// the barrier's AcqRel handoff is what makes it visible.
-fn publish<P: Copy + 'static>(shared: &DrainShared, index: usize, chip: &ScatterPipeline<P>) {
+fn publish<P: Copy + 'static>(shared: &DrainShared, index: usize, chip: &mut ScatterPipeline<P>) {
     let activity = match chip.next_activity() {
         None => QUIESCENT,
         Some(window) => window.min(QUIESCENT - 1),
@@ -199,7 +199,7 @@ where
 {
     let mut spent = 0u64;
     let mut cycles_of: Vec<(usize, u64)> = lanes.iter().map(|lane| (lane.index, 0)).collect();
-    for lane in &lanes {
+    for lane in &mut lanes {
         publish(shared, lane.index, lane.chip);
     }
     shared.barrier.wait(); // initial state visible to the coordinator
@@ -252,7 +252,7 @@ where
                 }
                 spent += cycles;
             }
-            for lane in &lanes {
+            for lane in lanes.iter_mut() {
                 publish(shared, lane.index, lane.chip);
             }
         }));

@@ -41,8 +41,8 @@ use crate::parallel::{drain_chips_parallel, exchange_link, ChipLane};
 use higraph_graph::slicing::{partition, total_cut_edges, Slice};
 use higraph_graph::{Csr, VertexId};
 use higraph_sim::{
-    min_activity, ClockedComponent, DrainStep, InterChipLink, NetworkStats, Packet, Scheduler,
-    StallError,
+    min_activity, ClockedComponent, DrainStep, EventWheel, InterChipLink, NetworkStats, Packet,
+    Scheduler, StallError,
 };
 use higraph_vcpm::VertexProgram;
 
@@ -163,6 +163,14 @@ struct MultiChip<P> {
     chips: Vec<ScatterPipeline<P>>,
     link: InterChipLink<ShardPacket>,
     staged: Vec<Vec<u64>>,
+    /// Calendar queue over the chips (one slot per chip), so the serial
+    /// drain's window selection costs O(active chips) instead of polling
+    /// every chip pipeline. Chips never *gain* work mid-drain (the
+    /// exchange only moves staged counts into the link and discards
+    /// arrivals), so slots only need re-dirtying when a wake comes due
+    /// ([`EventWheel::dirty_due`] each tick) and wholesale at the start
+    /// of each drain, after `load_frontier` refills the chips.
+    wheel: EventWheel,
 }
 
 impl<P> MultiChip<P> {
@@ -178,6 +186,8 @@ impl<P: Copy + 'static> ClockedComponent for MultiChip<P> {
             chip.tick();
         }
         self.link.tick();
+        self.wheel.advance(1);
+        self.wheel.dirty_due();
     }
 
     fn in_flight(&self) -> usize {
@@ -192,15 +202,25 @@ impl<P: Copy + 'static> ClockedComponent for MultiChip<P> {
     /// The composite idles only when every chip and the link idle and no
     /// staged traffic is waiting (staged packets are offered — and their
     /// rejections counted — every cycle until the link accepts them).
-    fn next_activity(&self) -> Option<u64> {
+    fn next_activity(&mut self) -> Option<u64> {
         if self.staged_total() > 0 {
             return Some(0);
         }
-        let window = self
-            .chips
-            .iter()
-            .map(ClockedComponent::next_activity)
-            .fold(self.link.next_activity(), min_activity);
+        let chips = &mut self.chips;
+        let chip_window = self.wheel.next_window(|c| chips[c].next_activity());
+        #[cfg(debug_assertions)]
+        {
+            // The legacy poll, kept as the oracle the wheel must match.
+            let poll = chips
+                .iter_mut()
+                .map(ClockedComponent::next_activity)
+                .fold(None, min_activity);
+            debug_assert_eq!(
+                chip_window, poll,
+                "multi-chip event wheel diverged from the chip activity poll"
+            );
+        }
+        let window = min_activity(chip_window, self.link.activity_window());
         match window {
             Some(w) => Some(w),
             // Defensive, as in `ScatterPipeline::next_activity`.
@@ -209,11 +229,18 @@ impl<P: Copy + 'static> ClockedComponent for MultiChip<P> {
         }
     }
 
+    /// Chip windows are answered by the calendar queue; only the link
+    /// (one component) is still polled directly.
+    fn wheel_indexed(&self) -> bool {
+        true
+    }
+
     fn skip(&mut self, cycles: u64) {
         for chip in &mut self.chips {
             chip.skip(cycles);
         }
         self.link.skip(cycles);
+        self.wheel.advance(cycles);
     }
 }
 
@@ -377,6 +404,9 @@ impl<'g> ShardedEngine<'g> {
                 self.shard.link_capacity,
             ),
             staged: vec![vec![0u64; num_chips]; num_chips],
+            // `validate()` has already vetted the horizon, so this
+            // cannot fail for a config that reached `run`.
+            wheel: EventWheel::new(num_chips, config.wheel_horizon),
         };
         let mut scheduler = Scheduler::new().with_fast_forward(self.fast_forward);
         let fresh_metrics = || Metrics {
@@ -524,6 +554,10 @@ impl<'g> ShardedEngine<'g> {
         scheduler: &mut Scheduler,
     ) -> Result<u64, StallError> {
         let mut t_slices = split_owned_intervals(t_props, &self.slices);
+        // `load_frontier` refilled the chips since the last drain, so
+        // every registered wake may be stale-late; re-register them all
+        // before the first window selection.
+        multi.wheel.mark_all_dirty();
         scheduler.drain_with(multi, |multi, step| {
             let cycle = match step {
                 DrainStep::Cycle(cycle) => cycle,
@@ -598,6 +632,10 @@ impl<'g> ShardedEngine<'g> {
             chips,
             link,
             staged,
+            // The parallel drain computes the composite window from the
+            // workers' published per-chip activities; the wheel only
+            // serves the serial drain.
+            wheel: _,
         } = multi;
         let t_slices = split_owned_intervals(t_props, &self.slices);
         let lanes: Vec<ChipLane<'_, Prog::Prop>> = self

@@ -420,12 +420,15 @@ fn hostperf(scale: Scale, out: &mut Report) {
     println!("-- Host performance: simulated cycles per host second (informational) --");
     for r in figures::hostperf(scale) {
         println!(
-            "{:<13} {:>8.2}s host, {:>13} simulated cycles, {:>12.0} cycles/s, {} worker(s){}",
+            "{:<13} {:>8.2}s host, {:>13} simulated cycles, {:>12.0} cycles/s, {} worker(s), \
+             {} wheel / {} poll window selections{}",
             r.name,
             r.host_seconds,
             r.simulated_cycles,
             r.cycles_per_host_second,
             r.workers,
+            r.wheel_windows,
+            r.poll_windows,
             if r.stalled > 0 {
                 format!(", {} STALLED", r.stalled)
             } else {
@@ -440,13 +443,16 @@ fn hostperf(scale: Scale, out: &mut Report) {
         );
         out.record(format!("{p}.simulated_cycles"), r.simulated_cycles as f64);
         out.record(format!("{p}.workers"), r.workers as f64);
+        out.record(format!("{p}.wheel_windows"), r.wheel_windows as f64);
+        out.record(format!("{p}.poll_windows"), r.poll_windows as f64);
         if r.stalled > 0 {
             out.record(format!("{p}.stalled"), r.stalled as f64);
         }
     }
     println!(
         "(absolute host speed is machine-dependent — recorded for the trajectory,\n\
-         never gated; cycle counts are deterministic. See docs/performance.md)\n"
+         never gated; cycle counts are deterministic. Wheel-vs-poll selection\n\
+         counts show how fast-forward windows were found — see docs/simulation.md)\n"
     );
 }
 

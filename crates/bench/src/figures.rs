@@ -511,6 +511,13 @@ pub struct HostPerfRow {
     /// total while their host time still accrued — recorded so a
     /// regression cannot silently corrupt the trajectory).
     pub stalled: usize,
+    /// Fast-forward window selections this leg answered through an
+    /// indexed event wheel (`higraph_sim::selection` delta across the
+    /// leg) — recorded next to `cycles_per_host_second` so the
+    /// trajectory shows *how* windows were found, not just how fast.
+    pub wheel_windows: u64,
+    /// Window selections answered by the legacy O(components) poll.
+    pub poll_windows: u64,
 }
 
 /// Host-performance trajectory (`repro hostperf`): absolute simulated
@@ -535,17 +542,26 @@ pub fn hostperf(scale: Scale) -> Vec<HostPerfRow> {
 
 /// [`hostperf`] over explicit graphs (unit tests run it on small ones).
 fn hostperf_on(shard_graph: &Csr, mem_graph: &Csr, pr_iters: u32) -> Vec<HostPerfRow> {
-    let row = |name, host_seconds: f64, simulated_cycles: u64, workers, stalled| HostPerfRow {
+    use higraph::sim::selection::{self, SelectionCounts};
+    let row = |name,
+               host_seconds: f64,
+               simulated_cycles: u64,
+               workers,
+               stalled,
+               selections: SelectionCounts| HostPerfRow {
         name,
         host_seconds,
         simulated_cycles,
         cycles_per_host_second: simulated_cycles as f64 / host_seconds.max(1e-9),
         workers,
         stalled,
+        wheel_windows: selections.wheel_windows,
+        poll_windows: selections.poll_windows,
     };
 
     let chips = 4;
     let shard_workers = higraph::accel::sharded::auto_worker_threads().min(chips);
+    let shard_selections_before = selection::snapshot();
     let start = Instant::now();
     let mut shard_cycles = 0u64;
     let mut shard_stalled = 0usize;
@@ -569,7 +585,9 @@ fn hostperf_on(shard_graph: &Csr, mem_graph: &Csr, pr_iters: u32) -> Vec<HostPer
         }
     }
     let shard_seconds = start.elapsed().as_secs_f64();
+    let shard_selections = selection::snapshot().since(&shard_selections_before);
 
+    let mem_selections_before = selection::snapshot();
     let start = Instant::now();
     let mut mem_cycles = 0u64;
     let mut mem_stalled = 0usize;
@@ -586,6 +604,7 @@ fn hostperf_on(shard_graph: &Csr, mem_graph: &Csr, pr_iters: u32) -> Vec<HostPer
         }
     }
     let mem_seconds = start.elapsed().as_secs_f64();
+    let mem_selections = selection::snapshot().since(&mem_selections_before);
 
     vec![
         row(
@@ -594,8 +613,16 @@ fn hostperf_on(shard_graph: &Csr, mem_graph: &Csr, pr_iters: u32) -> Vec<HostPer
             shard_cycles,
             shard_workers,
             shard_stalled,
+            shard_selections,
         ),
-        row("memstarved", mem_seconds, mem_cycles, 1, mem_stalled),
+        row(
+            "memstarved",
+            mem_seconds,
+            mem_cycles,
+            1,
+            mem_stalled,
+            mem_selections,
+        ),
     ]
 }
 

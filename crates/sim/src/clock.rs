@@ -114,12 +114,28 @@ pub trait ClockedComponent {
     /// which disables fast-forward and is always safe. It must also be
     /// monotone under idleness: if a component reports `Some(k)`, then
     /// after `j <= k` trivial ticks it reports at least `Some(k - j)`.
-    fn next_activity(&self) -> Option<u64> {
+    ///
+    /// The receiver is `&mut self` so composites can maintain an indexed
+    /// wake registry ([`crate::wheel::EventWheel`]) while answering;
+    /// observable state must not change — calling this any number of
+    /// times between ticks returns the same value (leaf components keep
+    /// pure `&self` window helpers that this method delegates to, which
+    /// `skip` debug-asserts and the debug-build poll oracles use).
+    fn next_activity(&mut self) -> Option<u64> {
         if self.is_drained() {
             None
         } else {
             Some(0)
         }
+    }
+
+    /// Whether this component answers [`ClockedComponent::next_activity`]
+    /// through an indexed event wheel rather than an O(components) poll.
+    /// Purely observational: the scheduler uses it to attribute window
+    /// selections in the host-performance trajectory
+    /// ([`crate::selection`]).
+    fn wheel_indexed(&self) -> bool {
+        false
     }
 
     /// Commits `cycles` idle cycles at once — exactly equivalent to
@@ -159,7 +175,7 @@ impl<T> ClockedComponent for crate::fifo::Fifo<T> {
     }
 
     /// Queued items are poppable *now*; an empty FIFO never acts alone.
-    fn next_activity(&self) -> Option<u64> {
+    fn next_activity(&mut self) -> Option<u64> {
         if self.is_empty() {
             None
         } else {
@@ -178,7 +194,7 @@ impl<T> ClockedComponent for VecDeque<T> {
         self.len()
     }
 
-    fn next_activity(&self) -> Option<u64> {
+    fn next_activity(&mut self) -> Option<u64> {
         if self.is_empty() {
             None
         } else {
@@ -201,7 +217,7 @@ impl ClockedComponent for OddEvenArbiter {
 
     /// The parity flip is pure time-keeping; owners fold it into their
     /// own activity hint.
-    fn next_activity(&self) -> Option<u64> {
+    fn next_activity(&mut self) -> Option<u64> {
         None
     }
 
@@ -226,8 +242,8 @@ impl<C: ClockedComponent> ClockedComponent for Vec<C> {
         self.iter().all(ClockedComponent::is_drained)
     }
 
-    fn next_activity(&self) -> Option<u64> {
-        self.iter()
+    fn next_activity(&mut self) -> Option<u64> {
+        self.iter_mut()
             .map(|c| c.next_activity())
             .fold(None, min_activity)
     }
@@ -296,6 +312,11 @@ pub struct Scheduler {
     skipped: u64,
     stall_guard: u64,
     fast_forward: bool,
+    /// Fast-forward window selections answered by an event wheel, across
+    /// this scheduler's drains (see [`ClockedComponent::wheel_indexed`]).
+    wheel_selections: u64,
+    /// Fast-forward window selections answered by the legacy poll.
+    poll_selections: u64,
 }
 
 impl Default for Scheduler {
@@ -312,6 +333,8 @@ impl Scheduler {
             skipped: 0,
             stall_guard: DEFAULT_STALL_GUARD,
             fast_forward: false,
+            wheel_selections: 0,
+            poll_selections: 0,
         }
     }
 
@@ -358,6 +381,14 @@ impl Scheduler {
     /// fast-forward instead of individually ticked.
     pub fn skipped_cycles(&self) -> u64 {
         self.skipped
+    }
+
+    /// Fast-forward window selections this scheduler has performed, as
+    /// `(wheel_indexed, polled)` — attributed per drained component via
+    /// [`ClockedComponent::wheel_indexed`]. Also flushed to the
+    /// process-wide [`crate::selection`] tallies after every drain.
+    pub fn window_selections(&self) -> (u64, u64) {
+        (self.wheel_selections, self.poll_selections)
     }
 
     /// Runs `component` until it drains.
@@ -409,10 +440,15 @@ impl Scheduler {
         C: ClockedComponent + ?Sized,
         F: FnMut(&mut C, DrainStep),
     {
+        let indexed = component.wheel_indexed();
+        let mut selections = 0u64;
         let mut spent = 0u64;
-        while !component.is_drained() {
+        let result = loop {
+            if component.is_drained() {
+                break Ok(spent);
+            }
             if spent >= self.stall_guard {
-                return Err(StallError {
+                break Err(StallError {
                     cycles: spent,
                     limit: self.stall_guard,
                 });
@@ -422,6 +458,7 @@ impl Scheduler {
                 // input will ever arrive inside a drain, so burn the
                 // remaining guard in one step (the naive loop would tick
                 // it away) and report the stall on the next iteration.
+                selections += 1;
                 let window = component.next_activity().unwrap_or(u64::MAX);
                 if window > 0 {
                     let window = window.min(self.stall_guard - spent);
@@ -451,8 +488,17 @@ impl Scheduler {
             component.tick();
             spent += 1;
             self.cycles += 1;
+        };
+        if selections > 0 {
+            if indexed {
+                self.wheel_selections += selections;
+                crate::selection::record(selections, 0);
+            } else {
+                self.poll_selections += selections;
+                crate::selection::record(0, selections);
+            }
         }
-        Ok(spent)
+        result
     }
 
     /// Runs `component` for exactly `cycles` cycles regardless of drain
@@ -600,7 +646,7 @@ mod tests {
             usize::from(self.item.is_some())
         }
 
-        fn next_activity(&self) -> Option<u64> {
+        fn next_activity(&mut self) -> Option<u64> {
             self.item.map(|_| self.ready_in)
         }
 

@@ -265,6 +265,34 @@ impl MemoryChannel {
     pub fn stats(&self) -> &MemoryStats {
         &self.stats
     }
+
+    /// Cycles until a line can next land in `ready` — the only externally
+    /// observable event a channel produces. Request *issue* is internal
+    /// (it changes no consumer-visible state), so a loaded channel still
+    /// reports a positive window: in-service accesses complete at their
+    /// known `done_at`, and a queued request cannot complete sooner than
+    /// an issue next tick plus the fastest (row-hit) service.
+    ///
+    /// This is the pure `&self` form of
+    /// [`ClockedComponent::next_activity`]; `skip` debug-asserts against
+    /// it, and [`DramSystem`]'s event wheel uses it as the per-channel
+    /// window function and debug-build poll oracle.
+    pub fn activity_window(&self) -> Option<u64> {
+        if !self.ready.is_empty() {
+            return Some(0);
+        }
+        let service = self
+            .banks
+            .iter()
+            .filter_map(|b| b.service.map(|s| s.done_at.saturating_sub(self.now + 1)))
+            .min();
+        let queued = if self.queue.is_empty() {
+            None
+        } else {
+            Some(self.timing.hit_cycles())
+        };
+        crate::clock::min_activity(service, queued)
+    }
 }
 
 impl ClockedComponent for MemoryChannel {
@@ -339,27 +367,8 @@ impl ClockedComponent for MemoryChannel {
             + self.ready.len()
     }
 
-    /// Cycles until a line can next land in `ready` — the only externally
-    /// observable event a channel produces. Request *issue* is internal
-    /// (it changes no consumer-visible state), so a loaded channel still
-    /// reports a positive window: in-service accesses complete at their
-    /// known `done_at`, and a queued request cannot complete sooner than
-    /// an issue next tick plus the fastest (row-hit) service.
-    fn next_activity(&self) -> Option<u64> {
-        if !self.ready.is_empty() {
-            return Some(0);
-        }
-        let service = self
-            .banks
-            .iter()
-            .filter_map(|b| b.service.map(|s| s.done_at.saturating_sub(self.now + 1)))
-            .min();
-        let queued = if self.queue.is_empty() {
-            None
-        } else {
-            Some(self.timing.hit_cycles())
-        };
-        crate::clock::min_activity(service, queued)
+    fn next_activity(&mut self) -> Option<u64> {
+        self.activity_window()
     }
 
     /// With work in motion the window's ticks still issue and serve
@@ -368,7 +377,7 @@ impl ClockedComponent for MemoryChannel {
     /// time-keeping, committed in O(1).
     fn skip(&mut self, cycles: u64) {
         debug_assert!(
-            self.next_activity().is_none_or(|w| cycles <= w),
+            self.activity_window().is_none_or(|w| cycles <= w),
             "skip() overran the channel's activity window"
         );
         if self.queue.is_empty() && self.banks.iter().all(|b| b.service.is_none()) {
@@ -393,6 +402,12 @@ impl ClockedComponent for MemoryChannel {
 pub struct DramSystem {
     channels: Vec<MemoryChannel>,
     row_lines: u64,
+    /// Indexed per-channel wake registry: window selection visits only
+    /// channels with a due or dirty wake instead of polling all of them
+    /// (`docs/simulation.md`). Dirtied on accepts and on due wakes; the
+    /// debug-build oracle holds it equal to
+    /// [`DramSystem::poll_next_activity`].
+    wheel: crate::wheel::EventWheel,
 }
 
 impl DramSystem {
@@ -416,7 +431,23 @@ impl DramSystem {
                 .map(|_| MemoryChannel::new(num_banks, queue_depth, timing))
                 .collect(),
             row_lines,
+            wheel: crate::wheel::EventWheel::new(num_channels, crate::wheel::DEFAULT_WHEEL_HORIZON),
         }
+    }
+
+    /// Replaces the wake-registry horizon (a configuration knob; the
+    /// default is [`crate::wheel::DEFAULT_WHEEL_HORIZON`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is invalid per
+    /// [`crate::wheel::EventWheel::try_new`]; configuration-derived
+    /// horizons are validated upstream (`AcceleratorConfig::validate`).
+    pub fn set_wheel_horizon(&mut self, horizon: usize) {
+        let mut wheel = crate::wheel::EventWheel::new(self.channels.len(), horizon);
+        wheel.advance(self.wheel.now());
+        wheel.mark_all_dirty();
+        self.wheel = wheel;
     }
 
     /// Number of channels.
@@ -437,7 +468,14 @@ impl DramSystem {
     /// accepted it.
     pub fn try_request(&mut self, line: u64) -> bool {
         let (channel, bank, row) = self.map(line);
-        self.channels[channel].try_request(line, bank, row)
+        let accepted = self.channels[channel].try_request(line, bank, row);
+        if accepted {
+            // New input can only make the channel's next event earlier
+            // than its registered wake — the one staleness the wheel
+            // cannot recover from on its own.
+            self.wheel.mark_dirty(channel);
+        }
+        accepted
     }
 
     /// Whether a rejected fetch of `line` stays rejected every cycle
@@ -469,6 +507,18 @@ impl DramSystem {
         }
         all
     }
+
+    /// The legacy O(channels) activity fold — what
+    /// [`ClockedComponent::next_activity`] computed before the event
+    /// wheel. Kept as the debug-build oracle the wheel is asserted
+    /// against, and public so property tests can compare the two on
+    /// randomized traffic.
+    pub fn poll_next_activity(&self) -> Option<u64> {
+        self.channels
+            .iter()
+            .map(MemoryChannel::activity_window)
+            .fold(None, crate::clock::min_activity)
+    }
 }
 
 impl ClockedComponent for DramSystem {
@@ -476,26 +526,42 @@ impl ClockedComponent for DramSystem {
         for ch in &mut self.channels {
             ch.tick();
         }
+        self.wheel.advance(1);
+        // A channel whose wake was reached has just acted; its old wake
+        // says nothing about its future, so re-register it. Channels
+        // sleeping past `now` keep their absolute wake untouched.
+        self.wheel.dirty_due();
     }
 
     fn in_flight(&self) -> usize {
         self.channels.iter().map(ClockedComponent::in_flight).sum()
     }
 
-    fn next_activity(&self) -> Option<u64> {
-        self.channels
-            .iter()
-            .map(ClockedComponent::next_activity)
-            .fold(None, crate::clock::min_activity)
+    fn next_activity(&mut self) -> Option<u64> {
+        let channels = &self.channels;
+        let window = self.wheel.next_window(|c| channels[c].activity_window());
+        debug_assert_eq!(
+            window,
+            self.poll_next_activity(),
+            "event wheel diverged from the channel activity poll"
+        );
+        window
+    }
+
+    fn wheel_indexed(&self) -> bool {
+        true
     }
 
     /// Every channel's clock advances each cycle, busy or not, so the
     /// skip is committed to all of them (empty channels have no window
-    /// to overrun).
+    /// to overrun). Loaded channels issue internally during the window;
+    /// the wheel's per-candidate revalidation absorbs the resulting
+    /// stale-early wakes.
     fn skip(&mut self, cycles: u64) {
         for ch in &mut self.channels {
             ch.skip(cycles);
         }
+        self.wheel.advance(cycles);
     }
 }
 

@@ -25,7 +25,12 @@
 //!   fabric (buffer-sizing studies),
 //! * [`clock::ClockedComponent`] / [`clock::Scheduler`] — the cycle
 //!   protocol as a trait plus the driver that clocks any set of
-//!   components.
+//!   components,
+//! * [`wheel::EventWheel`] — the indexed calendar queue that turns
+//!   fast-forward window selection from an O(components) poll into an
+//!   O(active) lookup,
+//! * [`selection`] — process-wide wheel-vs-poll selection tallies for
+//!   the host-performance trajectory.
 //!
 //! # Cycle protocol
 //!
@@ -50,7 +55,9 @@ pub mod link;
 pub mod memory;
 pub mod network;
 pub mod probe;
+pub mod selection;
 pub mod stats;
+pub mod wheel;
 
 pub use arbiter::{OddEvenArbiter, RoundRobinArbiter};
 pub use clock::{min_activity, ClockedComponent, DrainStep, Scheduler, StallError};
@@ -61,4 +68,6 @@ pub use link::InterChipLink;
 pub use memory::BankPorts;
 pub use network::{Network, Packet};
 pub use probe::Instrumented;
+pub use selection::SelectionCounts;
 pub use stats::NetworkStats;
+pub use wheel::EventWheel;

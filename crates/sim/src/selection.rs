@@ -1,0 +1,73 @@
+//! Process-wide tallies of fast-forward window selections, split by how
+//! the drained component finds its minimum activity window: through an
+//! indexed [`EventWheel`](crate::wheel::EventWheel) or through the legacy
+//! O(components) `next_activity` poll.
+//!
+//! These are observability counters for the host-performance trajectory
+//! (`repro hostperf` reports wheel-vs-poll selection counts per leg) —
+//! they are *not* part of the accelerator's `Metrics`: a naive per-cycle
+//! drain performs no window selections at all, so folding them into
+//! `Metrics` would break the naive-vs-fast bit-identity contract.
+//!
+//! The [`Scheduler`](crate::Scheduler) tallies selections locally during
+//! a drain and flushes them here once per drain, so the atomics stay off
+//! the per-cycle hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static WHEEL_WINDOWS: AtomicU64 = AtomicU64::new(0);
+static POLL_WINDOWS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the process-wide selection tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SelectionCounts {
+    /// Window selections answered by an event wheel.
+    pub wheel_windows: u64,
+    /// Window selections answered by the legacy poll.
+    pub poll_windows: u64,
+}
+
+impl SelectionCounts {
+    /// Selections accumulated since `earlier` (wrapping, so interleaved
+    /// snapshots from other threads never panic).
+    pub fn since(&self, earlier: &SelectionCounts) -> SelectionCounts {
+        SelectionCounts {
+            wheel_windows: self.wheel_windows.wrapping_sub(earlier.wheel_windows),
+            poll_windows: self.poll_windows.wrapping_sub(earlier.poll_windows),
+        }
+    }
+}
+
+/// Adds a drain's local tallies to the process-wide counters.
+pub fn record(wheel_windows: u64, poll_windows: u64) {
+    if wheel_windows > 0 {
+        WHEEL_WINDOWS.fetch_add(wheel_windows, Ordering::Relaxed);
+    }
+    if poll_windows > 0 {
+        POLL_WINDOWS.fetch_add(poll_windows, Ordering::Relaxed);
+    }
+}
+
+/// The current process-wide tallies.
+pub fn snapshot() -> SelectionCounts {
+    SelectionCounts {
+        wheel_windows: WHEEL_WINDOWS.load(Ordering::Relaxed),
+        poll_windows: POLL_WINDOWS.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_into_snapshots() {
+        let before = snapshot();
+        record(3, 2);
+        record(0, 0); // no-op fast path
+        let delta = snapshot().since(&before);
+        // other tests may record concurrently; the delta is at least ours
+        assert!(delta.wheel_windows >= 3, "{delta:?}");
+        assert!(delta.poll_windows >= 2, "{delta:?}");
+    }
+}

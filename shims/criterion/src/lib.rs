@@ -8,9 +8,19 @@
 //! statistical analysis, no HTML report, and no saved baselines — the
 //! numbers are for eyeballing regressions in an offline container, not
 //! for publication.
+//!
+//! Setting `CRITERION_SHIM_SMOKE=1` in the environment switches every
+//! benchmark to smoke mode: no warm-up and a single timed sample. CI's
+//! lint job uses this to prove the benches compile and their harness
+//! code runs, without paying measurement-grade iteration counts.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
+
+/// Whether `CRITERION_SHIM_SMOKE=1` asked for compile-and-run-once mode.
+fn smoke_mode() -> bool {
+    std::env::var_os("CRITERION_SHIM_SMOKE").is_some_and(|v| v == "1")
+}
 
 /// Identifier of one benchmark within a group.
 #[derive(Debug, Clone)]
@@ -138,9 +148,12 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     throughput: Option<Throughput>,
     mut f: F,
 ) {
-    // one warm-up call
-    let mut bencher = Bencher::default();
-    f(&mut bencher);
+    let sample_size = if smoke_mode() { 1 } else { sample_size };
+    if !smoke_mode() {
+        // one warm-up call
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+    }
 
     let mut samples = Vec::with_capacity(sample_size);
     for _ in 0..sample_size {

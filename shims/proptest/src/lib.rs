@@ -3,7 +3,9 @@
 //! No network access means no crates.io `proptest`; this shim keeps the
 //! property tests' source compatible: the [`proptest!`] macro, the
 //! `prop_assert*` / [`prop_assume!`] family, range/tuple/vec/bool
-//! strategies, and [`test_runner::ProptestConfig::with_cases`].
+//! strategies, [`strategy::Just`] / [`prop_oneof!`] /
+//! [`strategy::Strategy::prop_filter`] combinators, and
+//! [`test_runner::ProptestConfig::with_cases`].
 //!
 //! Differences from the real crate, deliberately accepted:
 //!
@@ -27,6 +29,22 @@ pub mod strategy {
 
         /// Draws one value.
         fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Restricts this strategy to values satisfying `predicate`.
+        /// `whence` labels the filter in the panic raised if the
+        /// predicate keeps rejecting (the shim redraws instead of
+        /// shrinking, so a near-impossible filter would loop forever).
+        fn prop_filter<F>(self, whence: &'static str, predicate: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence,
+                predicate,
+            }
+        }
     }
 
     macro_rules! range_strategy {
@@ -41,6 +59,97 @@ pub mod strategy {
     }
 
     range_strategy!(u8, u16, u32, u64, usize, f64);
+
+    macro_rules! range_inclusive_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_inclusive_strategy!(u8, u16, u32, u64, usize);
+
+    /// A strategy producing one fixed value (`proptest::strategy::Just`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_filter`]'s rejection-resampling adapter.
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        predicate: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut StdRng) -> S::Value {
+            for _ in 0..1_000 {
+                let value = self.inner.sample(rng);
+                if (self.predicate)(&value) {
+                    return value;
+                }
+            }
+            panic!(
+                "prop_filter '{}' rejected 1000 consecutive draws; \
+                 loosen the source strategy or the predicate",
+                self.whence
+            );
+        }
+    }
+
+    /// Uniform choice among same-typed strategies — what the
+    /// [`crate::prop_oneof!`] macro builds.
+    pub struct Union<V> {
+        options: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V: Debug> Union<V> {
+        /// An empty union; sampling panics until an option is added.
+        pub fn new() -> Self {
+            Union {
+                options: Vec::new(),
+            }
+        }
+
+        /// Adds one strategy to choose from.
+        pub fn or(mut self, option: impl Strategy<Value = V> + 'static) -> Self {
+            self.options.push(Box::new(option));
+            self
+        }
+    }
+
+    impl<V: Debug> Default for Union<V> {
+        fn default() -> Self {
+            Union::new()
+        }
+    }
+
+    impl<V: Debug> std::fmt::Debug for Union<V> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Union({} options)", self.options.len())
+        }
+    }
+
+    impl<V: Debug> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut StdRng) -> V {
+            assert!(!self.options.is_empty(), "prop_oneof! needs an option");
+            let choice = rng.gen_range(0..self.options.len());
+            self.options[choice].sample(rng)
+        }
+    }
 
     /// Uniformly random booleans (`proptest::bool::ANY`).
     #[derive(Debug, Clone, Copy)]
@@ -162,9 +271,21 @@ pub mod test_runner {
 pub mod prelude {
     //! The imports property tests conventionally glob in.
 
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Chooses uniformly among same-typed strategies. The real crate
+/// supports `weight => strategy` arms; the shim keeps the unweighted
+/// form only, which is all the workspace uses.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new()$(.or($strategy))+
+    };
 }
 
 /// Fails the current case with a formatted message.
