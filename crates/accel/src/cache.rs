@@ -448,8 +448,8 @@ impl ClockedComponent for MemorySubsystem {
 
     /// The subsystem acts on its own only when DRAM does: queries advance
     /// exclusively when a pipeline stage asks (the stage's own activity
-    /// is probed via [`MemorySubsystem::edge_query_state`] /
-    /// [`MemorySubsystem::offset_query_state`]).
+    /// is probed via `MemorySubsystem::edge_query_state` /
+    /// `MemorySubsystem::offset_query_state`, which are crate-private).
     fn next_activity(&mut self) -> Option<u64> {
         self.inner.as_mut().and_then(|m| m.dram.next_activity())
     }

@@ -64,6 +64,7 @@ pub mod netfactory;
 pub mod packets;
 pub mod runner;
 pub mod sharded;
+pub mod space;
 
 pub use cache::MemorySubsystem;
 pub use config::{AcceleratorConfig, MemoryConfig, NetworkKind, OptLevel};
@@ -74,3 +75,4 @@ pub use runner::{
     BatchError, BatchJob, BatchReport, BatchResult, BatchRunner, RunMode, ShardedTiming,
 };
 pub use sharded::{ShardConfig, ShardedEngine, ShardedRunResult};
+pub use space::{Axis, DesignPoint, DesignSpace, Genome};

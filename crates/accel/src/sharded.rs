@@ -16,7 +16,7 @@
 //! *global* frontier over its slice graph into its own tProperty
 //! interval, and applies its owned vertices. Because every edge lives on
 //! exactly one chip and reduction is per-destination, the final Property
-//! Array is bit-identical to the serial [`Engine::run`] — with one chip
+//! Array is bit-identical to the serial [`Engine::run`](crate::engine::Engine::run) — with one chip
 //! the whole run (metrics included) is bit-identical, which
 //! `tests/sharded_equivalence.rs` asserts.
 //!

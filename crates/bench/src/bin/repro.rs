@@ -8,7 +8,7 @@
 //!
 //! Targets: `table1 table2 fig4 fig5 fig7 fig8 fig9 fig10a fig10b fig11
 //! fig12 radix areapower ablation batch shard shardfull mem simspeed
-//! hostperf all`. Default scale divides Table 2 datasets by 4
+//! hostperf dse all`. Default scale divides Table 2 datasets by 4
 //! (Figs. 5/10/11/12 and the radix sweep always run full-scale R14);
 //! `--full` uses the paper's exact sizes everywhere. Every sweep
 //! executes through the parallel batch runner, so wall time scales down
@@ -22,7 +22,12 @@
 //! per host second on two fixed workloads (the P=4 `shardfull` suite
 //! with intra-run chip parallelism, and the bandwidth-starved memory
 //! sweep) — informational only, never gated, so future PRs have a
-//! host-performance trajectory. A design point that stalls fails its
+//! host-performance trajectory; `dse` runs the seeded Pareto-front
+//! design-space exploration over the cost model (`docs/dse.md`) on its
+//! own pinned fidelity schedule (ignores `--full`), sized by
+//! `--dse-budget` and gated under `--check` by the anchor
+//! `front_excess` threshold plus the budget-independent
+//! `dse.anchor.*` baseline keys. A design point that stalls fails its
 //! own row — printed as `STALL` and recorded as a `…stalled` metric —
 //! without aborting the sweep.
 //!
@@ -40,9 +45,12 @@
 //!   metric is missing or deviates more than 10%. Baseline keys owned by
 //!   targets that did not run this invocation are skipped, so partial
 //!   runs gate only what they measured;
-//! * `--full` — paper-exact dataset sizes.
+//! * `--full` — paper-exact dataset sizes;
+//! * `--dse-budget <n>` — rung-0 cohort size for the `dse` target
+//!   (default 48; the nightly leg uses 224).
 
 use higraph::prelude::Metrics;
+use higraph_bench::dse::{DseOutcome, DseSettings, MAX_ANCHOR_FRONT_EXCESS};
 use higraph_bench::report::{
     check_against_baseline, filter_baseline_to_targets, parse_flat_json, DEFAULT_TOLERANCE,
 };
@@ -54,7 +62,7 @@ use std::process::ExitCode;
 const REPORT_PATH: &str = "bench-report.json";
 
 /// Every runnable target, plus the `all` alias.
-const KNOWN_TARGETS: [&str; 20] = [
+const KNOWN_TARGETS: [&str; 21] = [
     "table1",
     "table2",
     "fig4",
@@ -75,6 +83,7 @@ const KNOWN_TARGETS: [&str; 20] = [
     "mem",
     "simspeed",
     "hostperf",
+    "dse",
 ];
 
 /// Minimum host-time speedup the fast-forward scheduler must deliver on
@@ -88,6 +97,7 @@ fn main() -> ExitCode {
     let mut full = false;
     let mut json = false;
     let mut check: Option<String> = None;
+    let mut dse_budget: Option<usize> = None;
     let mut targets: BTreeSet<String> = BTreeSet::new();
     let mut i = 0;
     while i < args.len() {
@@ -104,8 +114,20 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--dse-budget" => {
+                i += 1;
+                match args.get(i).and_then(|n| n.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => dse_budget = Some(n),
+                    _ => {
+                        eprintln!("--dse-budget needs a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             flag if flag.starts_with("--") => {
-                eprintln!("unknown flag {flag} (known: --full --json --check <path>)");
+                eprintln!(
+                    "unknown flag {flag} (known: --full --json --check <path> --dse-budget <n>)"
+                );
                 return ExitCode::FAILURE;
             }
             target => {
@@ -242,6 +264,11 @@ fn main() -> ExitCode {
         report.ran("hostperf");
         hostperf(scale, &mut report);
     }
+    let mut dse_outcome = None;
+    if targets.contains("dse") {
+        report.ran("dse");
+        dse_outcome = Some(dse(dse_budget, &mut report));
+    }
 
     if json {
         if let Err(e) = std::fs::write(REPORT_PATH, report.to_json()) {
@@ -265,6 +292,31 @@ fn main() -> ExitCode {
             }
             println!(
                 "perf gate: fast-forward host speedup {ratio:.2}x >= {MIN_SIMSPEED_RATIO:.1}x minimum"
+            );
+        }
+        // The DSE anchor gate is likewise a fixed threshold: the front's
+        // exact membership shifts with the candidate budget, so the gate
+        // only demands that the paper's two synthesised designs are on or
+        // near the Pareto front, however many candidates were explored.
+        if let Some(outcome) = &dse_outcome {
+            if outcome.front.is_empty() {
+                eprintln!("dse gate FAILED: exploration produced an empty Pareto front");
+                return ExitCode::FAILURE;
+            }
+            for anchor in &outcome.anchors {
+                if anchor.front_excess > MAX_ANCHOR_FRONT_EXCESS {
+                    eprintln!(
+                        "dse gate FAILED: anchor {} has front excess {:.2}, \
+                         above the {MAX_ANCHOR_FRONT_EXCESS:.1} maximum",
+                        anchor.label, anchor.front_excess
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            println!(
+                "dse gate: {} anchors within {MAX_ANCHOR_FRONT_EXCESS:.1}x of the {}-point front",
+                outcome.anchors.len(),
+                outcome.front.len()
             );
         }
         let gated = filter_baseline_to_targets(&baseline, &report.targets, &KNOWN_TARGETS);
@@ -454,6 +506,83 @@ fn hostperf(scale: Scale, out: &mut Report) {
          never gated; cycle counts are deterministic. Wheel-vs-poll selection\n\
          counts show how fast-forward windows were found — see docs/simulation.md)\n"
     );
+}
+
+/// Pareto-front design-space exploration over the cost model
+/// (`docs/dse.md`). Runs on its own pinned fidelity schedule — the
+/// `--full` scale flag does not apply — so the anchor objective values
+/// are budget- and scale-independent and can live in the baseline.
+fn dse(budget: Option<usize>, out: &mut Report) -> DseOutcome {
+    let mut settings = DseSettings::smoke();
+    if let Some(budget) = budget {
+        settings = settings.with_budget(budget);
+    }
+    println!(
+        "-- Design-space exploration: time x area x energy Pareto front (PR) --\n\
+         seed {}, rung-0 cohort {}, eta {}, {} refinement rounds, {} fidelity rungs",
+        settings.seed,
+        settings.budget,
+        settings.eta,
+        settings.refine_rounds,
+        settings.rungs.len()
+    );
+    let outcome = higraph_bench::dse::explore(&settings);
+    println!(
+        "evaluated {} design points out of a {}-point lattice\n",
+        outcome.points_evaluated, outcome.space_size
+    );
+    println!(
+        "{:<52} {:>10} {:>11} {:>9} {:>11}",
+        "front member", "cycles", "time (us)", "mm^2", "energy (mJ)"
+    );
+    for (i, row) in outcome.front.iter().enumerate() {
+        let o = &row.objectives;
+        println!(
+            "{:<52} {:>10} {:>11.2} {:>9.3} {:>11.4}",
+            row.name,
+            o.cycles,
+            o.time_ns / 1e3,
+            o.area_mm2,
+            o.energy_mj
+        );
+        let p = format!("dse.front.{i}");
+        out.record(format!("{p}.cycles"), o.cycles as f64);
+        out.record(format!("{p}.time_ns"), o.time_ns);
+        out.record(format!("{p}.area_mm2"), o.area_mm2);
+        out.record(format!("{p}.energy_mj"), o.energy_mj);
+    }
+    println!();
+    for anchor in &outcome.anchors {
+        let o = &anchor.objectives;
+        println!(
+            "anchor {:<20} {:>10} cycles, {:>8.2} us, {:>7.3} mm^2, {:>9.4} mJ — \
+             front excess {:.2}{}",
+            anchor.label,
+            o.cycles,
+            o.time_ns / 1e3,
+            o.area_mm2,
+            o.energy_mj,
+            anchor.front_excess,
+            if anchor.on_front() { " (on front)" } else { "" }
+        );
+        let p = format!("dse.anchor.{}", anchor.label);
+        out.record(format!("{p}.cycles"), o.cycles as f64);
+        out.record(format!("{p}.time_ns"), o.time_ns);
+        out.record(format!("{p}.area_mm2"), o.area_mm2);
+        out.record(format!("{p}.energy_mj"), o.energy_mj);
+        out.record(format!("{p}.front_excess"), anchor.front_excess);
+    }
+    out.record("dse.front.size".to_string(), outcome.front.len() as f64);
+    out.record(
+        "dse.points_evaluated".to_string(),
+        outcome.points_evaluated as f64,
+    );
+    println!(
+        "(front membership and size vary with --dse-budget; only the anchor\n\
+         objectives are baselined. Anchors must sit within {MAX_ANCHOR_FRONT_EXCESS:.1}x of the\n\
+         front under --check — see docs/dse.md)\n"
+    );
+    outcome
 }
 
 fn mem(scale: Scale, out: &mut Report) {

@@ -8,10 +8,12 @@
 //! scaled-down datasets (`Scale::quick`) to stay laptop-friendly; pass
 //! `--full` to the binary for Table 2 sizes.
 
+pub mod dse;
 pub mod figures;
 pub mod report;
 pub mod workload;
 
+pub use dse::{DseOutcome, DseSettings};
 pub use figures::*;
 pub use report::Report;
 pub use workload::{Algo, Scale};

@@ -64,14 +64,74 @@ pub fn crossbar_area_mm2(ports: usize, entries_per_channel: usize) -> f64 {
     entries * AREA_PER_ENTRY + (ports * ports) as f64 * AREA_PER_PORT2
 }
 
+/// On-chip SRAM area per KiB, mm² (supplementary constant for the DSE
+/// objective: the edge/offset cache is plain single-port SRAM, ~0.7
+/// mm²/MiB in a 12 nm class process — an order-of-magnitude figure, not
+/// a paper anchor; see `docs/model.md`).
+const AREA_PER_SRAM_KB: f64 = 0.7 / 1024.0;
+
+/// Area of one interaction fabric, dispatched on the frequency-model
+/// kind: MDP-networks use [`mdp_area_mm2`]; crossbars — and the naive
+/// nW1R FIFO, whose n-write-port mux is as centralized as a crossbar —
+/// use [`crossbar_area_mm2`].
+///
+/// # Panics
+///
+/// Panics like the underlying model when `channels` is invalid for it.
+pub fn fabric_area_mm2(
+    kind: crate::frequency::NetworkKindModel,
+    channels: usize,
+    entries_per_channel: usize,
+) -> f64 {
+    use crate::frequency::NetworkKindModel;
+    match kind {
+        NetworkKindModel::Mdp => mdp_area_mm2(channels, entries_per_channel),
+        NetworkKindModel::Crossbar | NetworkKindModel::NaiveFifo => {
+            crossbar_area_mm2(channels, entries_per_channel)
+        }
+    }
+}
+
+/// Area of a `cache_kb`-KiB on-chip edge/offset cache, mm².
+pub fn cache_area_mm2(cache_kb: usize) -> f64 {
+    cache_kb as f64 * AREA_PER_SRAM_KB
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frequency::NetworkKindModel;
 
     #[test]
     fn calibrated_to_paper_points() {
         assert!((mdp_area_mm2(32, 160) - 0.375).abs() < 1e-4);
         assert!((crossbar_area_mm2(32, 128) - 0.292).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fabric_dispatch_matches_the_specific_models() {
+        assert_eq!(
+            fabric_area_mm2(NetworkKindModel::Mdp, 32, 160),
+            mdp_area_mm2(32, 160)
+        );
+        assert_eq!(
+            fabric_area_mm2(NetworkKindModel::Crossbar, 32, 128),
+            crossbar_area_mm2(32, 128)
+        );
+        // the naive FIFO's write mux is crossbar-class
+        assert_eq!(
+            fabric_area_mm2(NetworkKindModel::NaiveFifo, 32, 128),
+            crossbar_area_mm2(32, 128)
+        );
+    }
+
+    #[test]
+    fn cache_area_scales_linearly() {
+        assert_eq!(cache_area_mm2(0), 0.0);
+        let a256 = cache_area_mm2(256);
+        assert!((cache_area_mm2(1024) - 4.0 * a256).abs() < 1e-12);
+        // a 1 MiB cache lands near the documented 0.7 mm²/MiB figure
+        assert!((cache_area_mm2(1024) - 0.7).abs() < 1e-9);
     }
 
     #[test]

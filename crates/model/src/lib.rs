@@ -13,19 +13,24 @@
 //! * [`layout`] — the Fig. 7 on-chip memory budget and a fit-check for
 //!   datasets under the 19-bit quantization;
 //! * [`energy`] — run-energy and energy-per-edge estimates derived from
-//!   the power model.
+//!   the power model;
+//! * [`pareto`] — objective tuples, Pareto dominance, and the
+//!   non-dominated front maintained by the `repro dse` design-space
+//!   exploration (see `docs/dse.md`).
 
 pub mod area;
 pub mod energy;
 pub mod frequency;
 pub mod layout;
+pub mod pareto;
 pub mod power;
 
-pub use area::{crossbar_area_mm2, mdp_area_mm2};
+pub use area::{cache_area_mm2, crossbar_area_mm2, fabric_area_mm2, mdp_area_mm2};
 pub use energy::energy_nj;
 pub use frequency::{
     crossbar_critical_path_ns, crossbar_frequency_ghz, effective_frequency_ghz,
     mdp_critical_path_ns, mdp_frequency_ghz, mdp_radix_frequency_ghz, NetworkKindModel,
 };
 pub use layout::MemoryLayout;
-pub use power::{crossbar_power_mw, mdp_power_mw};
+pub use pareto::{Objectives, ParetoFront};
+pub use power::{cache_power_mw, crossbar_power_mw, fabric_power_mw, mdp_power_mw};

@@ -1,0 +1,262 @@
+//! Multi-objective design comparison: objective tuples, Pareto dominance,
+//! and a non-dominated front.
+//!
+//! The design-space exploration driver (`repro dse` in `higraph-bench`)
+//! scores every candidate accelerator as a **minimize-all** tuple
+//! ([`Objectives`]): modeled execution time at the design's effective
+//! clock, dataflow-fabric silicon area, and run energy. A design is worth
+//! keeping only if no other evaluated design is at least as good on every
+//! objective and strictly better on one ([`Objectives::dominated_by`]);
+//! [`ParetoFront`] maintains exactly that set incrementally.
+//!
+//! Everything here is deterministic and order-stable: inserting the same
+//! points in the same order always yields the same front (ties — equal
+//! tuples — keep the first-seen point), which is what lets the DSE report
+//! be gated in CI. See `docs/dse.md` for the methodology and
+//! `docs/model.md` for how the objective values are assembled from the
+//! calibrated area/power/frequency models.
+
+/// One design point's minimize-all objective tuple.
+///
+/// `cycles` rides along for reporting but is *not* part of the dominance
+/// comparison — two designs at different clocks are only comparable in
+/// time, which is `cycles / effective_frequency` (see
+/// `docs/model.md`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objectives {
+    /// Simulated cycles (reporting only; time is what dominance uses).
+    pub cycles: u64,
+    /// Modeled execution time in nanoseconds at the effective clock.
+    pub time_ns: f64,
+    /// Modeled silicon area in mm² (fabrics + on-chip cache, × chips).
+    pub area_mm2: f64,
+    /// Modeled run energy in millijoules (power × time).
+    pub energy_mj: f64,
+}
+
+impl Objectives {
+    /// The three compared objectives, in (time, area, energy) order.
+    pub fn as_array(&self) -> [f64; 3] {
+        [self.time_ns, self.area_mm2, self.energy_mj]
+    }
+
+    /// Whether every objective is finite (a design with an infinite or
+    /// NaN objective can never join a front).
+    pub fn is_finite(&self) -> bool {
+        self.as_array().iter().all(|v| v.is_finite())
+    }
+
+    /// Strict Pareto dominance: `other` is at least as good on every
+    /// objective and strictly better on at least one.
+    pub fn dominated_by(&self, other: &Objectives) -> bool {
+        let (mine, theirs) = (self.as_array(), other.as_array());
+        let all_le = theirs.iter().zip(&mine).all(|(t, m)| t <= m);
+        let any_lt = theirs.iter().zip(&mine).any(|(t, m)| t < m);
+        all_le && any_lt
+    }
+
+    /// Weak dominance: `other` is at least as good everywhere (an equal
+    /// tuple weakly dominates). The front uses this for insertion so
+    /// duplicate tuples cannot accumulate.
+    pub fn weakly_dominated_by(&self, other: &Objectives) -> bool {
+        let (mine, theirs) = (self.as_array(), other.as_array());
+        theirs.iter().zip(&mine).all(|(t, m)| t <= m)
+    }
+}
+
+/// A non-dominated set of `(label, objectives)` design points.
+///
+/// Inserting a point removes every existing point it strictly dominates;
+/// a point weakly dominated by an existing member is rejected. Iteration
+/// order is insertion order of the surviving members — deterministic for
+/// a deterministic insertion sequence.
+#[derive(Debug, Clone, Default)]
+pub struct ParetoFront<T> {
+    points: Vec<(T, Objectives)>,
+}
+
+impl<T> ParetoFront<T> {
+    /// An empty front.
+    pub fn new() -> Self {
+        ParetoFront { points: Vec::new() }
+    }
+
+    /// Offers a point to the front. Returns `true` if it joined (and
+    /// evicted whatever it strictly dominates), `false` if an existing
+    /// member weakly dominates it or an objective is non-finite.
+    pub fn try_insert(&mut self, item: T, objectives: Objectives) -> bool {
+        if !objectives.is_finite() {
+            return false;
+        }
+        if self
+            .points
+            .iter()
+            .any(|(_, q)| objectives.weakly_dominated_by(q))
+        {
+            return false;
+        }
+        self.points.retain(|(_, q)| !q.dominated_by(&objectives));
+        self.points.push((item, objectives));
+        true
+    }
+
+    /// The surviving members, in insertion order.
+    pub fn points(&self) -> &[(T, Objectives)] {
+        &self.points
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the front is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// How far `candidate` sits from the front, as a multiplicative
+    /// factor ≥ 1.
+    ///
+    /// `1.0` means on the front (or extending it): no member strictly
+    /// dominates the candidate. Otherwise the excess is the smallest,
+    /// over all dominating members `q`, of the worst per-objective ratio
+    /// `candidate_i / q_i` — i.e. "some front member beats this design by
+    /// at least `excess`× on its weakest objective". The DSE gate uses
+    /// this to assert the paper's synthesis configurations stay within
+    /// tolerance of whatever the search discovers.
+    pub fn front_excess(&self, candidate: &Objectives) -> f64 {
+        let c = candidate.as_array();
+        let excess = self
+            .points
+            .iter()
+            .filter(|(_, q)| candidate.dominated_by(q))
+            .map(|(_, q)| {
+                q.as_array()
+                    .iter()
+                    .zip(&c)
+                    .map(|(q_i, c_i)| {
+                        if *q_i <= 0.0 {
+                            // a zero-valued objective cannot be "beaten
+                            // by a ratio"; no excess on this axis
+                            1.0
+                        } else {
+                            c_i / q_i
+                        }
+                    })
+                    .fold(1.0, f64::max)
+            })
+            .fold(f64::INFINITY, f64::min);
+        if excess.is_finite() {
+            excess.max(1.0)
+        } else {
+            1.0 // nothing dominates the candidate: on (or extending) the front
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(time_ns: f64, area_mm2: f64, energy_mj: f64) -> Objectives {
+        Objectives {
+            cycles: time_ns as u64,
+            time_ns,
+            area_mm2,
+            energy_mj,
+        }
+    }
+
+    #[test]
+    fn dominance_is_strict_and_directional() {
+        let a = obj(100.0, 1.0, 10.0);
+        let better = obj(90.0, 1.0, 10.0);
+        let mixed = obj(90.0, 2.0, 10.0);
+        assert!(a.dominated_by(&better));
+        assert!(!better.dominated_by(&a));
+        assert!(!a.dominated_by(&mixed), "trade-offs do not dominate");
+        assert!(!mixed.dominated_by(&a));
+        assert!(!a.dominated_by(&a), "equal tuples do not strictly dominate");
+        assert!(a.weakly_dominated_by(&a));
+    }
+
+    #[test]
+    fn front_keeps_only_non_dominated_points() {
+        let mut front = ParetoFront::new();
+        assert!(front.try_insert("slow-small", obj(200.0, 1.0, 10.0)));
+        assert!(front.try_insert("fast-big", obj(100.0, 2.0, 10.0)));
+        // dominated by "slow-small": rejected
+        assert!(!front.try_insert("worse", obj(250.0, 1.5, 11.0)));
+        assert_eq!(front.len(), 2);
+        // dominates "slow-small" only: evicts it, keeps "fast-big"
+        assert!(front.try_insert("both", obj(150.0, 0.5, 9.0)));
+        assert_eq!(front.len(), 2);
+        let labels: Vec<_> = front.points().iter().map(|(l, _)| *l).collect();
+        assert_eq!(labels, ["fast-big", "both"]);
+    }
+
+    #[test]
+    fn duplicate_tuples_keep_the_first_seen_point() {
+        let mut front = ParetoFront::new();
+        assert!(front.try_insert("first", obj(100.0, 1.0, 10.0)));
+        assert!(!front.try_insert("twin", obj(100.0, 1.0, 10.0)));
+        assert_eq!(front.len(), 1);
+        assert_eq!(front.points()[0].0, "first");
+    }
+
+    #[test]
+    fn non_finite_objectives_never_join() {
+        let mut front = ParetoFront::new();
+        assert!(!front.try_insert("inf", obj(f64::INFINITY, 1.0, 1.0)));
+        assert!(!front.try_insert("nan", obj(f64::NAN, 1.0, 1.0)));
+        assert!(front.is_empty());
+    }
+
+    #[test]
+    fn front_excess_is_one_on_the_front_and_ratio_off_it() {
+        let mut front = ParetoFront::new();
+        front.try_insert("a", obj(100.0, 1.0, 10.0));
+        front.try_insert("b", obj(50.0, 4.0, 10.0));
+        // a member
+        assert_eq!(front.front_excess(&obj(100.0, 1.0, 10.0)), 1.0);
+        // extends the front (new trade-off)
+        assert_eq!(front.front_excess(&obj(60.0, 2.0, 10.0)), 1.0);
+        // dominated by "a": 10% worse on its weakest axis
+        let excess = front.front_excess(&obj(110.0, 1.0, 10.0));
+        assert!((excess - 1.1).abs() < 1e-12, "{excess}");
+        // dominated by "a" on two axes: worst ratio wins
+        let excess = front.front_excess(&obj(110.0, 1.3, 10.0));
+        assert!((excess - 1.3).abs() < 1e-12, "{excess}");
+    }
+
+    #[test]
+    fn front_excess_picks_the_nearest_dominating_member() {
+        let mut front = ParetoFront::new();
+        front.try_insert("far", obj(10.0, 1.0, 1.0));
+        front.try_insert("near", obj(100.0, 0.5, 10.0));
+        assert_eq!(front.len(), 2, "trade-off points coexist");
+        // dominated by both; "near" yields the smaller excess (2.0 on
+        // area vs "far"'s 12x on time)
+        let excess = front.front_excess(&obj(120.0, 1.0, 12.0));
+        assert!((excess - 2.0).abs() < 1e-12, "{excess}");
+    }
+
+    #[test]
+    fn insertion_order_is_deterministic() {
+        let points = [
+            ("p0", obj(200.0, 1.0, 10.0)),
+            ("p1", obj(100.0, 2.0, 10.0)),
+            ("p2", obj(150.0, 1.5, 10.0)),
+            ("p3", obj(100.0, 2.0, 10.0)),
+        ];
+        let build = || {
+            let mut f = ParetoFront::new();
+            for (l, o) in points {
+                f.try_insert(l, o);
+            }
+            f.points().iter().map(|(l, _)| *l).collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+}

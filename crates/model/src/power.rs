@@ -58,14 +58,64 @@ pub fn crossbar_power_mw(ports: usize, entries_per_channel: usize) -> f64 {
     entries * POWER_PER_ENTRY + (ports * ports) as f64 * POWER_PER_PORT2
 }
 
+/// On-chip SRAM power per KiB, mW (supplementary constant for the DSE
+/// objective, sized like [`crate::area`]'s SRAM figure: ~60 mW/MiB for
+/// an actively banked cache at 1 GHz — an order-of-magnitude figure,
+/// not a paper anchor; see `docs/model.md`).
+const POWER_PER_SRAM_KB: f64 = 60.0 / 1024.0;
+
+/// Power of one interaction fabric in mW, dispatched on the
+/// frequency-model kind exactly like [`crate::area::fabric_area_mm2`].
+///
+/// # Panics
+///
+/// Panics like the underlying model when `channels` is invalid for it.
+pub fn fabric_power_mw(
+    kind: crate::frequency::NetworkKindModel,
+    channels: usize,
+    entries_per_channel: usize,
+) -> f64 {
+    use crate::frequency::NetworkKindModel;
+    match kind {
+        NetworkKindModel::Mdp => mdp_power_mw(channels, entries_per_channel),
+        NetworkKindModel::Crossbar | NetworkKindModel::NaiveFifo => {
+            crossbar_power_mw(channels, entries_per_channel)
+        }
+    }
+}
+
+/// Power of a `cache_kb`-KiB on-chip edge/offset cache, mW.
+pub fn cache_power_mw(cache_kb: usize) -> f64 {
+    cache_kb as f64 * POWER_PER_SRAM_KB
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frequency::NetworkKindModel;
 
     #[test]
     fn calibrated_to_paper_points() {
         assert!((mdp_power_mw(32, 160) - 621.2).abs() < 0.1);
         assert!((crossbar_power_mw(32, 128) - 508.1).abs() < 0.1);
+    }
+
+    #[test]
+    fn fabric_dispatch_matches_the_specific_models() {
+        assert_eq!(
+            fabric_power_mw(NetworkKindModel::Mdp, 32, 160),
+            mdp_power_mw(32, 160)
+        );
+        assert_eq!(
+            fabric_power_mw(NetworkKindModel::NaiveFifo, 64, 32),
+            crossbar_power_mw(64, 32)
+        );
+    }
+
+    #[test]
+    fn cache_power_scales_linearly() {
+        assert_eq!(cache_power_mw(0), 0.0);
+        assert!((cache_power_mw(1024) - 60.0).abs() < 1e-9);
     }
 
     #[test]
