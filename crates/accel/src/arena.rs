@@ -46,6 +46,7 @@ pub struct PairArena<P> {
 impl<P: Copy> PairArena<P> {
     /// An arena with `capacity` pre-sized slots (it grows on demand).
     pub fn with_capacity(capacity: usize) -> Self {
+        // lint:allow-item(hot-path-alloc): construction-time: the free list and debug live set start empty; slot stores are pre-sized from the caller's capacity
         PairArena {
             keys: Vec::with_capacity(capacity),
             payloads: Vec::with_capacity(capacity),
@@ -71,6 +72,7 @@ impl<P: Copy> PairArena<P> {
                 h
             }
             None => {
+                // lint:allow(panic-freedom): infallible until the arena holds >4G live pairs, far beyond any configured capacity
                 let h = u32::try_from(self.keys.len()).expect("arena outgrew u32 handles");
                 self.keys.push(key);
                 self.payloads.push(payload);
@@ -130,6 +132,7 @@ pub struct EdgeArena<P> {
 impl<P: Copy> EdgeArena<P> {
     /// An arena with `capacity` pre-sized slots (it grows on demand).
     pub fn with_capacity(capacity: usize) -> Self {
+        // lint:allow-item(hot-path-alloc): construction-time: the free list and debug live set start empty; slot stores are pre-sized from the caller's capacity
         EdgeArena {
             dsts: Vec::with_capacity(capacity),
             weights: Vec::with_capacity(capacity),
@@ -157,6 +160,7 @@ impl<P: Copy> EdgeArena<P> {
                 h
             }
             None => {
+                // lint:allow(panic-freedom): infallible until the arena holds >4G live edges, far beyond any configured capacity
                 let h = u32::try_from(self.dsts.len()).expect("arena outgrew u32 handles");
                 self.dsts.push(dst);
                 self.weights.push(weight);

@@ -45,6 +45,7 @@ impl<P: Copy + 'static> BackEnd<P> {
     pub(crate) fn new(factory: &NetworkFactory) -> Self {
         let config = factory.config();
         let m = config.back_channels;
+        // lint:allow-item(hot-path-alloc): construction-time: staging queues and scratch are built once per validated configuration
         BackEnd {
             edge_access: factory.edge_access(),
             epe_q: (0..m).map(|_| Fifo::new(config.staging_capacity)).collect(),
@@ -152,6 +153,7 @@ impl<P: Copy + 'static> BackEnd<P> {
 
     /// Cumulative statistics of the dataflow fabric.
     pub(crate) fn dataflow_stats(&self) -> NetworkStats {
+        // lint:allow(panic-freedom): infallible: every fabric constructor installs a stats block
         self.dataflow.network_stats().expect("fabrics keep stats")
     }
 }

@@ -74,9 +74,11 @@ impl<P: Copy> EdgeAccess<P> {
         read_ports: usize,
     ) -> Self {
         let topo = Topology::new_mixed(front_channels, radix)
+            // lint:allow(panic-freedom): infallible: try_new validated the power-of-two channel count
             .expect("validated config guarantees power-of-two front channels");
         EdgeAccess::Mdp {
             net: RangeMdpNetwork::new(topo, num_banks, capacity)
+                // lint:allow(panic-freedom): infallible: try_new validated bank/channel divisibility
                 .expect("validated config guarantees bank/channel divisibility"),
             dispatcher: Dispatcher::new(num_banks),
             read_ports: read_ports.max(1),
@@ -163,6 +165,7 @@ impl<P: Copy> EdgeAccess<P> {
                         if !ok {
                             break;
                         }
+                        // lint:allow(panic-freedom): infallible: the pop follows a successful peek on the same queue this cycle
                         let range = net.pop(o).expect("peeked");
                         reads.extend(dispatcher.expand(&range).map(|(bank, edge_index)| {
                             used[bank] = true;
@@ -208,6 +211,7 @@ impl<P: Copy> EdgeAccess<P> {
                         let claimed = ports.try_claim(b, row);
                         debug_assert!(claimed);
                     }
+                    // lint:allow(panic-freedom): infallible: the pop follows a successful peek on the same queue this cycle
                     let range = queues[ch].pop().expect("peeked");
                     stats.delivered += 1;
                     for k in 0..u64::from(range.len) {

@@ -222,6 +222,7 @@ impl<'g> Engine<'g> {
     /// [`NetworkFactory::new`]). Use [`Engine::try_new`] for a fallible
     /// constructor.
     pub fn new(config: AcceleratorConfig, graph: &'g Csr) -> Self {
+        // lint:allow(panic-freedom): documented panicking convenience constructor; Engine::try_new is the fallible path
         Engine::try_new(config, graph).expect("invalid accelerator configuration")
     }
 
@@ -346,6 +347,7 @@ impl<'g> Engine<'g> {
         num_slices: usize,
         memory_bytes_per_cycle: u64,
     ) -> Result<SlicedRunResult<Prog::Prop>, StallDiagnostic> {
+        // lint:allow(panic-freedom): documented panic on the cold slicing entry point; zero slices has no semantics
         assert!(num_slices > 0, "need at least one slice");
         let config = self.factory.config();
         let m = config.back_channels;

@@ -60,6 +60,7 @@ impl<P: Copy + 'static> FrontEnd<P> {
         let config = factory.config();
         let n = config.front_channels;
         let m = config.back_channels;
+        // lint:allow-item(hot-path-alloc): construction-time: per-channel queues and replay scratch are built once per validated configuration
         FrontEnd {
             av_parts: vec![VecDeque::new(); n],
             offset_net: factory.offset_fabric(),
@@ -171,6 +172,7 @@ impl<P: Copy + 'static> FrontEnd<P> {
                 continue;
             }
             if claim(u, &mut self.offset_banks) {
+                // lint:allow(panic-freedom): infallible: the pop follows a successful peek on the same queue this cycle
                 let pkt = self.offset_q[c].pop().expect("peeked head");
                 let prop = self.vertices.payload(pkt.handle);
                 self.vertices.free(pkt.handle);
@@ -192,6 +194,7 @@ impl<P: Copy + 'static> FrontEnd<P> {
                     debug_assert_eq!(pkt.dest as usize, c);
                     self.offset_q[c]
                         .push(pkt)
+                        // lint:allow(panic-freedom): push cannot fail: space was checked against this cycle's snapshot before the transfer
                         .unwrap_or_else(|_| unreachable!("space checked"));
                 }
             }
@@ -219,6 +222,7 @@ impl<P: Copy + 'static> FrontEnd<P> {
 
     /// Cumulative statistics of the offset-routing fabric.
     pub(crate) fn offset_stats(&self) -> NetworkStats {
+        // lint:allow(panic-freedom): infallible: every fabric constructor installs a stats block
         self.offset_net.network_stats().expect("fabrics keep stats")
     }
 

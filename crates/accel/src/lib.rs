@@ -49,6 +49,8 @@
 //! assert_eq!(result.properties[0], 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod apply;
 mod backend;
 mod frontend;

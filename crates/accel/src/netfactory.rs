@@ -98,6 +98,7 @@ impl<T: Packet> AnyNetwork<T> {
         radix: usize,
     ) -> Self {
         AnyNetwork::try_build(kind, channels, buffer_per_channel, radix)
+            // lint:allow(panic-freedom): documented panicking convenience; try_build is the fallible path
             .expect("invalid fabric shape")
     }
 }
@@ -254,6 +255,7 @@ impl NetworkFactory {
             c.staging_capacity.max(4),
             c.radix,
         )
+        // lint:allow(panic-freedom): infallible: NetworkFactory::try_new already validated this fabric shape
         .expect("validated at factory construction")
     }
 
@@ -266,6 +268,7 @@ impl NetworkFactory {
             c.dataflow_buffer_per_channel,
             c.radix,
         )
+        // lint:allow(panic-freedom): infallible: NetworkFactory::try_new already validated this fabric shape
         .expect("validated at factory construction")
     }
 

@@ -117,6 +117,7 @@ pub(crate) struct SpinBarrier {
 
 impl SpinBarrier {
     pub(crate) fn new(total: usize) -> Self {
+        // lint:allow(panic-freedom): internal constructor contract; the runner derives worker counts from max(1, ..)
         assert!(total > 0, "a barrier needs at least one participant");
         SpinBarrier {
             total,

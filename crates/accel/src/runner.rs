@@ -43,6 +43,7 @@ use higraph_graph::Csr;
 use higraph_vcpm::VertexProgram;
 use rayon::prelude::*;
 use std::fmt;
+// lint:allow(determinism): wall-clock only feeds host-side BatchReport throughput; simulated state never reads it
 use std::time::Instant;
 
 /// Why one batch entry failed while the rest of the batch ran on.
@@ -318,6 +319,7 @@ impl BatchRunner {
         Prog: VertexProgram + Sync,
         Prog::Prop: Send,
     {
+        // lint:allow(determinism): wall-clock only feeds host-side BatchReport throughput; simulated state never reads it
         let started = Instant::now();
         let results = self.execute(&jobs, run_one);
         let mut report = self.summarize(
@@ -352,6 +354,7 @@ impl BatchRunner {
     pub fn summarize<'m>(
         &self,
         metrics: impl Iterator<Item = &'m Metrics>,
+        // lint:allow(determinism): wall-clock only feeds host-side BatchReport throughput; simulated state never reads it
         started: Instant,
     ) -> BatchReport {
         let mut report = BatchReport {

@@ -273,6 +273,7 @@ impl<'g> ShardedEngine<'g> {
     /// Panics if either configuration is invalid; use
     /// [`ShardedEngine::try_new`] for a fallible constructor.
     pub fn new(config: AcceleratorConfig, shard: ShardConfig, graph: &'g Csr) -> Self {
+        // lint:allow(panic-freedom): documented panicking convenience constructor; ShardedEngine::try_new is the fallible path
         ShardedEngine::try_new(config, shard, graph).expect("invalid sharded configuration")
     }
 
@@ -526,6 +527,7 @@ impl<'g> ShardedEngine<'g> {
             agg.memory.merge(&chip.memory);
         }
         agg.cycles = agg.scatter_cycles + agg.apply_cycles;
+        // lint:allow(panic-freedom): infallible: every link constructor installs a stats block
         let link = multi.link.network_stats().expect("links keep stats");
         Ok(ShardedRunResult {
             properties,

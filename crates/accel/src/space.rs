@@ -131,6 +131,7 @@ impl Genome {
     ///
     /// Panics if `index` is out of range for the axis.
     pub fn with(mut self, axis: Axis, index: usize) -> Genome {
+        // lint:allow(panic-freedom): documented panic: Genome::with rejects an out-of-range axis index
         assert!(
             index < axis.values().len(),
             "index out of range for {axis:?}"

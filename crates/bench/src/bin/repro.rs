@@ -49,6 +49,8 @@
 //! * `--dse-budget <n>` — rung-0 cohort size for the `dse` target
 //!   (default 48; the nightly leg uses 224).
 
+#![forbid(unsafe_code)]
+
 use higraph::prelude::Metrics;
 use higraph_bench::dse::{DseOutcome, DseSettings, MAX_ANCHOR_FRONT_EXCESS};
 use higraph_bench::report::{

@@ -12,6 +12,7 @@ use crate::workload::{Algo, Scale, ShardedSummary};
 use higraph::model;
 use higraph::prelude::*;
 use higraph::sim::DramTiming;
+// lint:allow(determinism): host-performance measurement (cycles per host-second); never feeds simulated state
 use std::time::Instant;
 
 /// One sweep cell's outcome: metrics, or the stall diagnostic of the
@@ -456,6 +457,7 @@ pub fn simspeed(_scale: Scale) -> (Vec<SimSpeedRow>, f64) {
 /// small one — see [`mem_sweep`]'s note on the Twitter stand-in).
 fn simspeed_on(graph: &Csr, pr_iters: u32) -> (Vec<SimSpeedRow>, f64) {
     let sweep = |fast_forward: bool| {
+        // lint:allow(determinism): host-performance measurement (cycles per host-second); never feeds simulated state
         let start = Instant::now();
         let rows = BatchRunner::parallel().execute(&MEM_SWEEP_CACHE_KB, |&cache_kb| {
             let mut cfg = AcceleratorConfig::higraph();
@@ -562,6 +564,7 @@ fn hostperf_on(shard_graph: &Csr, mem_graph: &Csr, pr_iters: u32) -> Vec<HostPer
     let chips = 4;
     let shard_workers = higraph::accel::sharded::auto_worker_threads().min(chips);
     let shard_selections_before = selection::snapshot();
+    // lint:allow(determinism): host-performance measurement (cycles per host-second); never feeds simulated state
     let start = Instant::now();
     let mut shard_cycles = 0u64;
     let mut shard_stalled = 0usize;
@@ -588,6 +591,7 @@ fn hostperf_on(shard_graph: &Csr, mem_graph: &Csr, pr_iters: u32) -> Vec<HostPer
     let shard_selections = selection::snapshot().since(&shard_selections_before);
 
     let mem_selections_before = selection::snapshot();
+    // lint:allow(determinism): host-performance measurement (cycles per host-second); never feeds simulated state
     let start = Instant::now();
     let mut mem_cycles = 0u64;
     let mut mem_stalled = 0usize;

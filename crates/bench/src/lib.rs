@@ -8,6 +8,8 @@
 //! scaled-down datasets (`Scale::quick`) to stay laptop-friendly; pass
 //! `--full` to the binary for Table 2 sizes.
 
+#![forbid(unsafe_code)]
+
 pub mod dse;
 pub mod figures;
 pub mod report;

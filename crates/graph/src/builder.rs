@@ -116,6 +116,7 @@ impl EdgeList {
             cursor[src as usize] += 1;
         }
         Csr::from_raw_parts(offsets, edges)
+            // lint:allow(panic-freedom): infallible: EdgeList enforces every invariant this CSR constructor checks
             .expect("EdgeList invariants guarantee a structurally valid CSR")
     }
 }
@@ -124,6 +125,7 @@ impl Extend<(u32, u32, Weight)> for EdgeList {
     fn extend<T: IntoIterator<Item = (u32, u32, Weight)>>(&mut self, iter: T) {
         for (s, d, w) in iter {
             self.push(s, d, w)
+                // lint:allow(panic-freedom): Extend cannot return a Result; out-of-range endpoints are a documented panic
                 .expect("extended edge endpoints must be in range");
         }
     }

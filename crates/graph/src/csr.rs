@@ -111,10 +111,12 @@ impl Csr {
                 detail: "offset array must be non-decreasing".to_string(),
             });
         }
+        // lint:allow(panic-freedom): infallible: the emptiness check above guarantees a last element
         if *offsets.last().expect("non-empty") != edges.len() as u64 {
             return Err(GraphError::MalformedCsr {
                 detail: format!(
                     "last offset {} does not match edge count {}",
+                    // lint:allow(panic-freedom): infallible: the emptiness check above guarantees a last element
                     offsets.last().expect("non-empty"),
                     edges.len()
                 ),

@@ -139,6 +139,7 @@ impl Dataset {
     /// Panics if `divisor` is zero or not a power of two, or if scaling
     /// would eliminate the whole graph.
     pub fn build_scaled(self, divisor: u32) -> Csr {
+        // lint:allow(panic-freedom): internal helper contract: divisors are the compile-time constants below
         assert!(divisor > 0 && divisor.is_power_of_two());
         let spec = self.spec();
         let seed = 0xD0C5 ^ (self as u64);
@@ -146,6 +147,7 @@ impl Dataset {
             Dataset::Rmat14 | Dataset::Rmat16 => {
                 let scale = if self == Dataset::Rmat14 { 14 } else { 16 };
                 let scale = scale - divisor.trailing_zeros();
+                // lint:allow(panic-freedom): documented panic: a scaled-down dataset must keep a usable vertex count
                 assert!(scale >= 4, "divisor too large for {self}");
                 rmat(&RmatConfig::graph500(scale), seed)
             }

@@ -1,5 +1,6 @@
 //! Uniform Erdős–Rényi G(n, m) generator.
 
+// lint:allow-file(panic-freedom): generator argument checks are the documented public-API panic contract (cold construction, never per-cycle), and every EdgeList::push endpoint is in range by those same bounds
 use crate::builder::EdgeList;
 use crate::csr::Csr;
 use crate::weights::assign_random_weights;

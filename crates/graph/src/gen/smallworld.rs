@@ -9,6 +9,7 @@
 //! generator useful for conflict-sensitivity sweeps beyond the paper's
 //! dataset list.
 
+// lint:allow-file(panic-freedom): generator argument checks are the documented public-API panic contract (cold construction, never per-cycle), and every EdgeList::push endpoint is in range by those same bounds
 use crate::builder::EdgeList;
 use crate::csr::Csr;
 use crate::weights::assign_random_weights;

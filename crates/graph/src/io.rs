@@ -126,6 +126,7 @@ pub fn read_edge_list<R: BufRead>(
     let mut list = EdgeList::with_capacity(n, triples.len());
     for (s, d, w) in &triples {
         list.push(*s, *d, w.unwrap_or(0))
+            // lint:allow(panic-freedom): infallible: the builder was sized from max_id scanned over these same edges
             .expect("ids bounded by max_id");
     }
     let csr = list.into_csr();

@@ -32,6 +32,7 @@ use std::ops::RangeInclusive;
 /// # }
 /// ```
 pub fn assign_random_weights(graph: Csr, range: RangeInclusive<Weight>, seed: u64) -> Csr {
+    // lint:allow(panic-freedom): documented panic: an empty weight range cannot be sampled
     assert!(!range.is_empty(), "weight range must be non-empty");
     let mut rng = StdRng::seed_from_u64(seed);
     let offsets = graph.offsets_raw().to_vec();
@@ -43,6 +44,7 @@ pub fn assign_random_weights(graph: Csr, range: RangeInclusive<Weight>, seed: u6
             weight: rng.gen_range(range.clone()),
         })
         .collect();
+    // lint:allow(panic-freedom): infallible: reweighting leaves offsets and endpoints untouched
     Csr::from_raw_parts(offsets, edges).expect("reweighting preserves structure")
 }
 
@@ -57,6 +59,7 @@ pub fn assign_uniform_weight(graph: Csr, w: Weight) -> Csr {
             weight: w,
         })
         .collect();
+    // lint:allow(panic-freedom): infallible: reweighting leaves offsets and endpoints untouched
     Csr::from_raw_parts(offsets, edges).expect("reweighting preserves structure")
 }
 

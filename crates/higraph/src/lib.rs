@@ -33,6 +33,8 @@
 //! println!("{:.2} GTEPS", result.metrics.gteps());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use higraph_accel as accel;
 pub use higraph_graph as graph;
 pub use higraph_mdp as mdp;

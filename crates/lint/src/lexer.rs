@@ -1,0 +1,384 @@
+//! A minimal, dependency-free Rust lexer.
+//!
+//! The linter cannot use `syn` (the workspace builds hermetically with no
+//! network access), so rule passes run over this hand-rolled token stream
+//! instead of a real AST. The lexer's one job is *fidelity of exclusion*:
+//! rule patterns must never fire on text inside comments, string/char
+//! literals, or doc examples, so those regions are lexed as opaque tokens.
+//! Everything else — identifiers, single punctuation characters, numbers —
+//! comes through with its source line, which is all the lexical rule
+//! passes in [`crate::rules`] need.
+//!
+//! Handled: line comments (incl. doc comments), nested block comments,
+//! string literals with escapes, raw strings with arbitrary `#` guards
+//! (plus `b`/`c`/`br`/`cr` prefixes), char literals vs. lifetimes, and
+//! float-vs-range ambiguity (`0..n` is three tokens, `0.5` is one).
+
+/// One lexical token with its 1-indexed source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub tok: Tok,
+    /// 1-indexed line of the token's first character.
+    pub line: usize,
+}
+
+/// Token payload. Only identifiers and comments carry text: the rule
+/// passes match identifier spellings and read comment bodies (for
+/// `// SAFETY:` audits and `lint:allow` pragmas), while literals only
+/// need to *exist* so patterns cannot match inside them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword, e.g. `unsafe`, `HashMap`, `fn`.
+    Ident(String),
+    /// A single punctuation character, e.g. `.`, `!`, `#`, `{`.
+    Punct(char),
+    /// A `//` comment, text including the leading slashes.
+    LineComment(String),
+    /// A `/* */` comment (nesting handled), text included.
+    BlockComment(String),
+    /// A string literal (normal, raw, byte, or C variant); body opaque.
+    Str,
+    /// A character or byte-character literal; body opaque.
+    Char,
+    /// A lifetime such as `'a` (distinguished from a char literal).
+    Lifetime,
+    /// A numeric literal, including float/suffix forms; body opaque.
+    Number,
+}
+
+impl Tok {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The comment text (line or block), if this token is a comment.
+    pub fn comment(&self) -> Option<&str> {
+        match self {
+            Tok::LineComment(s) | Tok::BlockComment(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is code (not a comment).
+    pub fn is_code(&self) -> bool {
+        self.comment().is_none()
+    }
+}
+
+/// Lexes `src` into a token stream. Never fails: unterminated literals
+/// or comments simply swallow the rest of the file, which is the least
+/// surprising behaviour for a linter (the compiler proper will reject
+/// such a file anyway, with a better message).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, tracking line numbers.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, tok: Tok, line: usize) {
+        self.out.push(Token { tok, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                '\'' => self.char_or_lifetime(line),
+                _ if c == '_' || c.is_alphabetic() => self.ident(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    self.bump();
+                    self.push(Tok::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(Tok::LineComment(text), line);
+    }
+
+    fn block_comment(&mut self, line: usize) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(Tok::BlockComment(text), line);
+    }
+
+    /// A normal (escaped) string literal starting at the current `"`.
+    fn string(&mut self, line: usize) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // the escaped char, whatever it is
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(Tok::Str, line);
+    }
+
+    /// A raw string starting at the current `#`/`"` run: `r"…"`,
+    /// `r#"…"#`, etc. The `r`/`br`/`cr` prefix ident was already consumed
+    /// by the caller.
+    fn raw_string(&mut self, line: usize) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for ahead in 0..hashes {
+                    if self.peek(ahead) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(Tok::Str, line);
+    }
+
+    /// Distinguishes `'a` (lifetime) from `'x'` / `'\n'` (char literal):
+    /// a quote followed by an identifier character is a lifetime unless
+    /// the character after that identifier char is a closing quote.
+    fn char_or_lifetime(&mut self, line: usize) {
+        self.bump(); // opening quote
+        match self.peek(0) {
+            Some('\\') => {
+                // escaped char literal: consume escape then to closing quote
+                self.bump();
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(Tok::Char, line);
+            }
+            Some(c) if c == '_' || c.is_alphanumeric() => {
+                if self.peek(1) == Some('\'') {
+                    // 'x'
+                    self.bump();
+                    self.bump();
+                    self.push(Tok::Char, line);
+                } else {
+                    // 'label — consume the identifier characters
+                    while let Some(c) = self.peek(0) {
+                        if c == '_' || c.is_alphanumeric() {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(Tok::Lifetime, line);
+                }
+            }
+            _ => {
+                // something like '(' — a char literal of punctuation
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(Tok::Char, line);
+            }
+        }
+    }
+
+    fn ident(&mut self, line: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // raw / byte / C string prefixes: the "identifier" was actually
+        // the prefix of a string literal token.
+        match (text.as_str(), self.peek(0)) {
+            ("r" | "br" | "cr", Some('"' | '#')) => {
+                self.raw_string(line);
+                return;
+            }
+            ("b" | "c", Some('"')) => {
+                self.string(line);
+                return;
+            }
+            ("b", Some('\'')) => {
+                self.char_or_lifetime(line);
+                return;
+            }
+            _ => {}
+        }
+        self.push(Tok::Ident(text), line);
+    }
+
+    /// A numeric literal. A `.` is part of the number only when followed
+    /// by a digit, so `0..n` lexes as `0`, `.`, `.`, `n`.
+    fn number(&mut self, line: usize) {
+        while let Some(c) = self.peek(0) {
+            let dot_in_float = c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit());
+            if c == '_' || c.is_alphanumeric() || dot_in_float {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(Tok::Number, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| t.tok.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let src = format!(
+            "// unwrap() in a comment\n\
+             /* HashMap in /* nested */ block */\n\
+             let s = \"panic!(\\\"quoted\\\")\";\n\
+             let r = r{h}\"Instant::now()\"{h};\n",
+            h = "#"
+        );
+        let ids = idents(&src);
+        assert!(!ids.iter().any(|i| i == "unwrap"), "{ids:?}");
+        assert!(!ids.iter().any(|i| i == "HashMap"), "{ids:?}");
+        assert!(!ids.iter().any(|i| i == "panic"), "{ids:?}");
+        assert!(!ids.iter().any(|i| i == "Instant"), "{ids:?}");
+        assert_eq!(
+            ids,
+            vec!["let", "s", "let", "r"],
+            "code identifiers survive"
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = toks.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<_> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let toks = lex("for i in 0..10 { x += 1.5; }");
+        let numbers = toks.iter().filter(|t| t.tok == Tok::Number).count();
+        let dots = toks.iter().filter(|t| t.tok == Tok::Punct('.')).count();
+        assert_eq!(numbers, 3, "0, 10, 1.5");
+        assert_eq!(dots, 2, "the .. of the range");
+    }
+
+    #[test]
+    fn escaped_char_literals_do_not_derail() {
+        let toks = lex(r"let q = '\''; let n = '\n'; let id = next;");
+        let ids = idents(r"let q = '\''; let n = '\n'; let id = next;");
+        assert_eq!(ids, vec!["let", "q", "let", "n", "let", "id", "next"]);
+        assert_eq!(toks.iter().filter(|t| t.tok == Tok::Char).count(), 2);
+    }
+
+    #[test]
+    fn doc_comments_carry_text() {
+        let toks = lex("/// docs mention unwrap()\nfn f() {}");
+        let comment = toks[0].tok.comment().expect("first token is the doc");
+        assert!(comment.contains("unwrap"));
+        assert_eq!(toks[1].tok, Tok::Ident("fn".into()));
+    }
+
+    #[test]
+    fn byte_strings_are_opaque() {
+        let ids = idents(r#"let b = b"unwrap"; let c = b'x';"#);
+        assert_eq!(ids, vec!["let", "b", "let", "c"]);
+    }
+}

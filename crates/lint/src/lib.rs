@@ -1,0 +1,74 @@
+//! `higraph-lint` — the workspace invariant linter.
+//!
+//! Every correctness guarantee this reproduction makes is a *convention*
+//! until something checks it on every commit: bit-identical runs across
+//! thread counts (no wall clocks, no `RandomState` iteration order in
+//! simulation code), the no-panic `Result` + `StallDiagnostic` contract,
+//! zero steady-state allocation on the per-cycle hot path, audited
+//! `unsafe`, and the `next_activity`/`skip` activity-contract pairing.
+//! This crate machine-checks those five disciplines as a fast, offline,
+//! dependency-free static pass over the workspace's own sources.
+//!
+//! # Why hand-rolled
+//!
+//! The workspace builds hermetically (no network, no crates.io), so
+//! `syn`/`quote` are unavailable by design. The rules are lexical: a
+//! small Rust [`lexer`] with exact comment/string/attribute handling
+//! feeds token-pattern passes in [`rules`]. That is deliberately *less*
+//! powerful than a type-aware pass — and exactly powerful enough for
+//! conventions that are naming- and placement-shaped, in the same
+//! enumerate-valid-values / actionable-diagnostics idiom as the config
+//! surface.
+//!
+//! # The rules
+//!
+//! | id | checks |
+//! |---|---|
+//! | `unsafe-audit` | every `unsafe` is preceded by `// SAFETY:` |
+//! | `determinism` | no `Instant`/`SystemTime`/`HashMap`/`HashSet`/`env::var`/`thread_rng` in simulation crates |
+//! | `panic-freedom` | no `unwrap`/`expect`/`panic!`/`assert!` in core-crate library code |
+//! | `hot-path-alloc` | no `Vec::new`/`vec!`/`Box::new`/`.collect()`/`.to_vec()` in designated hot-path files |
+//! | `activity-contract` | `impl ClockedComponent` overriding `next_activity` also overrides `skip` |
+//!
+//! Violations can be allowed inline — with a mandatory reason — via
+//! `// lint:allow(rule-id): reason` (covers that line and the next code
+//! line), `// lint:allow-item(rule-id): reason` (the next item or
+//! statement, e.g. a whole constructor), or
+//! `// lint:allow-file(rule-id): reason` (the whole file). A pragma
+//! without a reason is itself a violation (`bad-pragma`); doc comments
+//! quoting the grammar are ignored.
+//!
+//! See `docs/static-analysis.md` for the full rule catalogue, pragma
+//! grammar, JSON report schema, and how to add a rule.
+//!
+//! # Usage
+//!
+//! ```text
+//! cargo run -p higraph-lint            # report, exit 0
+//! cargo run -p higraph-lint -- --check # exit 1 on any violation (CI)
+//! cargo run -p higraph-lint -- --json lint-report.json
+//! ```
+//!
+//! ```
+//! use higraph_lint::{lint_source, Report};
+//!
+//! let mut report = Report::default();
+//! lint_source(
+//!     "crates/sim/src/example.rs",
+//!     "fn f(v: Option<u8>) -> u8 { v.unwrap() }",
+//!     &mut report,
+//! );
+//! assert_eq!(report.violations.len(), 1);
+//! assert_eq!(report.violations[0].rule, "panic-freedom");
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod driver;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+pub use driver::{find_workspace_root, lint_paths, lint_source, lint_workspace};
+pub use report::{AllowRecord, Diagnostic, Report};

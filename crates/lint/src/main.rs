@@ -1,0 +1,99 @@
+//! The `higraph-lint` binary: lints the workspace's own sources.
+//!
+//! CI runs `higraph-lint --check --json lint-report.json` as the first
+//! leg of the lint job — before clippy, because this pass takes
+//! milliseconds and checks invariants clippy cannot know about.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use higraph_lint::{driver, rules};
+
+const USAGE: &str = "\
+higraph-lint — workspace invariant linter (see docs/static-analysis.md)
+
+USAGE:
+    higraph-lint [OPTIONS]
+
+OPTIONS:
+    --check            exit non-zero if any violation is found (CI mode)
+    --json <PATH>      also write the machine-readable report to PATH
+    --root <PATH>      workspace root (default: found from the current dir)
+    --list-rules       print the rule catalogue and exit
+    -h, --help         this text
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("higraph-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut check = false;
+    let mut json_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--json" => {
+                json_path = Some(PathBuf::from(
+                    args.next().ok_or("--json needs a path argument")?,
+                ));
+            }
+            "--root" => {
+                root = Some(PathBuf::from(
+                    args.next().ok_or("--root needs a path argument")?,
+                ));
+            }
+            "--list-rules" => {
+                for rule in rules::RULE_IDS {
+                    println!("{rule}");
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            driver::find_workspace_root(&cwd)
+                .ok_or("no workspace root (Cargo.toml + crates/) above the current dir")?
+        }
+    };
+
+    let report =
+        driver::lint_workspace(&root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+
+    for v in &report.violations {
+        println!("{}", v.render());
+    }
+    print!("{}", report.render_summary());
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+
+    if check && !report.is_clean() {
+        Ok(ExitCode::FAILURE)
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}

@@ -1,0 +1,11 @@
+// Compliant fixture: the clean tree the exit-code tests expect to pass.
+
+/// Pops the head if present; never panics, never allocates.
+pub fn head(v: &mut Vec<u8>) -> Option<u8> {
+    v.pop()
+}
+
+// lint:allow(determinism): fixture exercising a reasoned allow end to end
+pub fn reasoned() -> u64 {
+    42
+}

@@ -1,0 +1,27 @@
+// Deliberately non-compliant fixture: one violation per rule family
+// (except hot-path-alloc, which lives in frontend.rs — the rule keys on
+// hot-path basenames). Never compiled; scanned only by the exit-code
+// tests in ../../../fixtures.rs.
+
+use std::collections::HashMap;
+
+pub fn head(v: Option<u8>) -> u8 {
+    v.unwrap()
+}
+
+pub unsafe fn poke(p: *mut u8) {
+    unsafe { *p = 0 };
+}
+
+pub struct Comp;
+
+impl ClockedComponent for Comp {
+    fn next_activity(&self) -> u64 {
+        0
+    }
+}
+
+// lint:allow(panic-freedom)
+pub fn reasonless(v: Option<u8>) -> u8 {
+    v.unwrap()
+}

@@ -1,0 +1,8 @@
+// Deliberately non-compliant fixture: `frontend.rs` is a hot-path
+// basename, so steady-state allocation constructs must be flagged.
+
+pub fn tick(xs: &[u32]) -> Vec<u32> {
+    let mut scratch = Vec::new();
+    scratch.extend(xs.iter().map(|x| x + 1).collect::<Vec<u32>>());
+    scratch
+}

@@ -48,6 +48,8 @@
 //! assert_eq!(net.pop(2).map(|p| p.0), Some(2));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub(crate) mod maskbits;
 pub mod naive;
 pub mod network;

@@ -30,6 +30,7 @@ impl<T: Packet> NaiveFifoNetwork<T> {
     /// # Panics
     ///
     /// Panics if any dimension is zero or `capacity` is zero.
+    // lint:allow-item(panic-freedom, hot-path-alloc): construction: the documented zero-dimension panic and one-time FIFO allocation happen before any cycle runs
     pub fn new(n_in: usize, n_out: usize, capacity: usize) -> Self {
         assert!(n_in > 0 && n_out > 0, "dimensions must be positive");
         let fifos: Vec<Fifo<T>> = (0..n_out).map(|_| Fifo::new(capacity)).collect();

@@ -56,6 +56,7 @@ impl Default for VerilogOptions {
 /// leftover stage): the emitted design shares one FIFO module across all
 /// stages, so stages must agree on the write-port count.
 pub fn generate(topology: &Topology, opts: &VerilogOptions) -> String {
+    // lint:allow(panic-freedom): documented panic: the emitter requires a uniform radix, checked before any code is written
     assert!(
         topology.is_uniform_radix(),
         "Verilog generation requires a uniform-radix topology"
@@ -254,6 +255,7 @@ fn top_module(out: &mut String, topo: &Topology, opts: &VerilogOptions) {
 ///
 /// Panics on mixed-radix topologies, like [`generate`].
 pub fn generate_testbench(topology: &Topology, opts: &VerilogOptions) -> String {
+    // lint:allow(panic-freedom): documented panic: the emitter requires a uniform radix, checked before any code is written
     assert!(
         topology.is_uniform_radix(),
         "Verilog generation requires a uniform-radix topology"

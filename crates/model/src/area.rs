@@ -34,6 +34,7 @@ const AREA_PER_PORT2: f64 = 6.515_625e-5;
 /// assert!((a - 0.375).abs() < 1e-3);
 /// ```
 pub fn mdp_area_mm2(channels: usize, entries_per_channel: usize) -> f64 {
+    // lint:allow(panic-freedom): documented precondition of the analytic model; shapes come from validated configs
     assert!(
         channels >= 2 && channels.is_power_of_two(),
         "channels must be a power of two"
@@ -59,6 +60,7 @@ pub fn mdp_area_mm2(channels: usize, entries_per_channel: usize) -> f64 {
 /// assert!((a - 0.292).abs() < 1e-3);
 /// ```
 pub fn crossbar_area_mm2(ports: usize, entries_per_channel: usize) -> f64 {
+    // lint:allow(panic-freedom): documented precondition of the analytic model; shapes come from validated configs
     assert!(ports >= 2, "a crossbar needs at least two ports");
     let entries = (ports * entries_per_channel) as f64;
     entries * AREA_PER_ENTRY + (ports * ports) as f64 * AREA_PER_PORT2

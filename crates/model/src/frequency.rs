@@ -33,6 +33,7 @@ pub const TARGET_GHZ: f64 = 1.0;
 ///
 /// Panics if `ports < 2`.
 pub fn crossbar_critical_path_ns(ports: usize) -> f64 {
+    // lint:allow(panic-freedom): documented precondition of the analytic model; shapes come from validated configs
     assert!(ports >= 2, "a crossbar needs at least two ports");
     XBAR_T0 + XBAR_LOG * (ports as f64).log2() + XBAR_LIN * ports as f64
 }
@@ -60,6 +61,7 @@ pub fn crossbar_frequency_ghz(ports: usize) -> f64 {
 ///
 /// Panics if `channels < 2`.
 pub fn mdp_critical_path_ns(channels: usize) -> f64 {
+    // lint:allow(panic-freedom): documented precondition of the analytic model; shapes come from validated configs
     assert!(channels >= 2, "need at least two channels");
     MDP_T32 + MDP_PER_OCTAVE * ((channels as f64).log2() - 5.0)
 }

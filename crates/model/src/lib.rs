@@ -18,6 +18,8 @@
 //!   non-dominated front maintained by the `repro dse` design-space
 //!   exploration (see `docs/dse.md`).
 
+#![forbid(unsafe_code)]
+
 pub mod area;
 pub mod energy;
 pub mod frequency;

@@ -28,6 +28,7 @@ const POWER_PER_PORT2: f64 = 0.116_191_406_25;
 /// assert!((p - 621.2).abs() < 1.0);
 /// ```
 pub fn mdp_power_mw(channels: usize, entries_per_channel: usize) -> f64 {
+    // lint:allow(panic-freedom): documented precondition of the analytic model; shapes come from validated configs
     assert!(
         channels >= 2 && channels.is_power_of_two(),
         "channels must be a power of two"
@@ -53,6 +54,7 @@ pub fn mdp_power_mw(channels: usize, entries_per_channel: usize) -> f64 {
 /// assert!((p - 508.1).abs() < 1.0);
 /// ```
 pub fn crossbar_power_mw(ports: usize, entries_per_channel: usize) -> f64 {
+    // lint:allow(panic-freedom): documented precondition of the analytic model; shapes come from validated configs
     assert!(ports >= 2, "a crossbar needs at least two ports");
     let entries = (ports * entries_per_channel) as f64;
     entries * POWER_PER_ENTRY + (ports * ports) as f64 * POWER_PER_PORT2

@@ -186,6 +186,7 @@ impl MemoryChannel {
     /// # Panics
     ///
     /// Panics if `num_banks` or `queue_depth` is zero.
+    // lint:allow-item(panic-freedom, hot-path-alloc): construction: documented zero-size panics plus one-time bank/scratch allocation, before any cycle runs
     pub fn new(num_banks: usize, queue_depth: usize, timing: DramTiming) -> Self {
         assert!(num_banks > 0, "a channel needs at least one bank");
         assert!(queue_depth > 0, "request queues need capacity");
@@ -223,6 +224,7 @@ impl MemoryChannel {
     ///
     /// Panics if `bank` is out of range.
     pub fn try_request(&mut self, line: u64, bank: usize, row: u64) -> bool {
+        // lint:allow(panic-freedom): documented precondition: bank indices come from the address mapper, which reduces modulo the bank count
         assert!(bank < self.banks.len(), "bank out of range");
         if !self.can_accept() {
             self.stats.rejected += 1;
@@ -417,6 +419,7 @@ impl DramSystem {
     /// # Panics
     ///
     /// Panics if any count is zero.
+    // lint:allow-item(panic-freedom, hot-path-alloc): construction: documented zero-size panics plus one-time channel allocation, before any cycle runs
     pub fn new(
         num_channels: usize,
         num_banks: usize,

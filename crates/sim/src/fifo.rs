@@ -55,6 +55,7 @@ impl<T> Fifo<T> {
     /// built (see `AcceleratorConfig::validate` in `higraph-accel`);
     /// [`Fifo::try_new`] is the fallible constructor for dynamic sizes.
     pub fn new(capacity: usize) -> Self {
+        // lint:allow(panic-freedom): documented panicking convenience; Fifo::try_new is the fallible path
         Fifo::try_new(capacity).expect("FIFO capacity must be positive")
     }
 
@@ -69,6 +70,7 @@ impl<T> Fifo<T> {
             return Err("FIFO capacity must be positive".to_string());
         }
         let physical = capacity.next_power_of_two();
+        // lint:allow(hot-path-alloc): construction-time: the ring buffer is allocated once and reused for the FIFO's lifetime
         let buf: Box<[MaybeUninit<T>]> = (0..physical).map(|_| MaybeUninit::uninit()).collect();
         Ok(Fifo {
             mask: physical - 1,
@@ -203,6 +205,7 @@ impl<T> Drop for Fifo<T> {
 
 impl<T: Clone> Clone for Fifo<T> {
     fn clone(&self) -> Self {
+        // lint:allow(panic-freedom): infallible: self.capacity was validated by try_new when self was built
         let mut cloned = Fifo::try_new(self.capacity).expect("capacity validated at construction");
         for item in self.iter() {
             let pushed = cloned.push(item.clone());

@@ -55,6 +55,7 @@ impl<T: Packet> InterChipLink<T> {
     /// # Panics
     ///
     /// Panics if `num_chips`, `bandwidth`, or `egress_capacity` is zero.
+    // lint:allow-item(panic-freedom): documented constructor panics; link shapes come from validated MultiChipConfig, checked once before any cycle
     pub fn new(num_chips: usize, latency: u64, bandwidth: usize, egress_capacity: usize) -> Self {
         assert!(num_chips > 0, "a link needs at least one endpoint");
         assert!(bandwidth > 0, "link bandwidth must be positive");
@@ -113,12 +114,13 @@ impl<T: Packet> ClockedComponent for InterChipLink<T> {
             }
         }
         // Land everything whose flight time has elapsed.
-        while self
-            .flight
-            .front()
-            .is_some_and(|&(deliver_at, _)| deliver_at <= self.now)
-        {
-            let (_, pkt) = self.flight.pop_front().expect("checked front");
+        while let Some(&(deliver_at, _)) = self.flight.front() {
+            if deliver_at > self.now {
+                break;
+            }
+            let Some((_, pkt)) = self.flight.pop_front() else {
+                break;
+            };
             self.ingress[pkt.dest()].push_back(pkt);
         }
     }

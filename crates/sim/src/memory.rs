@@ -25,6 +25,7 @@ impl BankPorts {
     ///
     /// Panics if `k` is zero.
     pub fn new(k: usize) -> Self {
+        // lint:allow(panic-freedom): documented constructor panic: a memory needs at least one bank
         assert!(k > 0, "need at least one bank");
         BankPorts {
             claims: vec![None; k],

@@ -95,6 +95,7 @@ impl EventWheel {
     /// Panics on an invalid shape; use [`EventWheel::try_new`] where the
     /// parameters are configuration-derived.
     pub fn new(slots: usize, horizon: usize) -> Self {
+        // lint:allow(panic-freedom): documented panicking convenience; EventWheel::try_new is the fallible path
         EventWheel::try_new(slots, horizon).expect("invalid event-wheel shape")
     }
 
@@ -130,6 +131,7 @@ impl EventWheel {
                  overflow list, so a small horizon is slow, not wrong"
             ));
         }
+        // lint:allow-item(hot-path-alloc): construction-time: ring buckets, occupancy words, and dirty tracking are allocated once per wheel
         Ok(EventWheel {
             wakes: vec![UNARMED; slots],
             buckets: (0..horizon).map(|_| Vec::new()).collect(),

@@ -32,6 +32,8 @@
 //! assert_eq!(run.properties[0], 0); // source at level 0
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod program;
 pub mod programs;
 pub mod reference;
