@@ -389,6 +389,52 @@ impl AcceleratorConfig {
         }
         Ok(())
     }
+
+    /// A canonical, stable textual encoding of every *behavioural* field
+    /// — everything except the free-form `name` label — for use as a
+    /// memoization key: two configurations with the same encoding
+    /// produce bit-identical runs on the same graph. Field order is
+    /// fixed; extending the struct must extend (never reorder) this
+    /// encoding so existing keys stay distinct.
+    pub fn canonical_encoding(&self) -> String {
+        let net = |k: NetworkKind| match k {
+            NetworkKind::Crossbar => "xbar",
+            NetworkKind::Mdp => "mdp",
+            NetworkKind::NaiveFifo => "fifo",
+        };
+        let mut s = format!(
+            "fc={};bc={};on={};en={};dn={};buf={};stage={};radix={};ports={};arena={};wheel={}",
+            self.front_channels,
+            self.back_channels,
+            net(self.offset_network),
+            net(self.edge_network),
+            net(self.dataflow_network),
+            self.dataflow_buffer_per_channel,
+            self.staging_capacity,
+            self.radix,
+            self.dispatcher_read_ports,
+            self.arena_capacity,
+            self.wheel_horizon,
+        );
+        match &self.memory {
+            None => s.push_str(";mem=none"),
+            Some(m) => {
+                s.push_str(&format!(
+                    ";mem=ch{}xb{}q{}l{}r{}c{}cas{}rcd{}rp{}",
+                    m.channels,
+                    m.banks_per_channel,
+                    m.queue_depth,
+                    m.line_bytes,
+                    m.row_bytes,
+                    m.cache_kb,
+                    m.timing.t_cas,
+                    m.timing.t_rcd,
+                    m.timing.t_rp,
+                ));
+            }
+        }
+        s
+    }
 }
 
 #[cfg(test)]
@@ -471,6 +517,33 @@ mod tests {
         assert!(c.validate().is_err());
         c.memory = Some(MemoryConfig::hbm2().with_cache_kb(0));
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn canonical_encoding_ignores_name_and_tracks_behaviour() {
+        let a = AcceleratorConfig::higraph();
+        let mut renamed = a.clone();
+        renamed.name = "something else".to_string();
+        assert_eq!(a.canonical_encoding(), renamed.canonical_encoding());
+
+        assert_ne!(
+            a.canonical_encoding(),
+            AcceleratorConfig::higraph_mini().canonical_encoding()
+        );
+        assert_ne!(
+            a.canonical_encoding(),
+            AcceleratorConfig::graphdyns().canonical_encoding()
+        );
+
+        let mut with_mem = a.clone();
+        with_mem.memory = Some(MemoryConfig::hbm2());
+        assert_ne!(a.canonical_encoding(), with_mem.canonical_encoding());
+        let mut bigger_cache = with_mem.clone();
+        bigger_cache.memory = Some(MemoryConfig::hbm2().with_cache_kb(512));
+        assert_ne!(
+            with_mem.canonical_encoding(),
+            bigger_cache.canonical_encoding()
+        );
     }
 
     #[test]

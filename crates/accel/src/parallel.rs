@@ -16,8 +16,11 @@
 //!
 //! # Protocol
 //!
-//! One drain spawns `workers` scoped threads; chips are dealt to them
-//! round-robin. Per cycle:
+//! One drain leases `workers` participants from the process-wide
+//! [`higraph_pool::CorePool`] (idle resident workers, topped up with
+//! temporary threads only for an explicit thread-count override) and
+//! hands each a team task; chips are dealt to them round-robin. Per
+//! cycle:
 //!
 //! 1. the coordinator publishes a [`Command`] and releases barrier A;
 //! 2. workers step + tick their chips (or bulk-`skip` an idle window)
@@ -30,12 +33,17 @@
 //! The barrier is a spin-then-yield sense barrier: lock-free on the
 //! multi-core fast path, yielding quickly so oversubscribed hosts (or a
 //! single-core CI container) degrade gracefully instead of livelocking.
-//! See `docs/performance.md` for the full determinism argument.
+//! Chip lanes migrate freely across pool workers between drains — each
+//! lane owns its chip, metrics, slice graph, and `split_at_mut` interval
+//! outright, so *which* host thread executes a lane is invisible to the
+//! simulated state. See `docs/performance.md` for the full determinism
+//! argument.
 
 use crate::engine::ScatterPipeline;
 use crate::metrics::Metrics;
 use crate::sharded::ShardPacket;
 use higraph_graph::Csr;
+use higraph_pool::{CoreLease, TeamTask};
 use higraph_sim::{min_activity, ClockedComponent, InterChipLink, Network, StallError};
 use higraph_vcpm::VertexProgram;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -271,10 +279,15 @@ where
     cycles_of
 }
 
-/// Drains P chips plus the inter-chip link in lock step across `workers`
-/// host threads — the parallel twin of the serial
+/// Drains P chips plus the inter-chip link in lock step across the
+/// lease's team — the parallel twin of the serial
 /// `Scheduler::drain_with` over `MultiChip`, bit-identical in cycle
-/// counts and metrics.
+/// counts and metrics for any team size.
+///
+/// The lease's participants each run [`worker_drain`] as a team task
+/// while the calling thread coordinates; callers with an empty lease
+/// (`team_size() == 0`, a fully busy pool) must take the serial drain
+/// instead.
 ///
 /// # Errors
 ///
@@ -285,7 +298,7 @@ pub(crate) fn drain_chips_parallel<P, Prog>(
     lanes: Vec<ChipLane<'_, P>>,
     link: &mut InterChipLink<ShardPacket>,
     staged: &mut [Vec<u64>],
-    workers: usize,
+    lease: &CoreLease<'_>,
     fast_forward: bool,
     stall_guard: u64,
     program: &Prog,
@@ -295,20 +308,23 @@ where
     Prog: VertexProgram<Prop = P> + Sync,
 {
     let num_chips = lanes.len();
-    let workers = workers.clamp(1, num_chips.max(1));
+    let workers = lease.team_size();
+    // lint:allow(panic-freedom): caller contract; `ShardedEngine::run` routes empty leases to the serial drain
+    assert!(workers > 0, "an empty lease cannot host a drain team");
     let shared = DrainShared::new(workers + 1, num_chips);
     let mut bins: Vec<Vec<ChipLane<'_, P>>> = (0..workers).map(|_| Vec::new()).collect();
     for (i, lane) in lanes.into_iter().enumerate() {
         bins[i % workers].push(lane);
     }
-
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for bin in bins {
+    let tasks: Vec<TeamTask<'_, Vec<(usize, u64)>>> = bins
+        .into_iter()
+        .map(|bin| {
             let shared = &shared;
-            handles.push(scope.spawn(move || worker_drain(bin, shared, program)));
-        }
+            Box::new(move || worker_drain(bin, shared, program)) as TeamTask<'_, _>
+        })
+        .collect();
 
+    let ((drained_result, coordinator_panic), worker_results) = lease.run_team(tasks, || {
         let mut spent = 0u64;
         let mut coordinator_panic = None;
         shared.barrier.wait(); // initial chip state published
@@ -408,27 +424,21 @@ where
             }
             spent += 1;
         };
+        (drained_result, coordinator_panic)
+    });
+    // `run_team` has already re-raised any team-task (worker) panic; a
+    // link-side panic captured by the coordinator loop comes next.
+    if let Some(payload) = coordinator_panic {
+        resume_unwind(payload);
+    }
 
-        let mut chip_cycles = vec![0u64; num_chips];
-        let mut worker_panic = None;
-        for handle in handles {
-            match handle.join() {
-                Ok(list) => {
-                    for (ci, cycles) in list {
-                        chip_cycles[ci] = cycles;
-                    }
-                }
-                Err(payload) => worker_panic = Some(payload),
-            }
+    let mut chip_cycles = vec![0u64; num_chips];
+    for list in worker_results {
+        for (ci, cycles) in list {
+            chip_cycles[ci] = cycles;
         }
-        if let Some(payload) = worker_panic {
-            resume_unwind(payload);
-        }
-        if let Some(payload) = coordinator_panic {
-            resume_unwind(payload);
-        }
-        drained_result.map(|spent| ParallelDrainOutcome { spent, chip_cycles })
-    })
+    }
+    drained_result.map(|spent| ParallelDrainOutcome { spent, chip_cycles })
 }
 
 #[cfg(test)]

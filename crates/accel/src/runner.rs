@@ -7,12 +7,15 @@
 //! the buffer/radix studies more still. Every point is an independent
 //! deterministic simulation, so the batch is embarrassingly parallel.
 //!
-//! [`BatchRunner`] executes such batches across worker threads (via
-//! `rayon`) and reports aggregate throughput. Parallelism changes *only*
-//! wall-clock time: each simulation is single-threaded and seeded by its
-//! own inputs, so results are bit-identical to running the same jobs
-//! serially through [`Engine::run`] — `tests/batch_runner.rs` asserts
-//! this.
+//! [`BatchRunner`] executes such batches through the process-wide
+//! work-stealing [`CorePool`] and reports aggregate throughput.
+//! Parallelism changes *only* wall-clock time: each simulation is
+//! deterministic and seeded by its own inputs, so results are
+//! bit-identical to running the same jobs serially through
+//! [`Engine::run`] — `tests/batch_runner.rs` asserts this. Sharded jobs
+//! compose with the batch: their lock-step drains lease whatever pool
+//! workers the batch leaves idle (`docs/performance.md`), falling back
+//! to the serial drain — bit-identically — when the host is saturated.
 //!
 //! Sliced large-graph schedules ([`Engine::run_sliced`], Sec. 5.3) ride
 //! the same path through [`RunMode::Sliced`].
@@ -40,8 +43,8 @@ use crate::engine::{Engine, StallDiagnostic};
 use crate::metrics::Metrics;
 use crate::sharded::{ShardConfig, ShardedEngine};
 use higraph_graph::Csr;
+use higraph_pool::CorePool;
 use higraph_vcpm::VertexProgram;
-use rayon::prelude::*;
 use std::fmt;
 // lint:allow(determinism): wall-clock only feeds host-side BatchReport throughput; simulated state never reads it
 use std::time::Instant;
@@ -290,10 +293,11 @@ impl BatchRunner {
         BatchRunner { parallel: false }
     }
 
-    /// Worker threads this runner will use.
+    /// Worker threads this runner will use: the pool's resident workers
+    /// plus the submitting thread, which always participates.
     pub fn workers(&self) -> usize {
         if self.parallel {
-            rayon::current_num_threads()
+            CorePool::global().workers() + 1
         } else {
             1
         }
@@ -344,7 +348,7 @@ impl BatchRunner {
         F: Fn(&J) -> R + Sync,
     {
         if self.parallel && jobs.len() > 1 {
-            jobs.par_iter().map(work).collect()
+            CorePool::global().run_ordered(jobs.len(), |i| work(&jobs[i]))
         } else {
             jobs.iter().map(work).collect()
         }
@@ -422,10 +426,10 @@ where
             let mut engine = ShardedEngine::try_new(job.config.clone(), shard, job.graph)
                 .map_err(BatchError::Config)?;
             engine.set_stall_guard(job.stall_guard);
-            // The batch is already parallel across jobs; intra-run
-            // chip parallelism on top would oversubscribe the host.
-            // Results are bit-identical either way.
-            engine.set_threads(Some(1));
+            // Default (auto) threading: each lock-step drain leases
+            // whatever pool workers the batch leaves idle, so batch- and
+            // chip-level parallelism compose instead of oversubscribing.
+            // Results are bit-identical for any worker count.
             let r = engine.run(&job.program)?;
             Ok(BatchResult {
                 label: job.label.clone(),

@@ -40,6 +40,7 @@ use crate::netfactory::NetworkFactory;
 use crate::parallel::{drain_chips_parallel, exchange_link, ChipLane};
 use higraph_graph::slicing::{partition, total_cut_edges, Slice};
 use higraph_graph::{Csr, VertexId};
+use higraph_pool::{CoreLease, CorePool};
 use higraph_sim::{
     min_activity, ClockedComponent, DrainStep, EventWheel, InterChipLink, NetworkStats, Packet,
     Scheduler, StallError,
@@ -258,9 +259,10 @@ pub struct ShardedEngine<'g> {
     /// Event-driven fast-forward of idle lock-step cycles (on by
     /// default; bit-identical — see `docs/simulation.md`).
     fast_forward: bool,
-    /// Host worker threads for the lock-step drain (`None` = one per
-    /// chip up to the host's available parallelism). Results are
-    /// bit-identical for every setting — see `docs/performance.md`.
+    /// Host worker threads for the lock-step drain (`None` = lease
+    /// whatever the shared [`CorePool`] has idle, up to one per chip,
+    /// at the start of every drain). Results are bit-identical for
+    /// every setting — see `docs/performance.md`.
     threads: Option<usize>,
 }
 
@@ -322,19 +324,27 @@ impl<'g> ShardedEngine<'g> {
     }
 
     /// Sets the host worker threads that tick the chips during the
-    /// lock-step drain. `None` (the default) uses one worker per chip up
-    /// to the host's available parallelism; `Some(1)` forces the serial
-    /// drain (what batch sweeps use — they already parallelize across
-    /// runs). Cycle counts and every metric are **bit-identical** for
-    /// every setting; only host time changes. See `docs/performance.md`.
+    /// lock-step drain. `None` (the default) leases currently-idle
+    /// workers from the process-wide [`CorePool`] at each drain — up to
+    /// one per chip — so chip-level parallelism composes with
+    /// batch-level parallelism instead of oversubscribing the host.
+    /// `Some(n)` demands an exact `n`-worker team (temporary threads
+    /// make up any shortfall); `Some(1)` forces the serial drain. Cycle
+    /// counts and every metric are **bit-identical** for every setting;
+    /// only host time changes. See `docs/performance.md`.
     pub fn set_threads(&mut self, threads: Option<usize>) {
         self.threads = threads;
     }
 
-    /// Worker threads the next [`ShardedEngine::run`] will use.
+    /// Worker threads a [`ShardedEngine::run`] drain uses at full pool
+    /// availability: the explicit override, or the resident pool's
+    /// worker count, capped at the chip count. Under the default
+    /// (`None`) policy the actual per-drain team can be smaller when
+    /// co-scheduled jobs keep pool workers busy; results are
+    /// bit-identical regardless.
     pub fn worker_threads(&self) -> usize {
         self.threads
-            .unwrap_or_else(auto_worker_threads)
+            .unwrap_or_else(|| CorePool::global().workers())
             .clamp(1, self.shard.num_chips)
     }
 
@@ -385,7 +395,6 @@ impl<'g> ShardedEngine<'g> {
         let m = config.back_channels;
         let frequency_ghz = config.effective_frequency_ghz();
         let num_chips = self.shard.num_chips;
-        let workers = self.worker_threads();
         let graph = self.graph;
         let num_v = graph.num_vertices();
 
@@ -462,27 +471,48 @@ impl<'g> ShardedEngine<'g> {
                 ) + self.shard.link_latency
             });
             let mut chip_cycles = vec![0u64; num_chips];
-            let drained = if workers > 1 {
-                self.drain_parallel(
-                    program,
-                    &mut multi,
-                    &mut t_props,
-                    &mut chip_metrics,
-                    &mut chip_cycles,
-                    workers,
-                    guard,
-                )
-            } else {
-                scheduler.set_stall_guard(guard);
-                self.drain_serial(
-                    program,
-                    &mut multi,
-                    &mut t_props,
-                    &mut chip_metrics,
-                    &mut chip_cycles,
-                    &mut scheduler,
-                )
+            // Host cores are acquired per drain: an explicit override
+            // leases its exact team (temporary threads cover any
+            // shortfall), the default leases whatever the shared pool
+            // has idle *right now* — so this drain and concurrently
+            // running batch jobs split the host instead of
+            // oversubscribing it. An empty grant (fully busy pool),
+            // `Some(1)`, or a single chip takes the serial drain;
+            // results are bit-identical in every case.
+            let lease = match self.threads {
+                Some(n) => {
+                    let team = n.clamp(1, num_chips);
+                    (team > 1).then(|| CorePool::global().lease_exact(team))
+                }
+                None if num_chips > 1 => {
+                    let lease = CorePool::global().lease(num_chips);
+                    (lease.team_size() > 0).then_some(lease)
+                }
+                None => None,
             };
+            let drained = match &lease {
+                Some(lease) => self.drain_parallel(
+                    program,
+                    &mut multi,
+                    &mut t_props,
+                    &mut chip_metrics,
+                    &mut chip_cycles,
+                    lease,
+                    guard,
+                ),
+                None => {
+                    scheduler.set_stall_guard(guard);
+                    self.drain_serial(
+                        program,
+                        &mut multi,
+                        &mut t_props,
+                        &mut chip_metrics,
+                        &mut chip_cycles,
+                        &mut scheduler,
+                    )
+                }
+            };
+            drop(lease); // workers rejoin the stealing rotation
             let spent = drained.map_err(|stall| StallDiagnostic {
                 config: self.factory.config().name.clone(),
                 num_chips,
@@ -606,10 +636,11 @@ impl<'g> ShardedEngine<'g> {
         })
     }
 
-    /// The parallel lock-step drain: chips tick on worker threads, the
-    /// link exchange and fast-forward control stay here, with a barrier
-    /// either side of each cycle ([`crate::parallel`]). Bit-identical to
-    /// [`ShardedEngine::drain_serial`].
+    /// The parallel lock-step drain: chips tick on the lease's team
+    /// (pool workers, plus temporary threads for an exact override),
+    /// the link exchange and fast-forward control stay here, with a
+    /// barrier either side of each cycle ([`crate::parallel`]).
+    /// Bit-identical to [`ShardedEngine::drain_serial`].
     ///
     /// # Errors
     ///
@@ -623,7 +654,7 @@ impl<'g> ShardedEngine<'g> {
         t_props: &mut [Prog::Prop],
         chip_metrics: &mut [Metrics],
         chip_cycles: &mut [u64],
-        workers: usize,
+        lease: &CoreLease<'_>,
         guard: u64,
     ) -> Result<u64, StallError>
     where
@@ -659,7 +690,7 @@ impl<'g> ShardedEngine<'g> {
             lanes,
             link,
             staged,
-            workers,
+            lease,
             self.fast_forward,
             guard,
             program,
@@ -669,11 +700,11 @@ impl<'g> ShardedEngine<'g> {
     }
 }
 
-/// The automatic worker-thread policy behind
-/// [`ShardedEngine::set_threads`]`(None)`: the host's available
-/// parallelism (callers cap it at the chip count). One definition so
-/// harnesses reporting a worker count cannot diverge from what a run
-/// actually used.
+/// The host's available parallelism (the ceiling the shared
+/// [`CorePool`] sizes itself from). [`ShardedEngine::set_threads`]`(None)`
+/// no longer pins to this number — it leases idle pool workers per
+/// drain — but harnesses still report it as the host context for a
+/// measurement.
 pub fn auto_worker_threads() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)

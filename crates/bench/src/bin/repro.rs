@@ -472,7 +472,8 @@ fn simspeed(scale: Scale, out: &mut Report) -> f64 {
 
 fn hostperf(scale: Scale, out: &mut Report) {
     println!("-- Host performance: simulated cycles per host second (informational) --");
-    for r in figures::hostperf(scale) {
+    let (rows, pool) = figures::hostperf(scale);
+    for r in rows {
         println!(
             "{:<13} {:>8.2}s host, {:>13} simulated cycles, {:>12.0} cycles/s, {} worker(s), \
              {} wheel / {} poll window selections{}",
@@ -504,6 +505,44 @@ fn hostperf(scale: Scale, out: &mut Report) {
         }
     }
     println!(
+        "pool          {} resident worker(s), {:.1}% occupancy; {} task(s) ({} stolen, \
+         {} inline), {} lease(s) for {} worker(s) (+{} oversubscribed)",
+        pool.workers,
+        pool.occupancy * 100.0,
+        pool.tasks_executed,
+        pool.tasks_stolen,
+        pool.tasks_inline,
+        pool.lease_requests,
+        pool.lease_workers_granted,
+        pool.lease_workers_oversubscribed,
+    );
+    out.record("hostperf.pool.workers".to_string(), pool.workers as f64);
+    out.record(
+        "hostperf.pool.tasks_executed".to_string(),
+        pool.tasks_executed as f64,
+    );
+    out.record(
+        "hostperf.pool.tasks_stolen".to_string(),
+        pool.tasks_stolen as f64,
+    );
+    out.record(
+        "hostperf.pool.tasks_inline".to_string(),
+        pool.tasks_inline as f64,
+    );
+    out.record(
+        "hostperf.pool.lease_requests".to_string(),
+        pool.lease_requests as f64,
+    );
+    out.record(
+        "hostperf.pool.lease_workers_granted".to_string(),
+        pool.lease_workers_granted as f64,
+    );
+    out.record(
+        "hostperf.pool.lease_workers_oversubscribed".to_string(),
+        pool.lease_workers_oversubscribed as f64,
+    );
+    out.record("hostperf.pool.occupancy".to_string(), pool.occupancy);
+    println!(
         "(absolute host speed is machine-dependent — recorded for the trajectory,\n\
          never gated; cycle counts are deterministic. Wheel-vs-poll selection\n\
          counts show how fast-forward windows were found — see docs/simulation.md)\n"
@@ -530,8 +569,8 @@ fn dse(budget: Option<usize>, out: &mut Report) -> DseOutcome {
     );
     let outcome = higraph_bench::dse::explore(&settings);
     println!(
-        "evaluated {} design points out of a {}-point lattice\n",
-        outcome.points_evaluated, outcome.space_size
+        "evaluated {} design points out of a {}-point lattice ({} memo hits)\n",
+        outcome.points_evaluated, outcome.space_size, outcome.memo_hits
     );
     println!(
         "{:<52} {:>10} {:>11} {:>9} {:>11}",
@@ -579,6 +618,7 @@ fn dse(budget: Option<usize>, out: &mut Report) -> DseOutcome {
         "dse.points_evaluated".to_string(),
         outcome.points_evaluated as f64,
     );
+    out.record("dse.memo_hits".to_string(), outcome.memo_hits as f64);
     println!(
         "(front membership and size vary with --dse-budget; only the anchor\n\
          objectives are baselined. Anchors must sit within {MAX_ANCHOR_FRONT_EXCESS:.1}x of the\n\

@@ -1,0 +1,47 @@
+//! `higraph-serve` — a resident simulation job service.
+//!
+//! Reads one flat-JSON operation per stdin line, writes one flat-JSON
+//! event per stdout line (see `docs/serve.md` for the protocol and
+//! `higraph_bench::serve` for the semantics). EOF flushes the pending
+//! queue and exits cleanly, so the service works equally well
+//! interactively and as the sink of a here-doc in CI:
+//!
+//! ```text
+//! cargo run --release -p higraph-bench --bin higraph-serve <<'EOF'
+//! {"op": "submit", "id": "a", "algo": "wcc", "divisor": 16}
+//! {"op": "run"}
+//! {"op": "shutdown"}
+//! EOF
+//! ```
+
+use higraph_bench::ServeSession;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut session = ServeSession::new();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        for event in session.handle_line(&line) {
+            if writeln!(out, "{event}").is_err() {
+                return; // reader hung up
+            }
+        }
+        let _ = out.flush();
+        if session.shutdown_requested() {
+            return;
+        }
+    }
+    // EOF without an explicit shutdown: flush whatever is still queued.
+    for event in session.flush() {
+        if writeln!(out, "{event}").is_err() {
+            return;
+        }
+    }
+    let _ = out.flush();
+}

@@ -31,6 +31,7 @@ use higraph::model::{Objectives, ParetoFront};
 use higraph::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
 
 /// Largest tolerated [`AnchorRow::front_excess`] for the paper's anchor
 /// configurations under `--check`: some front member may beat an anchor
@@ -174,6 +175,11 @@ pub struct DseOutcome {
     /// Candidate evaluations performed across all rungs, refinement and
     /// anchors.
     pub points_evaluated: usize,
+    /// Evaluations served from the memo cache (keyed on graph content
+    /// hash + canonical config encoding) instead of simulating — valid
+    /// because every run is bit-deterministic. Counted inside
+    /// `points_evaluated`.
+    pub memo_hits: usize,
     /// Size of the genome lattice being searched.
     pub space_size: usize,
 }
@@ -193,45 +199,91 @@ fn stall_guard_for(point: &DesignPoint, graph: &Csr) -> u64 {
     10_000 + graph.num_edges() * per_edge * point.chips as u64
 }
 
+/// The memo cache shared across one exploration: job identity → cycle
+/// count (`None` = the design stalled or failed). Keyed on the graph's
+/// content hash plus the *canonical* configuration encoding, so two
+/// lattice points that decode to the same hardware — or a later rung
+/// re-scoring a survivor on an already-seen workload — simulate once.
+/// Sound because runs are bit-deterministic (same key ⇒ same cycles).
+type EvalMemo = BTreeMap<String, Option<u64>>;
+
+fn memo_key(point: &DesignPoint, fidelity: &Fidelity, graph_hash: u64) -> String {
+    format!(
+        "{:016x}|chips={}|pr={}|{}",
+        graph_hash,
+        point.chips,
+        fidelity.pr_iters,
+        point.config.canonical_encoding()
+    )
+}
+
 /// Runs every design in `points` on one rung's workload and pairs the
 /// survivors with their objectives. A design that stalls or fails
 /// validation loses its slot (`None`) without aborting the cohort.
+/// Previously-seen (graph, config) pairs are answered from `memo`;
+/// `memo_hits` counts them.
+#[allow(clippy::too_many_arguments)]
 fn evaluate(
     points: &[DesignPoint],
     fidelity: &Fidelity,
     graph: &Csr,
+    graph_hash: u64,
     parallel: bool,
+    memo: &mut EvalMemo,
+    memo_hits: &mut usize,
 ) -> Vec<Option<(DesignPoint, Objectives)>> {
-    let jobs: Vec<BatchJob<'_, PageRank>> = points
+    let keys: Vec<String> = points
         .iter()
-        .map(|p| {
-            let mut job = BatchJob::new(
-                &p.config.name,
-                graph,
-                PageRank::new(fidelity.pr_iters),
-                p.config.clone(),
-            )
-            .with_stall_guard(stall_guard_for(p, graph));
-            if let Some(shard) = p.shard_config() {
-                job = job.sharded(shard);
-            }
-            job
-        })
+        .map(|p| memo_key(p, fidelity, graph_hash))
         .collect();
-    let runner = if parallel {
-        BatchRunner::parallel()
-    } else {
-        BatchRunner::serial()
-    };
-    let (results, _) = runner.run(jobs);
+    // Simulate only the first occurrence of each unseen key; batch order
+    // (hence determinism) is preserved because results are re-joined by
+    // key afterwards.
+    let mut fresh: Vec<usize> = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        if memo.contains_key(key) {
+            *memo_hits += 1;
+        } else if fresh.iter().any(|&j| keys[j] == *key) {
+            *memo_hits += 1; // duplicate within this cohort
+        } else {
+            fresh.push(i);
+        }
+    }
+    if !fresh.is_empty() {
+        let jobs: Vec<BatchJob<'_, PageRank>> = fresh
+            .iter()
+            .map(|&i| {
+                let p = &points[i];
+                let mut job = BatchJob::new(
+                    &p.config.name,
+                    graph,
+                    PageRank::new(fidelity.pr_iters),
+                    p.config.clone(),
+                )
+                .with_stall_guard(stall_guard_for(p, graph));
+                if let Some(shard) = p.shard_config() {
+                    job = job.sharded(shard);
+                }
+                job
+            })
+            .collect();
+        let runner = if parallel {
+            BatchRunner::parallel()
+        } else {
+            BatchRunner::serial()
+        };
+        let (results, _) = runner.run(jobs);
+        for (&i, r) in fresh.iter().zip(results) {
+            let cycles = r.is_ok().then_some(r.metrics.cycles);
+            memo.insert(keys[i].clone(), cycles);
+        }
+    }
     points
         .iter()
-        .zip(results)
-        .map(|(p, r)| {
-            if !r.is_ok() {
-                return None;
-            }
-            let objectives = p.objectives(r.metrics.cycles);
+        .zip(&keys)
+        .map(|(p, key)| {
+            let cycles = (*memo.get(key).unwrap_or(&None))?;
+            let objectives = p.objectives(cycles);
             objectives.is_finite().then(|| (p.clone(), objectives))
         })
         .collect()
@@ -288,8 +340,11 @@ pub fn explore(settings: &DseSettings) -> DseOutcome {
         "need at least one fidelity rung"
     );
     let graphs: Vec<Csr> = settings.rungs.iter().map(Fidelity::build).collect();
+    let graph_hashes: Vec<u64> = graphs.iter().map(Csr::content_hash).collect();
     let mut rng = StdRng::seed_from_u64(settings.seed);
     let mut points_evaluated = 0usize;
+    let mut memo: EvalMemo = EvalMemo::new();
+    let mut memo_hits = 0usize;
 
     // Seeded rung-0 cohort. Every lattice point builds (space::tests
     // sweeps this), so no draw is wasted.
@@ -301,7 +356,15 @@ pub fn explore(settings: &DseSettings) -> DseOutcome {
     // Successive halving up the fidelity schedule.
     let mut final_scored: Vec<(DesignPoint, Objectives)> = Vec::new();
     for (i, (fidelity, graph)) in settings.rungs.iter().zip(&graphs).enumerate() {
-        let evals = evaluate(&cohort, fidelity, graph, settings.parallel);
+        let evals = evaluate(
+            &cohort,
+            fidelity,
+            graph,
+            graph_hashes[i],
+            settings.parallel,
+            &mut memo,
+            &mut memo_hits,
+        );
         points_evaluated += cohort.len();
         let scored: Vec<(DesignPoint, Objectives)> = evals.into_iter().flatten().collect();
         if i + 1 == settings.rungs.len() {
@@ -328,6 +391,7 @@ pub fn explore(settings: &DseSettings) -> DseOutcome {
         settings.rungs.last().expect("non-empty rungs"),
         graphs.last().expect("non-empty rungs"),
     );
+    let final_hash = *graph_hashes.last().expect("non-empty rungs");
     for _ in 0..settings.refine_rounds {
         let parents: Vec<_> = front
             .points()
@@ -343,7 +407,15 @@ pub fn explore(settings: &DseSettings) -> DseOutcome {
         if mutants.is_empty() {
             break;
         }
-        let evals = evaluate(&mutants, final_fidelity, final_graph, settings.parallel);
+        let evals = evaluate(
+            &mutants,
+            final_fidelity,
+            final_graph,
+            final_hash,
+            settings.parallel,
+            &mut memo,
+            &mut memo_hits,
+        );
         points_evaluated += mutants.len();
         for (p, o) in evals.into_iter().flatten() {
             front.try_insert(p, o);
@@ -361,7 +433,15 @@ pub fn explore(settings: &DseSettings) -> DseOutcome {
         })
         .collect();
     let designs: Vec<DesignPoint> = anchor_points.iter().map(|(_, p)| p.clone()).collect();
-    let evals = evaluate(&designs, final_fidelity, final_graph, settings.parallel);
+    let evals = evaluate(
+        &designs,
+        final_fidelity,
+        final_graph,
+        final_hash,
+        settings.parallel,
+        &mut memo,
+        &mut memo_hits,
+    );
     points_evaluated += designs.len();
     let mut anchors = Vec::new();
     for ((label, _), eval) in anchor_points.iter().zip(evals) {
@@ -386,6 +466,7 @@ pub fn explore(settings: &DseSettings) -> DseOutcome {
             .collect(),
         anchors,
         points_evaluated,
+        memo_hits,
         space_size: DesignSpace::size(),
     }
 }
@@ -424,6 +505,11 @@ mod tests {
         let outcome = explore(&tiny_settings());
         assert!(!outcome.front.is_empty());
         assert!(outcome.points_evaluated >= outcome.front.len());
+        // tiny_settings runs the same rung twice: the second pass
+        // re-scores survivors on an already-seen (graph, config) pair,
+        // which must be served from the memo cache
+        assert!(outcome.memo_hits > 0);
+        assert!(outcome.memo_hits <= outcome.points_evaluated);
         assert!(outcome.space_size > 100_000);
         for a in &outcome.front {
             assert!(a.objectives.is_finite(), "{}", a.name);
@@ -459,6 +545,7 @@ mod tests {
         let b = explore(&settings);
         assert_eq!(flatten(&a), flatten(&b), "same seed, same front");
         assert_eq!(a.points_evaluated, b.points_evaluated);
+        assert_eq!(a.memo_hits, b.memo_hits, "memoization is deterministic");
         let serial = explore(&DseSettings {
             parallel: false,
             ..settings.clone()

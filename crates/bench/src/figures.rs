@@ -522,6 +522,30 @@ pub struct HostPerfRow {
     pub poll_windows: u64,
 }
 
+/// Shared-pool activity across the whole `repro hostperf` measurement
+/// (`hostperf.pool.*` keys): how much of the work flowed through the
+/// [`higraph::pool::CorePool`] and how busy its resident workers were.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolActivityRow {
+    /// Resident workers in the shared pool.
+    pub workers: usize,
+    /// Queued pool tasks executed by workers (batch runners + teams).
+    pub tasks_executed: u64,
+    /// Subset of `tasks_executed` stolen from another worker's deque.
+    pub tasks_stolen: u64,
+    /// Queued tasks reclaimed and run inline by the submitting thread.
+    pub tasks_inline: u64,
+    /// Drain leases served during the measurement.
+    pub lease_requests: u64,
+    /// Resident workers handed to those leases.
+    pub lease_workers_granted: u64,
+    /// Temporary threads attached by exact leases beyond the idle supply.
+    pub lease_workers_oversubscribed: u64,
+    /// Busy nanoseconds per resident worker-nanosecond over the window
+    /// (0.0 when the pool has no resident workers).
+    pub occupancy: f64,
+}
+
 /// Host-performance trajectory (`repro hostperf`): absolute simulated
 /// cycles per host second on two fixed workloads, recorded so future
 /// PRs can see the trend. Informational — never gated (host speed is
@@ -534,7 +558,7 @@ pub struct HostPerfRow {
 /// * `memstarved` — the `simspeed` cache sweep (bandwidth-starved
 ///   single stack, fast-forward on, pinned at TW/32 × 2 PR iterations):
 ///   the per-cycle hot path under memory stalls.
-pub fn hostperf(scale: Scale) -> Vec<HostPerfRow> {
+pub fn hostperf(scale: Scale) -> (Vec<HostPerfRow>, PoolActivityRow) {
     hostperf_on(
         &scale.build(Dataset::Twitter),
         &Dataset::Twitter.build_scaled(32),
@@ -543,8 +567,17 @@ pub fn hostperf(scale: Scale) -> Vec<HostPerfRow> {
 }
 
 /// [`hostperf`] over explicit graphs (unit tests run it on small ones).
-fn hostperf_on(shard_graph: &Csr, mem_graph: &Csr, pr_iters: u32) -> Vec<HostPerfRow> {
+fn hostperf_on(
+    shard_graph: &Csr,
+    mem_graph: &Csr,
+    pr_iters: u32,
+) -> (Vec<HostPerfRow>, PoolActivityRow) {
+    use higraph::pool::CorePool;
     use higraph::sim::selection::{self, SelectionCounts};
+    let pool = CorePool::global();
+    let pool_before = pool.snapshot();
+    // lint:allow(determinism): host-performance measurement (cycles per host-second); never feeds simulated state
+    let pool_window = Instant::now();
     let row = |name,
                host_seconds: f64,
                simulated_cycles: u64,
@@ -610,7 +643,20 @@ fn hostperf_on(shard_graph: &Csr, mem_graph: &Csr, pr_iters: u32) -> Vec<HostPer
     let mem_seconds = start.elapsed().as_secs_f64();
     let mem_selections = selection::snapshot().since(&mem_selections_before);
 
-    vec![
+    let window_ns = pool_window.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    let delta = pool.snapshot().since(&pool_before);
+    let pool_row = PoolActivityRow {
+        workers: pool.workers(),
+        tasks_executed: delta.tasks_executed,
+        tasks_stolen: delta.tasks_stolen,
+        tasks_inline: delta.tasks_inline,
+        lease_requests: delta.lease_requests,
+        lease_workers_granted: delta.lease_workers_granted,
+        lease_workers_oversubscribed: delta.lease_workers_oversubscribed,
+        occupancy: delta.occupancy(window_ns, pool.workers()),
+    };
+
+    let rows = vec![
         row(
             "shardfull_p4",
             shard_seconds,
@@ -627,7 +673,8 @@ fn hostperf_on(shard_graph: &Csr, mem_graph: &Csr, pr_iters: u32) -> Vec<HostPer
             mem_stalled,
             mem_selections,
         ),
-    ]
+    ];
+    (rows, pool_row)
 }
 
 /// One point of Fig. 12: a dataflow fabric at a per-channel buffer size.
@@ -997,8 +1044,15 @@ mod tests {
     #[test]
     fn hostperf_reports_both_legs() {
         let g = Scale::tiny().build(Dataset::Vote);
-        let rows = hostperf_on(&g, &g, 2);
+        let (rows, pool) = hostperf_on(&g, &g, 2);
         assert_eq!(rows.len(), 2);
+        // the P = 4 leg drains through pool leases whenever the host has
+        // cores to lend; on a single-core host the counters stay zero
+        assert!(pool.occupancy >= 0.0 && pool.occupancy.is_finite());
+        if pool.workers > 0 {
+            assert!(pool.lease_requests > 0, "shardfull_p4 leases per drain");
+            assert!(pool.lease_workers_granted > 0);
+        }
         assert_eq!(rows[0].name, "shardfull_p4");
         assert_eq!(rows[1].name, "memstarved");
         for r in &rows {

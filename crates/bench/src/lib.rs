@@ -13,9 +13,11 @@
 pub mod dse;
 pub mod figures;
 pub mod report;
+pub mod serve;
 pub mod workload;
 
 pub use dse::{DseOutcome, DseSettings};
 pub use figures::*;
 pub use report::Report;
+pub use serve::ServeSession;
 pub use workload::{Algo, Scale};

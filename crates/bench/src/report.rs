@@ -74,7 +74,7 @@ impl Report {
     }
 }
 
-fn write_json_string(out: &mut String, s: &str) {
+pub(crate) fn write_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -92,7 +92,7 @@ fn write_json_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
-fn write_json_number(out: &mut String, v: f64) {
+pub(crate) fn write_json_number(out: &mut String, v: f64) {
     if !v.is_finite() {
         // JSON has no Inf/NaN. `null` keeps the report parseable — the
         // parser reads it back as NaN, which the gate flags as a
@@ -119,6 +119,56 @@ pub fn parse_flat_json(text: &str) -> Result<BTreeMap<String, f64>, String> {
         pos: 0,
     };
     let map = p.object()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing content at byte {}", p.pos));
+    }
+    Ok(map)
+}
+
+/// A scalar value in a flat JSON object. The number-only baseline format
+/// uses [`parse_flat_json`]; `higraph-serve` job lines mix strings (ids,
+/// dataset and algorithm names) with numbers (priorities, knobs) and go
+/// through [`parse_flat_json_values`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A JSON string.
+    Str(String),
+    /// A JSON number (`null` reads back as NaN, as in the number parser).
+    Num(f64),
+}
+
+impl JsonValue {
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            JsonValue::Num(_) => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Str(_) => None,
+            JsonValue::Num(v) => Some(*v),
+        }
+    }
+}
+
+/// Parses a flat JSON object whose values are strings *or* numbers — the
+/// `higraph-serve` job-line shape. Nested objects, arrays, and booleans
+/// are still rejected: the wire protocol is one flat object per line.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending byte offset.
+pub fn parse_flat_json_values(text: &str) -> Result<BTreeMap<String, JsonValue>, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let map = p.object_values()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
         return Err(format!("trailing content at byte {}", p.pos));
@@ -164,6 +214,38 @@ impl Parser<'_> {
             let key = self.string()?;
             self.expect(b':')?;
             let value = self.number()?;
+            if map.insert(key.clone(), value).is_some() {
+                return Err(format!("duplicate key \"{key}\""));
+            }
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(map);
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object_values(&mut self) -> Result<BTreeMap<String, JsonValue>, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(map);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = if self.bytes.get(self.pos) == Some(&b'"') {
+                JsonValue::Str(self.string()?)
+            } else {
+                JsonValue::Num(self.number()?)
+            };
             if map.insert(key.clone(), value).is_some() {
                 return Err(format!("duplicate key \"{key}\""));
             }
@@ -369,6 +451,22 @@ mod tests {
         assert!(parse_flat_json("{\"a\": 1} trailing").is_err());
         assert!(parse_flat_json("{\"a\": 1, \"a\": 2}").is_err());
         assert!(parse_flat_json("").is_err());
+    }
+
+    #[test]
+    fn value_parser_mixes_strings_and_numbers() {
+        let m = parse_flat_json_values(
+            "{\"op\": \"submit\", \"id\": \"a\", \"priority\": 5, \"divisor\": 64}",
+        )
+        .expect("valid job line");
+        assert_eq!(m["op"].as_str(), Some("submit"));
+        assert_eq!(m["priority"].as_f64(), Some(5.0));
+        assert_eq!(m["op"].as_f64(), None);
+        assert_eq!(m["priority"].as_str(), None);
+        assert!(parse_flat_json_values("{\"a\": [1]}").is_err());
+        assert!(parse_flat_json_values("{\"a\": {\"b\": 1}}").is_err());
+        assert!(parse_flat_json_values("{\"a\": 1, \"a\": \"x\"}").is_err());
+        assert!(parse_flat_json_values("{\"a\": \"x\"} junk").is_err());
     }
 
     #[test]

@@ -1,0 +1,572 @@
+//! The resident job service behind the `higraph-serve` binary.
+//!
+//! A session speaks newline-delimited flat JSON on stdin/stdout (the
+//! [`crate::report`] writer/parser — no serde in this hermetic
+//! workspace). Each input line is one operation object; each output line
+//! is one event object. See `docs/serve.md` for the protocol grammar.
+//!
+//! # Operations
+//!
+//! * `{"op": "submit", "id": …, …}` — queue a simulation job. Fields
+//!   beyond `id` are optional with defaults: `dataset` (name or paper
+//!   abbreviation, default `vote`), `algo` (default `bfs`), `config`
+//!   (preset `higraph` | `higraph-mini` | `graphdyns`), `divisor`
+//!   (power-of-two dataset scaling, default 16), `pr_iters` (default 3),
+//!   `chips` (default 1), `priority` (higher runs first, default 0), and
+//!   `cache_kb` (enables the HBM memory model with that cache size).
+//! * `{"op": "cancel", "id": …}` — remove a still-queued job.
+//! * `{"op": "run"}` — execute everything queued, highest priority
+//!   first (FIFO within a priority level).
+//! * `{"op": "stats"}` — emit queue/memo/pool counters.
+//! * `{"op": "shutdown"}` — run the remaining queue, say goodbye.
+//!
+//! EOF on stdin behaves like `shutdown`: pending jobs are flushed, the
+//! process exits cleanly.
+//!
+//! # Memoization and determinism
+//!
+//! Results are memoized under the key *(graph content hash,
+//! [`AcceleratorConfig::canonical_encoding`], chips, pr_iters, algo)*.
+//! This is sound **because** every run is bit-deterministic: cycle
+//! counts and `Metrics` do not depend on the worker count, steal order,
+//! or co-scheduled jobs (`tests/thread_determinism.rs`), so a cached
+//! result is indistinguishable from a re-run. Stalled configurations are
+//! memoized too — re-submitting a known-bad design point fails instantly
+//! instead of burning another stall-guard's worth of host time.
+//!
+//! Jobs execute through [`Algo::run_sharded`], whose lock-step drains
+//! lease idle workers from the shared `higraph_pool::CorePool` — a
+//! service session and any in-process batch work share the host without
+//! oversubscription.
+
+use crate::report::{parse_flat_json_values, write_json_number, write_json_string, JsonValue};
+use crate::workload::Algo;
+use higraph::prelude::*;
+use std::collections::BTreeMap;
+
+/// A memoized job outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum MemoEntry {
+    /// Completed: aggregate cycle count and throughput.
+    Ok { cycles: u64, gteps: f64 },
+    /// The configuration stalled its lock-step drain.
+    Stalled,
+}
+
+/// One parsed, validated submission.
+#[derive(Debug, Clone)]
+struct JobSpec {
+    id: String,
+    dataset: Dataset,
+    algo: Algo,
+    config: AcceleratorConfig,
+    chips: usize,
+    divisor: u32,
+    pr_iters: u32,
+}
+
+/// A queued job with its scheduling key.
+#[derive(Debug, Clone)]
+struct Pending {
+    seq: u64,
+    priority: i64,
+    spec: JobSpec,
+}
+
+/// A resident job-service session: the state machine the `higraph-serve`
+/// binary drives line by line, exposed as a library so tests can
+/// interleave operations (e.g. cancel between [`ServeSession::step`]
+/// calls) without a subprocess.
+#[derive(Default)]
+pub struct ServeSession {
+    /// Built graphs with their content hashes, keyed by (dataset, divisor).
+    graphs: BTreeMap<(Dataset, u32), (Csr, u64)>,
+    /// Memoized outcomes, keyed by the full job identity.
+    memo: BTreeMap<String, MemoEntry>,
+    memo_hits: u64,
+    queue: Vec<Pending>,
+    seq: u64,
+    completed: u64,
+    shutdown: bool,
+}
+
+impl ServeSession {
+    /// A fresh session with empty queue and caches.
+    pub fn new() -> Self {
+        ServeSession::default()
+    }
+
+    /// True once a `shutdown` operation has been processed; the binary
+    /// exits its read loop.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown
+    }
+
+    /// Jobs still waiting to run.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Memo-cache hits so far.
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits
+    }
+
+    /// Processes one input line, returning the event lines it produced.
+    pub fn handle_line(&mut self, line: &str) -> Vec<String> {
+        let fields = match parse_flat_json_values(line) {
+            Ok(f) => f,
+            Err(e) => return vec![error_line(None, &format!("bad JSON: {e}"))],
+        };
+        let op = match fields.get("op").and_then(JsonValue::as_str) {
+            Some(op) => op.to_string(),
+            None => return vec![error_line(None, "missing string field \"op\"")],
+        };
+        match op.as_str() {
+            "submit" => self.submit(&fields),
+            "cancel" => self.cancel(&fields),
+            "run" => self.run_queue(),
+            "stats" => vec![self.stats_line()],
+            "shutdown" => {
+                let mut out = self.run_queue();
+                out.push(format!(
+                    "{{\"event\": \"bye\", \"completed\": {}}}",
+                    self.completed
+                ));
+                self.shutdown = true;
+                out
+            }
+            other => vec![error_line(None, &format!("unknown op \"{other}\""))],
+        }
+    }
+
+    /// Flushes the remaining queue (the EOF path of the binary).
+    pub fn flush(&mut self) -> Vec<String> {
+        self.run_queue()
+    }
+
+    fn submit(&mut self, fields: &BTreeMap<String, JsonValue>) -> Vec<String> {
+        let id = match fields.get("id").and_then(JsonValue::as_str) {
+            Some(id) if !id.is_empty() => id.to_string(),
+            _ => {
+                return vec![error_line(
+                    None,
+                    "submit requires a non-empty string \"id\"",
+                )]
+            }
+        };
+        if self.queue.iter().any(|p| p.spec.id == id) {
+            return vec![error_line(
+                Some(&id),
+                &format!("job \"{id}\" is already queued"),
+            )];
+        }
+        let spec = match parse_spec(id.clone(), fields) {
+            Ok(spec) => spec,
+            Err(msg) => return vec![error_line(Some(&id), &msg)],
+        };
+        let priority = match opt_i64(fields, "priority", 0) {
+            Ok(p) => p,
+            Err(msg) => return vec![error_line(Some(&id), &msg)],
+        };
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Pending {
+            seq,
+            priority,
+            spec,
+        });
+        let mut s = String::from("{\"event\": \"queued\", \"id\": ");
+        write_json_string(&mut s, &id);
+        s.push_str(&format!(", \"priority\": {priority}}}"));
+        vec![s]
+    }
+
+    fn cancel(&mut self, fields: &BTreeMap<String, JsonValue>) -> Vec<String> {
+        let id = match fields.get("id").and_then(JsonValue::as_str) {
+            Some(id) => id.to_string(),
+            None => return vec![error_line(None, "cancel requires a string \"id\"")],
+        };
+        let before = self.queue.len();
+        self.queue.retain(|p| p.spec.id != id);
+        if self.queue.len() == before {
+            return vec![error_line(
+                Some(&id),
+                &format!("job \"{id}\" is not queued (already run, cancelled, or never seen)"),
+            )];
+        }
+        let mut s = String::from("{\"event\": \"cancelled\", \"id\": ");
+        write_json_string(&mut s, &id);
+        s.push('}');
+        vec![s]
+    }
+
+    /// Executes the single highest-priority queued job (FIFO within a
+    /// priority level) and returns its result line; `None` when the
+    /// queue is empty. Exposed so callers can interleave cancellation
+    /// with execution.
+    pub fn step(&mut self) -> Option<String> {
+        let best = self
+            .queue
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, p)| (p.priority, std::cmp::Reverse(p.seq)))
+            .map(|(i, _)| i)?;
+        let pending = self.queue.remove(best);
+        Some(self.execute(&pending.spec))
+    }
+
+    fn run_queue(&mut self) -> Vec<String> {
+        let mut out = Vec::new();
+        while let Some(line) = self.step() {
+            out.push(line);
+        }
+        out
+    }
+
+    fn execute(&mut self, spec: &JobSpec) -> String {
+        let (graph, hash) = self
+            .graphs
+            .entry((spec.dataset, spec.divisor))
+            .or_insert_with(|| {
+                let g = spec.dataset.build_scaled(spec.divisor);
+                let h = g.content_hash();
+                (g, h)
+            });
+        let key = format!(
+            "{:016x}|{}|chips={}|pr={}|{}",
+            hash,
+            spec.algo.label(),
+            spec.chips,
+            spec.pr_iters,
+            spec.config.canonical_encoding()
+        );
+        if let Some(entry) = self.memo.get(&key) {
+            self.memo_hits += 1;
+            self.completed += 1;
+            return result_line(&spec.id, entry, true);
+        }
+        let entry = match spec.algo.run_sharded(
+            &spec.config,
+            ShardConfig::new(spec.chips),
+            graph,
+            spec.pr_iters,
+        ) {
+            Ok(summary) => MemoEntry::Ok {
+                cycles: summary.metrics.cycles,
+                gteps: summary.metrics.gteps(),
+            },
+            Err(_) => MemoEntry::Stalled,
+        };
+        self.memo.insert(key, entry);
+        self.completed += 1;
+        result_line(&spec.id, &entry, false)
+    }
+
+    fn stats_line(&self) -> String {
+        let pool = higraph::pool::CorePool::global();
+        let snap = pool.snapshot();
+        format!(
+            "{{\"event\": \"stats\", \"queued\": {}, \"completed\": {}, \"memo_entries\": {}, \
+             \"memo_hits\": {}, \"pool_workers\": {}, \"pool_tasks_executed\": {}, \
+             \"pool_lease_requests\": {}}}",
+            self.queue.len(),
+            self.completed,
+            self.memo.len(),
+            self.memo_hits,
+            pool.workers(),
+            snap.tasks_executed,
+            snap.lease_requests,
+        )
+    }
+}
+
+/// Fixed-key-order result line: `event`, `id`, `status`, `memo_hit`,
+/// then outcome fields — stable for line-oriented consumers (CI greps).
+fn result_line(id: &str, entry: &MemoEntry, memo_hit: bool) -> String {
+    let mut s = String::from("{\"event\": \"result\", \"id\": ");
+    write_json_string(&mut s, id);
+    match entry {
+        MemoEntry::Ok { cycles, gteps } => {
+            s.push_str(&format!(
+                ", \"status\": \"ok\", \"memo_hit\": {}, \"cycles\": {cycles}, \"gteps\": ",
+                u8::from(memo_hit)
+            ));
+            write_json_number(&mut s, *gteps);
+        }
+        MemoEntry::Stalled => {
+            s.push_str(&format!(
+                ", \"status\": \"stalled\", \"memo_hit\": {}, \"cycles\": 0",
+                u8::from(memo_hit)
+            ));
+        }
+    }
+    s.push('}');
+    s
+}
+
+fn error_line(id: Option<&str>, message: &str) -> String {
+    let mut s = String::from("{\"event\": \"error\"");
+    if let Some(id) = id {
+        s.push_str(", \"id\": ");
+        write_json_string(&mut s, id);
+    }
+    s.push_str(", \"message\": ");
+    write_json_string(&mut s, message);
+    s.push('}');
+    s
+}
+
+fn parse_spec(id: String, fields: &BTreeMap<String, JsonValue>) -> Result<JobSpec, String> {
+    let dataset = parse_dataset(str_field(fields, "dataset", "vote")?)?;
+    let algo = parse_algo(str_field(fields, "algo", "bfs")?)?;
+    let mut config = parse_config(str_field(fields, "config", "higraph")?)?;
+    if let Some(v) = fields.get("cache_kb") {
+        let kb = as_count(v, "cache_kb")?;
+        if kb == 0 {
+            return Err("cache_kb must be positive".to_string());
+        }
+        config.memory = Some(MemoryConfig::hbm2().with_cache_kb(kb as usize));
+    }
+    let divisor = as_count_field(fields, "divisor", 16)? as u32;
+    if divisor == 0 || !divisor.is_power_of_two() {
+        return Err(format!("divisor {divisor} must be a power of two >= 1"));
+    }
+    let pr_iters = as_count_field(fields, "pr_iters", 3)? as u32;
+    let chips = as_count_field(fields, "chips", 1)? as usize;
+    if chips == 0 {
+        return Err("chips must be at least 1".to_string());
+    }
+    config
+        .validate()
+        .map_err(|e| format!("invalid configuration: {e}"))?;
+    Ok(JobSpec {
+        id,
+        dataset,
+        algo,
+        config,
+        chips,
+        divisor,
+        pr_iters,
+    })
+}
+
+fn str_field<'a>(
+    fields: &'a BTreeMap<String, JsonValue>,
+    key: &str,
+    default: &'a str,
+) -> Result<&'a str, String> {
+    match fields.get(key) {
+        None => Ok(default),
+        Some(JsonValue::Str(s)) => Ok(s),
+        Some(JsonValue::Num(_)) => Err(format!("field \"{key}\" must be a string")),
+    }
+}
+
+fn as_count(value: &JsonValue, key: &str) -> Result<u64, String> {
+    match value.as_f64() {
+        Some(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Ok(v as u64),
+        _ => Err(format!("field \"{key}\" must be a non-negative integer")),
+    }
+}
+
+fn as_count_field(
+    fields: &BTreeMap<String, JsonValue>,
+    key: &str,
+    default: u64,
+) -> Result<u64, String> {
+    match fields.get(key) {
+        None => Ok(default),
+        Some(v) => as_count(v, key),
+    }
+}
+
+fn opt_i64(fields: &BTreeMap<String, JsonValue>, key: &str, default: i64) -> Result<i64, String> {
+    match fields.get(key) {
+        None => Ok(default),
+        Some(v) => match v.as_f64() {
+            Some(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => Ok(f as i64),
+            _ => Err(format!("field \"{key}\" must be an integer")),
+        },
+    }
+}
+
+fn parse_dataset(s: &str) -> Result<Dataset, String> {
+    let lower = s.to_ascii_lowercase();
+    for ds in Dataset::ALL {
+        if ds.spec().name.to_ascii_lowercase() == lower || ds.abbrev().to_ascii_lowercase() == lower
+        {
+            return Ok(ds);
+        }
+    }
+    Err(format!(
+        "unknown dataset \"{s}\" (expected a Table 2 name or abbreviation)"
+    ))
+}
+
+fn parse_algo(s: &str) -> Result<Algo, String> {
+    let lower = s.to_ascii_lowercase();
+    for algo in Algo::ALL {
+        if algo.label().to_ascii_lowercase() == lower {
+            return Ok(algo);
+        }
+    }
+    Err(format!(
+        "unknown algo \"{s}\" (expected one of bfs, sssp, sswp, pr, wcc, msbfs)"
+    ))
+}
+
+fn parse_config(s: &str) -> Result<AcceleratorConfig, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "higraph" => Ok(AcceleratorConfig::higraph()),
+        "higraph-mini" | "higraph_mini" => Ok(AcceleratorConfig::higraph_mini()),
+        "graphdyns" => Ok(AcceleratorConfig::graphdyns()),
+        _ => Err(format!(
+            "unknown config \"{s}\" (expected higraph, higraph-mini, or graphdyns)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn submit(id: &str, extra: &str) -> String {
+        if extra.is_empty() {
+            format!("{{\"op\": \"submit\", \"id\": \"{id}\"}}")
+        } else {
+            format!("{{\"op\": \"submit\", \"id\": \"{id}\", {extra}}}")
+        }
+    }
+
+    #[test]
+    fn submit_run_round_trip() {
+        let mut s = ServeSession::new();
+        let out = s.handle_line(&submit("a", "\"algo\": \"wcc\", \"divisor\": 16"));
+        assert_eq!(out.len(), 1);
+        assert!(out[0].contains("\"event\": \"queued\""), "{out:?}");
+        let out = s.handle_line("{\"op\": \"run\"}");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].contains("\"id\": \"a\""), "{out:?}");
+        assert!(out[0].contains("\"status\": \"ok\""), "{out:?}");
+        assert!(out[0].contains("\"memo_hit\": 0"), "{out:?}");
+    }
+
+    #[test]
+    fn duplicate_submission_hits_the_memo() {
+        let mut s = ServeSession::new();
+        s.handle_line(&submit("a", "\"algo\": \"bfs\""));
+        s.handle_line(&submit("b", "\"algo\": \"bfs\""));
+        let out = s.handle_line("{\"op\": \"run\"}");
+        assert_eq!(out.len(), 2);
+        assert!(out[0].contains("\"memo_hit\": 0"), "{out:?}");
+        assert!(out[1].contains("\"id\": \"b\""), "{out:?}");
+        assert!(out[1].contains("\"memo_hit\": 1"), "{out:?}");
+        assert_eq!(s.memo_hits(), 1);
+        // cached and fresh cycles agree
+        let cycles = |line: &str| {
+            line.split("\"cycles\": ")
+                .nth(1)
+                .unwrap()
+                .split([',', '}'])
+                .next()
+                .unwrap()
+                .parse::<u64>()
+                .unwrap()
+        };
+        assert_eq!(cycles(&out[0]), cycles(&out[1]));
+    }
+
+    #[test]
+    fn different_name_same_behaviour_still_hits_memo() {
+        // The memo key uses the canonical encoding, not the name label —
+        // and distinguishes genuinely different configs.
+        let mut s = ServeSession::new();
+        s.handle_line(&submit("a", "\"config\": \"higraph\""));
+        s.handle_line(&submit("b", "\"config\": \"graphdyns\""));
+        s.handle_line(&submit("c", "\"config\": \"higraph\""));
+        let out = s.handle_line("{\"op\": \"run\"}");
+        assert_eq!(out.len(), 3);
+        let hits: Vec<bool> = out.iter().map(|l| l.contains("\"memo_hit\": 1")).collect();
+        assert_eq!(hits, [false, false, true], "{out:?}");
+    }
+
+    #[test]
+    fn priority_orders_execution_fifo_within_level() {
+        let mut s = ServeSession::new();
+        s.handle_line(&submit("low", "\"priority\": 1, \"algo\": \"bfs\""));
+        s.handle_line(&submit("hi1", "\"priority\": 5, \"algo\": \"wcc\""));
+        s.handle_line(&submit("hi2", "\"priority\": 5, \"algo\": \"pr\""));
+        let out = s.handle_line("{\"op\": \"run\"}");
+        let order: Vec<&str> = out
+            .iter()
+            .map(|l| {
+                l.split("\"id\": \"")
+                    .nth(1)
+                    .unwrap()
+                    .split('"')
+                    .next()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(order, ["hi1", "hi2", "low"], "{out:?}");
+    }
+
+    #[test]
+    fn cancel_removes_queued_jobs_only() {
+        let mut s = ServeSession::new();
+        s.handle_line(&submit("a", ""));
+        s.handle_line(&submit("c", ""));
+        let out = s.handle_line("{\"op\": \"cancel\", \"id\": \"c\"}");
+        assert!(out[0].contains("\"event\": \"cancelled\""), "{out:?}");
+        assert!(out[0].contains("\"id\": \"c\""), "{out:?}");
+        assert_eq!(s.queue_len(), 1);
+        // cancelling an unknown job is an error, not a crash
+        let out = s.handle_line("{\"op\": \"cancel\", \"id\": \"zzz\"}");
+        assert!(out[0].contains("\"event\": \"error\""), "{out:?}");
+        let out = s.handle_line("{\"op\": \"run\"}");
+        assert_eq!(out.len(), 1, "only \"a\" remains: {out:?}");
+        assert!(out[0].contains("\"id\": \"a\""));
+    }
+
+    #[test]
+    fn malformed_input_produces_error_events() {
+        let mut s = ServeSession::new();
+        for bad in [
+            "not json",
+            "{\"op\": \"submit\"}",     // missing id
+            "{\"op\": \"frobnicate\"}", // unknown op
+            "{\"id\": \"a\"}",          // missing op
+            "{\"op\": \"submit\", \"id\": \"a\", \"divisor\": 3}", // not a power of two
+            "{\"op\": \"submit\", \"id\": \"a\", \"dataset\": \"nope\"}",
+            "{\"op\": \"submit\", \"id\": \"a\", \"algo\": \"dijkstra\"}",
+            "{\"op\": \"submit\", \"id\": \"a\", \"chips\": 0}",
+        ] {
+            let out = s.handle_line(bad);
+            assert_eq!(out.len(), 1, "{bad}");
+            assert!(out[0].contains("\"event\": \"error\""), "{bad} -> {out:?}");
+        }
+        assert_eq!(s.queue_len(), 0);
+    }
+
+    #[test]
+    fn shutdown_flushes_and_marks_session_done() {
+        let mut s = ServeSession::new();
+        s.handle_line(&submit("a", ""));
+        let out = s.handle_line("{\"op\": \"shutdown\"}");
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].contains("\"id\": \"a\""));
+        assert!(out[1].contains("\"event\": \"bye\""));
+        assert!(out[1].contains("\"completed\": 1"));
+        assert!(s.shutdown_requested());
+    }
+
+    #[test]
+    fn stats_reports_counters() {
+        let mut s = ServeSession::new();
+        s.handle_line(&submit("a", ""));
+        let out = s.handle_line("{\"op\": \"stats\"}");
+        assert!(out[0].contains("\"queued\": 1"), "{out:?}");
+        assert!(out[0].contains("\"memo_hits\": 0"), "{out:?}");
+    }
+}

@@ -118,11 +118,12 @@ impl Algo {
     /// Runs this algorithm across `shard.num_chips` chips and returns the
     /// property-erased summary the multi-chip sweeps report.
     ///
-    /// Uses the serial intra-run drain (`threads = Some(1)`): the sweep
-    /// harnesses already parallelize across batch entries, so chip-level
-    /// parallelism on top would oversubscribe the host. Results are
-    /// bit-identical either way; [`Algo::run_sharded_threads`] exposes
-    /// the knob for latency-oriented callers (`repro hostperf`).
+    /// Uses the default (auto) threading: each lock-step drain leases
+    /// whatever workers the shared `higraph_pool::CorePool` has idle at
+    /// that moment, so chip-level parallelism composes with the sweep
+    /// harnesses' batch-level parallelism instead of oversubscribing the
+    /// host. Results are bit-identical for any worker count;
+    /// [`Algo::run_sharded_threads`] exposes the explicit override.
     ///
     /// # Errors
     ///
@@ -134,13 +135,14 @@ impl Algo {
         graph: &Csr,
         pr_iters: u32,
     ) -> Result<ShardedSummary, StallDiagnostic> {
-        self.run_sharded_threads(config, shard, graph, pr_iters, Some(1))
+        self.run_sharded_threads(config, shard, graph, pr_iters, None)
     }
 
     /// [`Algo::run_sharded`] with explicit control over the engine's
-    /// intra-run worker threads (`None` = one per chip up to the host's
-    /// cores). Results are bit-identical for every setting —
-    /// `tests/thread_determinism.rs` asserts it; only host time changes.
+    /// intra-run worker threads (`None` = lease idle pool workers per
+    /// drain, up to one per chip; `Some(1)` = serial drain). Results are
+    /// bit-identical for every setting — `tests/thread_determinism.rs`
+    /// asserts it; only host time changes.
     ///
     /// # Errors
     ///

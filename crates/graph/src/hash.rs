@@ -1,0 +1,191 @@
+//! Stable content hashing for graphs.
+//!
+//! [`Csr::content_hash`] digests exactly the arrays that determine a
+//! simulation's behaviour — the Offset Array and the Edge Array
+//! (destination, weight) — into a 64-bit FNV-1a value. The hash is a
+//! pure function of the graph *content*: rebuilding the same graph
+//! through a different construction path (raw parts, `EdgeList`, a
+//! clone) yields the same hash, while any structural or weight change
+//! yields a different one with overwhelming probability.
+//!
+//! The primary consumer is result memoization (`higraph-serve` and the
+//! DSE sweep key their caches on `(graph hash, config encoding)`), which
+//! needs a hash that is stable across processes and platforms. Rust's
+//! `std::hash::Hasher` machinery is deliberately *not* used: `DefaultHasher`
+//! is documented to vary across releases, and the workspace's
+//! determinism contract requires keys that can be written into baselines
+//! and compared between runs.
+
+use crate::csr::Csr;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A tiny explicit FNV-1a 64-bit accumulator. Byte-order independence
+/// comes from feeding every integer through [`Fnv1a::write_u64`]
+/// (little-endian by construction), never through native memory layout.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A fresh accumulator at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Absorbs one byte.
+    #[inline]
+    pub fn write_u8(&mut self, byte: u8) {
+        self.0 ^= u64::from(byte);
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Absorbs a `u64` as eight little-endian bytes.
+    #[inline]
+    pub fn write_u64(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.write_u8(byte);
+        }
+    }
+
+    /// The current digest.
+    #[inline]
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// Domain separators so that structurally different streams cannot
+/// collide by concatenation (e.g. an offset value never aliases an edge
+/// destination).
+const DOMAIN_HEADER: u64 = 0x4849_4752_4150_4801; // "HIGRAPH" | 1
+const DOMAIN_OFFSETS: u64 = 0x4849_4752_4150_4802;
+const DOMAIN_EDGES: u64 = 0x4849_4752_4150_4803;
+
+impl Csr {
+    /// A stable 64-bit content hash of this graph (see the
+    /// [module docs](self) for the contract).
+    pub fn content_hash(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(DOMAIN_HEADER);
+        h.write_u64(u64::from(self.num_vertices()));
+        h.write_u64(self.num_edges());
+        h.write_u64(DOMAIN_OFFSETS);
+        for &off in self.offsets_raw() {
+            h.write_u64(off);
+        }
+        h.write_u64(DOMAIN_EDGES);
+        for e in self.edges_raw() {
+            h.write_u64(u64::from(e.dst.0));
+            h.write_u64(u64::from(e.weight));
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::EdgeList;
+    use crate::csr::{Edge, VertexId};
+
+    fn diamond_raw() -> Csr {
+        Csr::from_raw_parts(
+            vec![0, 2, 3, 4, 4],
+            vec![
+                Edge {
+                    dst: VertexId(1),
+                    weight: 1,
+                },
+                Edge {
+                    dst: VertexId(2),
+                    weight: 2,
+                },
+                Edge {
+                    dst: VertexId(3),
+                    weight: 3,
+                },
+                Edge {
+                    dst: VertexId(3),
+                    weight: 4,
+                },
+            ],
+        )
+        .expect("valid diamond")
+    }
+
+    fn diamond_built() -> Csr {
+        let mut edges = EdgeList::new(4);
+        edges.push(0, 1, 1).unwrap();
+        edges.push(0, 2, 2).unwrap();
+        edges.push(1, 3, 3).unwrap();
+        edges.push(2, 3, 4).unwrap();
+        edges.into_csr()
+    }
+
+    #[test]
+    fn hash_is_invariant_across_rebuilds() {
+        let a = diamond_raw();
+        assert_eq!(a.content_hash(), a.content_hash(), "deterministic");
+        assert_eq!(a.content_hash(), a.clone().content_hash());
+        assert_eq!(
+            a.content_hash(),
+            diamond_built().content_hash(),
+            "construction path must not matter"
+        );
+    }
+
+    #[test]
+    fn hash_distinguishes_content_changes() {
+        let base = diamond_raw().content_hash();
+        // weight change
+        let mut edges = EdgeList::new(4);
+        edges.push(0, 1, 9).unwrap();
+        edges.push(0, 2, 2).unwrap();
+        edges.push(1, 3, 3).unwrap();
+        edges.push(2, 3, 4).unwrap();
+        assert_ne!(base, edges.into_csr().content_hash());
+        // topology change
+        let mut edges = EdgeList::new(4);
+        edges.push(0, 1, 1).unwrap();
+        edges.push(0, 2, 2).unwrap();
+        edges.push(1, 3, 3).unwrap();
+        edges.push(3, 2, 4).unwrap();
+        assert_ne!(base, edges.into_csr().content_hash());
+        // extra isolated vertex (same edges)
+        let mut edges = EdgeList::new(5);
+        edges.push(0, 1, 1).unwrap();
+        edges.push(0, 2, 2).unwrap();
+        edges.push(1, 3, 3).unwrap();
+        edges.push(2, 3, 4).unwrap();
+        assert_ne!(base, edges.into_csr().content_hash());
+    }
+
+    #[test]
+    fn hash_distinguishes_stand_in_datasets() {
+        let mut hashes = Vec::new();
+        for ds in crate::datasets::Dataset::ALL.iter().take(4) {
+            hashes.push(ds.build_scaled(64).content_hash());
+        }
+        for i in 0..hashes.len() {
+            for j in (i + 1)..hashes.len() {
+                assert_ne!(hashes[i], hashes[j], "datasets {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_trivial_graphs_hash_distinctly() {
+        let empty = Csr::from_raw_parts(vec![0], vec![]).unwrap();
+        let one_vertex = Csr::from_raw_parts(vec![0, 0], vec![]).unwrap();
+        assert_ne!(empty.content_hash(), one_vertex.content_hash());
+    }
+}

@@ -11,6 +11,8 @@
 //!   paper's R14/R16, Erdős–Rényi, power-law),
 //! * [`datasets`] — the Table 2 benchmark registry with synthetic stand-ins
 //!   for the SNAP graphs,
+//! * [`hash`] — a stable FNV-1a content hash over the CSR arrays, the
+//!   graph half of every memoization key,
 //! * [`io`] — SNAP-format edge-list reading/writing (drop in the real
 //!   datasets when you have them),
 //! * [`slicing`] — graph slicing for graphs larger than on-chip memory
@@ -40,6 +42,7 @@ pub mod builder;
 pub mod csr;
 pub mod datasets;
 pub mod gen;
+pub mod hash;
 pub mod io;
 pub mod slicing;
 pub mod stats;

@@ -10,9 +10,10 @@
 //! | [`vcpm`] | `higraph-vcpm` | Vertex-Centric Programming Model + BFS/SSSP/SSWP/PR |
 //! | [`sim`] | `higraph-sim` | cycle-level kernel: FIFOs, arbiters, crossbar, banks, **cycle scheduler** ([`sim::clock`]) |
 //! | [`mdp`] | `higraph-mdp` | **MDP-network**: topology generator, cycle model, range variant, Verilog emitter |
+//! | [`pool`] | `higraph-pool` | **work-stealing host-core pool**: batch jobs, drain-team leases, occupancy stats |
 //! | [`accel`] | `higraph-accel` | HiGraph / HiGraph-mini / GraphDynS engines, metrics, **parallel batch runner** ([`accel::runner`]) |
 //! | [`model`] | `higraph-model` | frequency (Fig. 4), area/power (Sec. 5.4), layout (Fig. 7) |
-//! | — | `higraph-bench` | `repro` binary, figure sweeps, Criterion benches (depends on this facade) |
+//! | — | `higraph-bench` | `repro` binary, `higraph-serve` job service, figure sweeps, Criterion benches (depends on this facade) |
 //!
 //! # Quickstart
 //!
@@ -39,6 +40,7 @@ pub use higraph_accel as accel;
 pub use higraph_graph as graph;
 pub use higraph_mdp as mdp;
 pub use higraph_model as model;
+pub use higraph_pool as pool;
 pub use higraph_sim as sim;
 pub use higraph_vcpm as vcpm;
 

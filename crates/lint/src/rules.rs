@@ -50,9 +50,12 @@ pub const RULE_IDS: &[&str] = &[
 pub const CORE_CRATES: &[&str] = &["sim", "accel", "mdp", "graph", "model", "vcpm"];
 
 /// Crates the determinism rule scans: the core crates plus the layers
-/// that assemble and report on them.
+/// that assemble and report on them. `pool` is determinism-scoped even
+/// though it never touches simulated state: its scheduling decisions
+/// (worker count, steal order) must not read clocks or hashed
+/// iteration order, so a drain team's membership stays reproducible.
 pub const DETERMINISM_CRATES: &[&str] = &[
-    "sim", "accel", "mdp", "graph", "model", "vcpm", "bench", "higraph", "lint",
+    "sim", "accel", "mdp", "graph", "model", "vcpm", "pool", "bench", "higraph", "lint",
 ];
 
 /// Basenames of the designated hot-path files (per-cycle code where the

@@ -2,7 +2,9 @@
 //! never a semantic change. Every batched simulation must be bit-identical
 //! to the same job run serially through `Engine::run` / `Engine::run_sliced`,
 //! including on hosts where the parallel path genuinely crosses threads
-//! (pinned via the rayon thread pool, so this holds on single-core CI too).
+//! (the shared `CorePool` is pinned to 4 resident workers via
+//! `HIGRAPH_POOL_THREADS` before its first use, so this holds on
+//! single-core CI too).
 //!
 //! The last section fuzzes the configuration surface: invalid arena
 //! capacities and wheel horizons must come back as [`BatchError::Config`]
@@ -12,6 +14,19 @@ use higraph::prelude::*;
 use higraph_bench::Scale;
 use proptest::prelude::*;
 
+/// Pins the shared `CorePool` to 4 resident workers. Must run before
+/// anything touches `CorePool::global()` in this process — every test
+/// in this binary that uses the parallel runner goes through here, so
+/// the first one to execute wins and the rest agree.
+fn pin_pool_workers() {
+    static INIT: std::sync::Once = std::sync::Once::new();
+    INIT.call_once(|| {
+        if std::env::var_os("HIGRAPH_POOL_THREADS").is_none() {
+            std::env::set_var("HIGRAPH_POOL_THREADS", "4");
+        }
+    });
+}
+
 /// Runs `jobs` through the parallel batch runner on a 4-worker pool, so
 /// the threaded path is exercised regardless of host core count.
 fn run_on_pool<Prog>(jobs: Vec<BatchJob<'_, Prog>>) -> Vec<BatchResult<Prog::Prop>>
@@ -19,11 +34,8 @@ where
     Prog: VertexProgram + Sync,
     Prog::Prop: Send,
 {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(4)
-        .build()
-        .expect("pool builds");
-    pool.install(|| BatchRunner::parallel().run(jobs)).0
+    pin_pool_workers();
+    BatchRunner::parallel().run(jobs).0
 }
 
 #[test]
@@ -114,11 +126,8 @@ fn report_aggregates_and_preserves_job_order() {
             )
         })
         .collect();
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(4)
-        .build()
-        .expect("pool builds");
-    let (results, report) = pool.install(|| BatchRunner::parallel().run(jobs));
+    pin_pool_workers();
+    let (results, report) = BatchRunner::parallel().run(jobs);
     let labels: Vec<_> = results.iter().map(|r| r.label.as_str()).collect();
     assert_eq!(labels, ["job0", "job1", "job2", "job3", "job4", "job5"]);
     assert_eq!(report.jobs, 6);

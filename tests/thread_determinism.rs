@@ -104,6 +104,162 @@ fn parallel_drain_reports_stalls_like_serial() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Pool stress suite: the shared work-stealing CorePool under
+// oversubscription, randomized injection order, and mid-run
+// cancellation. The invariant is always the same — every completed
+// job's results are bit-identical to a serial (one-thread) run of that
+// job alone, no matter how the host cores were contended for.
+// ---------------------------------------------------------------------
+
+/// One stress job: SSSP from `source` on `graphs[graph]`, P = 4 chips,
+/// with the drain's lease policy chosen by `threads`.
+fn stress_job(
+    graphs: &[Csr],
+    (graph, source): (usize, u32),
+    threads: Option<usize>,
+) -> (Vec<u64>, Metrics, u64) {
+    let mut engine = ShardedEngine::new(
+        AcceleratorConfig::higraph(),
+        ShardConfig::new(4),
+        &graphs[graph],
+    );
+    engine.set_threads(threads);
+    let r = engine
+        .run(&Sssp::from_source(source))
+        .expect("well-sized config");
+    (r.properties, r.metrics, r.cross_chip_packets)
+}
+
+fn stress_graphs() -> Vec<Csr> {
+    (0..3u64)
+        .map(|i| higraph::graph::gen::power_law(220, 1700 + 100 * i, 2.0, 31, 111 + i))
+        .collect()
+}
+
+fn stress_jobs(graphs: &[Csr]) -> Vec<(usize, u32)> {
+    (0..12u32)
+        .map(|j| {
+            let graph = j as usize % graphs.len();
+            (graph, j % graphs[graph].num_vertices())
+        })
+        .collect()
+}
+
+#[test]
+fn oversubscribed_job_batch_is_bit_identical_to_serial() {
+    // 12 jobs x 4 chips on a laptop-sized host: batch tasks and drain
+    // teams vastly outnumber cores, so every lease path (full grant,
+    // partial grant, empty grant -> serial fallback) gets exercised.
+    let graphs = stress_graphs();
+    let jobs = stress_jobs(&graphs);
+    let serial: Vec<_> = jobs
+        .iter()
+        .map(|&job| stress_job(&graphs, job, Some(1)))
+        .collect();
+    let pool = higraph::pool::CorePool::global();
+    let concurrent = pool.run_ordered(jobs.len(), |i| stress_job(&graphs, jobs[i], None));
+    for (i, (got, want)) in concurrent.iter().zip(&serial).enumerate() {
+        assert_eq!(got, want, "job {i} ({:?}) diverged from serial", jobs[i]);
+    }
+}
+
+#[test]
+fn seeded_injection_order_does_not_change_results() {
+    // Shuffling the submission order perturbs which worker deque each
+    // job lands on and therefore the steal interleaving; results must
+    // not notice. (Fisher-Yates over a seeded StdRng keeps the
+    // permutations themselves reproducible.)
+    use rand::{Rng, SeedableRng};
+    let graphs = stress_graphs();
+    let jobs = stress_jobs(&graphs);
+    let serial: Vec<_> = jobs
+        .iter()
+        .map(|&job| stress_job(&graphs, job, Some(1)))
+        .collect();
+    let pool = higraph::pool::CorePool::global();
+    for seed in [7u64, 19, 83] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        let shuffled = pool.run_ordered(order.len(), |i| stress_job(&graphs, jobs[order[i]], None));
+        for (slot, result) in order.iter().zip(&shuffled) {
+            assert_eq!(
+                *result, serial[*slot],
+                "seed {seed}: job {slot} diverged under shuffled injection"
+            );
+        }
+    }
+}
+
+#[test]
+fn cancellation_mid_run_leaves_completed_jobs_bit_identical() {
+    // Drive the job service a step at a time: cancel a queued job while
+    // another is already done, then check each *completed* job against a
+    // pinned-serial run of the same specification.
+    use higraph_bench::{Algo, ServeSession};
+    let mut session = ServeSession::new();
+    let submit = |algo: &str, id: &str, priority: i64| {
+        format!(
+            "{{\"op\": \"submit\", \"id\": \"{id}\", \"algo\": \"{algo}\", \
+             \"chips\": 2, \"divisor\": 32, \"priority\": {priority}}}"
+        )
+    };
+    for line in [
+        submit("wcc", "keep-1", 5),
+        submit("bfs", "doomed", 1),
+        submit("sssp", "keep-2", 3),
+    ] {
+        let out = session.handle_line(&line);
+        assert!(out[0].contains("\"event\": \"queued\""), "{out:?}");
+    }
+    let first = session.step().expect("three jobs queued");
+    assert!(
+        first.contains("\"id\": \"keep-1\""),
+        "highest priority first"
+    );
+    let out = session.handle_line("{\"op\": \"cancel\", \"id\": \"doomed\"}");
+    assert!(out[0].contains("\"event\": \"cancelled\""), "{out:?}");
+    let mut results = vec![first];
+    while let Some(line) = session.step() {
+        results.push(line);
+    }
+    assert_eq!(results.len(), 2, "cancelled job never ran: {results:?}");
+    let cycles_of = |line: &str| {
+        line.split("\"cycles\": ")
+            .nth(1)
+            .expect("result line has cycles")
+            .split([',', '}'])
+            .next()
+            .unwrap()
+            .parse::<u64>()
+            .unwrap()
+    };
+    let graph = Dataset::Vote.build_scaled(32);
+    for (algo, id, line) in [
+        (Algo::Wcc, "keep-1", &results[0]),
+        (Algo::Sssp, "keep-2", &results[1]),
+    ] {
+        assert!(line.contains(&format!("\"id\": \"{id}\"")), "{line}");
+        let reference = algo
+            .run_sharded_threads(
+                &AcceleratorConfig::higraph(),
+                ShardConfig::new(2),
+                &graph,
+                3,
+                Some(1),
+            )
+            .expect("well-sized config");
+        assert_eq!(
+            cycles_of(line),
+            reference.metrics.cycles,
+            "{id}: service run diverged from pinned-serial"
+        );
+    }
+}
+
 #[test]
 fn auto_thread_count_is_capped_by_chips() {
     let g = higraph::graph::gen::erdos_renyi(64, 256, 15, 99);
