@@ -213,6 +213,107 @@ impl<P: Copy> EdgeArena<P> {
     }
 }
 
+/// Rebuilds the debug liveness map from a restored free list: every slot
+/// is live unless it sits on the free list. Bounds and double-free
+/// entries in a corrupt snapshot surface as [`higraph_sim::SnapError`]s
+/// via the returned flags.
+fn rebuild_live(len: usize, free: &[u32]) -> Result<Vec<bool>, higraph_sim::SnapError> {
+    // lint:allow(hot-path-alloc): restore-time rebuild of the debug liveness map, never per-cycle code
+    let mut live = vec![true; len];
+    for &h in free {
+        let i = h as usize;
+        if i >= len {
+            return Err(higraph_sim::SnapError::new(format!(
+                "arena free-list handle {h} out of range for {len} slots"
+            )));
+        }
+        if !live[i] {
+            return Err(higraph_sim::SnapError::new(format!(
+                "arena free-list handle {h} appears twice"
+            )));
+        }
+        live[i] = false;
+    }
+    Ok(live)
+}
+
+/// Arena slot stores grow with traffic, so (unlike configuration-sized
+/// structures) a snapshot carries their full contents and lengths; the
+/// free-list *order* is state too — it decides future handle reuse, and
+/// handles ride inside in-flight packets.
+impl<P: higraph_sim::SnapValue> higraph_sim::Snapshot for PairArena<P> {
+    fn save(&self, w: &mut higraph_sim::SnapWriter) {
+        w.tag(b"PARN");
+        w.seq(self.keys.iter());
+        w.seq(self.payloads.iter());
+        w.seq(self.free.iter());
+    }
+
+    fn load(&mut self, r: &mut higraph_sim::SnapReader<'_>) -> Result<(), higraph_sim::SnapError> {
+        r.expect_tag(b"PARN")?;
+        let keys: Vec<u32> = r.seq(u32::MAX as usize)?;
+        let payloads: Vec<P> = r.seq(u32::MAX as usize)?;
+        let free: Vec<u32> = r.seq(u32::MAX as usize)?;
+        if payloads.len() != keys.len() || free.len() > keys.len() {
+            return Err(higraph_sim::SnapError::new(format!(
+                "pair arena inconsistent: {} keys, {} payloads, {} free",
+                keys.len(),
+                payloads.len(),
+                free.len()
+            )));
+        }
+        let live = rebuild_live(keys.len(), &free)?;
+        // Release builds have no liveness map; silence the unused binding.
+        let _ = &live;
+        self.keys = keys;
+        self.payloads = payloads;
+        self.free = free;
+        #[cfg(debug_assertions)]
+        {
+            self.live = live;
+        }
+        Ok(())
+    }
+}
+
+impl<P: higraph_sim::SnapValue> higraph_sim::Snapshot for EdgeArena<P> {
+    fn save(&self, w: &mut higraph_sim::SnapWriter) {
+        w.tag(b"EARN");
+        w.seq(self.dsts.iter());
+        w.seq(self.weights.iter());
+        w.seq(self.u_props.iter());
+        w.seq(self.free.iter());
+    }
+
+    fn load(&mut self, r: &mut higraph_sim::SnapReader<'_>) -> Result<(), higraph_sim::SnapError> {
+        r.expect_tag(b"EARN")?;
+        let dsts: Vec<u32> = r.seq(u32::MAX as usize)?;
+        let weights: Vec<u32> = r.seq(u32::MAX as usize)?;
+        let u_props: Vec<P> = r.seq(u32::MAX as usize)?;
+        let free: Vec<u32> = r.seq(u32::MAX as usize)?;
+        if weights.len() != dsts.len() || u_props.len() != dsts.len() || free.len() > dsts.len() {
+            return Err(higraph_sim::SnapError::new(format!(
+                "edge arena inconsistent: {} dsts, {} weights, {} props, {} free",
+                dsts.len(),
+                weights.len(),
+                u_props.len(),
+                free.len()
+            )));
+        }
+        let live = rebuild_live(dsts.len(), &free)?;
+        let _ = &live;
+        self.dsts = dsts;
+        self.weights = weights;
+        self.u_props = u_props;
+        self.free = free;
+        #[cfg(debug_assertions)]
+        {
+            self.live = live;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -187,6 +187,37 @@ impl<P: Copy + 'static> ClockedComponent for BackEnd<P> {
     }
 }
 
+impl<P: higraph_sim::SnapValue> higraph_sim::Snapshot for BackEnd<P> {
+    fn save(&self, w: &mut higraph_sim::SnapWriter) {
+        w.tag(b"BACK");
+        w.usize(self.epe_q.len());
+        self.edge_access.save(w);
+        self.epe_q[..].save(w);
+        self.dataflow.save(w);
+        self.edges.save(w);
+        self.imms.save(w);
+    }
+
+    fn load(&mut self, r: &mut higraph_sim::SnapReader<'_>) -> Result<(), higraph_sim::SnapError> {
+        r.expect_tag(b"BACK")?;
+        let m = r.usize()?;
+        if m != self.epe_q.len() {
+            return Err(higraph_sim::SnapError::new(format!(
+                "back-end shape mismatch: snapshot {m} channels, live {}",
+                self.epe_q.len()
+            )));
+        }
+        self.edge_access.load(r)?;
+        self.epe_q[..].load(r)?;
+        self.dataflow.load(r)?;
+        self.edges.load(r)?;
+        self.imms.load(r)?;
+        // Per-cycle scratch is not state.
+        self.bank_reads.clear();
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -421,6 +421,19 @@ impl MemorySubsystem {
         )
     }
 
+    /// Number of modeled DRAM channels (0 in infinite mode).
+    pub fn dram_channels(&self) -> usize {
+        self.inner.as_ref().map_or(0, |m| m.dram.num_channels())
+    }
+
+    /// Browns out (or restores) one DRAM channel for fault injection;
+    /// no-op on the infinite subsystem (it has no channels to pause).
+    pub fn set_dram_channel_paused(&mut self, channel: usize, paused: bool) {
+        if let Some(m) = &mut self.inner {
+            m.dram.set_channel_paused(channel, paused);
+        }
+    }
+
     /// Cumulative cache counters (zero in infinite mode).
     pub fn cache_stats(&self) -> CacheStats {
         self.inner.as_ref().map(|m| m.stats).unwrap_or_default()
@@ -463,6 +476,106 @@ impl ClockedComponent for MemorySubsystem {
     fn skip(&mut self, cycles: u64) {
         if let Some(m) = &mut self.inner {
             m.dram.skip(cycles);
+        }
+    }
+}
+
+fn save_query(w: &mut higraph_sim::SnapWriter, slot: &Option<LineQuery>) {
+    match slot {
+        None => w.bool(false),
+        Some(q) => {
+            w.bool(true);
+            w.u64(q.key.0);
+            w.u64(q.key.1);
+            w.u64(q.last);
+            w.u64(q.next);
+            w.seq(q.fetched.iter());
+        }
+    }
+}
+
+fn load_query(
+    r: &mut higraph_sim::SnapReader<'_>,
+) -> Result<Option<LineQuery>, higraph_sim::SnapError> {
+    if !r.bool()? {
+        return Ok(None);
+    }
+    let key = (r.u64()?, r.u64()?);
+    let last = r.u64()?;
+    let next = r.u64()?;
+    let fetched: Vec<u64> = r.seq(u32::MAX as usize)?;
+    Ok(Some(LineQuery {
+        key,
+        last,
+        next,
+        fetched: fetched.into_iter().collect(),
+    }))
+}
+
+impl higraph_sim::Snapshot for MemorySubsystem {
+    fn save(&self, w: &mut higraph_sim::SnapWriter) {
+        w.tag(b"MSUB");
+        match &self.inner {
+            None => w.bool(false),
+            Some(m) => {
+                w.bool(true);
+                w.usize(m.tags.len());
+                w.u64(m.line_bytes);
+                w.usize(m.edge_q.len());
+                w.u64(m.stats.hits);
+                w.u64(m.stats.misses);
+                m.tags.save(w);
+                m.dram.save(w);
+                w.seq(m.mshr.iter());
+                w.seq(m.arrived.iter());
+                for q in &m.edge_q {
+                    save_query(w, q);
+                }
+                for q in &m.offset_q {
+                    save_query(w, q);
+                }
+            }
+        }
+    }
+
+    fn load(&mut self, r: &mut higraph_sim::SnapReader<'_>) -> Result<(), higraph_sim::SnapError> {
+        r.expect_tag(b"MSUB")?;
+        let modeled = r.bool()?;
+        match (modeled, &mut self.inner) {
+            (false, None) => Ok(()),
+            (true, Some(m)) => {
+                let lines = r.usize()?;
+                let line_bytes = r.u64()?;
+                let channels = r.usize()?;
+                if lines != m.tags.len() || line_bytes != m.line_bytes || channels != m.edge_q.len()
+                {
+                    return Err(higraph_sim::SnapError::new(format!(
+                        "memory subsystem shape mismatch: snapshot {lines} lines x \
+                         {line_bytes} B over {channels} channels, live {} x {} over {}",
+                        m.tags.len(),
+                        m.line_bytes,
+                        m.edge_q.len()
+                    )));
+                }
+                m.stats.hits = r.u64()?;
+                m.stats.misses = r.u64()?;
+                m.tags.load(r)?;
+                m.dram.load(r)?;
+                let mshr: Vec<u64> = r.seq(u32::MAX as usize)?;
+                m.mshr = mshr.into_iter().collect();
+                let arrived: Vec<u64> = r.seq(u32::MAX as usize)?;
+                m.arrived = arrived.into_iter().collect();
+                for q in &mut m.edge_q {
+                    *q = load_query(r)?;
+                }
+                for q in &mut m.offset_q {
+                    *q = load_query(r)?;
+                }
+                Ok(())
+            }
+            _ => Err(higraph_sim::SnapError::new(
+                "memory-model mismatch: snapshot and live subsystem disagree on modeled memory",
+            )),
         }
     }
 }

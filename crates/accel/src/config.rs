@@ -95,6 +95,51 @@ impl MemoryConfig {
     }
 }
 
+/// A seeded schedule of transient hardware faults (link stalls, DRAM
+/// channel brown-outs, chip pauses) injected into a run — the
+/// deterministic fault-injection harness of `docs/robustness.md`.
+///
+/// `None` on [`AcceleratorConfig::fault_plan`] (the default everywhere)
+/// injects nothing and leaves every run bit-identical to a build without
+/// the harness. `Some(_)` expands to concrete windows via
+/// [`crate::faults::FaultRuntime`]; the same plan always produces the
+/// same schedule, so faulted runs are exactly reproducible and
+/// memoizable. Fault runs tick per-cycle (fast-forward is forced off)
+/// and use the serial lock-step drain, so windows land on exact cycles
+/// on every host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed of the event schedule (splitmix64 stream).
+    pub seed: u64,
+    /// Number of fault windows to draw.
+    pub events: u32,
+    /// Maximum duration of one window, in cycles (each window lasts
+    /// `1..=max_duration`).
+    pub max_duration: u64,
+    /// Scheduling horizon: window start cycles are drawn from
+    /// `[0, horizon)` on the global scatter-cycle timeline.
+    pub horizon: u64,
+}
+
+impl FaultPlan {
+    /// Validates the plan's bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a non-empty schedule has a zero duration
+    /// or horizon (windows could neither start nor last).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.events > 0 && (self.max_duration == 0 || self.horizon == 0) {
+            return Err(format!(
+                "fault plan with {} events needs a positive max_duration \
+                 (got {}) and horizon (got {})",
+                self.events, self.max_duration, self.horizon
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Which fabric serves an interaction point (Sec. 2.2's three conflict
 /// sites).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -228,6 +273,11 @@ pub struct AcceleratorConfig {
     /// scans. Purely a host-simulation knob: cycle counts and `Metrics`
     /// are bit-identical for any valid value.
     pub wheel_horizon: usize,
+    /// Deterministic fault-injection schedule. `None` (every preset)
+    /// injects nothing; `Some(_)` makes the run degrade gracefully under
+    /// seeded link stalls, DRAM brown-outs, and chip pauses
+    /// (`docs/robustness.md`).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl AcceleratorConfig {
@@ -248,6 +298,7 @@ impl AcceleratorConfig {
             memory: None,
             arena_capacity: 1024,
             wheel_horizon: higraph_sim::wheel::DEFAULT_WHEEL_HORIZON,
+            fault_plan: None,
         }
     }
 
@@ -279,6 +330,7 @@ impl AcceleratorConfig {
             memory: None,
             arena_capacity: 1024,
             wheel_horizon: higraph_sim::wheel::DEFAULT_WHEEL_HORIZON,
+            fault_plan: None,
         }
     }
 
@@ -387,6 +439,9 @@ impl AcceleratorConfig {
         if let Some(memory) = &self.memory {
             memory.validate()?;
         }
+        if let Some(faults) = &self.fault_plan {
+            faults.validate()?;
+        }
         Ok(())
     }
 
@@ -430,6 +485,16 @@ impl AcceleratorConfig {
                     m.timing.t_cas,
                     m.timing.t_rcd,
                     m.timing.t_rp,
+                ));
+            }
+        }
+        // Appended (never reordered) so pre-fault-plan keys stay valid.
+        match &self.fault_plan {
+            None => s.push_str(";faults=none"),
+            Some(f) => {
+                s.push_str(&format!(
+                    ";faults=s{}e{}d{}h{}",
+                    f.seed, f.events, f.max_duration, f.horizon
                 ));
             }
         }
@@ -544,6 +609,41 @@ mod tests {
             with_mem.canonical_encoding(),
             bigger_cache.canonical_encoding()
         );
+    }
+
+    #[test]
+    fn fault_plan_encodes_and_validates() {
+        let mut c = AcceleratorConfig::higraph();
+        assert!(c.fault_plan.is_none());
+        assert!(c.canonical_encoding().ends_with(";faults=none"));
+        let plan = FaultPlan {
+            seed: 11,
+            events: 4,
+            max_duration: 100,
+            horizon: 5000,
+        };
+        c.fault_plan = Some(plan);
+        c.validate().expect("well-formed plan");
+        assert!(c.canonical_encoding().ends_with(";faults=s11e4d100h5000"));
+        assert_ne!(
+            c.canonical_encoding(),
+            AcceleratorConfig::higraph().canonical_encoding()
+        );
+        c.fault_plan = Some(FaultPlan {
+            max_duration: 0,
+            ..plan
+        });
+        assert!(c.validate().is_err());
+        c.fault_plan = Some(FaultPlan { horizon: 0, ..plan });
+        assert!(c.validate().is_err());
+        // an empty schedule is trivially valid regardless of bounds
+        c.fault_plan = Some(FaultPlan {
+            seed: 0,
+            events: 0,
+            max_duration: 0,
+            horizon: 0,
+        });
+        assert!(c.validate().is_ok());
     }
 
     #[test]

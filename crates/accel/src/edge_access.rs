@@ -293,6 +293,76 @@ impl<P: Copy> ClockedComponent for EdgeAccess<P> {
     }
 }
 
+impl<P: higraph_sim::SnapValue> higraph_sim::Snapshot for EdgeAccess<P> {
+    fn save(&self, w: &mut higraph_sim::SnapWriter) {
+        w.tag(b"EDGA");
+        match self {
+            EdgeAccess::Mdp { net, .. } => {
+                w.u8(0);
+                net.save(w);
+            }
+            EdgeAccess::Direct {
+                queues,
+                num_banks,
+                next,
+                stats,
+                ..
+            } => {
+                w.u8(1);
+                w.usize(*num_banks);
+                w.usize(*next);
+                stats.save(w);
+                queues[..].save(w);
+            }
+        }
+    }
+
+    fn load(&mut self, r: &mut higraph_sim::SnapReader<'_>) -> Result<(), higraph_sim::SnapError> {
+        r.expect_tag(b"EDGA")?;
+        let variant = r.u8()?;
+        match (variant, self) {
+            (0, EdgeAccess::Mdp { net, used, .. }) => {
+                net.load(r)?;
+                used.iter_mut().for_each(|u| *u = false);
+                Ok(())
+            }
+            (
+                1,
+                EdgeAccess::Direct {
+                    queues,
+                    num_banks,
+                    next,
+                    stats,
+                    ..
+                },
+            ) => {
+                let banks = r.usize()?;
+                if banks != *num_banks {
+                    return Err(higraph_sim::SnapError::new(format!(
+                        "edge-access bank mismatch: snapshot {banks}, live {num_banks}"
+                    )));
+                }
+                let pointer = r.usize()?;
+                if pointer >= queues.len() {
+                    return Err(higraph_sim::SnapError::new(format!(
+                        "edge-access arbitration pointer {pointer} out of range"
+                    )));
+                }
+                *next = pointer;
+                stats.load(r)?;
+                queues[..].load(r)?;
+                Ok(())
+            }
+            (v @ (0 | 1), _) => Err(higraph_sim::SnapError::new(format!(
+                "edge-access variant mismatch: snapshot variant {v} does not match live unit"
+            ))),
+            (v, _) => Err(higraph_sim::SnapError::new(format!(
+                "unknown edge-access variant {v}"
+            ))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

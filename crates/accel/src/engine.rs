@@ -27,12 +27,16 @@ use crate::apply::{apply_cycles, apply_phase};
 use crate::backend::BackEnd;
 use crate::cache::MemorySubsystem;
 use crate::config::AcceleratorConfig;
+use crate::faults::FaultRuntime;
 use crate::frontend::FrontEnd;
 use crate::metrics::Metrics;
 use crate::netfactory::NetworkFactory;
 use higraph_graph::slicing::{partition, slice_swap_cycles, Slice};
 use higraph_graph::{Csr, VertexId};
-use higraph_sim::{ClockedComponent, DrainStep, Scheduler, StallError};
+use higraph_sim::{
+    content_checksum, ClockedComponent, DrainError, DrainStep, RunControl, Scheduler, SnapError,
+    SnapReader, SnapValue, SnapWriter, Snapshot, StallError,
+};
 use higraph_vcpm::VertexProgram;
 use std::fmt;
 
@@ -200,6 +204,98 @@ impl<P: Copy + 'static> ClockedComponent for ScatterPipeline<P> {
     }
 }
 
+/// One chip's complete microarchitectural state: front-end, back-end,
+/// and the memory path, in pipeline order.
+impl<P: SnapValue + 'static> Snapshot for ScatterPipeline<P> {
+    fn save(&self, w: &mut SnapWriter) {
+        w.tag(b"PIPE");
+        self.front.save(w);
+        self.back.save(w);
+        self.mem.save(w);
+    }
+
+    fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.expect_tag(b"PIPE")?;
+        self.front.load(r)?;
+        self.back.load(r)?;
+        self.mem.load(r)
+    }
+}
+
+/// An engine checkpoint taken at a committed iteration boundary: opaque
+/// versioned bytes (the `higraph_sim::snapshot` wire format) plus the
+/// boundary coordinates for reporting. Restoring it into an engine built
+/// from the same graph and configuration continues the run bit-exactly
+/// (`docs/robustness.md`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// The serialized run state (header + payload, checksummed).
+    pub bytes: Vec<u8>,
+    /// Aggregate simulated cycles (scatter + apply) at the boundary.
+    pub cycles: u64,
+    /// Committed VCPM iterations at the boundary.
+    pub iterations: u32,
+}
+
+/// Outcome of a controlled run ([`Engine::run_controlled`]).
+// Done carries the full result inline so matching on an outcome reads
+// exactly like consuming `Engine::run`; outcomes are matched once and
+// destructured, never stored in bulk, so the size skew is harmless.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum RunOutcome<P> {
+    /// Ran to completion — identical to what [`Engine::run`] returns.
+    Done(RunResult<P>),
+    /// Parked at a committed boundary (explicit park request or an
+    /// exhausted cycle budget) with a restorable checkpoint.
+    Parked(Checkpoint),
+    /// Cancelled mid-drain; partial work is discarded.
+    Cancelled,
+}
+
+/// Why a controlled run or resume failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlError {
+    /// The checkpoint was rejected (corrupt bytes, version skew, or a
+    /// graph/configuration mismatch).
+    Snapshot(SnapError),
+    /// A scatter phase stalled, exactly as in an uncontrolled run.
+    Stall(StallDiagnostic),
+}
+
+impl fmt::Display for ControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlError::Snapshot(e) => e.fmt(f),
+            ControlError::Stall(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ControlError {}
+
+impl From<SnapError> for ControlError {
+    fn from(e: SnapError) -> Self {
+        ControlError::Snapshot(e)
+    }
+}
+
+impl From<StallDiagnostic> for ControlError {
+    fn from(e: StallDiagnostic) -> Self {
+        ControlError::Stall(e)
+    }
+}
+
+/// The complete per-run state of a serial engine between iteration
+/// boundaries — everything a checkpoint must capture.
+struct SerialRunState<P> {
+    properties: Vec<P>,
+    t_props: Vec<P>,
+    frontier: Vec<VertexId>,
+    pipeline: ScatterPipeline<P>,
+    metrics: Metrics,
+}
+
 /// A cycle-level accelerator instance bound to a graph.
 #[derive(Debug)]
 pub struct Engine<'g> {
@@ -262,8 +358,21 @@ impl<'g> Engine<'g> {
         self.fast_forward = on;
     }
 
+    /// Fault windows land on exact global cycles, so a fault plan forces
+    /// per-cycle ticking regardless of the fast-forward setting.
     fn scheduler(&self) -> Scheduler {
-        Scheduler::new().with_fast_forward(self.fast_forward)
+        let fast = self.fast_forward && self.factory.config().fault_plan.is_none();
+        Scheduler::new().with_fast_forward(fast)
+    }
+
+    /// Expands the configuration's fault plan (if any) for this serial,
+    /// single-chip engine.
+    fn fault_runtime(&self, dram_channels: usize) -> Option<FaultRuntime> {
+        self.factory
+            .config()
+            .fault_plan
+            .as_ref()
+            .map(|plan| FaultRuntime::new(plan, 1, dram_channels))
     }
 
     /// Executes `program` to completion and returns properties + metrics.
@@ -295,6 +404,7 @@ impl<'g> Engine<'g> {
             ..Metrics::default()
         };
 
+        let faults = self.fault_runtime(pipeline.mem.dram_channels());
         let mut frontier: Vec<VertexId> = program.initial_frontier(graph);
         while !frontier.is_empty() {
             if let Some(cap) = program.max_iterations() {
@@ -311,6 +421,7 @@ impl<'g> Engine<'g> {
                 &mut pipeline,
                 &mut scheduler,
                 &mut metrics,
+                faults.as_ref(),
             )?;
             apply_phase(program, graph, &mut properties, &mut t_props, &mut frontier);
             metrics.apply_cycles += apply_cycles(num_v, m);
@@ -322,6 +433,227 @@ impl<'g> Engine<'g> {
             properties,
             metrics,
         })
+    }
+
+    /// Executes `program` under cooperative run control: `control` can
+    /// cancel the run mid-drain, or park it — by explicit request or an
+    /// exhausted simulated-cycle budget — at the next committed
+    /// iteration boundary, where the drained pipeline checkpoints into a
+    /// restorable [`Checkpoint`]. A run that completes is bit-identical
+    /// to [`Engine::run`] (cycles and every metric).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StallDiagnostic`] exactly as [`Engine::run`] does.
+    pub fn run_controlled<Prog>(
+        &mut self,
+        program: &Prog,
+        control: &RunControl,
+    ) -> Result<RunOutcome<Prog::Prop>, StallDiagnostic>
+    where
+        Prog: VertexProgram,
+        Prog::Prop: SnapValue,
+    {
+        let state = self.fresh_state(program);
+        self.drive(program, control, state)
+    }
+
+    /// Continues a parked run from `checkpoint` under `control`. The
+    /// engine must be built over the same graph and configuration that
+    /// produced the checkpoint; mismatches are rejected with a precise
+    /// error before any state is touched. A pending park request on
+    /// `control` is cleared (otherwise the resume would re-park at the
+    /// first boundary); callers raising a cycle budget set it before the
+    /// call.
+    ///
+    /// # Errors
+    ///
+    /// [`ControlError::Snapshot`] for a rejected checkpoint,
+    /// [`ControlError::Stall`] as for [`Engine::run`].
+    pub fn resume_controlled<Prog>(
+        &mut self,
+        program: &Prog,
+        control: &RunControl,
+        checkpoint: &[u8],
+    ) -> Result<RunOutcome<Prog::Prop>, ControlError>
+    where
+        Prog: VertexProgram,
+        Prog::Prop: SnapValue,
+    {
+        let mut state = self.fresh_state(program);
+        self.load_checkpoint(&mut state, checkpoint)?;
+        control.clear_park();
+        self.drive(program, control, state)
+            .map_err(ControlError::Stall)
+    }
+
+    /// The state [`Engine::run`] starts from, bundled for the controlled
+    /// paths (checkpoints restore over it).
+    fn fresh_state<Prog: VertexProgram>(&self, program: &Prog) -> SerialRunState<Prog::Prop> {
+        let config = self.factory.config();
+        SerialRunState {
+            properties: self
+                .graph
+                .vertices()
+                .map(|v| program.init_prop(v, self.graph))
+                .collect(),
+            t_props: vec![program.identity(); self.graph.num_vertices() as usize],
+            frontier: program.initial_frontier(self.graph),
+            pipeline: ScatterPipeline::new(&self.factory),
+            metrics: Metrics {
+                frequency_ghz: config.effective_frequency_ghz(),
+                vpe_starvation_per_channel: vec![0; config.back_channels],
+                ..Metrics::default()
+            },
+        }
+    }
+
+    /// The controlled run loop: [`Engine::run`]'s loop plus cancel
+    /// checks and boundary parking. Cancellation discards the partial
+    /// state wholesale, so mid-drain mutations never leak.
+    fn drive<Prog>(
+        &mut self,
+        program: &Prog,
+        control: &RunControl,
+        mut st: SerialRunState<Prog::Prop>,
+    ) -> Result<RunOutcome<Prog::Prop>, StallDiagnostic>
+    where
+        Prog: VertexProgram,
+        Prog::Prop: SnapValue,
+    {
+        let graph = self.graph;
+        let m = self.factory.config().back_channels;
+        let num_v = graph.num_vertices();
+        let mut scheduler = self.scheduler();
+        let faults = self.fault_runtime(st.pipeline.mem.dram_channels());
+        while !st.frontier.is_empty() {
+            if let Some(cap) = program.max_iterations() {
+                if st.metrics.iterations >= cap {
+                    break;
+                }
+            }
+            if control.cancelled() {
+                return Ok(RunOutcome::Cancelled);
+            }
+            if control.should_park(st.metrics.scatter_cycles + st.metrics.apply_cycles) {
+                return Ok(RunOutcome::Parked(self.save_checkpoint(&st)));
+            }
+            let completed = self.scatter_phase(
+                program,
+                graph,
+                &st.frontier,
+                &st.properties,
+                &mut st.t_props,
+                &mut st.pipeline,
+                &mut scheduler,
+                &mut st.metrics,
+                Some(control),
+                faults.as_ref(),
+            )?;
+            if !completed {
+                return Ok(RunOutcome::Cancelled);
+            }
+            apply_phase(
+                program,
+                graph,
+                &mut st.properties,
+                &mut st.t_props,
+                &mut st.frontier,
+            );
+            st.metrics.apply_cycles += apply_cycles(num_v, m);
+            st.metrics.iterations += 1;
+        }
+
+        finalize_metrics(&mut st.metrics, &st.pipeline);
+        Ok(RunOutcome::Done(RunResult {
+            properties: st.properties,
+            metrics: st.metrics,
+        }))
+    }
+
+    /// Serializes a boundary state: identity context (graph hash,
+    /// canonical configuration encoding) followed by the run variables
+    /// and the full pipeline.
+    fn save_checkpoint<P: SnapValue + 'static>(&self, st: &SerialRunState<P>) -> Checkpoint {
+        let mut w = SnapWriter::new();
+        w.tag(b"ENGC");
+        w.u64(self.graph.content_hash());
+        w.u64(content_checksum(
+            self.factory.config().canonical_encoding().as_bytes(),
+        ));
+        st.metrics.save(&mut w);
+        w.usize(st.frontier.len());
+        for v in &st.frontier {
+            w.u32(v.0);
+        }
+        w.seq(st.properties.iter());
+        w.seq(st.t_props.iter());
+        st.pipeline.save(&mut w);
+        Checkpoint {
+            bytes: w.finish(),
+            cycles: st.metrics.scatter_cycles + st.metrics.apply_cycles,
+            iterations: st.metrics.iterations,
+        }
+    }
+
+    /// Restores a checkpoint over a freshly initialized state, verifying
+    /// the identity context first.
+    fn load_checkpoint<P: SnapValue + 'static>(
+        &self,
+        st: &mut SerialRunState<P>,
+        checkpoint: &[u8],
+    ) -> Result<(), SnapError> {
+        let num_v = self.graph.num_vertices() as usize;
+        let mut r = SnapReader::open(checkpoint)?;
+        r.expect_tag(b"ENGC")?;
+        let graph_hash = r.u64()?;
+        if graph_hash != self.graph.content_hash() {
+            return Err(SnapError::new(
+                "checkpoint was taken on a different graph (content hash mismatch)",
+            ));
+        }
+        let config_sum = r.u64()?;
+        let live_sum = content_checksum(self.factory.config().canonical_encoding().as_bytes());
+        if config_sum != live_sum {
+            return Err(SnapError::new(
+                "checkpoint was taken under a different accelerator configuration",
+            ));
+        }
+        st.metrics.load(&mut r)?;
+        let frontier_len = r.usize()?;
+        if frontier_len > num_v {
+            return Err(SnapError::new(format!(
+                "frontier length {frontier_len} exceeds vertex count {num_v}"
+            )));
+        }
+        st.frontier.clear();
+        for _ in 0..frontier_len {
+            let raw = r.u32()?;
+            if raw as usize >= num_v {
+                return Err(SnapError::new(format!(
+                    "frontier vertex {raw} out of range (graph has {num_v})"
+                )));
+            }
+            st.frontier.push(VertexId(raw));
+        }
+        let properties: Vec<P> = r.seq(num_v)?;
+        if properties.len() != num_v {
+            return Err(SnapError::new(format!(
+                "property array length {} does not match vertex count {num_v}",
+                properties.len()
+            )));
+        }
+        st.properties = properties;
+        let t_props: Vec<P> = r.seq(num_v)?;
+        if t_props.len() != num_v {
+            return Err(SnapError::new(format!(
+                "tProperty array length {} does not match vertex count {num_v}",
+                t_props.len()
+            )));
+        }
+        st.t_props = t_props;
+        st.pipeline.load(&mut r)?;
+        r.expect_exhausted()
     }
 
     /// Executes `program` with the Sec. 5.3 large-graph schedule: the graph
@@ -373,6 +705,7 @@ impl<'g> Engine<'g> {
         };
         let mut swap_sequential = 0u64;
         let mut swap_overlapped = 0u64;
+        let faults = self.fault_runtime(pipeline.mem.dram_channels());
 
         let mut frontier: Vec<VertexId> = program.initial_frontier(graph);
         while !frontier.is_empty() {
@@ -396,6 +729,7 @@ impl<'g> Engine<'g> {
                     &mut pipeline,
                     &mut scheduler,
                     &mut metrics,
+                    faults.as_ref(),
                 )?;
                 let compute = metrics.scatter_cycles - before;
                 swap_sequential += swap_per_slice[i];
@@ -439,7 +773,40 @@ impl<'g> Engine<'g> {
         pipeline: &mut ScatterPipeline<Prog::Prop>,
         scheduler: &mut Scheduler,
         metrics: &mut Metrics,
+        faults: Option<&FaultRuntime>,
     ) -> Result<(), StallDiagnostic> {
+        let completed = self.scatter_phase(
+            program, graph, frontier, properties, t_props, pipeline, scheduler, metrics, None,
+            faults,
+        )?;
+        debug_assert!(completed, "uncontrolled drain cannot be interrupted");
+        Ok(())
+    }
+
+    /// The scatter drain underneath both the plain and the controlled
+    /// run paths. With `control`, the drain polls for cancellation and
+    /// returns `Ok(false)` when interrupted (the pipeline is then
+    /// mid-flight and must be discarded). With `faults`, each drained
+    /// cycle applies the fault windows active at that point of the
+    /// global scatter-cycle timeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StallDiagnostic`] if the drain exceeds its guard.
+    #[allow(clippy::too_many_arguments)]
+    fn scatter_phase<Prog: VertexProgram>(
+        &self,
+        program: &Prog,
+        graph: &Csr,
+        frontier: &[VertexId],
+        properties: &[Prog::Prop],
+        t_props: &mut [Prog::Prop],
+        pipeline: &mut ScatterPipeline<Prog::Prop>,
+        scheduler: &mut Scheduler,
+        metrics: &mut Metrics,
+        control: Option<&RunControl>,
+        faults: Option<&FaultRuntime>,
+    ) -> Result<bool, StallDiagnostic> {
         debug_assert!(
             pipeline.is_drained(),
             "scatter must start from a drained pipeline"
@@ -455,34 +822,59 @@ impl<'g> Engine<'g> {
                 1,
                 0,
             )
-        });
+        }) + faults.map_or(0, FaultRuntime::guard_bonus);
         scheduler.set_stall_guard(guard);
-        let spent = scheduler
-            .drain_with(pipeline, |pipeline, step| match step {
-                DrainStep::Cycle(_) => {
-                    // Stages evaluate consumer-first: back-end (1–3),
-                    // then front-end (4–6) feeding the back-end's edge
-                    // unit.
-                    pipeline.back.step(program, graph, t_props, 0, metrics);
-                    pipeline.front.step(
-                        graph,
-                        &mut pipeline.back.edge_access,
-                        &mut pipeline.mem,
-                        metrics,
-                    );
+        // Fault windows index the *global* scatter timeline, so a window
+        // that straddles an iteration boundary keeps holding the
+        // pipeline across drains.
+        let base = metrics.scatter_cycles;
+        let callback = |pipeline: &mut ScatterPipeline<Prog::Prop>, step: DrainStep| match step {
+            DrainStep::Cycle(cycle) => {
+                if let Some(f) = faults {
+                    let now = base + cycle;
+                    f.set_brownouts(now, |_, channel, active| {
+                        pipeline.mem.set_dram_channel_paused(channel, active);
+                    });
+                    if f.chip_paused(now, 0) {
+                        // Clock-gated: held packets wait, nothing steps.
+                        return;
+                    }
                 }
-                DrainStep::Skipped { cycles, .. } => pipeline.commit_idle(cycles, metrics),
-            })
-            .map_err(|stall| StallDiagnostic {
-                config: self.factory.config().name.clone(),
-                num_chips: 1,
-                iteration: metrics.iterations,
-                iteration_edges,
-                staged_packets: 0,
-                stall,
-            })?;
+                // Stages evaluate consumer-first: back-end (1–3),
+                // then front-end (4–6) feeding the back-end's edge
+                // unit.
+                pipeline.back.step(program, graph, t_props, 0, metrics);
+                pipeline.front.step(
+                    graph,
+                    &mut pipeline.back.edge_access,
+                    &mut pipeline.mem,
+                    metrics,
+                );
+            }
+            DrainStep::Skipped { cycles, .. } => pipeline.commit_idle(cycles, metrics),
+        };
+        let drained = match control {
+            Some(ctrl) => scheduler.drain_ctrl(pipeline, ctrl, callback),
+            None => scheduler
+                .drain_with(pipeline, callback)
+                .map_err(DrainError::Stall),
+        };
+        let spent = match drained {
+            Ok(spent) => spent,
+            Err(DrainError::Interrupted { .. }) => return Ok(false),
+            Err(DrainError::Stall(stall)) => {
+                return Err(StallDiagnostic {
+                    config: self.factory.config().name.clone(),
+                    num_chips: 1,
+                    iteration: metrics.iterations,
+                    iteration_edges,
+                    staged_packets: 0,
+                    stall,
+                })
+            }
+        };
         metrics.scatter_cycles += spent;
-        Ok(())
+        Ok(true)
     }
 }
 
@@ -873,5 +1265,132 @@ mod tests {
         assert_eq!(got.metrics.dataflow_net.cycles, got.metrics.scatter_cycles);
         assert_eq!(got.metrics.offset_net.cycles, got.metrics.scatter_cycles);
         assert_eq!(got.metrics.edge_net.cycles, got.metrics.scatter_cycles);
+    }
+
+    #[test]
+    fn controlled_run_completes_bit_identical() {
+        let g = power_law(300, 2700, 2.0, 31, 71);
+        let prog = PageRank::new(3);
+        let plain = Engine::new(AcceleratorConfig::higraph(), &g)
+            .run(&prog)
+            .expect("no stall");
+        let control = RunControl::new();
+        let outcome = Engine::new(AcceleratorConfig::higraph(), &g)
+            .run_controlled(&prog, &control)
+            .expect("no stall");
+        match outcome {
+            RunOutcome::Done(r) => {
+                assert_eq!(r.properties, plain.properties);
+                assert_eq!(r.metrics, plain.metrics);
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn park_and_resume_is_bit_identical() {
+        let g = power_law(300, 2700, 2.0, 31, 73);
+        let src = higraph_graph::stats::hub_vertex(&g).expect("non-empty").0;
+        let prog = Sssp::from_source(src);
+        let plain = Engine::new(AcceleratorConfig::higraph(), &g)
+            .run(&prog)
+            .expect("no stall");
+
+        let control = RunControl::new();
+        control.set_budget_cycles(Some(1)); // park at the first boundary
+        let mut engine = Engine::new(AcceleratorConfig::higraph(), &g);
+        let parked = match engine.run_controlled(&prog, &control).expect("no stall") {
+            RunOutcome::Parked(ck) => ck,
+            other => panic!("expected a parked run, got {other:?}"),
+        };
+        assert!(parked.cycles >= 1);
+        assert!(parked.iterations >= 1);
+
+        control.set_budget_cycles(None);
+        let resumed = engine
+            .resume_controlled(&prog, &control, &parked.bytes)
+            .expect("no stall");
+        match resumed {
+            RunOutcome::Done(r) => {
+                assert_eq!(r.properties, plain.properties);
+                assert_eq!(r.metrics, plain.metrics, "restore must be cycle-exact");
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_discards_the_run() {
+        let g = small_graph(9);
+        let control = RunControl::new();
+        control.request_cancel();
+        let outcome = Engine::new(AcceleratorConfig::higraph(), &g)
+            .run_controlled(&Bfs::from_source(0), &control)
+            .expect("no stall");
+        assert!(matches!(outcome, RunOutcome::Cancelled));
+    }
+
+    #[test]
+    fn checkpoint_rejects_mismatched_identity() {
+        let g = small_graph(10);
+        let prog = Bfs::from_source(0);
+        let control = RunControl::new();
+        control.request_park();
+        let parked = match Engine::new(AcceleratorConfig::higraph(), &g)
+            .run_controlled(&prog, &control)
+            .expect("no stall")
+        {
+            RunOutcome::Parked(ck) => ck,
+            other => panic!("expected a parked run, got {other:?}"),
+        };
+
+        // Wrong graph.
+        let other_graph = small_graph(11);
+        let err = Engine::new(AcceleratorConfig::higraph(), &other_graph)
+            .resume_controlled(&prog, &control, &parked.bytes)
+            .expect_err("must reject");
+        assert!(err.to_string().contains("graph"), "{err}");
+
+        // Wrong configuration.
+        let err = Engine::new(AcceleratorConfig::higraph_mini(), &g)
+            .resume_controlled(&prog, &control, &parked.bytes)
+            .expect_err("must reject");
+        assert!(err.to_string().contains("configuration"), "{err}");
+
+        // Corrupted payload.
+        let mut bad = parked.bytes.clone();
+        let last = bad.len() - 20; // inside the payload, before the checksum
+        bad[last] ^= 0xFF;
+        assert!(Engine::new(AcceleratorConfig::higraph(), &g)
+            .resume_controlled(&prog, &control, &bad)
+            .is_err());
+    }
+
+    #[test]
+    fn fault_plan_degrades_gracefully_and_keeps_results() {
+        use crate::config::{FaultPlan, MemoryConfig};
+        let g = power_law(300, 2700, 2.0, 31, 79);
+        let prog = PageRank::new(2);
+        for memory in [None, Some(MemoryConfig::hbm2().with_cache_kb(16))] {
+            let mut clean_cfg = AcceleratorConfig::higraph();
+            clean_cfg.memory = memory;
+            let clean = Engine::new(clean_cfg.clone(), &g)
+                .run(&prog)
+                .expect("no stall");
+            let mut cfg = clean_cfg;
+            cfg.fault_plan = Some(FaultPlan {
+                seed: 11,
+                events: 6,
+                max_duration: 400,
+                horizon: clean.metrics.scatter_cycles.max(1),
+            });
+            let faulty = Engine::new(cfg.clone(), &g).run(&prog).expect("no stall");
+            // Faults only stall; the algorithm result is untouched.
+            assert_eq!(faulty.properties, clean.properties);
+            assert!(faulty.metrics.scatter_cycles >= clean.metrics.scatter_cycles);
+            // Deterministic: the same plan reproduces the same cycles.
+            let again = Engine::new(cfg, &g).run(&prog).expect("no stall");
+            assert_eq!(again.metrics, faulty.metrics);
+        }
     }
 }

@@ -361,6 +361,53 @@ impl<P: Copy + 'static> ClockedComponent for FrontEnd<P> {
     }
 }
 
+impl<P: higraph_sim::SnapValue> higraph_sim::Snapshot for FrontEnd<P> {
+    fn save(&self, w: &mut higraph_sim::SnapWriter) {
+        w.tag(b"FRNT");
+        w.usize(self.av_parts.len());
+        w.bool(self.mdp_offset);
+        w.usize(self.offset_rr);
+        self.av_parts[..].save(w);
+        self.offset_net.save(w);
+        self.offset_q[..].save(w);
+        self.vertices.save(w);
+        self.replay[..].save(w);
+        self.replay_out.save(w);
+        self.odd_even.save(w);
+    }
+
+    fn load(&mut self, r: &mut higraph_sim::SnapReader<'_>) -> Result<(), higraph_sim::SnapError> {
+        r.expect_tag(b"FRNT")?;
+        let n = r.usize()?;
+        let mdp_offset = r.bool()?;
+        if n != self.av_parts.len() || mdp_offset != self.mdp_offset {
+            return Err(higraph_sim::SnapError::new(format!(
+                "front-end shape mismatch: snapshot {n} channels (mdp_offset={mdp_offset}), \
+                 live {} (mdp_offset={})",
+                self.av_parts.len(),
+                self.mdp_offset
+            )));
+        }
+        let offset_rr = r.usize()?;
+        if offset_rr >= n {
+            return Err(higraph_sim::SnapError::new(format!(
+                "front-end arbitration pointer {offset_rr} out of range"
+            )));
+        }
+        self.offset_rr = offset_rr;
+        self.av_parts[..].load(r)?;
+        self.offset_net.load(r)?;
+        self.offset_q[..].load(r)?;
+        self.vertices.load(r)?;
+        self.replay[..].load(r)?;
+        self.replay_out.load(r)?;
+        self.odd_even.load(r)?;
+        // Per-cycle scratch is not state.
+        self.issue_order.clear();
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -61,6 +61,7 @@ pub mod cache;
 pub mod config;
 pub mod edge_access;
 pub mod engine;
+pub mod faults;
 pub mod metrics;
 pub mod netfactory;
 pub mod packets;
@@ -69,12 +70,15 @@ pub mod sharded;
 pub mod space;
 
 pub use cache::MemorySubsystem;
-pub use config::{AcceleratorConfig, MemoryConfig, NetworkKind, OptLevel};
-pub use engine::{Engine, RunResult, SlicedRunResult, StallDiagnostic};
+pub use config::{AcceleratorConfig, FaultPlan, MemoryConfig, NetworkKind, OptLevel};
+pub use engine::{
+    Checkpoint, ControlError, Engine, RunOutcome, RunResult, SlicedRunResult, StallDiagnostic,
+};
+pub use faults::{FaultEvent, FaultKind, FaultRuntime};
 pub use metrics::{MemoryMetrics, Metrics};
 pub use netfactory::{AnyNetwork, NetworkFactory};
 pub use runner::{
     BatchError, BatchJob, BatchReport, BatchResult, BatchRunner, RunMode, ShardedTiming,
 };
-pub use sharded::{ShardConfig, ShardedEngine, ShardedRunResult};
+pub use sharded::{ShardConfig, ShardedEngine, ShardedOutcome, ShardedRunResult};
 pub use space::{Axis, DesignPoint, DesignSpace, Genome};

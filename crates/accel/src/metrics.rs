@@ -160,6 +160,62 @@ impl Metrics {
     }
 }
 
+impl higraph_sim::Snapshot for MemoryMetrics {
+    fn save(&self, w: &mut higraph_sim::SnapWriter) {
+        w.tag(b"MMET");
+        w.u64(self.cache_hits);
+        w.u64(self.cache_misses);
+        w.u64(self.stall_cycles);
+        self.dram.save(w);
+    }
+
+    fn load(&mut self, r: &mut higraph_sim::SnapReader<'_>) -> Result<(), higraph_sim::SnapError> {
+        r.expect_tag(b"MMET")?;
+        self.cache_hits = r.u64()?;
+        self.cache_misses = r.u64()?;
+        self.stall_cycles = r.u64()?;
+        self.dram.load(r)?;
+        Ok(())
+    }
+}
+
+impl higraph_sim::Snapshot for Metrics {
+    fn save(&self, w: &mut higraph_sim::SnapWriter) {
+        w.tag(b"METR");
+        w.u64(self.cycles);
+        w.u64(self.scatter_cycles);
+        w.u64(self.apply_cycles);
+        w.u64(self.edges_processed);
+        w.u32(self.iterations);
+        w.u64(self.vpe_starvation_cycles);
+        w.seq(self.vpe_starvation_per_channel.iter());
+        w.u64(self.offset_conflicts);
+        w.f64(self.frequency_ghz);
+        self.offset_net.save(w);
+        self.edge_net.save(w);
+        self.dataflow_net.save(w);
+        self.memory.save(w);
+    }
+
+    fn load(&mut self, r: &mut higraph_sim::SnapReader<'_>) -> Result<(), higraph_sim::SnapError> {
+        r.expect_tag(b"METR")?;
+        self.cycles = r.u64()?;
+        self.scatter_cycles = r.u64()?;
+        self.apply_cycles = r.u64()?;
+        self.edges_processed = r.u64()?;
+        self.iterations = r.u32()?;
+        self.vpe_starvation_cycles = r.u64()?;
+        self.vpe_starvation_per_channel = r.seq(u32::MAX as usize)?;
+        self.offset_conflicts = r.u64()?;
+        self.frequency_ghz = r.f64()?;
+        self.offset_net.load(r)?;
+        self.edge_net.load(r)?;
+        self.dataflow_net.load(r)?;
+        self.memory.load(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -303,6 +303,42 @@ impl NetworkFactory {
     }
 }
 
+impl<T: higraph_sim::SnapValue> higraph_sim::Snapshot for AnyNetwork<T> {
+    fn save(&self, w: &mut higraph_sim::SnapWriter) {
+        w.tag(b"ANET");
+        match self {
+            AnyNetwork::Crossbar(n) => {
+                w.u8(0);
+                n.save(w);
+            }
+            AnyNetwork::Mdp(n) => {
+                w.u8(1);
+                n.save(w);
+            }
+            AnyNetwork::Naive(n) => {
+                w.u8(2);
+                n.save(w);
+            }
+        }
+    }
+
+    fn load(&mut self, r: &mut higraph_sim::SnapReader<'_>) -> Result<(), higraph_sim::SnapError> {
+        r.expect_tag(b"ANET")?;
+        let variant = r.u8()?;
+        match (variant, self) {
+            (0, AnyNetwork::Crossbar(n)) => n.load(r),
+            (1, AnyNetwork::Mdp(n)) => n.load(r),
+            (2, AnyNetwork::Naive(n)) => n.load(r),
+            (v @ 0..=2, _) => Err(higraph_sim::SnapError::new(format!(
+                "fabric variant mismatch: snapshot variant {v} does not match live fabric"
+            ))),
+            (v, _) => Err(higraph_sim::SnapError::new(format!(
+                "unknown fabric variant {v}"
+            ))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

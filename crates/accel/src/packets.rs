@@ -100,6 +100,41 @@ pub struct PendingEdge<P> {
     pub u_prop: P,
 }
 
+impl higraph_sim::SnapValue for VertexRef {
+    fn save_value(&self, w: &mut higraph_sim::SnapWriter) {
+        w.u32(self.handle);
+        w.u32(self.dest);
+    }
+    fn load_value(r: &mut higraph_sim::SnapReader<'_>) -> Result<Self, higraph_sim::SnapError> {
+        Ok(VertexRef {
+            handle: r.u32()?,
+            dest: r.u32()?,
+        })
+    }
+}
+
+impl higraph_sim::SnapValue for ImmRef {
+    fn save_value(&self, w: &mut higraph_sim::SnapWriter) {
+        w.u32(self.handle);
+        w.u32(self.dest);
+    }
+    fn load_value(r: &mut higraph_sim::SnapReader<'_>) -> Result<Self, higraph_sim::SnapError> {
+        Ok(ImmRef {
+            handle: r.u32()?,
+            dest: r.u32()?,
+        })
+    }
+}
+
+impl higraph_sim::SnapValue for EdgeRef {
+    fn save_value(&self, w: &mut higraph_sim::SnapWriter) {
+        w.u32(self.0);
+    }
+    fn load_value(r: &mut higraph_sim::SnapReader<'_>) -> Result<Self, higraph_sim::SnapError> {
+        Ok(EdgeRef(r.u32()?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

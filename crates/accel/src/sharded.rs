@@ -34,7 +34,11 @@
 
 use crate::apply::{apply_cycles, apply_phase};
 use crate::config::AcceleratorConfig;
-use crate::engine::{derived_stall_guard, finalize_metrics, ScatterPipeline, StallDiagnostic};
+use crate::engine::{
+    derived_stall_guard, finalize_metrics, Checkpoint, ControlError, ScatterPipeline,
+    StallDiagnostic,
+};
+use crate::faults::FaultRuntime;
 use crate::metrics::Metrics;
 use crate::netfactory::NetworkFactory;
 use crate::parallel::{drain_chips_parallel, exchange_link, ChipLane};
@@ -42,8 +46,9 @@ use higraph_graph::slicing::{partition, total_cut_edges, Slice};
 use higraph_graph::{Csr, VertexId};
 use higraph_pool::{CoreLease, CorePool};
 use higraph_sim::{
-    min_activity, ClockedComponent, DrainStep, EventWheel, InterChipLink, NetworkStats, Packet,
-    Scheduler, StallError,
+    content_checksum, min_activity, ClockedComponent, DrainError, DrainStep, EventWheel,
+    InterChipLink, NetworkStats, Packet, RunControl, Scheduler, SnapError, SnapReader, SnapValue,
+    SnapWriter, Snapshot, StallError,
 };
 use higraph_vcpm::VertexProgram;
 
@@ -105,6 +110,19 @@ impl Packet for ShardPacket {
     }
 }
 
+impl SnapValue for ShardPacket {
+    fn save_value(&self, w: &mut SnapWriter) {
+        w.usize(self.src_chip);
+        w.usize(self.dst_chip);
+    }
+    fn load_value(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(ShardPacket {
+            src_chip: r.usize()?,
+            dst_chip: r.usize()?,
+        })
+    }
+}
+
 /// Result of a sharded run ([`ShardedEngine::run`]).
 #[derive(Debug, Clone)]
 pub struct ShardedRunResult<P> {
@@ -148,6 +166,22 @@ impl<P> ShardedRunResult<P> {
             self.metrics.cycles as f64 / self.metrics.edges_processed as f64
         }
     }
+}
+
+/// How a controlled sharded run ([`ShardedEngine::run_controlled`])
+/// ended: completion, a boundary checkpoint, or cancellation.
+// Same shape as `RunOutcome`: matched once and destructured, so the
+// inline result's size skew never costs anything.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum ShardedOutcome<P> {
+    /// The run finished; bit-identical to [`ShardedEngine::run`].
+    Done(ShardedRunResult<P>),
+    /// The run parked at a committed iteration boundary and serialized
+    /// its full state into a restorable checkpoint.
+    Parked(Checkpoint),
+    /// Cancellation was observed; partial state was discarded.
+    Cancelled,
 }
 
 /// Everything the lock-step drain clocks: P chip pipelines, the link,
@@ -242,6 +276,40 @@ impl<P: Copy + 'static> ClockedComponent for MultiChip<P> {
         }
         self.link.skip(cycles);
         self.wheel.advance(cycles);
+    }
+}
+
+impl<P: SnapValue + 'static> Snapshot for MultiChip<P> {
+    fn save(&self, w: &mut SnapWriter) {
+        w.tag(b"MCHP");
+        w.usize(self.chips.len());
+        for chip in &self.chips {
+            chip.save(w);
+        }
+        self.link.save(w);
+        for row in &self.staged {
+            row.save(w);
+        }
+        self.wheel.save(w);
+    }
+
+    fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.expect_tag(b"MCHP")?;
+        let chips = r.usize()?;
+        if chips != self.chips.len() {
+            return Err(SnapError::new(format!(
+                "checkpoint has {chips} chips, engine has {}",
+                self.chips.len()
+            )));
+        }
+        for chip in &mut self.chips {
+            chip.load(r)?;
+        }
+        self.link.load(r)?;
+        for row in &mut self.staged {
+            row.load(r)?;
+        }
+        self.wheel.load(r)
     }
 }
 
@@ -418,7 +486,11 @@ impl<'g> ShardedEngine<'g> {
             // cannot fail for a config that reached `run`.
             wheel: EventWheel::new(num_chips, config.wheel_horizon),
         };
-        let mut scheduler = Scheduler::new().with_fast_forward(self.fast_forward);
+        let faults = self.fault_runtime(&multi);
+        // Fault windows land on exact global cycles, so fault runs force
+        // per-cycle ticking.
+        let mut scheduler =
+            Scheduler::new().with_fast_forward(self.fast_forward && faults.is_none());
         let fresh_metrics = || Metrics {
             frequency_ghz,
             vpe_starvation_per_channel: vec![0; m],
@@ -469,7 +541,7 @@ impl<'g> ShardedEngine<'g> {
                     num_chips as u64,
                     staged,
                 ) + self.shard.link_latency
-            });
+            }) + faults.as_ref().map_or(0, FaultRuntime::guard_bonus);
             let mut chip_cycles = vec![0u64; num_chips];
             // Host cores are acquired per drain: an explicit override
             // leases its exact team (temporary threads cover any
@@ -479,7 +551,11 @@ impl<'g> ShardedEngine<'g> {
             // oversubscribing it. An empty grant (fully busy pool),
             // `Some(1)`, or a single chip takes the serial drain;
             // results are bit-identical in every case.
+            // Fault runs force the serial drain: fault windows clock-gate
+            // individual chips per cycle, which the worker protocol does
+            // not model.
             let lease = match self.threads {
+                _ if faults.is_some() => None,
                 Some(n) => {
                     let team = n.clamp(1, num_chips);
                     (team > 1).then(|| CorePool::global().lease_exact(team))
@@ -491,15 +567,17 @@ impl<'g> ShardedEngine<'g> {
                 None => None,
             };
             let drained = match &lease {
-                Some(lease) => self.drain_parallel(
-                    program,
-                    &mut multi,
-                    &mut t_props,
-                    &mut chip_metrics,
-                    &mut chip_cycles,
-                    lease,
-                    guard,
-                ),
+                Some(lease) => self
+                    .drain_parallel(
+                        program,
+                        &mut multi,
+                        &mut t_props,
+                        &mut chip_metrics,
+                        &mut chip_cycles,
+                        lease,
+                        guard,
+                    )
+                    .map_err(DrainError::Stall),
                 None => {
                     scheduler.set_stall_guard(guard);
                     self.drain_serial(
@@ -509,17 +587,29 @@ impl<'g> ShardedEngine<'g> {
                         &mut chip_metrics,
                         &mut chip_cycles,
                         &mut scheduler,
+                        None,
+                        faults.as_ref(),
+                        agg.scatter_cycles,
                     )
                 }
             };
             drop(lease); // workers rejoin the stealing rotation
-            let spent = drained.map_err(|stall| StallDiagnostic {
-                config: self.factory.config().name.clone(),
-                num_chips,
-                iteration: agg.iterations,
-                iteration_edges,
-                staged_packets: staged,
-                stall,
+            let spent = drained.map_err(|err| {
+                let stall = match err {
+                    DrainError::Stall(stall) => stall,
+                    DrainError::Interrupted { .. } => {
+                        // lint:allow(panic-freedom): a drain without a control has no cancellation path
+                        unreachable!("uncontrolled drain cannot be interrupted")
+                    }
+                };
+                StallDiagnostic {
+                    config: self.factory.config().name.clone(),
+                    num_chips,
+                    iteration: agg.iterations,
+                    iteration_edges,
+                    staged_packets: staged,
+                    stall,
+                }
             })?;
             agg.scatter_cycles += spent;
             for (ci, cycles) in chip_cycles.iter().enumerate() {
@@ -541,40 +631,38 @@ impl<'g> ShardedEngine<'g> {
             agg.iterations += 1;
         }
 
-        for (ci, chip) in multi.chips.iter().enumerate() {
-            finalize_metrics(&mut chip_metrics[ci], chip);
-        }
-        for chip in &chip_metrics {
-            agg.edges_processed += chip.edges_processed;
-            agg.vpe_starvation_cycles += chip.vpe_starvation_cycles;
-            for (c, s) in chip.vpe_starvation_per_channel.iter().enumerate() {
-                agg.vpe_starvation_per_channel[c] += s;
-            }
-            agg.offset_conflicts += chip.offset_conflicts;
-            agg.offset_net.merge(&chip.offset_net);
-            agg.edge_net.merge(&chip.edge_net);
-            agg.dataflow_net.merge(&chip.dataflow_net);
-            agg.memory.merge(&chip.memory);
-        }
-        agg.cycles = agg.scatter_cycles + agg.apply_cycles;
-        // lint:allow(panic-freedom): infallible: every link constructor installs a stats block
-        let link = multi.link.network_stats().expect("links keep stats");
-        Ok(ShardedRunResult {
+        Ok(finish_result(
+            agg,
+            chip_metrics,
+            &multi,
             properties,
-            metrics: agg,
-            chips: chip_metrics,
             cross_chip_packets,
-            link,
+        ))
+    }
+
+    /// Expands the configuration's fault plan against this engine's
+    /// topology (chip count, per-chip DRAM channels), if one is set.
+    fn fault_runtime<P>(&self, multi: &MultiChip<P>) -> Option<FaultRuntime> {
+        self.factory.config().fault_plan.as_ref().map(|plan| {
+            FaultRuntime::new(
+                plan,
+                self.shard.num_chips,
+                multi.chips.first().map_or(0, |c| c.mem.dram_channels()),
+            )
         })
     }
 
     /// The serial lock-step drain: the whole [`MultiChip`] composite is
-    /// driven by the shared [`Scheduler`] on this thread.
+    /// driven by the shared [`Scheduler`] on this thread. With
+    /// `control`, the drain polls for cancellation; with `faults`, each
+    /// drained cycle applies the fault windows active at `base + cycle`
+    /// of the global scatter timeline.
     ///
     /// # Errors
     ///
-    /// The scheduler's [`StallError`] when the composite fails to drain
-    /// within the guard.
+    /// [`DrainError::Stall`] when the composite fails to drain within
+    /// the guard, [`DrainError::Interrupted`] when `control` observes a
+    /// cancellation mid-drain.
     #[allow(clippy::too_many_arguments)]
     fn drain_serial<Prog: VertexProgram>(
         &self,
@@ -584,13 +672,16 @@ impl<'g> ShardedEngine<'g> {
         chip_metrics: &mut [Metrics],
         chip_cycles: &mut [u64],
         scheduler: &mut Scheduler,
-    ) -> Result<u64, StallError> {
+        control: Option<&RunControl>,
+        faults: Option<&FaultRuntime>,
+        base: u64,
+    ) -> Result<u64, DrainError> {
         let mut t_slices = split_owned_intervals(t_props, &self.slices);
         // `load_frontier` refilled the chips since the last drain, so
         // every registered wake may be stale-late; re-register them all
         // before the first window selection.
         multi.wheel.mark_all_dirty();
-        scheduler.drain_with(multi, |multi, step| {
+        let callback = |multi: &mut MultiChip<Prog::Prop>, step: DrainStep| {
             let cycle = match step {
                 DrainStep::Cycle(cycle) => cycle,
                 DrainStep::Skipped { cycles, .. } => {
@@ -607,6 +698,10 @@ impl<'g> ShardedEngine<'g> {
                     return;
                 }
             };
+            // Fault windows index the *global* scatter timeline, so a
+            // window straddling an iteration (or checkpoint) boundary
+            // keeps holding the pipeline across drains.
+            let now = base + cycle;
             for (ci, chip) in multi.chips.iter_mut().enumerate() {
                 // A drained chip idles (no starvation accrues)
                 // while slower chips and the link finish.
@@ -614,6 +709,17 @@ impl<'g> ShardedEngine<'g> {
                     continue;
                 }
                 chip_cycles[ci] = cycle + 1;
+                if let Some(f) = faults {
+                    f.set_brownouts(now, |fault_chip, channel, active| {
+                        if fault_chip == ci {
+                            chip.mem.set_dram_channel_paused(channel, active);
+                        }
+                    });
+                    if f.chip_paused(now, ci) {
+                        // Clock-gated: held packets wait, nothing steps.
+                        continue;
+                    }
+                }
                 let slice_graph = &self.slices[ci].graph;
                 let (t_slice, t_base) = &mut t_slices[ci];
                 chip.back.step(
@@ -631,9 +737,19 @@ impl<'g> ShardedEngine<'g> {
                 );
             }
             // The inter-chip exchange — one definition shared with the
-            // parallel drain, so the two paths cannot diverge.
-            exchange_link(&mut multi.link, &mut multi.staged);
-        })
+            // parallel drain, so the two paths cannot diverge. A link
+            // stall window refuses injections (in-flight packets keep
+            // moving through `tick`).
+            if faults.is_none_or(|f| !f.link_stalled(now)) {
+                exchange_link(&mut multi.link, &mut multi.staged);
+            }
+        };
+        match control {
+            Some(ctrl) => scheduler.drain_ctrl(multi, ctrl, callback),
+            None => scheduler
+                .drain_with(multi, callback)
+                .map_err(DrainError::Stall),
+        }
     }
 
     /// The parallel lock-step drain: chips tick on the lease's team
@@ -697,6 +813,371 @@ impl<'g> ShardedEngine<'g> {
         )?;
         chip_cycles.copy_from_slice(&outcome.chip_cycles);
         Ok(outcome.spent)
+    }
+
+    /// Executes `program` under cooperative run control, exactly as
+    /// [`crate::Engine::run_controlled`] does for the serial engine:
+    /// `control` can cancel mid-drain or park at the next committed
+    /// iteration boundary into a restorable [`Checkpoint`]. Controlled
+    /// runs always use the serial lock-step drain; a run that completes
+    /// is bit-identical to [`ShardedEngine::run`] at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StallDiagnostic`] exactly as [`ShardedEngine::run`]
+    /// does.
+    pub fn run_controlled<Prog>(
+        &mut self,
+        program: &Prog,
+        control: &RunControl,
+    ) -> Result<ShardedOutcome<Prog::Prop>, StallDiagnostic>
+    where
+        Prog: VertexProgram,
+        Prog::Prop: SnapValue,
+    {
+        let state = self.fresh_state(program);
+        self.drive(program, control, state)
+    }
+
+    /// Continues a parked sharded run from `checkpoint` under `control`.
+    /// The engine must be built over the same graph, accelerator
+    /// configuration, and shard geometry that produced the checkpoint;
+    /// mismatches are rejected with a precise error. A pending park
+    /// request on `control` is cleared.
+    ///
+    /// # Errors
+    ///
+    /// [`ControlError::Snapshot`] for a rejected checkpoint,
+    /// [`ControlError::Stall`] as for [`ShardedEngine::run`].
+    pub fn resume_controlled<Prog>(
+        &mut self,
+        program: &Prog,
+        control: &RunControl,
+        checkpoint: &[u8],
+    ) -> Result<ShardedOutcome<Prog::Prop>, ControlError>
+    where
+        Prog: VertexProgram,
+        Prog::Prop: SnapValue,
+    {
+        let mut state = self.fresh_state(program);
+        self.load_checkpoint(&mut state, checkpoint)?;
+        control.clear_park();
+        self.drive(program, control, state)
+            .map_err(ControlError::Stall)
+    }
+
+    /// The state [`ShardedEngine::run`] starts from, bundled for the
+    /// controlled paths (checkpoints restore over it).
+    fn fresh_state<Prog: VertexProgram>(&self, program: &Prog) -> ShardedRunState<Prog::Prop> {
+        let config = self.factory.config();
+        let num_chips = self.shard.num_chips;
+        let fresh_metrics = || Metrics {
+            frequency_ghz: config.effective_frequency_ghz(),
+            vpe_starvation_per_channel: vec![0; config.back_channels],
+            ..Metrics::default()
+        };
+        ShardedRunState {
+            properties: self
+                .graph
+                .vertices()
+                .map(|v| program.init_prop(v, self.graph))
+                .collect(),
+            t_props: vec![program.identity(); self.graph.num_vertices() as usize],
+            frontier: program.initial_frontier(self.graph),
+            multi: MultiChip {
+                chips: (0..num_chips)
+                    .map(|_| ScatterPipeline::new(&self.factory))
+                    .collect(),
+                link: InterChipLink::new(
+                    num_chips,
+                    self.shard.link_latency,
+                    self.shard.link_bandwidth,
+                    self.shard.link_capacity,
+                ),
+                staged: vec![vec![0u64; num_chips]; num_chips],
+                wheel: EventWheel::new(num_chips, config.wheel_horizon),
+            },
+            chip_metrics: (0..num_chips).map(|_| fresh_metrics()).collect(),
+            agg: fresh_metrics(),
+            cross_chip_packets: 0,
+        }
+    }
+
+    /// The controlled run loop: [`ShardedEngine::run`]'s loop (serial
+    /// drain only) plus cancel checks and boundary parking.
+    fn drive<Prog>(
+        &mut self,
+        program: &Prog,
+        control: &RunControl,
+        mut st: ShardedRunState<Prog::Prop>,
+    ) -> Result<ShardedOutcome<Prog::Prop>, StallDiagnostic>
+    where
+        Prog: VertexProgram,
+        Prog::Prop: SnapValue,
+    {
+        let config = self.factory.config();
+        let m = config.back_channels;
+        let num_chips = self.shard.num_chips;
+        let graph = self.graph;
+        let faults = self.fault_runtime(&st.multi);
+        let mut scheduler =
+            Scheduler::new().with_fast_forward(self.fast_forward && faults.is_none());
+
+        while !st.frontier.is_empty() {
+            if let Some(cap) = program.max_iterations() {
+                if st.agg.iterations >= cap {
+                    break;
+                }
+            }
+            if control.cancelled() {
+                return Ok(ShardedOutcome::Cancelled);
+            }
+            if control.should_park(st.agg.scatter_cycles + st.agg.apply_cycles) {
+                return Ok(ShardedOutcome::Parked(self.save_checkpoint(&st)));
+            }
+            debug_assert!(
+                st.multi.is_drained(),
+                "a scatter phase must start from a drained multi-chip composite"
+            );
+
+            for &u in &st.frontier {
+                let src_chip = self.owner[u.index()];
+                for slice in &self.slices {
+                    if slice.index != src_chip {
+                        st.multi.staged[src_chip][slice.index] += slice.graph.out_degree(u);
+                    }
+                }
+            }
+            let staged = st.multi.staged_total();
+            st.cross_chip_packets += staged;
+
+            for chip in &mut st.multi.chips {
+                chip.front.load_frontier(&st.frontier, &st.properties);
+            }
+
+            let iteration_edges: u64 = st.frontier.iter().map(|&v| graph.out_degree(v)).sum();
+            let guard = self.stall_guard.unwrap_or_else(|| {
+                derived_stall_guard(
+                    config,
+                    iteration_edges,
+                    st.frontier.len() as u64,
+                    num_chips as u64,
+                    staged,
+                ) + self.shard.link_latency
+            }) + faults.as_ref().map_or(0, FaultRuntime::guard_bonus);
+            scheduler.set_stall_guard(guard);
+            let mut chip_cycles = vec![0u64; num_chips];
+            let drained = self.drain_serial(
+                program,
+                &mut st.multi,
+                &mut st.t_props,
+                &mut st.chip_metrics,
+                &mut chip_cycles,
+                &mut scheduler,
+                Some(control),
+                faults.as_ref(),
+                st.agg.scatter_cycles,
+            );
+            let spent = match drained {
+                Ok(spent) => spent,
+                Err(DrainError::Interrupted { .. }) => return Ok(ShardedOutcome::Cancelled),
+                Err(DrainError::Stall(stall)) => {
+                    return Err(StallDiagnostic {
+                        config: self.factory.config().name.clone(),
+                        num_chips,
+                        iteration: st.agg.iterations,
+                        iteration_edges,
+                        staged_packets: staged,
+                        stall,
+                    })
+                }
+            };
+            st.agg.scatter_cycles += spent;
+            for (ci, cycles) in chip_cycles.iter().enumerate() {
+                st.chip_metrics[ci].scatter_cycles += *cycles;
+            }
+
+            apply_phase(
+                program,
+                graph,
+                &mut st.properties,
+                &mut st.t_props,
+                &mut st.frontier,
+            );
+            let mut max_apply = 0u64;
+            for (ci, slice) in self.slices.iter().enumerate() {
+                let a = apply_cycles(slice.num_owned(), m);
+                st.chip_metrics[ci].apply_cycles += a;
+                st.chip_metrics[ci].iterations += 1;
+                max_apply = max_apply.max(a);
+            }
+            st.agg.apply_cycles += max_apply;
+            st.agg.iterations += 1;
+        }
+
+        Ok(ShardedOutcome::Done(finish_result(
+            st.agg,
+            st.chip_metrics,
+            &st.multi,
+            st.properties,
+            st.cross_chip_packets,
+        )))
+    }
+
+    /// Serializes a boundary state: identity context (graph hash,
+    /// canonical configuration encoding, shard geometry) followed by the
+    /// run variables and the full multi-chip composite.
+    fn save_checkpoint<P: SnapValue + 'static>(&self, st: &ShardedRunState<P>) -> Checkpoint {
+        let mut w = SnapWriter::new();
+        w.tag(b"SHRC");
+        w.u64(self.graph.content_hash());
+        w.u64(content_checksum(
+            self.factory.config().canonical_encoding().as_bytes(),
+        ));
+        w.usize(self.shard.num_chips);
+        w.u64(self.shard.link_latency);
+        w.usize(self.shard.link_bandwidth);
+        w.usize(self.shard.link_capacity);
+        st.agg.save(&mut w);
+        for chip in &st.chip_metrics {
+            chip.save(&mut w);
+        }
+        w.u64(st.cross_chip_packets);
+        w.usize(st.frontier.len());
+        for v in &st.frontier {
+            w.u32(v.0);
+        }
+        w.seq(st.properties.iter());
+        w.seq(st.t_props.iter());
+        st.multi.save(&mut w);
+        Checkpoint {
+            bytes: w.finish(),
+            cycles: st.agg.scatter_cycles + st.agg.apply_cycles,
+            iterations: st.agg.iterations,
+        }
+    }
+
+    /// Restores a checkpoint over a freshly initialized state, verifying
+    /// the identity context first.
+    fn load_checkpoint<P: SnapValue + 'static>(
+        &self,
+        st: &mut ShardedRunState<P>,
+        checkpoint: &[u8],
+    ) -> Result<(), SnapError> {
+        let num_v = self.graph.num_vertices() as usize;
+        let mut r = SnapReader::open(checkpoint)?;
+        r.expect_tag(b"SHRC")?;
+        if r.u64()? != self.graph.content_hash() {
+            return Err(SnapError::new(
+                "checkpoint was taken on a different graph (content hash mismatch)",
+            ));
+        }
+        let live_sum = content_checksum(self.factory.config().canonical_encoding().as_bytes());
+        if r.u64()? != live_sum {
+            return Err(SnapError::new(
+                "checkpoint was taken under a different accelerator configuration",
+            ));
+        }
+        let geometry = (r.usize()?, r.u64()?, r.usize()?, r.usize()?);
+        let live = (
+            self.shard.num_chips,
+            self.shard.link_latency,
+            self.shard.link_bandwidth,
+            self.shard.link_capacity,
+        );
+        if geometry != live {
+            return Err(SnapError::new(format!(
+                "checkpoint shard geometry {geometry:?} does not match engine {live:?}"
+            )));
+        }
+        st.agg.load(&mut r)?;
+        for chip in &mut st.chip_metrics {
+            chip.load(&mut r)?;
+        }
+        st.cross_chip_packets = r.u64()?;
+        let frontier_len = r.usize()?;
+        if frontier_len > num_v {
+            return Err(SnapError::new(format!(
+                "frontier length {frontier_len} exceeds vertex count {num_v}"
+            )));
+        }
+        st.frontier.clear();
+        for _ in 0..frontier_len {
+            let raw = r.u32()?;
+            if raw as usize >= num_v {
+                return Err(SnapError::new(format!(
+                    "frontier vertex {raw} out of range (graph has {num_v})"
+                )));
+            }
+            st.frontier.push(VertexId(raw));
+        }
+        let properties: Vec<P> = r.seq(num_v)?;
+        if properties.len() != num_v {
+            return Err(SnapError::new(format!(
+                "property array length {} does not match vertex count {num_v}",
+                properties.len()
+            )));
+        }
+        st.properties = properties;
+        let t_props: Vec<P> = r.seq(num_v)?;
+        if t_props.len() != num_v {
+            return Err(SnapError::new(format!(
+                "tProperty array length {} does not match vertex count {num_v}",
+                t_props.len()
+            )));
+        }
+        st.t_props = t_props;
+        st.multi.load(&mut r)?;
+        r.expect_exhausted()
+    }
+}
+
+/// The live state of one sharded run, bundled so the controlled paths
+/// can park it into a checkpoint at a committed iteration boundary and
+/// restore it later (`docs/robustness.md`).
+struct ShardedRunState<P> {
+    properties: Vec<P>,
+    t_props: Vec<P>,
+    frontier: Vec<VertexId>,
+    multi: MultiChip<P>,
+    chip_metrics: Vec<Metrics>,
+    agg: Metrics,
+    cross_chip_packets: u64,
+}
+
+/// Final metric harvest and merge, shared by [`ShardedEngine::run`] and
+/// the controlled completion path so the two cannot diverge.
+fn finish_result<P: Copy + 'static>(
+    mut agg: Metrics,
+    mut chip_metrics: Vec<Metrics>,
+    multi: &MultiChip<P>,
+    properties: Vec<P>,
+    cross_chip_packets: u64,
+) -> ShardedRunResult<P> {
+    for (ci, chip) in multi.chips.iter().enumerate() {
+        finalize_metrics(&mut chip_metrics[ci], chip);
+    }
+    for chip in &chip_metrics {
+        agg.edges_processed += chip.edges_processed;
+        agg.vpe_starvation_cycles += chip.vpe_starvation_cycles;
+        for (c, s) in chip.vpe_starvation_per_channel.iter().enumerate() {
+            agg.vpe_starvation_per_channel[c] += s;
+        }
+        agg.offset_conflicts += chip.offset_conflicts;
+        agg.offset_net.merge(&chip.offset_net);
+        agg.edge_net.merge(&chip.edge_net);
+        agg.dataflow_net.merge(&chip.dataflow_net);
+        agg.memory.merge(&chip.memory);
+    }
+    agg.cycles = agg.scatter_cycles + agg.apply_cycles;
+    // lint:allow(panic-freedom): infallible: every link constructor installs a stats block
+    let link = multi.link.network_stats().expect("links keep stats");
+    ShardedRunResult {
+        properties,
+        metrics: agg,
+        chips: chip_metrics,
+        cross_chip_packets,
+        link,
     }
 }
 
@@ -912,6 +1393,94 @@ mod tests {
         assert_eq!(err.stall.limit, 1);
         engine.set_stall_guard(None);
         assert!(engine.run(&Bfs::from_source(0)).is_ok());
+    }
+
+    #[test]
+    fn controlled_sharded_run_completes_bit_identical() {
+        let g = power_law(300, 2700, 2.0, 31, 67);
+        let prog = PageRank::new(2);
+        let plain = ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(4), &g)
+            .run(&prog)
+            .expect("no stall");
+        let control = RunControl::new();
+        let outcome = ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(4), &g)
+            .run_controlled(&prog, &control)
+            .expect("no stall");
+        match outcome {
+            ShardedOutcome::Done(r) => {
+                assert_eq!(r.properties, plain.properties);
+                assert_eq!(r.metrics, plain.metrics);
+                assert_eq!(r.chips, plain.chips);
+                assert_eq!(r.link, plain.link);
+                assert_eq!(r.cross_chip_packets, plain.cross_chip_packets);
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sharded_park_and_resume_is_bit_identical() {
+        let g = power_law(300, 2700, 2.0, 31, 71);
+        let src = higraph_graph::stats::hub_vertex(&g).expect("non-empty").0;
+        let prog = Sssp::from_source(src);
+        let plain = ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(3), &g)
+            .run(&prog)
+            .expect("no stall");
+
+        let control = RunControl::new();
+        control.set_budget_cycles(Some(1));
+        let mut engine = ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(3), &g);
+        let parked = match engine.run_controlled(&prog, &control).expect("no stall") {
+            ShardedOutcome::Parked(ck) => ck,
+            other => panic!("expected a parked run, got {other:?}"),
+        };
+        control.set_budget_cycles(None);
+        match engine
+            .resume_controlled(&prog, &control, &parked.bytes)
+            .expect("no stall")
+        {
+            ShardedOutcome::Done(r) => {
+                assert_eq!(r.properties, plain.properties);
+                assert_eq!(r.metrics, plain.metrics, "restore must be cycle-exact");
+                assert_eq!(r.chips, plain.chips);
+                assert_eq!(r.link, plain.link);
+                assert_eq!(r.cross_chip_packets, plain.cross_chip_packets);
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+
+        // Wrong shard geometry is rejected before any state is touched.
+        let err = ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(2), &g)
+            .resume_controlled(&prog, &control, &parked.bytes)
+            .expect_err("must reject");
+        assert!(err.to_string().contains("geometry"), "{err}");
+    }
+
+    #[test]
+    fn sharded_fault_plan_degrades_gracefully() {
+        use crate::config::FaultPlan;
+        let g = power_law(300, 2700, 2.0, 31, 73);
+        let prog = PageRank::new(2);
+        let clean = ShardedEngine::new(AcceleratorConfig::higraph(), ShardConfig::new(4), &g)
+            .run(&prog)
+            .expect("no stall");
+        let mut cfg = AcceleratorConfig::higraph();
+        cfg.fault_plan = Some(FaultPlan {
+            seed: 3,
+            events: 8,
+            max_duration: 500,
+            horizon: clean.metrics.scatter_cycles.max(1),
+        });
+        let faulty = ShardedEngine::new(cfg.clone(), ShardConfig::new(4), &g)
+            .run(&prog)
+            .expect("no stall");
+        assert_eq!(faulty.properties, clean.properties);
+        assert!(faulty.metrics.scatter_cycles >= clean.metrics.scatter_cycles);
+        let again = ShardedEngine::new(cfg, ShardConfig::new(4), &g)
+            .run(&prog)
+            .expect("no stall");
+        assert_eq!(again.metrics, faulty.metrics);
+        assert_eq!(again.link, faulty.link);
     }
 
     #[test]

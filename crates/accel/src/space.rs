@@ -326,6 +326,7 @@ impl DesignSpace {
             memory,
             arena_capacity: genome.value(Axis::ArenaCapacity),
             wheel_horizon: genome.value(Axis::WheelHorizon),
+            fault_plan: None,
         };
         config.validate()?;
         if let Some(shard) = (chips > 1).then(|| ShardConfig::new(chips)) {

@@ -8,7 +8,7 @@
 //!
 //! Targets: `table1 table2 fig4 fig5 fig7 fig8 fig9 fig10a fig10b fig11
 //! fig12 radix areapower ablation batch shard shardfull mem simspeed
-//! hostperf dse all`. Default scale divides Table 2 datasets by 4
+//! hostperf dse faults all`. Default scale divides Table 2 datasets by 4
 //! (Figs. 5/10/11/12 and the radix sweep always run full-scale R14);
 //! `--full` uses the paper's exact sizes everywhere. Every sweep
 //! executes through the parallel batch runner, so wall time scales down
@@ -29,7 +29,13 @@
 //! `front_excess` threshold plus the budget-independent
 //! `dse.anchor.*` baseline keys. A design point that stalls fails its
 //! own row — printed as `STALL` and recorded as a `…stalled` metric —
-//! without aborting the sweep.
+//! without aborting the sweep; `faults` soaks the engines under seeded
+//! fault plans (link stalls, DRAM brown-outs, chip pauses —
+//! `docs/robustness.md`): faulty runs must complete with the same
+//! results as clean ones at a cycle cost, rerun bit-identically,
+//! park/restore mid-fault into the same final metrics, and an
+//! overloaded run must surface a `StallDiagnostic` instead of hanging —
+//! all gated under `--check`.
 //!
 //! Flags:
 //!
@@ -51,12 +57,14 @@
 
 #![forbid(unsafe_code)]
 
-use higraph::prelude::Metrics;
+use higraph::prelude::{
+    AcceleratorConfig, Bfs, Dataset, Engine, FaultPlan, Metrics, RunControl, ShardConfig,
+};
 use higraph_bench::dse::{DseOutcome, DseSettings, MAX_ANCHOR_FRONT_EXCESS};
 use higraph_bench::report::{
     check_against_baseline, filter_baseline_to_targets, parse_flat_json, DEFAULT_TOLERANCE,
 };
-use higraph_bench::{figures, Algo, Report, Scale};
+use higraph_bench::{figures, Algo, ControlledOutcome, Report, Scale};
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 
@@ -64,7 +72,7 @@ use std::process::ExitCode;
 const REPORT_PATH: &str = "bench-report.json";
 
 /// Every runnable target, plus the `all` alias.
-const KNOWN_TARGETS: [&str; 21] = [
+const KNOWN_TARGETS: [&str; 22] = [
     "table1",
     "table2",
     "fig4",
@@ -86,6 +94,7 @@ const KNOWN_TARGETS: [&str; 21] = [
     "simspeed",
     "hostperf",
     "dse",
+    "faults",
 ];
 
 /// Minimum host-time speedup the fast-forward scheduler must deliver on
@@ -271,6 +280,11 @@ fn main() -> ExitCode {
         report.ran("dse");
         dse_outcome = Some(dse(dse_budget, &mut report));
     }
+    let mut faults_outcome = None;
+    if targets.contains("faults") {
+        report.ran("faults");
+        faults_outcome = Some(faults(scale, &mut report));
+    }
 
     if json {
         if let Err(e) = std::fs::write(REPORT_PATH, report.to_json()) {
@@ -319,6 +333,40 @@ fn main() -> ExitCode {
                 "dse gate: {} anchors within {MAX_ANCHOR_FRONT_EXCESS:.1}x of the {}-point front",
                 outcome.anchors.len(),
                 outcome.front.len()
+            );
+        }
+        // The fault-injection gates are boolean invariants, not noisy
+        // measurements: faulty runs must be reproducible, restorable
+        // mid-fault, and must stall loudly under overload.
+        if let Some(outcome) = &faults_outcome {
+            if !outcome.deterministic {
+                eprintln!("faults gate FAILED: a faulty run was not bit-reproducible");
+                return ExitCode::FAILURE;
+            }
+            if !outcome.degraded_gracefully {
+                eprintln!(
+                    "faults gate FAILED: a faulty run finished faster than its clean \
+                     reference or changed its results"
+                );
+                return ExitCode::FAILURE;
+            }
+            if !outcome.park_resume_identical {
+                eprintln!(
+                    "faults gate FAILED: a mid-fault checkpoint did not restore into \
+                     the uninterrupted run's metrics"
+                );
+                return ExitCode::FAILURE;
+            }
+            if !outcome.overload_stalled {
+                eprintln!(
+                    "faults gate FAILED: an overloaded faulty run did not surface a \
+                     StallDiagnostic"
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "faults gate: faulty runs deterministic, degradation graceful, \
+                 mid-fault park/restore bit-identical, overload stalls loudly"
             );
         }
         let gated = filter_baseline_to_targets(&baseline, &report.targets, &KNOWN_TARGETS);
@@ -619,6 +667,10 @@ fn dse(budget: Option<usize>, out: &mut Report) -> DseOutcome {
         outcome.points_evaluated as f64,
     );
     out.record("dse.memo_hits".to_string(), outcome.memo_hits as f64);
+    out.record(
+        "dse.memo_evictions".to_string(),
+        outcome.memo_evictions as f64,
+    );
     println!(
         "(front membership and size vary with --dse-budget; only the anchor\n\
          objectives are baselined. Anchors must sit within {MAX_ANCHOR_FRONT_EXCESS:.1}x of the\n\
@@ -997,4 +1049,128 @@ fn areapower() {
 fn bar(fraction: f64, width: usize) -> String {
     let filled = (fraction.clamp(0.0, 1.0) * width as f64) as usize;
     "#".repeat(filled)
+}
+
+/// Boolean gate inputs from the `faults` soak (`--check` enforces them).
+struct FaultsOutcome {
+    /// Every faulty run reproduced bit-identically on a second run.
+    deterministic: bool,
+    /// Faults cost cycles but never changed results or convergence.
+    degraded_gracefully: bool,
+    /// A mid-fault checkpoint restored into the uninterrupted metrics.
+    park_resume_identical: bool,
+    /// A pathologically overloaded run stalled loudly instead of hanging.
+    overload_stalled: bool,
+}
+
+fn faults(scale: Scale, out: &mut Report) -> FaultsOutcome {
+    println!("-- Fault injection: seeded link stalls, DRAM brown-outs, chip pauses --");
+    let plan = FaultPlan {
+        seed: 0xD15EA5E,
+        events: 6,
+        max_duration: 96,
+        horizon: 4096,
+    };
+    let clean_cfg = AcceleratorConfig::higraph();
+    let mut faulty_cfg = AcceleratorConfig::higraph();
+    faulty_cfg.fault_plan = Some(plan);
+    let graph = Dataset::Vote.build_scaled(scale.divisor);
+    out.record("faults.plan.events".to_string(), f64::from(plan.events));
+
+    println!(
+        "{:<6} {:>5} {:>12} {:>13} {:>9} {:>13} {:>9}",
+        "algo", "chips", "clean cyc", "faulty cyc", "overhead", "park@cyc", "restore"
+    );
+    let mut deterministic = true;
+    let mut degraded_gracefully = true;
+    let mut park_resume_identical = true;
+    for (algo, chips) in [(Algo::Bfs, 1), (Algo::Wcc, 2), (Algo::Pr, 4)] {
+        let shard = ShardConfig::new(chips);
+        let clean = algo
+            .run_sharded(&clean_cfg, shard, &graph, scale.pr_iters)
+            .expect("clean reference run");
+        let faulty = algo
+            .run_sharded(&faulty_cfg, shard, &graph, scale.pr_iters)
+            .expect("faulty run must complete (graceful degradation)");
+        let again = algo
+            .run_sharded(&faulty_cfg, shard, &graph, scale.pr_iters)
+            .expect("faulty rerun");
+        deterministic &= faulty.metrics == again.metrics;
+        degraded_gracefully &= faulty.metrics.cycles >= clean.metrics.cycles
+            && faulty.metrics.edges_processed == clean.metrics.edges_processed
+            && faulty.metrics.iterations == clean.metrics.iterations;
+
+        // Park under fault, restore, and demand the uninterrupted result.
+        let control = RunControl::new();
+        control.set_budget_cycles(Some((faulty.metrics.cycles / 2).max(1)));
+        let partial = algo
+            .run_sharded_controlled(&faulty_cfg, shard, &graph, scale.pr_iters, &control, None)
+            .expect("controlled faulty run");
+        let (park_cycles, restored) = match partial {
+            ControlledOutcome::Parked(ck) => {
+                let resume = RunControl::new();
+                match algo
+                    .run_sharded_controlled(
+                        &faulty_cfg,
+                        shard,
+                        &graph,
+                        scale.pr_iters,
+                        &resume,
+                        Some(&ck.bytes),
+                    )
+                    .expect("resume from mid-fault checkpoint")
+                {
+                    ControlledOutcome::Done(resumed) => {
+                        (ck.cycles, resumed.metrics == faulty.metrics)
+                    }
+                    _ => (ck.cycles, false),
+                }
+            }
+            // A half-budget that fails to park means the budget plumbing
+            // broke; fail the gate rather than skip it.
+            _ => (0, false),
+        };
+        park_resume_identical &= restored;
+
+        let overhead = faulty.metrics.cycles as f64 / clean.metrics.cycles.max(1) as f64;
+        println!(
+            "{:<6} {:>5} {:>12} {:>13} {:>8.2}x {:>13} {:>9}",
+            algo.label(),
+            chips,
+            clean.metrics.cycles,
+            faulty.metrics.cycles,
+            overhead,
+            park_cycles,
+            if restored { "exact" } else { "MISMATCH" }
+        );
+        let p = format!("faults.{}.p{}", algo.label(), chips);
+        out.record(format!("{p}.clean_cycles"), clean.metrics.cycles as f64);
+        out.record(format!("{p}.faulty_cycles"), faulty.metrics.cycles as f64);
+    }
+
+    // Overload: a one-cycle stall guard under the same fault plan must
+    // produce a StallDiagnostic, never a hang or a panic.
+    let mut engine = Engine::new(faulty_cfg, &graph);
+    engine.set_stall_guard(Some(1));
+    let overload_stalled = engine.run(&Bfs::from_source(0)).is_err();
+    out.record(
+        "faults.overload.stalled".to_string(),
+        f64::from(u8::from(overload_stalled)),
+    );
+    println!(
+        "overload: stall guard 1 under faults -> {}\n\
+         (fault windows are drawn from the plan's seeded splitmix64 stream; faulty\n\
+         runs disable fast-forward and drain serially — see docs/robustness.md)\n",
+        if overload_stalled {
+            "StallDiagnostic (graceful)"
+        } else {
+            "NO DIAGNOSTIC"
+        }
+    );
+    FaultsOutcome {
+        deterministic,
+        degraded_gracefully,
+        park_resume_identical,
+        overload_stalled,
+    }
 }

@@ -13,35 +13,210 @@
 //! {"op": "shutdown"}
 //! EOF
 //! ```
+//!
+//! # Survivability plumbing (`docs/robustness.md`)
+//!
+//! Three threads cooperate so a wedged or runaway job cannot take the
+//! service down with it:
+//!
+//! * the **session thread** (main) owns the [`ServeSession`] and
+//!   executes jobs;
+//! * a **reader thread** owns stdin. A `cancel` for a job that is
+//!   still registered (queued or running) is acknowledged with a
+//!   `cancelling` event and served immediately through the shared
+//!   `RunControl` registry — a *running* job observes it at its next
+//!   poll boundary even though the session thread is busy executing
+//!   it — while every other line is forwarded in order;
+//! * a **watchdog thread** tracks the running job's `budget_ms`
+//!   wall-clock deadline: past the deadline it requests a park (the job
+//!   checkpoints and can be resumed); past ~10× the deadline it
+//!   escalates to a cooperative cancel.
+//!
+//! `--journal <path>` enables the crash journal: on startup the session
+//! recovers accepted-but-unfinished jobs from a previous run (reporting
+//! each with a `recovered` event) and re-queues them, resuming from
+//! parked checkpoints where they exist. The `halt` op exits without
+//! draining the queue, simulating a crash for the recovery tests.
+//!
+//! Each event line takes the stdout lock only for its own write, so the
+//! reader thread's acknowledgements interleave with session output at
+//! line granularity instead of deadlocking against a held lock.
 
+use higraph_bench::serve::JobEvent;
 use higraph_bench::ServeSession;
 use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+// lint:allow(determinism): the watchdog enforces host wall-clock deadlines; its timing never feeds simulated state
+use std::time::{Duration, Instant};
 
-fn main() {
-    let stdin = std::io::stdin();
+/// What the watchdog is currently supervising.
+struct RunningJob {
+    // lint:allow(determinism): host wall-clock deadline bookkeeping; never feeds simulated state
+    started: Instant,
+    budget_ms: u64,
+    control: Arc<higraph::prelude::RunControl>,
+}
+
+/// Writes one event line, taking the stdout lock for just this line.
+/// Returns false when the reader hung up.
+fn emit(line: &str) -> bool {
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    let mut session = ServeSession::new();
-    for line in stdin.lock().lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
+    writeln!(out, "{line}").and_then(|()| out.flush()).is_ok()
+}
+
+fn main() {
+    let mut journal: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--journal" => match args.next() {
+                Some(p) => journal = Some(p),
+                None => {
+                    eprintln!("--journal requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument {other} (usage: higraph-serve [--journal <path>])");
+                std::process::exit(2);
+            }
         }
+    }
+
+    let (mut session, recovered) = match journal {
+        Some(path) => ServeSession::with_journal(path),
+        None => (ServeSession::new(), Vec::new()),
+    };
+    for event in recovered {
+        if !emit(&event) {
+            return;
+        }
+    }
+
+    let controls = session.controls();
+    let running: Arc<Mutex<Option<RunningJob>>> = Arc::new(Mutex::new(None));
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Watchdog bookkeeping: the session tells us when a job with a
+    // wall-clock budget starts and stops.
+    {
+        let running = Arc::clone(&running);
+        session.set_observer(Box::new(move |event| {
+            let mut slot = running.lock().unwrap_or_else(|e| e.into_inner());
+            match event {
+                JobEvent::Started {
+                    budget_ms: Some(ms),
+                    control,
+                    ..
+                } if ms > 0 => {
+                    *slot = Some(RunningJob {
+                        // lint:allow(determinism): host wall-clock deadline bookkeeping; never feeds simulated state
+                        started: Instant::now(),
+                        budget_ms: ms,
+                        control: Arc::clone(control),
+                    });
+                }
+                _ => *slot = None,
+            }
+        }));
+    }
+
+    // Watchdog thread: park a job past its deadline, cancel a job that
+    // ignores the park for ~10× the deadline.
+    let watchdog = {
+        let running = Arc::clone(&running);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            while !done.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(2));
+                let slot = running.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(job) = slot.as_ref() {
+                    // Host wall-clock deadline check; never feeds simulated state.
+                    let elapsed = job.started.elapsed().as_millis() as u64;
+                    if elapsed > job.budget_ms.saturating_mul(10) {
+                        job.control.request_cancel();
+                    } else if elapsed > job.budget_ms {
+                        job.control.request_park();
+                    }
+                }
+            }
+        })
+    };
+
+    // Reader thread: cancels for registered (queued/running) jobs are
+    // acknowledged and served through the registry without waiting for
+    // the session thread; everything else is forwarded in order.
+    let (tx, rx) = mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Some(id) = cancel_target(&line) {
+                let registered = {
+                    let map = controls.lock().unwrap_or_else(|e| e.into_inner());
+                    map.get(&id).map(Arc::clone)
+                };
+                if let Some(control) = registered {
+                    control.request_cancel();
+                    // The run (or its dequeue) emits the cancelled line.
+                    let mut ack = String::from("{\"event\": \"cancelling\", \"id\": ");
+                    higraph_bench::report::write_json_string(&mut ack, &id);
+                    ack.push('}');
+                    if !emit(&ack) {
+                        break;
+                    }
+                    continue;
+                }
+            }
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+        // Dropping tx signals EOF to the session thread.
+    });
+
+    for line in rx {
         for event in session.handle_line(&line) {
-            if writeln!(out, "{event}").is_err() {
+            if !emit(&event) {
+                done.store(true, Ordering::Release);
+                let _ = watchdog.join();
                 return; // reader hung up
             }
         }
-        let _ = out.flush();
+        if session.halt_requested() {
+            // Crash simulation: exit without draining the queue or
+            // joining anything — the journal keeps the lost work.
+            return;
+        }
         if session.shutdown_requested() {
+            done.store(true, Ordering::Release);
+            let _ = watchdog.join();
             return;
         }
     }
     // EOF without an explicit shutdown: flush whatever is still queued.
     for event in session.flush() {
-        if writeln!(out, "{event}").is_err() {
-            return;
+        if !emit(&event) {
+            break;
         }
     }
-    let _ = out.flush();
+    done.store(true, Ordering::Release);
+    let _ = watchdog.join();
+}
+
+/// Parses a line just far enough to spot `{"op": "cancel", "id": …}`;
+/// anything else (including malformed JSON) defers to the session.
+fn cancel_target(line: &str) -> Option<String> {
+    let fields = higraph_bench::report::parse_flat_json_values(line).ok()?;
+    let op = fields.get("op")?.as_str()?;
+    if op != "cancel" {
+        return None;
+    }
+    Some(fields.get("id")?.as_str()?.to_string())
 }

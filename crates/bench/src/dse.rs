@@ -31,7 +31,6 @@ use higraph::model::{Objectives, ParetoFront};
 use higraph::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::BTreeMap;
 
 /// Largest tolerated [`AnchorRow::front_excess`] for the paper's anchor
 /// configurations under `--check`: some front member may beat an anchor
@@ -180,6 +179,10 @@ pub struct DseOutcome {
     /// because every run is bit-deterministic. Counted inside
     /// `points_evaluated`.
     pub memo_hits: usize,
+    /// Memo entries displaced by the LRU bound
+    /// ([`crate::memo::LruCache`]); non-zero only when an exploration
+    /// touches more distinct designs than the cache capacity.
+    pub memo_evictions: u64,
     /// Size of the genome lattice being searched.
     pub space_size: usize,
 }
@@ -205,7 +208,14 @@ fn stall_guard_for(point: &DesignPoint, graph: &Csr) -> u64 {
 /// lattice points that decode to the same hardware — or a later rung
 /// re-scoring a survivor on an already-seen workload — simulate once.
 /// Sound because runs are bit-deterministic (same key ⇒ same cycles).
-type EvalMemo = BTreeMap<String, Option<u64>>;
+/// Bounded LRU ([`crate::memo::LruCache`]) so an exploration's memo
+/// footprint stays fixed no matter how large the budget is.
+type EvalMemo = crate::memo::LruCache<Option<u64>>;
+
+/// Entry bound of the exploration memo: comfortably above any one
+/// cohort (budget × duplicates) so within-rung reuse always hits, while
+/// bounding a long exploration's footprint.
+const EVAL_MEMO_CAPACITY: usize = 4096;
 
 fn memo_key(point: &DesignPoint, fidelity: &Fidelity, graph_hash: u64) -> String {
     format!(
@@ -241,7 +251,7 @@ fn evaluate(
     // key afterwards.
     let mut fresh: Vec<usize> = Vec::new();
     for (i, key) in keys.iter().enumerate() {
-        if memo.contains_key(key) {
+        if memo.contains(key) {
             *memo_hits += 1;
         } else if fresh.iter().any(|&j| keys[j] == *key) {
             *memo_hits += 1; // duplicate within this cohort
@@ -343,7 +353,7 @@ pub fn explore(settings: &DseSettings) -> DseOutcome {
     let graph_hashes: Vec<u64> = graphs.iter().map(Csr::content_hash).collect();
     let mut rng = StdRng::seed_from_u64(settings.seed);
     let mut points_evaluated = 0usize;
-    let mut memo: EvalMemo = EvalMemo::new();
+    let mut memo: EvalMemo = EvalMemo::new(EVAL_MEMO_CAPACITY);
     let mut memo_hits = 0usize;
 
     // Seeded rung-0 cohort. Every lattice point builds (space::tests
@@ -467,6 +477,7 @@ pub fn explore(settings: &DseSettings) -> DseOutcome {
         anchors,
         points_evaluated,
         memo_hits,
+        memo_evictions: memo.evictions(),
         space_size: DesignSpace::size(),
     }
 }

@@ -12,12 +12,14 @@
 
 pub mod dse;
 pub mod figures;
+pub mod memo;
 pub mod report;
 pub mod serve;
 pub mod workload;
 
 pub use dse::{DseOutcome, DseSettings};
 pub use figures::*;
+pub use memo::LruCache;
 pub use report::Report;
 pub use serve::ServeSession;
-pub use workload::{Algo, Scale};
+pub use workload::{Algo, ControlledOutcome, Scale};

@@ -1,0 +1,160 @@
+//! A bounded least-recently-used memo cache.
+//!
+//! Both memoization layers in this crate — `higraph-serve`'s job memo
+//! and the DSE's evaluation memo — key bit-deterministic simulation
+//! results by *(graph content hash, canonical configuration encoding)*
+//! strings. Unbounded `BTreeMap`s there grow with every distinct design
+//! a long-lived session touches; [`LruCache`] bounds them to a fixed
+//! entry count, evicting the least-recently-touched key, and counts
+//! hits and evictions for the `stats`/outcome surfaces
+//! (`docs/robustness.md`).
+//!
+//! The implementation favours determinism and zero dependencies over
+//! asymptotics: recency is a monotonic stamp per entry and eviction is
+//! an `O(n)` min-stamp scan. Caches here hold hundreds of entries and
+//! each one memoizes a multi-millisecond simulation, so the scan never
+//! shows up in a profile — and iteration order (hence eviction choice)
+//! is fully deterministic, which the repro gates rely on.
+
+use std::collections::BTreeMap;
+
+/// A bounded string-keyed cache with least-recently-used eviction.
+#[derive(Debug, Clone)]
+pub struct LruCache<V> {
+    map: BTreeMap<String, (u64, V)>,
+    /// Monotonic touch counter; larger = more recently used.
+    stamp: u64,
+    capacity: usize,
+    hits: u64,
+    evictions: u64,
+}
+
+impl<V> LruCache<V> {
+    /// An empty cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: BTreeMap::new(),
+            stamp: 0,
+            capacity: capacity.max(1),
+            hits: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency and counting a hit when
+    /// present.
+    pub fn get(&mut self, key: &str) -> Option<&V> {
+        let stamp = self.stamp + 1;
+        match self.map.get_mut(key) {
+            Some(slot) => {
+                self.stamp = stamp;
+                slot.0 = stamp;
+                self.hits += 1;
+                Some(&slot.1)
+            }
+            None => None,
+        }
+    }
+
+    /// Whether `key` is cached, without refreshing recency or counting
+    /// a hit.
+    pub fn contains(&self, key: &str) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used
+    /// entry if the cache is full.
+    pub fn insert(&mut self, key: String, value: V) {
+        self.stamp += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            // O(n) min-stamp scan over a deterministic (sorted) order.
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                self.map.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(key, (self.stamp, value));
+    }
+
+    /// Cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The entry bound this cache was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Entries displaced to stay within the bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let mut c: LruCache<u32> = LruCache::new(4);
+        assert!(c.is_empty());
+        assert_eq!(c.get("a"), None);
+        c.insert("a".into(), 1);
+        assert_eq!(c.get("a"), Some(&1));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.len(), 1);
+        assert!(c.contains("a"));
+        assert_eq!(c.hits(), 1, "contains must not count a hit");
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u32> = LruCache::new(2);
+        c.insert("a".into(), 1);
+        c.insert("b".into(), 2);
+        assert_eq!(c.get("a"), Some(&1)); // refresh a; b is now LRU
+        c.insert("c".into(), 3);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 1);
+        assert!(c.contains("a") && c.contains("c") && !c.contains("b"));
+    }
+
+    #[test]
+    fn reinserting_refreshes_without_eviction() {
+        let mut c: LruCache<u32> = LruCache::new(2);
+        c.insert("a".into(), 1);
+        c.insert("b".into(), 2);
+        c.insert("a".into(), 10); // refresh, not a new entry
+        assert_eq!(c.evictions(), 0);
+        c.insert("c".into(), 3); // b is LRU now
+        assert!(!c.contains("b"));
+        assert_eq!(c.get("a"), Some(&10));
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let mut c: LruCache<u32> = LruCache::new(0);
+        assert_eq!(c.capacity(), 1);
+        c.insert("a".into(), 1);
+        c.insert("b".into(), 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.evictions(), 1);
+    }
+}

@@ -74,7 +74,10 @@ impl Report {
     }
 }
 
-pub(crate) fn write_json_string(out: &mut String, s: &str) {
+/// Appends `s` to `out` as a JSON string literal (quotes and control
+/// characters escaped). Shared with the `higraph-serve` binary, which
+/// writes event lines in the same flat-JSON dialect.
+pub fn write_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

@@ -176,6 +176,95 @@ impl Algo {
                 .map(ShardedSummary::from),
         }
     }
+
+    /// Runs this algorithm across `shard.num_chips` chips under
+    /// cooperative run control: `control` can cancel the run mid-drain
+    /// or park it at a committed iteration boundary into a restorable
+    /// checkpoint (`docs/robustness.md`). With `checkpoint`, the run
+    /// resumes from that parked state instead of starting fresh. A run
+    /// that completes is bit-identical to [`Algo::run_sharded`].
+    ///
+    /// # Errors
+    ///
+    /// [`ControlError::Stall`] for a stalled drain,
+    /// [`ControlError::Snapshot`] for a checkpoint that does not match
+    /// this graph, configuration, or shard geometry.
+    pub fn run_sharded_controlled(
+        self,
+        config: &AcceleratorConfig,
+        shard: ShardConfig,
+        graph: &Csr,
+        pr_iters: u32,
+        control: &RunControl,
+        checkpoint: Option<&[u8]>,
+    ) -> Result<ControlledOutcome, ControlError> {
+        let mut engine = ShardedEngine::new(config.clone(), shard, graph);
+        fn go<Prog>(
+            engine: &mut ShardedEngine<'_>,
+            prog: &Prog,
+            control: &RunControl,
+            checkpoint: Option<&[u8]>,
+        ) -> Result<ControlledOutcome, ControlError>
+        where
+            Prog: VertexProgram,
+            Prog::Prop: higraph::sim::SnapValue,
+        {
+            let outcome = match checkpoint {
+                Some(bytes) => engine.resume_controlled(prog, control, bytes)?,
+                None => engine
+                    .run_controlled(prog, control)
+                    .map_err(ControlError::Stall)?,
+            };
+            Ok(match outcome {
+                ShardedOutcome::Done(r) => ControlledOutcome::Done(ShardedSummary::from(r)),
+                ShardedOutcome::Parked(ck) => ControlledOutcome::Parked(ck),
+                ShardedOutcome::Cancelled => ControlledOutcome::Cancelled,
+            })
+        }
+        match self {
+            Algo::Bfs => go(
+                &mut engine,
+                &Bfs::from_source(Algo::source(graph)),
+                control,
+                checkpoint,
+            ),
+            Algo::Sssp => go(
+                &mut engine,
+                &Sssp::from_source(Algo::source(graph)),
+                control,
+                checkpoint,
+            ),
+            Algo::Sswp => go(
+                &mut engine,
+                &Sswp::from_source(Algo::source(graph)),
+                control,
+                checkpoint,
+            ),
+            Algo::Pr => go(&mut engine, &PageRank::new(pr_iters), control, checkpoint),
+            Algo::Wcc => go(&mut engine, &Wcc::new(), control, checkpoint),
+            Algo::Msbfs => go(
+                &mut engine,
+                &Algo::msbfs_program(graph),
+                control,
+                checkpoint,
+            ),
+        }
+    }
+}
+
+/// How a controlled sharded run ended, with the property array erased —
+/// what `higraph-serve` keeps per job.
+// Matched once per job and destructured, like the engine outcome enums
+// it summarizes — the inline summary's size skew never accumulates.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum ControlledOutcome {
+    /// The run finished; bit-identical to [`Algo::run_sharded`].
+    Done(ShardedSummary),
+    /// The run parked into a restorable checkpoint.
+    Parked(Checkpoint),
+    /// The run observed a cancellation request and discarded its state.
+    Cancelled,
 }
 
 /// A [`ShardedRunResult`] with the property array erased — what the

@@ -47,13 +47,14 @@ pub use higraph_vcpm as vcpm;
 /// The most common imports, in one place.
 pub mod prelude {
     pub use higraph_accel::{
-        AcceleratorConfig, BatchError, BatchJob, BatchReport, BatchResult, BatchRunner, Engine,
-        MemoryConfig, MemoryMetrics, Metrics, NetworkKind, OptLevel, RunMode, ShardConfig,
-        ShardedEngine, ShardedRunResult, StallDiagnostic,
+        AcceleratorConfig, BatchError, BatchJob, BatchReport, BatchResult, BatchRunner, Checkpoint,
+        ControlError, Engine, FaultPlan, MemoryConfig, MemoryMetrics, Metrics, NetworkKind,
+        OptLevel, RunMode, RunOutcome, ShardConfig, ShardedEngine, ShardedOutcome,
+        ShardedRunResult, StallDiagnostic,
     };
     pub use higraph_graph::{Csr, Dataset, EdgeList, VertexId};
     pub use higraph_mdp::{MdpNetwork, Topology};
-    pub use higraph_sim::{ClockedComponent, DrainStep, Network, Scheduler};
+    pub use higraph_sim::{ClockedComponent, DrainStep, Network, RunControl, Scheduler};
     pub use higraph_vcpm::programs::{Bfs, MultiSourceBfs, PageRank, Sssp, Sswp, Wcc};
     pub use higraph_vcpm::{VertexProgram, INF};
 }

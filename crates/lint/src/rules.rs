@@ -28,6 +28,11 @@ pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
 /// must also override `skip` — a fast-forward window hint without the
 /// matching bulk-commit drifts metrics silently.
 pub const ACTIVITY_CONTRACT: &str = "activity-contract";
+/// Rule: the checkpoint codec stays entirely safe Rust — no `unsafe`
+/// anywhere in a `snapshot.rs` file or inside an `impl … Snapshot for`
+/// block, with or without a `SAFETY:` comment (stricter than
+/// `unsafe-audit`: restore feeds untrusted bytes through the decoder).
+pub const SNAPSHOT_SAFETY: &str = "snapshot-safety";
 /// Pseudo-rule for malformed pragmas. Not allowlistable (an allow that
 /// failed to parse cannot vouch for itself).
 pub const BAD_PRAGMA: &str = "bad-pragma";
@@ -40,6 +45,7 @@ pub const RULE_IDS: &[&str] = &[
     PANIC_FREEDOM,
     HOT_PATH_ALLOC,
     ACTIVITY_CONTRACT,
+    SNAPSHOT_SAFETY,
 ];
 
 /// Crates whose simulation results must be bit-identical across hosts,
@@ -120,6 +126,7 @@ pub fn run_all(file: &SourceFile, out: &mut Vec<Diagnostic>) -> Vec<bool> {
     panic_freedom(file, &mut raw);
     hot_path_alloc(file, &mut raw);
     activity_contract(file, &mut raw);
+    snapshot_safety(file, &mut raw);
 
     for d in raw {
         match file.allow_covering(&d.rule, d.line) {
@@ -393,6 +400,90 @@ fn activity_contract(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                      advertised inert window (docs/simulation.md), or the scheduler's \
                      fast-forward will silently drift metrics",
                 ));
+            }
+        }
+        k = body_end + 1;
+    }
+}
+
+/// (6) Checkpoint-codec hardening (`docs/robustness.md`): `restore`
+/// feeds untrusted bytes — truncated files, version skew, bit flips —
+/// through the decoder, so the `Snapshot` codec is kept entirely safe
+/// Rust, where a length lie is an `Err`, never undefined behaviour.
+/// Unlike `unsafe-audit`, a `SAFETY:` comment does not help here: the
+/// rule covers any `snapshot.rs` file in full and every
+/// `impl … Snapshot for …` block elsewhere, and flags each `unsafe`
+/// keyword inside. Test code is not exempt (a codec test is exactly
+/// where a transmute shortcut would sneak in).
+fn snapshot_safety(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let code = code_tokens(file);
+    let flag = |out: &mut Vec<Diagnostic>, line: usize| {
+        out.push(diag(
+            file,
+            line,
+            SNAPSHOT_SAFETY,
+            "`unsafe` inside the snapshot codec".to_string(),
+            "decode with checked, safe Rust only — the restore path consumes \
+             untrusted bytes, and a `SAFETY:` argument cannot hold for inputs \
+             the program did not produce (docs/robustness.md)",
+        ));
+    };
+    if file.file_name == "snapshot.rs" {
+        for &(_, tok, line) in &code {
+            if tok.ident() == Some("unsafe") {
+                flag(out, line);
+            }
+        }
+        return;
+    }
+    // Elsewhere: only `impl … Snapshot for …` bodies are covered.
+    let mut k = 0;
+    while k < code.len() {
+        if code[k].1.ident() != Some("impl") {
+            k += 1;
+            continue;
+        }
+        let mut body = None;
+        let mut is_snapshot_impl = false;
+        for j in k + 1..code.len() {
+            match code[j].1 {
+                Tok::Punct('{') => {
+                    body = Some(j);
+                    break;
+                }
+                Tok::Punct(';') => break,
+                Tok::Ident(id) if id == "for" => {
+                    // The trait path ends right before `for`, so a
+                    // `SnapValue` bound in the generics does not count.
+                    is_snapshot_impl = code[j - 1].1.ident() == Some("Snapshot");
+                }
+                _ => {}
+            }
+        }
+        let Some(body_start) = body else {
+            k += 1;
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut body_end = code.len() - 1;
+        for (j, tok) in code.iter().enumerate().skip(body_start) {
+            match tok.1 {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        body_end = j;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if is_snapshot_impl {
+            for &(_, tok, line) in &code[body_start..body_end] {
+                if tok.ident() == Some("unsafe") {
+                    flag(out, line);
+                }
             }
         }
         k = body_end + 1;

@@ -91,6 +91,27 @@ fn activity_contract_pairs_next_activity_with_skip() {
 }
 
 #[test]
+fn snapshot_safety_bans_unsafe_in_the_codec_even_with_safety_comments() {
+    // A SAFETY comment satisfies unsafe-audit, but the codec rule still
+    // fires: restore consumes untrusted bytes, so no argument holds.
+    let bad = "impl<T: SnapValue> Snapshot for Fifo<T> {\n    fn decode(&mut self, r: &mut Reader) {\n        // SAFETY: satisfies unsafe-audit, not this rule\n        unsafe { core::hint::unreachable_unchecked() }\n    }\n}\n";
+    assert_eq!(
+        fired(&lint_at("crates/sim/src/x.rs", bad)),
+        ["snapshot-safety"]
+    );
+    // Any `snapshot.rs` is covered in full, impl block or not, and the
+    // rule also reaches test modules.
+    let bad_file = "#[cfg(test)]\nmod tests {\n    fn shortcut(p: *const u8) {\n        // SAFETY: fixture\n        unsafe { let _ = *p; }\n    }\n}\n";
+    assert_eq!(
+        fired(&lint_at("crates/sim/src/snapshot.rs", bad_file)),
+        ["snapshot-safety"]
+    );
+    // Safe codec impls and unsafe outside a Snapshot impl are untouched.
+    let good = "impl<T: SnapValue> Snapshot for Fifo<T> {\n    fn encode(&self, out: &mut Vec<u8>) {}\n}\n";
+    assert!(lint_at("crates/sim/src/x.rs", good).is_clean());
+}
+
+#[test]
 fn allow_pragma_with_reason_suppresses_and_is_recorded() {
     let src = "// lint:allow(panic-freedom): fixture proof that this cannot be None\npub fn f(v: Option<u8>) -> u8 { v.unwrap() }\n";
     let report = lint_at("crates/sim/src/x.rs", src);
@@ -165,6 +186,7 @@ fn binary_check_fails_on_the_dirty_tree_with_every_family() {
         "panic-freedom",
         "hot-path-alloc",
         "activity-contract",
+        "snapshot-safety",
         "bad-pragma",
     ] {
         assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");

@@ -140,6 +140,34 @@ impl<T: Packet> ClockedComponent for NaiveFifoNetwork<T> {
     }
 }
 
+impl<T: higraph_sim::SnapValue> higraph_sim::Snapshot for NaiveFifoNetwork<T> {
+    fn save(&self, w: &mut higraph_sim::SnapWriter) {
+        w.tag(b"NVFF");
+        w.usize(self.n_in);
+        w.usize(self.fifos.len());
+        self.stats.save(w);
+        self.fifos[..].save(w);
+        self.free_snapshot.save(w);
+    }
+
+    fn load(&mut self, r: &mut higraph_sim::SnapReader<'_>) -> Result<(), higraph_sim::SnapError> {
+        r.expect_tag(b"NVFF")?;
+        let n_in = r.usize()?;
+        let n_out = r.usize()?;
+        if n_in != self.n_in || n_out != self.fifos.len() {
+            return Err(higraph_sim::SnapError::new(format!(
+                "nW1R network shape mismatch: snapshot {n_in}x{n_out}, live {}x{}",
+                self.n_in,
+                self.fifos.len()
+            )));
+        }
+        self.stats.load(r)?;
+        self.fifos[..].load(r)?;
+        self.free_snapshot.load(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

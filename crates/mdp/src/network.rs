@@ -245,6 +245,47 @@ impl<T: Packet> ClockedComponent for MdpNetwork<T> {
     }
 }
 
+impl<T: higraph_sim::SnapValue> higraph_sim::Snapshot for MdpNetwork<T> {
+    fn save(&self, w: &mut higraph_sim::SnapWriter) {
+        w.tag(b"MDPN");
+        w.usize(self.topology.num_stages());
+        w.usize(self.topology.num_channels());
+        self.stats.save(w);
+        for stage in &self.fifos {
+            stage[..].save(w);
+        }
+    }
+
+    fn load(&mut self, r: &mut higraph_sim::SnapReader<'_>) -> Result<(), higraph_sim::SnapError> {
+        r.expect_tag(b"MDPN")?;
+        let stages = r.usize()?;
+        let channels = r.usize()?;
+        if stages != self.topology.num_stages() || channels != self.topology.num_channels() {
+            return Err(higraph_sim::SnapError::new(format!(
+                "MDP-network shape mismatch: snapshot {stages}x{channels}, live {}x{}",
+                self.topology.num_stages(),
+                self.topology.num_channels()
+            )));
+        }
+        self.stats.load(r)?;
+        for stage in &mut self.fifos {
+            stage[..].load(r)?;
+        }
+        // Re-derive the occupancy count and per-stage masks.
+        self.occupancy = 0;
+        for (s, stage) in self.fifos.iter().enumerate() {
+            self.stage_mask[s].iter_mut().for_each(|word| *word = 0);
+            for (c, fifo) in stage.iter().enumerate() {
+                self.occupancy += fifo.len();
+                if !fifo.is_empty() {
+                    mask_set(&mut self.stage_mask[s], c);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

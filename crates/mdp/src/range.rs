@@ -556,6 +556,93 @@ impl<P: Copy> ClockedComponent for RangeMdpNetwork<P> {
     }
 }
 
+impl<P: higraph_sim::SnapValue> higraph_sim::SnapValue for EdgeRange<P> {
+    fn save_value(&self, w: &mut higraph_sim::SnapWriter) {
+        w.u64(self.off);
+        w.u32(self.len);
+        self.payload.save_value(w);
+    }
+
+    fn load_value(r: &mut higraph_sim::SnapReader<'_>) -> Result<Self, higraph_sim::SnapError> {
+        Ok(EdgeRange {
+            off: r.u64()?,
+            len: r.u32()?,
+            payload: P::load_value(r)?,
+        })
+    }
+}
+
+impl<P: higraph_sim::SnapValue> higraph_sim::Snapshot for ReplayEngine<P> {
+    fn save(&self, w: &mut higraph_sim::SnapWriter) {
+        w.tag(b"RPLY");
+        w.u64(self.num_banks);
+        w.value(&self.current);
+    }
+
+    fn load(&mut self, r: &mut higraph_sim::SnapReader<'_>) -> Result<(), higraph_sim::SnapError> {
+        r.expect_tag(b"RPLY")?;
+        let num_banks = r.u64()?;
+        if num_banks != self.num_banks {
+            return Err(higraph_sim::SnapError::new(format!(
+                "replay engine bank mismatch: snapshot {num_banks}, live {}",
+                self.num_banks
+            )));
+        }
+        self.current = r.value()?;
+        Ok(())
+    }
+}
+
+impl<P: higraph_sim::SnapValue> higraph_sim::Snapshot for RangeMdpNetwork<P> {
+    fn save(&self, w: &mut higraph_sim::SnapWriter) {
+        w.tag(b"RMDP");
+        w.usize(self.topology.num_stages());
+        w.usize(self.topology.num_channels());
+        w.usize(self.num_banks);
+        w.u64(self.splits);
+        self.stats.save(w);
+        for stage in &self.fifos {
+            stage[..].save(w);
+        }
+    }
+
+    fn load(&mut self, r: &mut higraph_sim::SnapReader<'_>) -> Result<(), higraph_sim::SnapError> {
+        r.expect_tag(b"RMDP")?;
+        let stages = r.usize()?;
+        let channels = r.usize()?;
+        let num_banks = r.usize()?;
+        if stages != self.topology.num_stages()
+            || channels != self.topology.num_channels()
+            || num_banks != self.num_banks
+        {
+            return Err(higraph_sim::SnapError::new(format!(
+                "range MDP-network shape mismatch: snapshot {stages}x{channels} over \
+                 {num_banks} banks, live {}x{} over {}",
+                self.topology.num_stages(),
+                self.topology.num_channels(),
+                self.num_banks
+            )));
+        }
+        self.splits = r.u64()?;
+        self.stats.load(r)?;
+        for stage in &mut self.fifos {
+            stage[..].load(r)?;
+        }
+        // Re-derive the occupancy count and per-stage masks.
+        self.occupancy = 0;
+        for (s, stage) in self.fifos.iter().enumerate() {
+            self.stage_mask[s].iter_mut().for_each(|word| *word = 0);
+            for (c, fifo) in stage.iter().enumerate() {
+                self.occupancy += fifo.len();
+                if !fifo.is_empty() {
+                    mask_set(&mut self.stage_mask[s], c);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

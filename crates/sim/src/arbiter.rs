@@ -108,6 +108,22 @@ impl OddEvenArbiter {
     }
 }
 
+impl crate::snapshot::Snapshot for OddEvenArbiter {
+    fn save(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.tag(b"OEAB");
+        w.bool(self.odd_has_priority);
+    }
+
+    fn load(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapError> {
+        r.expect_tag(b"OEAB")?;
+        self.odd_has_priority = r.bool()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -59,6 +59,7 @@
 //! ```
 
 use crate::arbiter::OddEvenArbiter;
+use crate::control::DrainError;
 use crate::stats::NetworkStats;
 use std::collections::VecDeque;
 use std::fmt;
@@ -435,23 +436,80 @@ impl Scheduler {
     /// [`StallError`] as for [`Scheduler::drain`]; a fast-forwarded
     /// drain reports the same `cycles` as the naive loop would (idle
     /// windows never advance past the guard).
-    pub fn drain_with<C, F>(&mut self, component: &mut C, mut f: F) -> Result<u64, StallError>
+    pub fn drain_with<C, F>(&mut self, component: &mut C, f: F) -> Result<u64, StallError>
     where
         C: ClockedComponent + ?Sized,
         F: FnMut(&mut C, DrainStep),
     {
+        self.drain_impl(component, None, f).map_err(|e| match e {
+            DrainError::Stall(stall) => stall,
+            DrainError::Interrupted { .. } => {
+                // lint:allow(panic-freedom): no control was attached, so `drain_impl` can never construct Interrupted
+                unreachable!("uncontrolled drain cannot be interrupted")
+            }
+        })
+    }
+
+    /// Like [`Scheduler::drain_with`], but polls `control` for
+    /// cooperative cancellation every
+    /// [`crate::control::CANCEL_POLL_INTERVAL`] drained cycles. A run
+    /// that completes is bit-identical to an uncontrolled drain —
+    /// polling never alters simulated behaviour.
+    ///
+    /// Parking and budgets are *not* checked here: they are
+    /// boundary-only decisions the engines make between drains, where
+    /// the pipeline state is trivially checkpointable.
+    ///
+    /// # Errors
+    ///
+    /// [`DrainError::Stall`] as for [`Scheduler::drain_with`];
+    /// [`DrainError::Interrupted`] when `control` observes a
+    /// cancellation request (the caller discards the partial drain).
+    pub fn drain_ctrl<C, F>(
+        &mut self,
+        component: &mut C,
+        control: &crate::control::RunControl,
+        f: F,
+    ) -> Result<u64, DrainError>
+    where
+        C: ClockedComponent + ?Sized,
+        F: FnMut(&mut C, DrainStep),
+    {
+        self.drain_impl(component, Some(control), f)
+    }
+
+    fn drain_impl<C, F>(
+        &mut self,
+        component: &mut C,
+        control: Option<&crate::control::RunControl>,
+        mut f: F,
+    ) -> Result<u64, DrainError>
+    where
+        C: ClockedComponent + ?Sized,
+        F: FnMut(&mut C, DrainStep),
+    {
+        use crate::control::CANCEL_POLL_INTERVAL;
         let indexed = component.wheel_indexed();
+        let mut next_poll = 0u64;
         let mut selections = 0u64;
         let mut spent = 0u64;
         let result = loop {
+            if let Some(control) = control {
+                if spent >= next_poll {
+                    if control.cancelled() {
+                        break Err(DrainError::Interrupted { cycles: spent });
+                    }
+                    next_poll = spent + CANCEL_POLL_INTERVAL;
+                }
+            }
             if component.is_drained() {
                 break Ok(spent);
             }
             if spent >= self.stall_guard {
-                break Err(StallError {
+                break Err(DrainError::Stall(StallError {
                     cycles: spent,
                     limit: self.stall_guard,
-                });
+                }));
             }
             if self.fast_forward {
                 // A quiescent-but-undrained component is a deadlock: no

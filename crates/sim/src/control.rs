@@ -1,0 +1,178 @@
+//! Cooperative run control: cancellation, parking, and cycle budgets.
+//!
+//! A [`RunControl`] is a small bundle of atomic flags shared between a
+//! running engine and whoever supervises it (the `higraph-serve`
+//! watchdog, a signal handler, a test). The engine polls it at two
+//! well-defined points:
+//!
+//! * **inside a drain** (every [`CANCEL_POLL_INTERVAL`] cycles):
+//!   cancellation only. A cancelled drain aborts with
+//!   [`DrainError::Interrupted`] and the partial iteration is
+//!   discarded — cancel means "stop paying for this job", not "stop
+//!   cleanly";
+//! * **at committed iteration boundaries**: parking and cycle budgets.
+//!   A boundary is the one place the pipeline is fully drained, so a
+//!   park there checkpoints trivially consistent state
+//!   (`docs/robustness.md`).
+//!
+//! Polling never changes simulated behaviour: a run that completes
+//! produces bit-identical cycles and metrics whether or not a control
+//! was attached.
+
+use crate::clock::StallError;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// How often (in drained cycles) a controlled drain polls the cancel
+/// flag. Coarse enough to stay off the per-cycle hot path, fine enough
+/// that a runaway job dies within microseconds of host time.
+pub const CANCEL_POLL_INTERVAL: u64 = 1024;
+
+/// Shared cancellation/parking/budget flags for one controlled run.
+///
+/// Cheap to clone behind an `Arc`; all methods take `&self` and are
+/// safe to call from any thread.
+#[derive(Debug, Default)]
+pub struct RunControl {
+    cancel: AtomicBool,
+    park: AtomicBool,
+    /// Simulated-cycle budget; 0 = unlimited.
+    budget_cycles: AtomicU64,
+}
+
+impl RunControl {
+    /// A fresh control: not cancelled, not parked, unlimited budget.
+    pub fn new() -> Self {
+        RunControl::default()
+    }
+
+    /// Requests cancellation: the run aborts at its next poll and
+    /// reports [`DrainError::Interrupted`] / a cancelled outcome.
+    pub fn request_cancel(&self) {
+        self.cancel.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Acquire)
+    }
+
+    /// Requests a park: the run checkpoints and returns a parked
+    /// outcome at its next committed iteration boundary.
+    pub fn request_park(&self) {
+        self.park.store(true, Ordering::Release);
+    }
+
+    /// Clears a pending park request (used when resuming a parked job).
+    pub fn clear_park(&self) {
+        self.park.store(false, Ordering::Release);
+    }
+
+    /// Whether a park has been requested.
+    pub fn park_requested(&self) -> bool {
+        self.park.load(Ordering::Acquire)
+    }
+
+    /// Sets the simulated-cycle budget (`None` = unlimited). A run
+    /// whose aggregate cycles reach the budget parks at the next
+    /// boundary, exactly like an explicit [`RunControl::request_park`].
+    pub fn set_budget_cycles(&self, budget: Option<u64>) {
+        self.budget_cycles
+            .store(budget.unwrap_or(0), Ordering::Release);
+    }
+
+    /// The configured simulated-cycle budget, if any.
+    pub fn budget_cycles(&self) -> Option<u64> {
+        match self.budget_cycles.load(Ordering::Acquire) {
+            0 => None,
+            b => Some(b),
+        }
+    }
+
+    /// Boundary decision: should a run that has spent `cycles` so far
+    /// park here? True on an explicit park request or an exhausted
+    /// cycle budget.
+    pub fn should_park(&self, cycles: u64) -> bool {
+        if self.park_requested() {
+            return true;
+        }
+        match self.budget_cycles() {
+            Some(budget) => cycles >= budget,
+            None => false,
+        }
+    }
+}
+
+/// Why a controlled drain stopped early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DrainError {
+    /// The component failed to drain within the stall guard.
+    Stall(StallError),
+    /// Cancellation was requested; `cycles` were already simulated in
+    /// the aborted drain (they are discarded by the caller).
+    Interrupted {
+        /// Cycles spent before the cancel poll observed the request.
+        cycles: u64,
+    },
+}
+
+impl fmt::Display for DrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DrainError::Stall(e) => e.fmt(f),
+            DrainError::Interrupted { cycles } => {
+                write!(f, "drain interrupted by cancellation after {cycles} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DrainError {}
+
+impl From<StallError> for DrainError {
+    fn from(e: StallError) -> Self {
+        DrainError::Stall(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_toggle_independently() {
+        let c = RunControl::new();
+        assert!(!c.cancelled() && !c.park_requested());
+        c.request_cancel();
+        assert!(c.cancelled() && !c.park_requested());
+        c.request_park();
+        assert!(c.park_requested());
+        c.clear_park();
+        assert!(!c.park_requested() && c.cancelled());
+    }
+
+    #[test]
+    fn budget_drives_should_park() {
+        let c = RunControl::new();
+        assert!(!c.should_park(u64::MAX), "unlimited by default");
+        c.set_budget_cycles(Some(100));
+        assert_eq!(c.budget_cycles(), Some(100));
+        assert!(!c.should_park(99));
+        assert!(c.should_park(100));
+        c.set_budget_cycles(None);
+        assert!(!c.should_park(u64::MAX));
+        c.request_park();
+        assert!(c.should_park(0), "explicit park wins regardless of budget");
+    }
+
+    #[test]
+    fn drain_error_formats() {
+        let s = DrainError::from(StallError {
+            cycles: 5,
+            limit: 5,
+        });
+        assert!(s.to_string().contains('5'));
+        let i = DrainError::Interrupted { cycles: 7 };
+        assert!(i.to_string().contains("cancellation"));
+    }
+}

@@ -226,6 +226,49 @@ impl<T: Packet> ClockedComponent for CrossbarNetwork<T> {
     }
 }
 
+impl<T: crate::snapshot::SnapValue> crate::snapshot::Snapshot for CrossbarNetwork<T> {
+    fn save(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.tag(b"XBAR");
+        w.usize(self.input_queues.len());
+        w.usize(self.outputs.len());
+        w.usize(self.priority);
+        self.stats.save(w);
+        self.input_queues[..].save(w);
+        self.outputs.save(w);
+    }
+
+    fn load(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapError> {
+        r.expect_tag(b"XBAR")?;
+        let n_in = r.usize()?;
+        let n_out = r.usize()?;
+        if n_in != self.input_queues.len() || n_out != self.outputs.len() {
+            return Err(crate::snapshot::SnapError::new(format!(
+                "crossbar shape mismatch: snapshot {n_in}x{n_out}, live {}x{}",
+                self.input_queues.len(),
+                self.outputs.len()
+            )));
+        }
+        let priority = r.usize()?;
+        if priority >= n_in {
+            return Err(crate::snapshot::SnapError::new(format!(
+                "crossbar priority {priority} out of range for {n_in} inputs"
+            )));
+        }
+        self.priority = priority;
+        self.stats.load(r)?;
+        self.input_queues[..].load(r)?;
+        self.outputs.load(r)?;
+        // Scratch and caches: grants are per-tick, occupancy is derived.
+        self.granted.iter_mut().for_each(|g| *g = None);
+        self.occupancy = self.input_queues.iter().map(Fifo::len).sum::<usize>()
+            + self.outputs.iter().filter(|o| o.is_some()).count();
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

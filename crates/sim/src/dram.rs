@@ -177,6 +177,10 @@ pub struct MemoryChannel {
     /// keeps loaded-channel idle windows cheap (`skip` ticks them for
     /// real).
     issue_quiet: bool,
+    /// Fault-injection brown-out: while set, the channel accepts and
+    /// completes but issues nothing, so queued requests sit until the
+    /// window lifts (`docs/robustness.md`).
+    paused: bool,
 }
 
 impl MemoryChannel {
@@ -201,12 +205,30 @@ impl MemoryChannel {
             issued: vec![false; num_banks],
             min_done_at: u64::MAX,
             issue_quiet: true,
+            paused: false,
         }
     }
 
     /// Number of banks.
     pub fn num_banks(&self) -> usize {
         self.banks.len()
+    }
+
+    /// Sets the brown-out flag: a paused channel still lands in-service
+    /// completions (the DRAM core keeps its timing) but issues no new
+    /// accesses, so queued requests wait out the window. Finite windows
+    /// therefore stall, never lose, traffic.
+    pub fn set_paused(&mut self, paused: bool) {
+        self.paused = paused;
+        if !paused {
+            // Queued work may now issue; the quiet-scan cache is stale.
+            self.issue_quiet = false;
+        }
+    }
+
+    /// Whether the channel is browned out.
+    pub fn is_paused(&self) -> bool {
+        self.paused
     }
 
     /// Whether the request queue can take one more request.
@@ -316,6 +338,18 @@ impl ClockedComponent for MemoryChannel {
                     bank.service = None;
                 }
             }
+        }
+        // A browned-out channel lands completions but issues nothing;
+        // the quiet-scan cache stays off so un-pausing resumes issue.
+        if self.paused {
+            self.min_done_at = self
+                .banks
+                .iter()
+                .filter_map(|b| b.service.map(|s| s.done_at))
+                .min()
+                .unwrap_or(u64::MAX);
+            self.issue_quiet = false;
+            return;
         }
         // Issue: scan the queue in arrival order; each idle bank begins
         // at most one access per cycle. A request only waits behind
@@ -458,6 +492,20 @@ impl DramSystem {
         self.channels.len()
     }
 
+    /// Browns out (or restores) one channel for fault injection; the
+    /// wake registry is dirtied because the channel's activity window
+    /// changes shape with the flag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn set_channel_paused(&mut self, channel: usize, paused: bool) {
+        // Documented precondition: fault plans are validated against the
+        // channel count before injection, so the index is in range.
+        self.channels[channel].set_paused(paused);
+        self.wheel.mark_dirty(channel);
+    }
+
     /// Decodes a line address to `(channel, bank, row)`.
     fn map(&self, line: u64) -> (usize, usize, u64) {
         let c = self.channels.len() as u64;
@@ -565,6 +613,135 @@ impl ClockedComponent for DramSystem {
             ch.skip(cycles);
         }
         self.wheel.advance(cycles);
+    }
+}
+
+impl crate::snapshot::Snapshot for MemoryStats {
+    fn save(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.tag(b"MSTA");
+        w.u64(self.accepted);
+        w.u64(self.rejected);
+        w.u64(self.completed);
+        w.u64(self.row_hits);
+        w.u64(self.row_misses);
+        w.u64(self.row_conflicts);
+        w.u64(self.cycles);
+    }
+
+    fn load(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapError> {
+        r.expect_tag(b"MSTA")?;
+        self.accepted = r.u64()?;
+        self.rejected = r.u64()?;
+        self.completed = r.u64()?;
+        self.row_hits = r.u64()?;
+        self.row_misses = r.u64()?;
+        self.row_conflicts = r.u64()?;
+        self.cycles = r.u64()?;
+        Ok(())
+    }
+}
+
+impl crate::snapshot::Snapshot for MemoryChannel {
+    fn save(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.tag(b"MCHN");
+        w.usize(self.banks.len());
+        w.usize(self.queue_depth);
+        w.u64(self.now);
+        w.u64(self.min_done_at);
+        w.bool(self.issue_quiet);
+        w.bool(self.paused);
+        self.stats.save(w);
+        w.usize(self.queue.len());
+        for req in &self.queue {
+            w.u64(req.line);
+            w.usize(req.bank);
+            w.u64(req.row);
+        }
+        for bank in &self.banks {
+            w.value(&bank.open_row);
+            w.value(&bank.service.map(|s| (s.line, s.done_at)));
+        }
+        self.ready.save(w);
+    }
+
+    fn load(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapError> {
+        r.expect_tag(b"MCHN")?;
+        let banks = r.usize()?;
+        let depth = r.usize()?;
+        if banks != self.banks.len() || depth != self.queue_depth {
+            return Err(crate::snapshot::SnapError::new(format!(
+                "memory channel shape mismatch: snapshot {banks} banks / depth {depth}, \
+                 live {} / {}",
+                self.banks.len(),
+                self.queue_depth
+            )));
+        }
+        self.now = r.u64()?;
+        self.min_done_at = r.u64()?;
+        self.issue_quiet = r.bool()?;
+        self.paused = r.bool()?;
+        self.stats.load(r)?;
+        let queued = r.usize()?;
+        if queued > self.queue_depth {
+            return Err(crate::snapshot::SnapError::new(format!(
+                "memory channel queue {queued} exceeds depth {}",
+                self.queue_depth
+            )));
+        }
+        self.queue.clear();
+        for _ in 0..queued {
+            let line = r.u64()?;
+            let bank = r.usize()?;
+            let row = r.u64()?;
+            if bank >= self.banks.len() {
+                return Err(crate::snapshot::SnapError::new(format!(
+                    "queued request bank {bank} out of range"
+                )));
+            }
+            self.queue.push_back(Request { line, bank, row });
+        }
+        for bank in &mut self.banks {
+            bank.open_row = r.value()?;
+            bank.service = r
+                .value::<Option<(u64, u64)>>()?
+                .map(|(line, done_at)| Service { line, done_at });
+        }
+        self.ready.load(r)?;
+        // Per-tick scratch is not state.
+        self.issued.iter_mut().for_each(|b| *b = false);
+        Ok(())
+    }
+}
+
+impl crate::snapshot::Snapshot for DramSystem {
+    fn save(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.tag(b"DSYS");
+        w.usize(self.channels.len());
+        self.channels[..].save(w);
+        self.wheel.save(w);
+    }
+
+    fn load(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapError> {
+        r.expect_tag(b"DSYS")?;
+        let channels = r.usize()?;
+        if channels != self.channels.len() {
+            return Err(crate::snapshot::SnapError::new(format!(
+                "channel count mismatch: snapshot {channels}, live {}",
+                self.channels.len()
+            )));
+        }
+        self.channels[..].load(r)?;
+        self.wheel.load(r)?;
+        Ok(())
     }
 }
 

@@ -48,6 +48,7 @@
 
 pub mod arbiter;
 pub mod clock;
+pub mod control;
 pub mod crossbar;
 pub mod dram;
 pub mod fifo;
@@ -56,11 +57,13 @@ pub mod memory;
 pub mod network;
 pub mod probe;
 pub mod selection;
+pub mod snapshot;
 pub mod stats;
 pub mod wheel;
 
 pub use arbiter::{OddEvenArbiter, RoundRobinArbiter};
 pub use clock::{min_activity, ClockedComponent, DrainStep, Scheduler, StallError};
+pub use control::{DrainError, RunControl};
 pub use crossbar::CrossbarNetwork;
 pub use dram::{DramSystem, DramTiming, MemoryChannel, MemoryStats};
 pub use fifo::Fifo;
@@ -69,5 +72,6 @@ pub use memory::BankPorts;
 pub use network::{Network, Packet};
 pub use probe::Instrumented;
 pub use selection::SelectionCounts;
+pub use snapshot::{content_checksum, SnapError, SnapReader, SnapValue, SnapWriter, Snapshot};
 pub use stats::NetworkStats;
 pub use wheel::EventWheel;

@@ -195,6 +195,38 @@ impl<T: Packet> Network<T> for InterChipLink<T> {
     }
 }
 
+impl<T: crate::snapshot::SnapValue> crate::snapshot::Snapshot for InterChipLink<T> {
+    fn save(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.tag(b"LINK");
+        w.usize(self.egress.len());
+        w.u64(self.now);
+        self.stats.save(w);
+        self.egress[..].save(w);
+        self.flight.save(w);
+        self.ingress[..].save(w);
+    }
+
+    fn load(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapError> {
+        r.expect_tag(b"LINK")?;
+        let num_chips = r.usize()?;
+        if num_chips != self.egress.len() {
+            return Err(crate::snapshot::SnapError::new(format!(
+                "link endpoint mismatch: snapshot {num_chips}, live {}",
+                self.egress.len()
+            )));
+        }
+        self.now = r.u64()?;
+        self.stats.load(r)?;
+        self.egress[..].load(r)?;
+        self.flight.load(r)?;
+        self.ingress[..].load(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

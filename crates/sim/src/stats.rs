@@ -60,6 +60,30 @@ impl NetworkStats {
     }
 }
 
+impl crate::snapshot::Snapshot for NetworkStats {
+    fn save(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.tag(b"NSTA");
+        w.u64(self.accepted);
+        w.u64(self.rejected);
+        w.u64(self.delivered);
+        w.u64(self.cycles);
+        w.u64(self.hol_blocked);
+    }
+
+    fn load(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapError> {
+        r.expect_tag(b"NSTA")?;
+        self.accepted = r.u64()?;
+        self.rejected = r.u64()?;
+        self.delivered = r.u64()?;
+        self.cycles = r.u64()?;
+        self.hol_blocked = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

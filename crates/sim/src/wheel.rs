@@ -478,6 +478,47 @@ fn next_set_bit_circular(words: &[u64], start: usize) -> Option<usize> {
     None
 }
 
+/// The wheel's ring, overflow list, and dirty set are all rebuildable
+/// caches over the per-slot wake registry, and the registry itself is
+/// re-derived by the owner's window functions once every slot is dirty.
+/// A snapshot therefore records only the clock (plus the shape, for
+/// verification); restore rebuilds a fresh wheel at the saved `now` with
+/// every slot marked dirty, exactly the recipe
+/// [`crate::DramSystem::set_wheel_horizon`] already uses to swap wheels
+/// mid-run.
+impl crate::snapshot::Snapshot for EventWheel {
+    fn save(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.tag(b"WHEL");
+        w.usize(self.slots());
+        w.usize(self.horizon());
+        w.u64(self.now());
+    }
+
+    fn load(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapError> {
+        r.expect_tag(b"WHEL")?;
+        let slots = r.usize()?;
+        let horizon = r.usize()?;
+        let now = r.u64()?;
+        if slots != self.slots() || horizon != self.horizon() {
+            return Err(crate::snapshot::SnapError::new(format!(
+                "event wheel shape mismatch: snapshot {slots} slots / horizon {horizon}, \
+                 live {} / {}",
+                self.slots(),
+                self.horizon()
+            )));
+        }
+        let mut fresh =
+            EventWheel::try_new(slots, horizon).map_err(crate::snapshot::SnapError::new)?;
+        fresh.advance(now);
+        fresh.mark_all_dirty();
+        *self = fresh;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -25,6 +25,13 @@
 //! window must be caught by a debug assertion, not silently corrupt
 //! timing.
 //!
+//! The third section proves the cycle-exact checkpoint/restore
+//! contract (`docs/robustness.md`): at a randomized cycle budget the
+//! serial and sharded engines park into a serialized checkpoint, and a
+//! fresh engine restored from those bytes must finish with properties
+//! and [`Metrics`] bit-identical to an uninterrupted run — across the
+//! memory model on/off and fast-forward on/off.
+//!
 //! The final section pins the event wheel to its legacy oracle: the
 //! indexed window selection (`higraph_sim::wheel`) must return exactly
 //! the minimum the retired O(components) poll would have folded, at
@@ -360,6 +367,147 @@ proptest! {
         engine.set_fast_forward(true);
         let sharded = engine.run(&prog).expect("sharded drains");
         prop_assert_eq!(&sharded.properties, &serial.properties);
+    }
+}
+
+/// Early-exit failure for outcome-shape mismatches the `prop_assert*!`
+/// macros cannot express (wrong enum variant).
+fn fail(msg: &str) -> proptest::test_runner::TestCaseError {
+    proptest::test_runner::TestCaseError::Fail(msg.to_string())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Checkpoint/restore bit-identity on the serial engine
+    /// (`docs/robustness.md`): park an otherwise-identical run at a
+    /// randomized cycle budget, serialize the checkpoint, restore it
+    /// into a *fresh* engine, and require the continuation to finish
+    /// with the exact properties and [`Metrics`] of the uninterrupted
+    /// reference — across the memory model on/off and fast-forward
+    /// on/off. An unbudgeted controlled run must also be
+    /// indistinguishable from a plain `run`.
+    #[test]
+    fn checkpoint_restore_is_bit_identical_serial(
+        num_v in 48u32..140,
+        edge_factor in 4u32..9,
+        seed in 0u64..1_000,
+        mem_idx in 0usize..2,
+        fast in proptest::bool::ANY,
+        budget_pct in 1u64..100,
+    ) {
+        let g = higraph::graph::gen::erdos_renyi(num_v, u64::from(num_v * edge_factor), 31, seed);
+        let src = higraph::graph::stats::hub_vertex(&g).expect("non-empty").0;
+        let prog = Bfs::from_source(src);
+        let mut cfg = AcceleratorConfig::higraph_mini();
+        cfg.memory = memory_variants()[mem_idx];
+        let fresh = || {
+            let mut engine = Engine::new(cfg.clone(), &g);
+            engine.set_fast_forward(fast);
+            engine
+        };
+
+        let reference = fresh().run(&prog).expect("no stall");
+
+        // Unbudgeted controlled run: completes, bit-identical to `run`.
+        let outcome = fresh()
+            .run_controlled(&prog, &RunControl::new())
+            .expect("no stall");
+        let RunOutcome::Done(done) = outcome else {
+            return Err(fail("unbudgeted run must complete"));
+        };
+        prop_assert_eq!(&done.properties, &reference.properties);
+        prop_assert_eq!(&done.metrics, &reference.metrics);
+
+        // Budgeted run parks at a committed boundary once the randomized
+        // budget is spent; the restored continuation must be exact. A
+        // budget landing past the last boundary legitimately completes
+        // instead — then the result itself must already be exact.
+        let budget = (reference.metrics.cycles * budget_pct / 100).max(1);
+        let control = RunControl::new();
+        control.set_budget_cycles(Some(budget));
+        match fresh().run_controlled(&prog, &control).expect("no stall") {
+            RunOutcome::Parked(ck) => {
+                prop_assert!(
+                    ck.cycles < reference.metrics.cycles,
+                    "parked at cycle {} but the full run only takes {}",
+                    ck.cycles,
+                    reference.metrics.cycles
+                );
+                let resumed = match fresh()
+                    .resume_controlled(&prog, &RunControl::new(), &ck.bytes)
+                    .expect("checkpoint must restore")
+                {
+                    RunOutcome::Done(r) => r,
+                    _ => return Err(fail("resume must complete")),
+                };
+                prop_assert_eq!(&resumed.properties, &reference.properties);
+                prop_assert_eq!(&resumed.metrics, &reference.metrics);
+            }
+            RunOutcome::Done(done) => {
+                prop_assert_eq!(&done.properties, &reference.properties);
+                prop_assert_eq!(&done.metrics, &reference.metrics);
+            }
+            RunOutcome::Cancelled => {
+                return Err(fail("nobody requested a cancel"));
+            }
+        }
+    }
+
+    /// The same round-trip on the multi-chip engine: a parked
+    /// [`ShardedEngine`] continuation must reproduce the uninterrupted
+    /// run bit-for-bit — aggregate and per-chip [`Metrics`], link
+    /// stats, and cross-chip packet counts included.
+    #[test]
+    fn checkpoint_restore_is_bit_identical_sharded(
+        num_v in 48u32..120,
+        edge_factor in 4u32..9,
+        seed in 0u64..1_000,
+        chips in 2usize..5,
+        mem_idx in 0usize..2,
+        fast in proptest::bool::ANY,
+        budget_pct in 1u64..100,
+    ) {
+        let g = higraph::graph::gen::erdos_renyi(num_v, u64::from(num_v * edge_factor), 31, seed);
+        let src = higraph::graph::stats::hub_vertex(&g).expect("non-empty").0;
+        let prog = Bfs::from_source(src);
+        let mut cfg = AcceleratorConfig::higraph_mini();
+        cfg.memory = memory_variants()[mem_idx];
+        let fresh = || {
+            let mut engine = ShardedEngine::new(cfg.clone(), ShardConfig::new(chips), &g);
+            engine.set_fast_forward(fast);
+            engine
+        };
+
+        let reference = fresh().run(&prog).expect("no stall");
+
+        let budget = (reference.metrics.cycles * budget_pct / 100).max(1);
+        let control = RunControl::new();
+        control.set_budget_cycles(Some(budget));
+        match fresh().run_controlled(&prog, &control).expect("no stall") {
+            ShardedOutcome::Parked(ck) => {
+                let resumed = match fresh()
+                    .resume_controlled(&prog, &RunControl::new(), &ck.bytes)
+                    .expect("checkpoint must restore")
+                {
+                    ShardedOutcome::Done(r) => r,
+                    _ => return Err(fail("resume must complete")),
+                };
+                prop_assert_eq!(&resumed.properties, &reference.properties);
+                prop_assert_eq!(&resumed.metrics, &reference.metrics);
+                prop_assert_eq!(&resumed.chips, &reference.chips);
+                prop_assert_eq!(&resumed.link, &reference.link);
+                prop_assert_eq!(resumed.cross_chip_packets, reference.cross_chip_packets);
+            }
+            ShardedOutcome::Done(done) => {
+                prop_assert_eq!(&done.properties, &reference.properties);
+                prop_assert_eq!(&done.metrics, &reference.metrics);
+                prop_assert_eq!(&done.chips, &reference.chips);
+            }
+            ShardedOutcome::Cancelled => {
+                return Err(fail("nobody requested a cancel"));
+            }
+        }
     }
 }
 
